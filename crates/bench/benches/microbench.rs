@@ -1,0 +1,104 @@
+//! Microbenchmarks of the simulator's hot paths: DRAM command issue,
+//! address decoding, scheduler decision making, cache accesses and workload
+//! generation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cloudmc_cpu::{Cache, CacheConfig};
+use cloudmc_dram::{Command, DramChannel, DramConfig, Location};
+use cloudmc_memctrl::{
+    AccessKind, AddressMapping, McConfig, MemoryController, MemoryRequest, SchedulerKind,
+};
+use cloudmc_workloads::{CoreStream, Workload};
+
+fn bench_dram_channel(c: &mut Criterion) {
+    c.bench_function("dram/activate_read_precharge_cycle", |b| {
+        let cfg = DramConfig::baseline();
+        b.iter_batched(
+            || DramChannel::new(&cfg),
+            |mut ch| {
+                let t = cfg.timing;
+                let loc = Location::new(0, 0, 42, 3);
+                ch.issue(&Command::activate(loc), 0);
+                ch.issue(&Command::read(loc, false), t.t_rcd);
+                ch.issue(&Command::precharge(loc), t.t_ras.max(t.t_rcd + t.t_rtp));
+                black_box(ch.stats().reads)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_address_mapping(c: &mut Criterion) {
+    let cfg = DramConfig::with_channels(4);
+    c.bench_function("mapping/decode_all_schemes", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for mapping in AddressMapping::all() {
+                for i in 0..64u64 {
+                    acc += mapping.decode(black_box(i * 4096 + 64), &cfg).channel;
+                }
+            }
+            acc
+        });
+    });
+}
+
+fn bench_scheduler_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller/tick_with_16_pending");
+    for kind in [SchedulerKind::FrFcfs, SchedulerKind::FcfsBanks] {
+        group.bench_function(kind.label(), |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = McConfig::baseline();
+                    cfg.scheduler = kind;
+                    let mut mc = MemoryController::new(cfg).unwrap();
+                    for i in 0..16u64 {
+                        mc.enqueue(
+                            MemoryRequest::new(i, AccessKind::Read, i * 0x2_0000, i as usize, 0),
+                            0,
+                        )
+                        .unwrap();
+                    }
+                    mc
+                },
+                |mut mc| {
+                    for cycle in 0..256u64 {
+                        black_box(mc.tick(cycle).len());
+                    }
+                    mc.stats().reads_completed
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/l1_access_stream", |b| {
+        let mut cache = Cache::new(CacheConfig::l1_baseline());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            cache.access(black_box((i * 64) % (64 * 1024)), i % 4 == 0)
+        });
+    });
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    c.bench_function("workload/next_op", |b| {
+        let mut stream = CoreStream::new(Workload::DataServing.spec(), 0, 1);
+        b.iter(|| black_box(stream.next_op()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dram_channel,
+    bench_address_mapping,
+    bench_scheduler_tick,
+    bench_cache,
+    bench_workload_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Diagnostic: run one workload under each scheduler and dump the full
+//! measured statistics side by side.
+
+use cloudmc_bench::{baseline_config, paper_schedulers, Scale};
+use cloudmc_sim::{run_system, System};
+use cloudmc_workloads::Workload;
+
+/// Prints cache/stall details for the FR-FCFS baseline of `workload`.
+fn cache_details(cfg: cloudmc_sim::SystemConfig) {
+    let mut system = System::new(cfg).unwrap();
+    system.run_cycles(cfg.warmup_cpu_cycles + cfg.measure_cpu_cycles);
+    let cores = cfg.workload.cores;
+    let (mut l1i_h, mut l1i_m, mut l1d_h, mut l1d_m, mut stall, mut cycles) = (0, 0, 0, 0, 0, 0);
+    for c in 0..cores {
+        l1i_h += system.l1i_stats(c).hits;
+        l1i_m += system.l1i_stats(c).misses;
+        l1d_h += system.l1d_stats(c).hits;
+        l1d_m += system.l1d_stats(c).misses;
+        stall += system.core_stats(c).stall_cycles;
+        cycles += system.core_stats(c).cycles;
+    }
+    let l2 = system.l2_stats();
+    let [code, shared, hot, private] = system.reads_by_region();
+    println!(
+        "reads by region: code {code} shared {shared} hot {hot} private {private}"
+    );
+    println!(
+        "cache detail: L1I miss% {:.1} ({} misses)  L1D miss% {:.1} ({} misses)  L2 miss% {:.1} ({}/{})  core stall% {:.1}",
+        100.0 * l1i_m as f64 / (l1i_h + l1i_m).max(1) as f64,
+        l1i_m,
+        100.0 * l1d_m as f64 / (l1d_h + l1d_m).max(1) as f64,
+        l1d_m,
+        100.0 * l2.miss_ratio(),
+        l2.misses,
+        l2.accesses(),
+        100.0 * stall as f64 / cycles.max(1) as f64,
+    );
+}
+
+fn main() {
+    let workload: Workload = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "DS".to_owned())
+        .parse()
+        .expect("workload acronym");
+    let measure: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300_000);
+    let scale = Scale {
+        warmup_cpu_cycles: measure / 2,
+        measure_cpu_cycles: measure,
+        seed: 1,
+        threads: 1,
+    };
+    println!(
+        "{:12} {:>7} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "scheduler", "IPC", "lat(dram)", "hit%", "rdQ", "wrQ", "BW%", "reads", "writes"
+    );
+    let tweak = std::env::args().nth(3).unwrap_or_default();
+    {
+        let mut cfg = baseline_config(workload, &scale);
+        if tweak.contains("nocode") {
+            cfg.workload.ifetch_mpki = 0.0;
+        }
+        if tweak.contains("nohot") {
+            cfg.workload.hot_access_rate = 0.0;
+        }
+        cache_details(cfg);
+    }
+    for (label, kind) in paper_schedulers() {
+        let mut cfg = baseline_config(workload, &scale);
+        cfg.mc.scheduler = kind;
+        if tweak.contains("nocode") {
+            cfg.workload.ifetch_mpki = 0.0;
+        }
+        if tweak.contains("nohot") {
+            cfg.workload.hot_access_rate = 0.0;
+        }
+        if tweak.contains("noburst") {
+            cfg.workload.row_burst_prob = 0.0;
+        }
+        if tweak.contains("nostore") {
+            cfg.workload.store_fraction = 0.0;
+        }
+        let s = run_system(cfg).unwrap();
+        println!(
+            "{label:12} {:7.3} {:9.1} {:8.1} {:8.2} {:8.2} {:8.1} {:8} {:8}",
+            s.user_ipc(),
+            s.avg_read_latency_dram,
+            s.row_buffer_hit_rate * 100.0,
+            s.avg_read_queue_len,
+            s.avg_write_queue_len,
+            s.bandwidth_utilization * 100.0,
+            s.reads_completed,
+            s.writes_completed,
+        );
+    }
+}

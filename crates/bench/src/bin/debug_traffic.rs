@@ -1,0 +1,67 @@
+//! Diagnostic: drive cores + L1s + shared L2 with a workload stream (no DRAM
+//! timing) and break the off-chip read traffic down by address region, to
+//! check the workload calibration against the paper's Figure 4 MPKI targets.
+
+use cloudmc_cpu::{CoreConfig, InOrderCore, SharedL2, L2Config};
+use cloudmc_workloads::{Workload, WorkloadStreams};
+
+fn main() {
+    let cycles: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400_000);
+    for w in Workload::all() {
+        if let Some(filter) = std::env::args().nth(1) {
+            if filter != "all" && !w.acronym().eq_ignore_ascii_case(&filter) {
+                continue;
+            }
+        }
+        let spec = w.spec();
+        let mut streams = WorkloadStreams::from_spec(spec, 1);
+        let mut cores: Vec<InOrderCore> = (0..spec.cores)
+            .map(|i| InOrderCore::new(i, CoreConfig::default()))
+            .collect();
+        let mut l2 = SharedL2::new(L2Config::baseline());
+        let (mut code, mut shared, mut private, mut writes) = (0u64, 0u64, 0u64, 0u64);
+        let mut l2_accesses = 0u64;
+        for _cycle in 0..cycles {
+            for (i, core) in cores.iter_mut().enumerate() {
+                let stream = streams.stream_mut(i);
+                let mut src = || stream.next_op();
+                let reqs = core.tick(&mut src);
+                for r in reqs {
+                    let out = l2.access(r.addr, r.write);
+                    l2_accesses += 1;
+                    if out.writeback.is_some() {
+                        writes += 1;
+                    }
+                    if !r.write && !out.hit {
+                        match r.addr {
+                            a if (0x2000_0000..0x4000_0000).contains(&a) => code += 1,
+                            a if (0x0400_0000..0x1400_0000).contains(&a) => shared += 1,
+                            _ => private += 1,
+                        }
+                    }
+                    if !r.write {
+                        // Fill immediately: no DRAM timing in this diagnostic.
+                        core.fill(r.addr);
+                    }
+                }
+            }
+        }
+        let instr: u64 = cores.iter().map(InOrderCore::committed).sum();
+        let kinstr = instr as f64 / 1000.0;
+        println!(
+            "{:9} ipc/core {:.2}  L2acc/ki {:6.1}  off-chip MPKI: code {:5.2} shared {:5.2} private {:5.2} total {:5.2}  wb/ki {:5.2}  L2miss% {:4.1}",
+            w.acronym(),
+            instr as f64 / (cycles as f64 * spec.cores as f64),
+            l2_accesses as f64 / kinstr,
+            code as f64 / kinstr,
+            shared as f64 / kinstr,
+            private as f64 / kinstr,
+            (code + shared + private) as f64 / kinstr,
+            writes as f64 / kinstr,
+            100.0 * l2.stats().miss_ratio()
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! `repro`: regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro <experiment> [options]
+//!
+//! experiments:
+//!   config        Tables 2 and 3 (configuration dump)
+//!   fig1 .. fig7  memory scheduling study (Section 4.1)
+//!   fig8          single-access row activations (Section 4.2.1)
+//!   fig9 .. fig11 page-management study (Section 4.2)
+//!   fig12..fig14  multi-channel study (Section 4.3)
+//!   table4        best mapping scheme per workload
+//!   sched         figs 1-7 in one sweep
+//!   pages         figs 9-11 in one sweep
+//!   channels      figs 12-14 + table 4 in one sweep
+//!   all           everything above
+//!
+//! options:
+//!   --quick | --full      run length preset (default: standard)
+//!   --measure <cycles>    override measurement CPU cycles
+//!   --warmup <cycles>     override warm-up CPU cycles
+//!   --seed <n>            workload seed (default 1)
+//!   --threads <n>         worker threads
+//!   --csv <dir>           also write each table as CSV into <dir>
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cloudmc_bench::{
+    baseline_study, channel_study, config_report, figure1, figure10, figure11, figure12, figure13,
+    figure14, figure2, figure3, figure4, figure5, figure6, figure7, figure8, figure9,
+    page_policy_study, scheduler_study, Scale, Table,
+};
+
+struct Options {
+    experiment: String,
+    scale: Scale,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let experiment = args.next().unwrap_or_else(|| "all".to_owned());
+    let mut scale = Scale::standard();
+    let mut csv_dir = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--full" => scale = Scale::full(),
+            "--measure" => {
+                scale.measure_cpu_cycles = args
+                    .next()
+                    .ok_or("--measure needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --measure value: {e}"))?;
+            }
+            "--warmup" => {
+                scale.warmup_cpu_cycles = args
+                    .next()
+                    .ok_or("--warmup needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --warmup value: {e}"))?;
+            }
+            "--seed" => {
+                scale.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed value: {e}"))?;
+            }
+            "--threads" => {
+                scale.threads = args
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads value: {e}"))?;
+            }
+            "--csv" => {
+                csv_dir = Some(PathBuf::from(args.next().ok_or("--csv needs a directory")?));
+            }
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}` (try --help)")),
+        }
+    }
+    Ok(Options {
+        experiment,
+        scale,
+        csv_dir,
+    })
+}
+
+const HELP: &str = "usage: repro <config|fig1..fig14|table4|sched|pages|channels|all> \
+[--quick|--full] [--measure N] [--warmup N] [--seed N] [--threads N] [--csv DIR]";
+
+fn emit(table: &Table, csv_dir: &Option<PathBuf>) {
+    println!("{}", table.to_text());
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv output directory");
+        let name: String = table
+            .title
+            .chars()
+            .take_while(|c| *c != ':')
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_lowercase();
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, table.to_csv()).expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale = opts.scale;
+    eprintln!(
+        "# running `{}` (warmup {} + measure {} CPU cycles per point, seed {}, {} threads)",
+        opts.experiment,
+        scale.warmup_cpu_cycles,
+        scale.measure_cpu_cycles,
+        scale.seed,
+        scale.threads
+    );
+    let exp = opts.experiment.as_str();
+    let wants = |names: &[&str]| names.contains(&exp);
+
+    if wants(&["config", "all"]) {
+        println!("{}", config_report());
+    }
+    if wants(&[
+        "sched", "all", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    ]) {
+        let study = scheduler_study(&scale);
+        let figures = [
+            ("fig1", figure1(&study)),
+            ("fig2", figure2(&study)),
+            ("fig3", figure3(&study)),
+            ("fig4", figure4(&study)),
+            ("fig5", figure5(&study)),
+            ("fig6", figure6(&study)),
+            ("fig7", figure7(&study)),
+        ];
+        for (name, table) in figures {
+            if wants(&[name, "sched", "all"]) {
+                emit(&table, &opts.csv_dir);
+            }
+        }
+    }
+    if wants(&["fig8", "all"]) {
+        let baseline = baseline_study(&scale);
+        emit(&figure8(&baseline), &opts.csv_dir);
+    }
+    if wants(&["pages", "all", "fig9", "fig10", "fig11"]) {
+        let study = page_policy_study(&scale);
+        let figures = [
+            ("fig9", figure9(&study)),
+            ("fig10", figure10(&study)),
+            ("fig11", figure11(&study)),
+        ];
+        for (name, table) in figures {
+            if wants(&[name, "pages", "all"]) {
+                emit(&table, &opts.csv_dir);
+            }
+        }
+    }
+    if wants(&[
+        "channels", "all", "fig12", "fig13", "fig14", "table4",
+    ]) {
+        let study = channel_study(&scale);
+        let figures = [
+            ("fig12", figure12(&study)),
+            ("fig13", figure13(&study)),
+            ("fig14", figure14(&study)),
+        ];
+        for (name, table) in figures {
+            if wants(&[name, "channels", "all"]) {
+                emit(&table, &opts.csv_dir);
+            }
+        }
+        if wants(&["table4", "channels", "all"]) {
+            println!("{}", study.table4().to_text());
+        }
+    }
+    let known = [
+        "config", "all", "sched", "pages", "channels", "table4", "fig1", "fig2", "fig3", "fig4",
+        "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    ];
+    if !known.contains(&exp) {
+        eprintln!("error: unknown experiment `{exp}`");
+        eprintln!("{HELP}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,22 @@
+//! # cloudmc-bench
+//!
+//! Experiment harness for the `cloudmc` reproduction of *"Memory Controller
+//! Design Under Cloud Workloads"* (IISWC 2016).
+//!
+//! The [`experiments`] module contains one study per section of the paper's
+//! evaluation (scheduling, page management, multi-channel) and one builder
+//! per figure/table; the `repro` binary drives them from the command line and
+//! the Criterion benches in `benches/` exercise reduced-scale versions.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{
+    baseline_config, baseline_study, channel_study, config_report, figure1, figure10, figure11,
+    figure12, figure13, figure14, figure2, figure3, figure4, figure5, figure6, figure7, figure8,
+    figure9, page_policy_study, paper_schedulers, scheduler_study, ChannelStudy, Matrix, Scale,
+};
+pub use report::{Table, TextTable};

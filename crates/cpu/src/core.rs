@@ -1,0 +1,525 @@
+//! In-order core model.
+//!
+//! The paper's baseline CMP uses simple in-order cores (the "scale-out
+//! processor" pod of Lotfi-Kamran et al.). The model here captures exactly
+//! what matters to the memory controller study: one instruction per cycle
+//! unless waiting on memory, private L1 instruction/data caches, a bounded
+//! number of outstanding misses (the workload's memory-level parallelism) and
+//! dirty write-backs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::mshr::{Mshr, MshrOutcome};
+
+/// The kind of a memory operation executed by a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Data load.
+    Load,
+    /// Data store.
+    Store,
+    /// Instruction fetch (goes through the L1-I).
+    Ifetch,
+}
+
+/// One memory operation of the instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemOp {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Virtual == physical byte address in this model.
+    pub addr: u64,
+    /// Whether the core may continue past a miss on this operation
+    /// (memory-level parallelism), subject to MSHR availability.
+    pub overlappable: bool,
+}
+
+/// One slot of the instruction stream handed to the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreOp {
+    /// `n` back-to-back non-memory instructions (`n >= 1`).
+    Compute(u32),
+    /// A memory operation.
+    Mem(MemOp),
+}
+
+/// A request the core sends down the hierarchy (an L1 miss refill or a dirty
+/// write-back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreRequest {
+    /// Issuing core.
+    pub core: usize,
+    /// Block-aligned address.
+    pub addr: u64,
+    /// `true` for write-backs, `false` for refills.
+    pub write: bool,
+}
+
+/// Static configuration of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Maximum outstanding misses (MSHR entries); bounds the core's MLP.
+    pub max_outstanding_misses: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self {
+            l1i: CacheConfig::l1_baseline(),
+            l1d: CacheConfig::l1_baseline(),
+            max_outstanding_misses: 4,
+        }
+    }
+}
+
+/// Per-core performance counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Committed (user) instructions.
+    pub committed: u64,
+    /// Cycles spent stalled waiting for memory.
+    pub stall_cycles: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Demand misses sent below the L1s.
+    pub l1_demand_misses: u64,
+    /// Write-backs sent below the L1s.
+    pub l1_writebacks: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// What blocks the core right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stall {
+    /// Waiting for the refill of a specific block (blocking miss).
+    Miss { block: u64, commits_on_fill: bool },
+    /// Waiting for any MSHR entry to free up, then retry the saved op.
+    MshrFull(MemOp),
+}
+
+/// A simple in-order core with private L1 caches.
+///
+/// The caller drives it one CPU cycle at a time via [`InOrderCore::tick`],
+/// supplying instruction-stream slots on demand, and delivers refills via
+/// [`InOrderCore::fill`].
+#[derive(Debug)]
+pub struct InOrderCore {
+    id: usize,
+    l1i: Cache,
+    l1d: Cache,
+    mshr: Mshr,
+    block_bytes: u64,
+    pending_compute: u32,
+    stall: Option<Stall>,
+    stats: CoreStats,
+}
+
+impl InOrderCore {
+    /// Creates core `id` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache configurations are invalid or use different block
+    /// sizes.
+    #[must_use]
+    pub fn new(id: usize, config: CoreConfig) -> Self {
+        assert_eq!(
+            config.l1i.block_bytes, config.l1d.block_bytes,
+            "L1-I and L1-D must use the same block size"
+        );
+        Self {
+            id,
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            mshr: Mshr::new(config.max_outstanding_misses, config.l1d.block_bytes),
+            block_bytes: config.l1d.block_bytes,
+            pending_compute: 0,
+            stall: None,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Core index.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Performance counters.
+    #[must_use]
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// L1 instruction cache counters.
+    #[must_use]
+    pub fn l1i_stats(&self) -> &CacheStats {
+        self.l1i.stats()
+    }
+
+    /// L1 data cache counters.
+    #[must_use]
+    pub fn l1d_stats(&self) -> &CacheStats {
+        self.l1d.stats()
+    }
+
+    /// Whether the core is stalled waiting on memory.
+    #[must_use]
+    pub fn is_stalled(&self) -> bool {
+        self.stall.is_some()
+    }
+
+    /// Committed user instructions so far.
+    #[must_use]
+    pub fn committed(&self) -> u64 {
+        self.stats.committed
+    }
+
+    fn block(&self, addr: u64) -> u64 {
+        addr & !(self.block_bytes - 1)
+    }
+
+    /// Handles a memory operation. Returns downstream requests.
+    fn execute_mem(&mut self, op: MemOp, out: &mut Vec<CoreRequest>) {
+        let is_ifetch = op.kind == OpKind::Ifetch;
+        let is_store = op.kind == OpKind::Store;
+        // Check for structural stall before touching cache state so that the
+        // operation can be retried unchanged once an MSHR frees up.
+        let would_hit = if is_ifetch {
+            self.l1i.contains(op.addr)
+        } else {
+            self.l1d.contains(op.addr)
+        };
+        if !would_hit && self.mshr.is_full() && !self.mshr.contains(op.addr) {
+            self.stall = Some(Stall::MshrFull(op));
+            return;
+        }
+        let cache = if is_ifetch { &mut self.l1i } else { &mut self.l1d };
+        let access = cache.access(op.addr, is_store);
+        if let Some(victim) = access.writeback {
+            self.stats.l1_writebacks += 1;
+            out.push(CoreRequest {
+                core: self.id,
+                addr: victim,
+                write: true,
+            });
+        }
+        if access.hit {
+            if !is_ifetch {
+                self.stats.committed += 1;
+            }
+            return;
+        }
+        // Miss: try to allocate an MSHR and send the refill downstream.
+        match self.mshr.allocate(op.addr) {
+            MshrOutcome::Allocated => {
+                self.stats.l1_demand_misses += 1;
+                out.push(CoreRequest {
+                    core: self.id,
+                    addr: self.block(op.addr),
+                    write: false,
+                });
+            }
+            MshrOutcome::Merged => {}
+            MshrOutcome::Full => unreachable!("structural stall is checked before cache access"),
+        }
+        // Stores retire into the store buffer; loads marked overlappable keep
+        // the core running (limited MLP); everything else blocks until fill.
+        if is_store || (op.kind == OpKind::Load && op.overlappable) {
+            self.stats.committed += 1;
+        } else {
+            self.stall = Some(Stall::Miss {
+                block: self.block(op.addr),
+                commits_on_fill: !is_ifetch,
+            });
+        }
+    }
+
+    /// Advances the core by one CPU cycle. `next_op` is called at most once,
+    /// when the core needs the next instruction-stream slot. Returns the
+    /// requests (refills and write-backs) to inject into the next level.
+    pub fn tick(&mut self, next_op: &mut dyn FnMut() -> CoreOp) -> Vec<CoreRequest> {
+        self.stats.cycles += 1;
+        let mut out = Vec::new();
+        match self.stall {
+            Some(Stall::Miss { .. }) => {
+                self.stats.stall_cycles += 1;
+                return out;
+            }
+            Some(Stall::MshrFull(op)) => {
+                if self.mshr.is_full() {
+                    self.stats.stall_cycles += 1;
+                    return out;
+                }
+                self.stall = None;
+                self.execute_mem(op, &mut out);
+                return out;
+            }
+            None => {}
+        }
+        if self.pending_compute > 0 {
+            self.pending_compute -= 1;
+            self.stats.committed += 1;
+            return out;
+        }
+        match next_op() {
+            CoreOp::Compute(n) => {
+                let n = n.max(1);
+                self.stats.committed += 1;
+                self.pending_compute = n - 1;
+            }
+            CoreOp::Mem(op) => self.execute_mem(op, &mut out),
+        }
+        out
+    }
+
+    /// Delivers the refill of `block_addr`; wakes the core if it was blocked
+    /// on that block.
+    pub fn fill(&mut self, block_addr: u64) {
+        let block = self.block(block_addr);
+        let _waiters = self.mshr.complete(block);
+        if let Some(Stall::Miss {
+            block: waiting,
+            commits_on_fill,
+        }) = self.stall
+        {
+            if waiting == block {
+                if commits_on_fill {
+                    self.stats.committed += 1;
+                }
+                self.stall = None;
+            }
+        }
+    }
+
+    /// Number of misses currently outstanding below the L1s.
+    #[must_use]
+    pub fn outstanding_misses(&self) -> usize {
+        self.mshr.outstanding()
+    }
+
+    /// Functionally installs the block containing `addr` into the L1-I
+    /// (`instruction == true`) or L1-D without modelling any timing.
+    ///
+    /// Used for cache warm-up before measurement, standing in for the long
+    /// functional warm-up phase of full-system simulation.
+    pub fn prewarm(&mut self, addr: u64, instruction: bool) {
+        if instruction {
+            self.l1i.access(addr, false);
+        } else {
+            self.l1d.access(addr, false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_core() -> InOrderCore {
+        let l1 = CacheConfig {
+            size_bytes: 512,
+            associativity: 2,
+            block_bytes: 64,
+        };
+        InOrderCore::new(
+            0,
+            CoreConfig {
+                l1i: l1,
+                l1d: l1,
+                max_outstanding_misses: 2,
+            },
+        )
+    }
+
+    fn compute_stream() -> impl FnMut() -> CoreOp {
+        || CoreOp::Compute(1)
+    }
+
+    #[test]
+    fn compute_instructions_commit_one_per_cycle() {
+        let mut core = tiny_core();
+        let mut src = compute_stream();
+        for _ in 0..10 {
+            assert!(core.tick(&mut src).is_empty());
+        }
+        assert_eq!(core.committed(), 10);
+        assert!((core.stats().ipc() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_burst_spans_multiple_cycles() {
+        let mut core = tiny_core();
+        let mut ops = vec![CoreOp::Compute(3)].into_iter();
+        let mut src = move || ops.next().unwrap_or(CoreOp::Compute(1));
+        for _ in 0..3 {
+            core.tick(&mut src);
+        }
+        assert_eq!(core.committed(), 3);
+    }
+
+    #[test]
+    fn blocking_load_miss_stalls_until_fill() {
+        let mut core = tiny_core();
+        let op = CoreOp::Mem(MemOp {
+            kind: OpKind::Load,
+            addr: 0x1000,
+            overlappable: false,
+        });
+        let mut first = Some(op);
+        let mut src = move || first.take().unwrap_or(CoreOp::Compute(1));
+        let reqs = core.tick(&mut src);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].addr, 0x1000);
+        assert!(!reqs[0].write);
+        assert!(core.is_stalled());
+        // Stalled cycles commit nothing.
+        for _ in 0..5 {
+            assert!(core.tick(&mut src).is_empty());
+        }
+        assert_eq!(core.committed(), 0);
+        core.fill(0x1000);
+        assert!(!core.is_stalled());
+        assert_eq!(core.committed(), 1, "the stalled load commits on fill");
+        core.tick(&mut src);
+        assert_eq!(core.committed(), 2);
+        assert!(core.stats().stall_cycles >= 5);
+    }
+
+    #[test]
+    fn overlappable_loads_exploit_mlp_until_mshrs_full() {
+        let mut core = tiny_core();
+        let mk = |addr| {
+            CoreOp::Mem(MemOp {
+                kind: OpKind::Load,
+                addr,
+                overlappable: true,
+            })
+        };
+        let mut ops = vec![mk(0x1000), mk(0x2000), mk(0x3000)].into_iter();
+        let mut src = move || ops.next().unwrap_or(CoreOp::Compute(1));
+        assert_eq!(core.tick(&mut src).len(), 1);
+        assert!(!core.is_stalled());
+        assert_eq!(core.tick(&mut src).len(), 1);
+        assert!(!core.is_stalled());
+        assert_eq!(core.committed(), 2);
+        // Third miss: MSHRs (2 entries) are full, the core must wait.
+        assert!(core.tick(&mut src).is_empty());
+        assert!(core.is_stalled());
+        core.fill(0x1000);
+        // Retry succeeds next cycle.
+        let reqs = core.tick(&mut src);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].addr, 0x3000);
+        assert_eq!(core.committed(), 3);
+    }
+
+    #[test]
+    fn store_misses_do_not_stall() {
+        let mut core = tiny_core();
+        let mut first = Some(CoreOp::Mem(MemOp {
+            kind: OpKind::Store,
+            addr: 0x4000,
+            overlappable: false,
+        }));
+        let mut src = move || first.take().unwrap_or(CoreOp::Compute(1));
+        let reqs = core.tick(&mut src);
+        assert_eq!(reqs.len(), 1);
+        assert!(!core.is_stalled());
+        assert_eq!(core.committed(), 1);
+    }
+
+    #[test]
+    fn ifetch_miss_stalls_without_committing() {
+        let mut core = tiny_core();
+        let mut first = Some(CoreOp::Mem(MemOp {
+            kind: OpKind::Ifetch,
+            addr: 0x8000,
+            overlappable: false,
+        }));
+        let mut src = move || first.take().unwrap_or(CoreOp::Compute(1));
+        core.tick(&mut src);
+        assert!(core.is_stalled());
+        core.fill(0x8000);
+        assert!(!core.is_stalled());
+        assert_eq!(core.committed(), 0, "instruction fetches are not user commits");
+    }
+
+    #[test]
+    fn dirty_l1_eviction_emits_writeback() {
+        let mut core = tiny_core();
+        // Store to A (dirties it), then loads mapping to the same set to
+        // force the eviction of A. Set stride is 256 bytes (4 sets).
+        let ops = vec![
+            CoreOp::Mem(MemOp {
+                kind: OpKind::Store,
+                addr: 0x000,
+                overlappable: false,
+            }),
+            CoreOp::Mem(MemOp {
+                kind: OpKind::Load,
+                addr: 0x100,
+                overlappable: true,
+            }),
+            CoreOp::Mem(MemOp {
+                kind: OpKind::Load,
+                addr: 0x200,
+                overlappable: true,
+            }),
+        ];
+        let mut it = ops.into_iter();
+        let mut src = move || it.next().unwrap_or(CoreOp::Compute(1));
+        let mut writebacks = 0;
+        for _ in 0..6 {
+            for r in core.tick(&mut src) {
+                if r.write {
+                    writebacks += 1;
+                    assert_eq!(r.addr, 0x000);
+                }
+            }
+            core.fill(0x000);
+            core.fill(0x100);
+            core.fill(0x200);
+        }
+        assert_eq!(writebacks, 1);
+        assert_eq!(core.stats().l1_writebacks, 1);
+    }
+
+    #[test]
+    fn repeated_hits_do_not_go_downstream() {
+        let mut core = tiny_core();
+        let mut warm = Some(CoreOp::Mem(MemOp {
+            kind: OpKind::Load,
+            addr: 0x40,
+            overlappable: false,
+        }));
+        let mut src = move || warm.take().unwrap_or(CoreOp::Compute(1));
+        core.tick(&mut src);
+        core.fill(0x40);
+        let mut hit = Some(CoreOp::Mem(MemOp {
+            kind: OpKind::Load,
+            addr: 0x40,
+            overlappable: false,
+        }));
+        let mut src2 = move || hit.take().unwrap_or(CoreOp::Compute(1));
+        let reqs = core.tick(&mut src2);
+        assert!(reqs.is_empty());
+        assert_eq!(core.l1d_stats().hits, 1);
+    }
+}

@@ -1,0 +1,345 @@
+//! Per-bank state machine and timing bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+use crate::timing::{DramCycles, TimingParams};
+
+/// The row-buffer state of a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BankState {
+    /// All rows closed; the bank can accept an ACTIVATE.
+    Idle,
+    /// A row is open in the row buffer.
+    Active {
+        /// Index of the open row.
+        row: u64,
+    },
+}
+
+/// A single DRAM bank.
+///
+/// The bank tracks its row-buffer state plus the earliest cycle at which each
+/// command class may legally be issued to it. Rank- and channel-level
+/// constraints (tRRD, tFAW, bus occupancy, turnaround) are enforced by
+/// [`crate::rank::Rank`] and [`crate::channel::DramChannel`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bank {
+    state: BankState,
+    next_activate: DramCycles,
+    next_read: DramCycles,
+    next_write: DramCycles,
+    next_precharge: DramCycles,
+    /// Number of column accesses the currently/last activated row received.
+    accesses_since_activate: u64,
+    /// Total ACTIVATE commands issued to this bank.
+    activations: u64,
+}
+
+impl Bank {
+    /// Creates an idle bank with no timing restrictions.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: BankState::Idle,
+            next_activate: 0,
+            next_read: 0,
+            next_write: 0,
+            next_precharge: 0,
+            accesses_since_activate: 0,
+            activations: 0,
+        }
+    }
+
+    /// Current row-buffer state.
+    #[must_use]
+    pub fn state(&self) -> BankState {
+        self.state
+    }
+
+    /// The open row, if any.
+    #[must_use]
+    pub fn open_row(&self) -> Option<u64> {
+        match self.state {
+            BankState::Active { row } => Some(row),
+            BankState::Idle => None,
+        }
+    }
+
+    /// Number of column accesses performed on the currently open row.
+    #[must_use]
+    pub fn accesses_since_activate(&self) -> u64 {
+        self.accesses_since_activate
+    }
+
+    /// Total number of activations this bank has performed.
+    #[must_use]
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Earliest cycle an ACTIVATE may be issued (bank-level constraints only).
+    #[must_use]
+    pub fn next_activate_allowed(&self) -> DramCycles {
+        self.next_activate
+    }
+
+    /// Earliest cycle a READ may be issued (bank-level constraints only).
+    #[must_use]
+    pub fn next_read_allowed(&self) -> DramCycles {
+        self.next_read
+    }
+
+    /// Earliest cycle a WRITE may be issued (bank-level constraints only).
+    #[must_use]
+    pub fn next_write_allowed(&self) -> DramCycles {
+        self.next_write
+    }
+
+    /// Earliest cycle a PRECHARGE may be issued (bank-level constraints only).
+    #[must_use]
+    pub fn next_precharge_allowed(&self) -> DramCycles {
+        self.next_precharge
+    }
+
+    /// Whether an ACTIVATE of `row` is legal at `now` from the bank's view.
+    #[must_use]
+    pub fn can_activate(&self, now: DramCycles) -> bool {
+        matches!(self.state, BankState::Idle) && now >= self.next_activate
+    }
+
+    /// Whether a column command to `row` is legal at `now` from the bank's view.
+    #[must_use]
+    pub fn can_access(&self, row: u64, is_write: bool, now: DramCycles) -> bool {
+        match self.state {
+            BankState::Active { row: open } if open == row => {
+                if is_write {
+                    now >= self.next_write
+                } else {
+                    now >= self.next_read
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether a PRECHARGE is legal at `now` from the bank's view.
+    #[must_use]
+    pub fn can_precharge(&self, now: DramCycles) -> bool {
+        matches!(self.state, BankState::Active { .. }) && now >= self.next_precharge
+    }
+
+    /// Applies an ACTIVATE issued at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the activate is not legal; callers must check
+    /// [`Bank::can_activate`] first.
+    pub fn activate(&mut self, row: u64, now: DramCycles, t: &TimingParams) {
+        assert!(
+            self.can_activate(now),
+            "illegal ACTIVATE at {now} (bank state {:?}, next_activate {})",
+            self.state,
+            self.next_activate
+        );
+        self.state = BankState::Active { row };
+        self.accesses_since_activate = 0;
+        self.activations += 1;
+        self.next_read = now + t.t_rcd;
+        self.next_write = now + t.t_rcd;
+        self.next_precharge = now + t.t_ras;
+        self.next_activate = now + t.t_rc;
+    }
+
+    /// Applies a READ issued at `now`. Returns the cycle of the last data beat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read is not legal for the open row.
+    pub fn read(&mut self, row: u64, now: DramCycles, auto_precharge: bool, t: &TimingParams) -> DramCycles {
+        assert!(
+            self.can_access(row, false, now),
+            "illegal READ of row {row} at {now} (state {:?})",
+            self.state
+        );
+        self.accesses_since_activate += 1;
+        self.next_read = self.next_read.max(now + t.t_ccd);
+        self.next_write = self.next_write.max(now + t.t_ccd);
+        self.next_precharge = self.next_precharge.max(now + t.t_rtp);
+        if auto_precharge {
+            let pre_start = self.next_precharge.max(now + t.t_rtp);
+            self.state = BankState::Idle;
+            self.next_activate = self.next_activate.max(pre_start + t.t_rp);
+        }
+        now + t.cl + t.t_burst
+    }
+
+    /// Applies a WRITE issued at `now`. Returns the cycle at which the write
+    /// burst completes on the bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write is not legal for the open row.
+    pub fn write(&mut self, row: u64, now: DramCycles, auto_precharge: bool, t: &TimingParams) -> DramCycles {
+        assert!(
+            self.can_access(row, true, now),
+            "illegal WRITE of row {row} at {now} (state {:?})",
+            self.state
+        );
+        self.accesses_since_activate += 1;
+        self.next_read = self.next_read.max(now + t.write_to_read_same_rank());
+        self.next_write = self.next_write.max(now + t.t_ccd);
+        self.next_precharge = self.next_precharge.max(now + t.write_to_precharge());
+        if auto_precharge {
+            let pre_start = now + t.write_to_precharge();
+            self.state = BankState::Idle;
+            self.next_activate = self.next_activate.max(pre_start + t.t_rp);
+        }
+        now + t.cwl + t.t_burst
+    }
+
+    /// Applies a PRECHARGE issued at `now`. Returns the number of column
+    /// accesses the closed row received since activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the precharge is not legal.
+    pub fn precharge(&mut self, now: DramCycles, t: &TimingParams) -> u64 {
+        assert!(
+            self.can_precharge(now),
+            "illegal PRECHARGE at {now} (state {:?}, next_precharge {})",
+            self.state,
+            self.next_precharge
+        );
+        self.state = BankState::Idle;
+        self.next_activate = self.next_activate.max(now + t.t_rp);
+        self.accesses_since_activate
+    }
+
+    /// Blocks the bank until `cycle` (used for refresh).
+    pub fn block_until(&mut self, cycle: DramCycles) {
+        self.next_activate = self.next_activate.max(cycle);
+        self.next_read = self.next_read.max(cycle);
+        self.next_write = self.next_write.max(cycle);
+        self.next_precharge = self.next_precharge.max(cycle);
+    }
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TimingParams {
+        TimingParams::ddr3_1600()
+    }
+
+    #[test]
+    fn new_bank_is_idle_and_unrestricted() {
+        let b = Bank::new();
+        assert_eq!(b.state(), BankState::Idle);
+        assert!(b.can_activate(0));
+        assert!(!b.can_precharge(0));
+        assert!(!b.can_access(0, false, 0));
+    }
+
+    #[test]
+    fn activate_opens_row_and_enforces_trcd() {
+        let mut b = Bank::new();
+        b.activate(42, 100, &t());
+        assert_eq!(b.open_row(), Some(42));
+        assert!(!b.can_access(42, false, 100 + 10));
+        assert!(b.can_access(42, false, 100 + 11));
+        // Another row never hits.
+        assert!(!b.can_access(43, false, 100 + 11));
+    }
+
+    #[test]
+    fn precharge_respects_tras_and_trp() {
+        let mut b = Bank::new();
+        let tp = t();
+        b.activate(1, 0, &tp);
+        assert!(!b.can_precharge(tp.t_ras - 1));
+        assert!(b.can_precharge(tp.t_ras));
+        b.precharge(tp.t_ras, &tp);
+        assert_eq!(b.state(), BankState::Idle);
+        // tRC dominates tRAS + tRP for DDR3-1600.
+        assert!(!b.can_activate(tp.t_ras + tp.t_rp - 1));
+        assert!(b.can_activate(tp.t_rc));
+    }
+
+    #[test]
+    fn read_pushes_out_precharge_by_trtp() {
+        let mut b = Bank::new();
+        let tp = t();
+        b.activate(1, 0, &tp);
+        let done = b.read(1, 20, false, &tp);
+        assert_eq!(done, 20 + tp.cl + tp.t_burst);
+        assert!(b.next_precharge_allowed() >= 20 + tp.t_rtp);
+        assert_eq!(b.accesses_since_activate(), 1);
+    }
+
+    #[test]
+    fn write_pushes_out_precharge_by_write_recovery() {
+        let mut b = Bank::new();
+        let tp = t();
+        b.activate(1, 0, &tp);
+        let done = b.write(1, 20, false, &tp);
+        assert_eq!(done, 20 + tp.cwl + tp.t_burst);
+        assert_eq!(b.next_precharge_allowed(), 20 + tp.write_to_precharge());
+    }
+
+    #[test]
+    fn auto_precharge_read_closes_row() {
+        let mut b = Bank::new();
+        let tp = t();
+        b.activate(7, 0, &tp);
+        b.read(7, 15, true, &tp);
+        assert_eq!(b.state(), BankState::Idle);
+        // Reopening must wait for the implicit precharge to finish.
+        assert!(b.next_activate_allowed() >= 15 + tp.t_rtp + tp.t_rp);
+    }
+
+    #[test]
+    fn auto_precharge_write_closes_row() {
+        let mut b = Bank::new();
+        let tp = t();
+        b.activate(7, 0, &tp);
+        b.write(7, 15, true, &tp);
+        assert_eq!(b.state(), BankState::Idle);
+        assert!(b.next_activate_allowed() >= 15 + tp.write_to_precharge() + tp.t_rp);
+    }
+
+    #[test]
+    fn precharge_reports_access_count() {
+        let mut b = Bank::new();
+        let tp = t();
+        b.activate(3, 0, &tp);
+        b.read(3, 20, false, &tp);
+        b.read(3, 30, false, &tp);
+        b.write(3, 40, false, &tp);
+        let accesses = b.precharge(100, &tp);
+        assert_eq!(accesses, 3);
+        assert_eq!(b.activations(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal ACTIVATE")]
+    fn double_activate_panics() {
+        let mut b = Bank::new();
+        b.activate(1, 0, &t());
+        b.activate(2, 1, &t());
+    }
+
+    #[test]
+    fn block_until_delays_everything() {
+        let mut b = Bank::new();
+        b.block_until(500);
+        assert!(!b.can_activate(499));
+        assert!(b.can_activate(500));
+    }
+}

@@ -1,0 +1,525 @@
+//! The per-channel DRAM device model.
+//!
+//! A [`DramChannel`] owns the ranks and banks behind one memory channel and
+//! enforces every timing constraint of the model when commands are issued:
+//! bank-level (tRCD/tRAS/tRP/tRC/tRTP/tWR via [`crate::bank::Bank`]),
+//! rank-level (tRRD/tFAW/tWTR via [`crate::rank::Rank`]) and channel-level
+//! (command-bus occupancy, data-bus occupancy, read/write turnaround, tRTRS).
+
+use serde::{Deserialize, Serialize};
+
+use crate::command::{Command, CommandKind, IssueOutcome};
+use crate::config::{DramConfig, Location};
+use crate::rank::Rank;
+use crate::timing::{DramCycles, TimingParams};
+
+/// Direction of the last data burst on the channel's data bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum BusDirection {
+    Read,
+    Write,
+}
+
+/// Event and utilization counters for one channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// ACTIVATE commands issued.
+    pub activates: u64,
+    /// PRECHARGE commands issued (explicit and auto-precharge).
+    pub precharges: u64,
+    /// READ commands issued.
+    pub reads: u64,
+    /// WRITE commands issued.
+    pub writes: u64,
+    /// REFRESH commands issued.
+    pub refreshes: u64,
+    /// DRAM cycles during which the data bus carried a burst.
+    pub data_bus_busy_cycles: u64,
+}
+
+impl ChannelStats {
+    /// Data-bus utilization over `elapsed` DRAM cycles (0.0–1.0).
+    #[must_use]
+    pub fn bus_utilization(&self, elapsed: DramCycles) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.data_bus_busy_cycles as f64 / elapsed as f64
+        }
+    }
+
+    /// Bytes transferred on the data bus assuming `column_bytes` per burst.
+    #[must_use]
+    pub fn bytes_transferred(&self, column_bytes: u64) -> u64 {
+        (self.reads + self.writes) * column_bytes
+    }
+}
+
+/// Cycle-accurate model of one DRAM channel (ranks, banks, buses).
+///
+/// # Examples
+///
+/// ```
+/// use cloudmc_dram::{Command, DramChannel, DramConfig, Location};
+///
+/// let cfg = DramConfig::baseline();
+/// let mut ch = DramChannel::new(&cfg);
+/// let loc = Location::new(0, 0, 100, 3);
+///
+/// assert!(ch.can_issue(&Command::activate(loc), 0));
+/// ch.issue(&Command::activate(loc), 0);
+/// let ready = cfg.timing.t_rcd;
+/// assert!(ch.can_issue(&Command::read(loc, false), ready));
+/// let outcome = ch.issue(&Command::read(loc, false), ready);
+/// assert_eq!(outcome.completion_cycle, ready + cfg.timing.cl + cfg.timing.t_burst);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DramChannel {
+    timing: TimingParams,
+    banks_per_rank: usize,
+    rows_per_bank: u64,
+    columns_per_row: u64,
+    refresh_enabled: bool,
+    ranks: Vec<Rank>,
+    /// Cycle at which the data bus becomes free after the last burst.
+    bus_free_at: DramCycles,
+    last_burst_rank: Option<usize>,
+    last_burst_direction: Option<BusDirection>,
+    /// Cycle of the most recent command on the command bus.
+    last_cmd_cycle: Option<DramCycles>,
+    stats: ChannelStats,
+}
+
+impl DramChannel {
+    /// Builds one channel according to `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` does not validate.
+    #[must_use]
+    pub fn new(config: &DramConfig) -> Self {
+        config
+            .validate()
+            .expect("invalid DRAM configuration passed to DramChannel::new");
+        Self {
+            timing: config.timing,
+            banks_per_rank: config.banks_per_rank,
+            rows_per_bank: config.rows_per_bank,
+            columns_per_row: config.columns_per_row(),
+            refresh_enabled: config.refresh_enabled,
+            ranks: (0..config.ranks_per_channel)
+                .map(|_| Rank::new(config.banks_per_rank, &config.timing))
+                .collect(),
+            bus_free_at: 0,
+            last_burst_rank: None,
+            last_burst_direction: None,
+            last_cmd_cycle: None,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Timing parameters in effect.
+    #[must_use]
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// Number of ranks on this channel.
+    #[must_use]
+    pub fn rank_count(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Number of banks per rank.
+    #[must_use]
+    pub fn banks_per_rank(&self) -> usize {
+        self.banks_per_rank
+    }
+
+    /// Event counters collected so far.
+    #[must_use]
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Row currently open in (`rank`, `bank`), if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank or bank index is out of range.
+    #[must_use]
+    pub fn open_row(&self, rank: usize, bank: usize) -> Option<u64> {
+        self.ranks[rank].bank(bank).open_row()
+    }
+
+    /// Number of column accesses the open row of (`rank`, `bank`) has served.
+    #[must_use]
+    pub fn accesses_since_activate(&self, rank: usize, bank: usize) -> u64 {
+        self.ranks[rank].bank(bank).accesses_since_activate()
+    }
+
+    /// Immutable access to a rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    #[must_use]
+    pub fn rank(&self, rank: usize) -> &Rank {
+        &self.ranks[rank]
+    }
+
+    /// The first rank with an overdue refresh, if refresh is enabled.
+    #[must_use]
+    pub fn refresh_due(&self, now: DramCycles) -> Option<usize> {
+        if !self.refresh_enabled {
+            return None;
+        }
+        self.ranks.iter().position(|r| r.refresh_due(now))
+    }
+
+    /// How many refresh intervals rank `rank` is behind schedule at `now`.
+    #[must_use]
+    pub fn refresh_backlog(&self, rank: usize, now: DramCycles) -> u64 {
+        if !self.refresh_enabled || now < self.ranks[rank].next_refresh_due() {
+            0
+        } else {
+            (now - self.ranks[rank].next_refresh_due()) / self.timing.t_refi + 1
+        }
+    }
+
+    fn check_location(&self, loc: &Location) {
+        assert!(
+            loc.rank < self.ranks.len(),
+            "rank {} out of range ({} ranks)",
+            loc.rank,
+            self.ranks.len()
+        );
+        assert!(
+            loc.bank < self.banks_per_rank,
+            "bank {} out of range ({} banks per rank)",
+            loc.bank,
+            self.banks_per_rank
+        );
+        assert!(
+            loc.row < self.rows_per_bank,
+            "row {} out of range ({} rows per bank)",
+            loc.row,
+            self.rows_per_bank
+        );
+        assert!(
+            loc.column < self.columns_per_row,
+            "column {} out of range ({} columns per row)",
+            loc.column,
+            self.columns_per_row
+        );
+    }
+
+    /// Earliest cycle at which a column command issued now-or-later could
+    /// start its data burst without colliding on the data bus.
+    fn data_bus_ready(&self, rank: usize, dir: BusDirection) -> DramCycles {
+        let mut ready = self.bus_free_at;
+        let switching_rank = self.last_burst_rank.is_some_and(|r| r != rank);
+        let switching_dir = self.last_burst_direction.is_some_and(|d| d != dir);
+        if switching_rank || switching_dir {
+            ready += self.timing.t_rtrs;
+        }
+        ready
+    }
+
+    /// Whether `cmd` may legally issue at cycle `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the command's location is outside the configured geometry.
+    #[must_use]
+    pub fn can_issue(&self, cmd: &Command, now: DramCycles) -> bool {
+        self.check_location(&cmd.loc);
+        if self.last_cmd_cycle == Some(now) {
+            return false;
+        }
+        let rank = &self.ranks[cmd.loc.rank];
+        let bank = rank.bank(cmd.loc.bank);
+        let t = &self.timing;
+        match cmd.kind {
+            CommandKind::Activate => bank.can_activate(now) && rank.can_activate(now, t),
+            CommandKind::Read { .. } => {
+                bank.can_access(cmd.loc.row, false, now)
+                    && rank.can_read(now)
+                    && now + t.cl >= self.data_bus_ready(cmd.loc.rank, BusDirection::Read)
+            }
+            CommandKind::Write { .. } => {
+                bank.can_access(cmd.loc.row, true, now)
+                    && rank.can_write(now)
+                    && now + t.cwl >= self.data_bus_ready(cmd.loc.rank, BusDirection::Write)
+            }
+            CommandKind::Precharge => bank.can_precharge(now),
+            CommandKind::Refresh => rank.all_banks_idle() && self.refresh_enabled,
+        }
+    }
+
+    /// Issues `cmd` at cycle `now`.
+    ///
+    /// Returns the completion information (data return time for reads, burst
+    /// completion for writes, availability times otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the command is not legal at `now`; use [`Self::can_issue`]
+    /// first. This is deliberate: an illegal command indicates a scheduler
+    /// bug, and silently delaying it would corrupt the measured timings.
+    pub fn issue(&mut self, cmd: &Command, now: DramCycles) -> IssueOutcome {
+        assert!(
+            self.can_issue(cmd, now),
+            "illegal command {} to {:?} at cycle {now}",
+            cmd.kind,
+            cmd.loc
+        );
+        self.last_cmd_cycle = Some(now);
+        let t = self.timing;
+        let rank_idx = cmd.loc.rank;
+        match cmd.kind {
+            CommandKind::Activate => {
+                self.ranks[rank_idx].record_activate(now, &t);
+                self.ranks[rank_idx]
+                    .bank_mut(cmd.loc.bank)
+                    .activate(cmd.loc.row, now, &t);
+                self.stats.activates += 1;
+                IssueOutcome {
+                    completion_cycle: now + t.t_rcd,
+                    row_hit: false,
+                }
+            }
+            CommandKind::Read { auto_precharge } => {
+                let done = self.ranks[rank_idx].bank_mut(cmd.loc.bank).read(
+                    cmd.loc.row,
+                    now,
+                    auto_precharge,
+                    &t,
+                );
+                self.ranks[rank_idx].record_read(now, &t);
+                self.stats.reads += 1;
+                if auto_precharge {
+                    self.stats.precharges += 1;
+                }
+                self.stats.data_bus_busy_cycles += t.t_burst;
+                self.bus_free_at = done;
+                self.last_burst_rank = Some(rank_idx);
+                self.last_burst_direction = Some(BusDirection::Read);
+                IssueOutcome {
+                    completion_cycle: done,
+                    row_hit: true,
+                }
+            }
+            CommandKind::Write { auto_precharge } => {
+                let done = self.ranks[rank_idx].bank_mut(cmd.loc.bank).write(
+                    cmd.loc.row,
+                    now,
+                    auto_precharge,
+                    &t,
+                );
+                self.ranks[rank_idx].record_write(now, &t);
+                self.stats.writes += 1;
+                if auto_precharge {
+                    self.stats.precharges += 1;
+                }
+                self.stats.data_bus_busy_cycles += t.t_burst;
+                self.bus_free_at = done;
+                self.last_burst_rank = Some(rank_idx);
+                self.last_burst_direction = Some(BusDirection::Write);
+                IssueOutcome {
+                    completion_cycle: done,
+                    row_hit: true,
+                }
+            }
+            CommandKind::Precharge => {
+                self.ranks[rank_idx]
+                    .bank_mut(cmd.loc.bank)
+                    .precharge(now, &t);
+                self.stats.precharges += 1;
+                IssueOutcome {
+                    completion_cycle: now + t.t_rp,
+                    row_hit: false,
+                }
+            }
+            CommandKind::Refresh => {
+                let done = self.ranks[rank_idx].refresh(now, &t);
+                self.stats.refreshes += 1;
+                IssueOutcome {
+                    completion_cycle: done,
+                    row_hit: false,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel() -> (DramChannel, DramConfig) {
+        let cfg = DramConfig::baseline();
+        (DramChannel::new(&cfg), cfg)
+    }
+
+    #[test]
+    fn read_requires_open_row() {
+        let (mut ch, cfg) = channel();
+        let loc = Location::new(0, 0, 5, 0);
+        assert!(!ch.can_issue(&Command::read(loc, false), 0));
+        ch.issue(&Command::activate(loc), 0);
+        assert!(!ch.can_issue(&Command::read(loc, false), cfg.timing.t_rcd - 1));
+        assert!(ch.can_issue(&Command::read(loc, false), cfg.timing.t_rcd));
+    }
+
+    #[test]
+    fn row_conflict_needs_precharge_then_activate() {
+        let (mut ch, cfg) = channel();
+        let t = cfg.timing;
+        let loc_a = Location::new(0, 0, 5, 0);
+        let loc_b = Location::new(0, 0, 9, 0);
+        ch.issue(&Command::activate(loc_a), 0);
+        ch.issue(&Command::read(loc_a, false), t.t_rcd);
+        // Different row cannot be read while row 5 is open.
+        assert!(!ch.can_issue(&Command::read(loc_b, false), t.t_rcd + 100));
+        assert!(!ch.can_issue(&Command::activate(loc_b), t.t_rcd + 100));
+        let pre_at = t.t_ras;
+        assert!(ch.can_issue(&Command::precharge(loc_a), pre_at));
+        ch.issue(&Command::precharge(loc_a), pre_at);
+        let act_at = t.t_rc.max(pre_at + t.t_rp);
+        assert!(ch.can_issue(&Command::activate(loc_b), act_at));
+    }
+
+    #[test]
+    fn command_bus_allows_one_command_per_cycle() {
+        let (mut ch, _) = channel();
+        let a = Location::new(0, 0, 1, 0);
+        let b = Location::new(0, 1, 1, 0);
+        ch.issue(&Command::activate(a), 10);
+        assert!(!ch.can_issue(&Command::activate(b), 10));
+        // tRRD = 5 delays the second activate anyway.
+        assert!(ch.can_issue(&Command::activate(b), 15));
+    }
+
+    #[test]
+    fn bank_level_parallelism_across_ranks_ignores_trrd() {
+        let (mut ch, _) = channel();
+        let a = Location::new(0, 0, 1, 0);
+        let b = Location::new(1, 0, 1, 0);
+        ch.issue(&Command::activate(a), 10);
+        // Different rank: no tRRD coupling, only the command bus cycle.
+        assert!(ch.can_issue(&Command::activate(b), 11));
+    }
+
+    #[test]
+    fn data_bus_serializes_reads_from_different_ranks() {
+        let (mut ch, cfg) = channel();
+        let t = cfg.timing;
+        let a = Location::new(0, 0, 1, 0);
+        let b = Location::new(1, 0, 1, 0);
+        ch.issue(&Command::activate(a), 0);
+        ch.issue(&Command::activate(b), 1);
+        let read_a_at = t.t_rcd;
+        let out_a = ch.issue(&Command::read(a, false), read_a_at);
+        // A read on the other rank must respect the bus + tRTRS gap.
+        let mut cycle = read_a_at + 1;
+        while !ch.can_issue(&Command::read(b, false), cycle) {
+            cycle += 1;
+        }
+        assert!(cycle + t.cl >= out_a.completion_cycle + t.t_rtrs);
+    }
+
+    #[test]
+    fn write_then_read_same_rank_waits_for_twtr() {
+        let (mut ch, cfg) = channel();
+        let t = cfg.timing;
+        let loc = Location::new(0, 0, 1, 0);
+        let loc2 = Location::new(0, 1, 1, 0);
+        ch.issue(&Command::activate(loc), 0);
+        ch.issue(&Command::activate(loc2), t.t_rrd);
+        let wr_at = t.t_rcd + t.t_rrd;
+        ch.issue(&Command::write(loc, false), wr_at);
+        let earliest_read = wr_at + t.write_to_read_same_rank();
+        assert!(!ch.can_issue(&Command::read(loc2, false), earliest_read - 1));
+        assert!(ch.can_issue(&Command::read(loc2, false), earliest_read));
+    }
+
+    #[test]
+    fn refresh_requires_idle_banks_and_blocks_rank() {
+        let (mut ch, cfg) = channel();
+        let t = cfg.timing;
+        let loc = Location::new(0, 0, 1, 0);
+        ch.issue(&Command::activate(loc), 0);
+        assert!(!ch.can_issue(&Command::refresh(0), t.t_refi));
+        ch.issue(&Command::precharge(loc), t.t_ras);
+        let out = ch.issue(&Command::refresh(0), t.t_refi);
+        assert_eq!(out.completion_cycle, t.t_refi + t.t_rfc);
+        assert!(!ch.can_issue(&Command::activate(loc), t.t_refi + 1));
+        assert!(ch.can_issue(&Command::activate(loc), out.completion_cycle));
+        assert_eq!(ch.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn refresh_due_reports_rank_and_backlog() {
+        let (ch, cfg) = channel();
+        let t = cfg.timing;
+        assert_eq!(ch.refresh_due(t.t_refi - 1), None);
+        assert_eq!(ch.refresh_due(t.t_refi), Some(0));
+        assert_eq!(ch.refresh_backlog(0, t.t_refi * 3), 3);
+    }
+
+    #[test]
+    fn refresh_disabled_never_due() {
+        let mut cfg = DramConfig::baseline();
+        cfg.refresh_enabled = false;
+        let ch = DramChannel::new(&cfg);
+        assert_eq!(ch.refresh_due(u64::MAX / 2), None);
+        assert_eq!(ch.refresh_backlog(0, u64::MAX / 2), 0);
+    }
+
+    #[test]
+    fn stats_count_commands_and_bus_cycles() {
+        let (mut ch, cfg) = channel();
+        let t = cfg.timing;
+        let loc = Location::new(0, 0, 1, 0);
+        ch.issue(&Command::activate(loc), 0);
+        ch.issue(&Command::read(loc, false), t.t_rcd);
+        ch.issue(&Command::read(loc, false), t.t_rcd + t.t_ccd);
+        ch.issue(&Command::write(loc, false), t.t_rcd + 4 * t.t_ccd);
+        let s = ch.stats();
+        assert_eq!(s.activates, 1);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.data_bus_busy_cycles, 3 * t.t_burst);
+        assert_eq!(s.bytes_transferred(64), 3 * 64);
+        assert!(s.bus_utilization(1000) > 0.0);
+        assert_eq!(ChannelStats::default().bus_utilization(0), 0.0);
+    }
+
+    #[test]
+    fn auto_precharge_counts_as_precharge() {
+        let (mut ch, cfg) = channel();
+        let t = cfg.timing;
+        let loc = Location::new(0, 0, 1, 0);
+        ch.issue(&Command::activate(loc), 0);
+        ch.issue(&Command::read(loc, true), t.t_rcd + t.t_ras);
+        assert_eq!(ch.stats().precharges, 1);
+        assert_eq!(ch.open_row(0, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 5 out of range")]
+    fn out_of_range_rank_panics() {
+        let (ch, _) = channel();
+        let loc = Location::new(5, 0, 0, 0);
+        let _ = ch.can_issue(&Command::activate(loc), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal command")]
+    fn issuing_illegal_command_panics() {
+        let (mut ch, _) = channel();
+        let loc = Location::new(0, 0, 1, 0);
+        ch.issue(&Command::read(loc, false), 0);
+    }
+}

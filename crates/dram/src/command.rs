@@ -1,0 +1,189 @@
+//! DRAM command vocabulary.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::Location;
+
+/// The kind of a DRAM command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommandKind {
+    /// Open (activate) a row into the bank's row buffer.
+    Activate,
+    /// Column read burst from the open row.
+    Read {
+        /// Precharge the bank automatically after the read completes.
+        auto_precharge: bool,
+    },
+    /// Column write burst into the open row.
+    Write {
+        /// Precharge the bank automatically after the write completes.
+        auto_precharge: bool,
+    },
+    /// Close (precharge) the bank's row buffer.
+    Precharge,
+    /// Refresh all banks of a rank.
+    Refresh,
+}
+
+impl CommandKind {
+    /// Returns `true` for column commands (READ/WRITE) that transfer data.
+    #[must_use]
+    pub fn is_column(&self) -> bool {
+        matches!(self, Self::Read { .. } | Self::Write { .. })
+    }
+
+    /// Returns `true` for READ commands.
+    #[must_use]
+    pub fn is_read(&self) -> bool {
+        matches!(self, Self::Read { .. })
+    }
+
+    /// Returns `true` for WRITE commands.
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        matches!(self, Self::Write { .. })
+    }
+}
+
+impl std::fmt::Display for CommandKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Self::Activate => "ACT",
+            Self::Read {
+                auto_precharge: false,
+            } => "RD",
+            Self::Read {
+                auto_precharge: true,
+            } => "RDA",
+            Self::Write {
+                auto_precharge: false,
+            } => "WR",
+            Self::Write {
+                auto_precharge: true,
+            } => "WRA",
+            Self::Precharge => "PRE",
+            Self::Refresh => "REF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fully specified DRAM command: what to do and where.
+///
+/// For [`CommandKind::Refresh`] only the `rank` field of the location is
+/// meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Command {
+    /// Command kind.
+    pub kind: CommandKind,
+    /// Target location within the channel.
+    pub loc: Location,
+}
+
+impl Command {
+    /// Activate the row addressed by `loc`.
+    #[must_use]
+    pub fn activate(loc: Location) -> Self {
+        Self {
+            kind: CommandKind::Activate,
+            loc,
+        }
+    }
+
+    /// Read the column addressed by `loc`.
+    #[must_use]
+    pub fn read(loc: Location, auto_precharge: bool) -> Self {
+        Self {
+            kind: CommandKind::Read { auto_precharge },
+            loc,
+        }
+    }
+
+    /// Write the column addressed by `loc`.
+    #[must_use]
+    pub fn write(loc: Location, auto_precharge: bool) -> Self {
+        Self {
+            kind: CommandKind::Write { auto_precharge },
+            loc,
+        }
+    }
+
+    /// Precharge the bank addressed by `loc`.
+    #[must_use]
+    pub fn precharge(loc: Location) -> Self {
+        Self {
+            kind: CommandKind::Precharge,
+            loc,
+        }
+    }
+
+    /// Refresh the rank addressed by `loc.rank`.
+    #[must_use]
+    pub fn refresh(rank: usize) -> Self {
+        Self {
+            kind: CommandKind::Refresh,
+            loc: Location::new(rank, 0, 0, 0),
+        }
+    }
+}
+
+/// Result of successfully issuing a command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IssueOutcome {
+    /// Cycle at which the command's effect completes.
+    ///
+    /// * READ: cycle at which the last data beat has been returned.
+    /// * WRITE: cycle at which the write burst has been driven on the bus.
+    /// * ACTIVATE: cycle at which column commands may target the row.
+    /// * PRECHARGE: cycle at which the bank can accept an ACTIVATE.
+    /// * REFRESH: cycle at which the rank becomes usable again.
+    pub completion_cycle: u64,
+    /// Whether the access hit the currently open row (column commands only).
+    pub row_hit: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_are_compact() {
+        let loc = Location::new(0, 0, 0, 0);
+        assert_eq!(Command::activate(loc).kind.to_string(), "ACT");
+        assert_eq!(Command::read(loc, false).kind.to_string(), "RD");
+        assert_eq!(Command::read(loc, true).kind.to_string(), "RDA");
+        assert_eq!(Command::write(loc, false).kind.to_string(), "WR");
+        assert_eq!(Command::write(loc, true).kind.to_string(), "WRA");
+        assert_eq!(Command::precharge(loc).kind.to_string(), "PRE");
+        assert_eq!(Command::refresh(1).kind.to_string(), "REF");
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(CommandKind::Read {
+            auto_precharge: false
+        }
+        .is_column());
+        assert!(CommandKind::Write {
+            auto_precharge: true
+        }
+        .is_column());
+        assert!(!CommandKind::Activate.is_column());
+        assert!(CommandKind::Read {
+            auto_precharge: true
+        }
+        .is_read());
+        assert!(CommandKind::Write {
+            auto_precharge: false
+        }
+        .is_write());
+        assert!(!CommandKind::Precharge.is_read());
+    }
+
+    #[test]
+    fn refresh_targets_rank() {
+        let c = Command::refresh(1);
+        assert_eq!(c.loc.rank, 1);
+        assert_eq!(c.kind, CommandKind::Refresh);
+    }
+}

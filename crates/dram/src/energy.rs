@@ -1,0 +1,180 @@
+//! Simple DRAM energy accounting.
+//!
+//! The paper explicitly defers energy/power analysis to future work but
+//! argues that the simplest policies would also be the cheapest. This module
+//! provides the groundwork: an event-based energy model in the style of the
+//! Micron power calculator, driven by the command counters collected in
+//! [`crate::channel::ChannelStats`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::channel::ChannelStats;
+use crate::timing::TimingParams;
+
+/// Per-event and background energy parameters, in picojoules / milliwatts.
+///
+/// Defaults approximate a 4 Gb DDR3-1600 x8 device scaled to a 64-bit rank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Energy of one ACTIVATE+PRECHARGE pair (pJ).
+    pub activate_precharge_pj: f64,
+    /// Energy of one READ burst (pJ).
+    pub read_pj: f64,
+    /// Energy of one WRITE burst (pJ).
+    pub write_pj: f64,
+    /// Energy of one REFRESH command (pJ).
+    pub refresh_pj: f64,
+    /// Background power while any row is open (mW).
+    pub active_standby_mw: f64,
+    /// Background power while all rows are closed (mW).
+    pub precharge_standby_mw: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self {
+            activate_precharge_pj: 2800.0,
+            read_pj: 2100.0,
+            write_pj: 2300.0,
+            refresh_pj: 26000.0,
+            active_standby_mw: 430.0,
+            precharge_standby_mw: 320.0,
+        }
+    }
+}
+
+/// Energy consumed by one channel over a measured interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Row activation + precharge energy (pJ).
+    pub activation_pj: f64,
+    /// Column read energy (pJ).
+    pub read_pj: f64,
+    /// Column write energy (pJ).
+    pub write_pj: f64,
+    /// Refresh energy (pJ).
+    pub refresh_pj: f64,
+    /// Background (standby) energy (pJ).
+    pub background_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.activation_pj + self.read_pj + self.write_pj + self.refresh_pj + self.background_pj
+    }
+
+    /// Average power in milliwatts over `elapsed_cycles` DRAM cycles.
+    #[must_use]
+    pub fn average_power_mw(&self, elapsed_cycles: u64, timing: &TimingParams) -> f64 {
+        if elapsed_cycles == 0 {
+            return 0.0;
+        }
+        let seconds = elapsed_cycles as f64 * timing.t_ck_ps as f64 * 1e-12;
+        self.total_pj() * 1e-12 / seconds * 1e3
+    }
+}
+
+/// Event-based energy model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    params: EnergyParams,
+}
+
+impl EnergyModel {
+    /// Creates a model with the given parameters.
+    #[must_use]
+    pub fn new(params: EnergyParams) -> Self {
+        Self { params }
+    }
+
+    /// Parameters in use.
+    #[must_use]
+    pub fn params(&self) -> &EnergyParams {
+        &self.params
+    }
+
+    /// Computes the energy breakdown for `stats` collected over
+    /// `elapsed_cycles` DRAM cycles, of which `active_cycles` had at least one
+    /// open row (the remainder is charged at precharge-standby power).
+    #[must_use]
+    pub fn breakdown(
+        &self,
+        stats: &ChannelStats,
+        elapsed_cycles: u64,
+        active_cycles: u64,
+        timing: &TimingParams,
+    ) -> EnergyBreakdown {
+        let p = &self.params;
+        let active = active_cycles.min(elapsed_cycles);
+        let idle = elapsed_cycles - active;
+        let cycle_s = timing.t_ck_ps as f64 * 1e-12;
+        // mW * s = mJ; convert to pJ (1 mJ = 1e9 pJ).
+        let background_pj = (p.active_standby_mw * active as f64 * cycle_s
+            + p.precharge_standby_mw * idle as f64 * cycle_s)
+            * 1e9;
+        EnergyBreakdown {
+            activation_pj: stats.activates as f64 * p.activate_precharge_pj,
+            read_pj: stats.reads as f64 * p.read_pj,
+            write_pj: stats.writes as f64 * p.write_pj,
+            refresh_pj: stats.refreshes as f64 * p.refresh_pj,
+            background_pj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> ChannelStats {
+        ChannelStats {
+            activates: 10,
+            precharges: 10,
+            reads: 50,
+            writes: 20,
+            refreshes: 2,
+            data_bus_busy_cycles: 280,
+        }
+    }
+
+    #[test]
+    fn breakdown_scales_with_events() {
+        let m = EnergyModel::default();
+        let t = TimingParams::ddr3_1600();
+        let b = m.breakdown(&stats(), 10_000, 4_000, &t);
+        assert!((b.activation_pj - 10.0 * 2800.0).abs() < 1e-6);
+        assert!((b.read_pj - 50.0 * 2100.0).abs() < 1e-6);
+        assert!((b.write_pj - 20.0 * 2300.0).abs() < 1e-6);
+        assert!((b.refresh_pj - 2.0 * 26000.0).abs() < 1e-6);
+        assert!(b.background_pj > 0.0);
+        assert!(b.total_pj() > b.activation_pj);
+    }
+
+    #[test]
+    fn more_activations_cost_more_energy() {
+        let m = EnergyModel::default();
+        let t = TimingParams::ddr3_1600();
+        let mut busy = stats();
+        busy.activates = 100;
+        let low = m.breakdown(&stats(), 10_000, 4_000, &t).total_pj();
+        let high = m.breakdown(&busy, 10_000, 4_000, &t).total_pj();
+        assert!(high > low);
+    }
+
+    #[test]
+    fn average_power_is_zero_for_empty_interval() {
+        let b = EnergyBreakdown::default();
+        assert_eq!(b.average_power_mw(0, &TimingParams::ddr3_1600()), 0.0);
+    }
+
+    #[test]
+    fn active_cycles_clamped_to_elapsed() {
+        let m = EnergyModel::default();
+        let t = TimingParams::ddr3_1600();
+        let b = m.breakdown(&stats(), 100, 500, &t);
+        // All cycles charged at active standby, none negative.
+        assert!(b.background_pj > 0.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Per-rank timing bookkeeping: tRRD, tFAW, write-to-read turnaround and
+//! refresh.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bank::Bank;
+use crate::timing::{DramCycles, TimingParams};
+
+/// A DRAM rank: a set of banks that share command/address pins and obey
+/// rank-level activation and turnaround constraints.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Rank {
+    banks: Vec<Bank>,
+    /// Issue times of the most recent ACTIVATEs (bounded to 4 for tFAW).
+    act_window: VecDeque<DramCycles>,
+    /// Earliest cycle the next ACTIVATE may issue due to tRRD.
+    next_act: DramCycles,
+    /// Earliest cycle a READ may issue to this rank (write-to-read).
+    next_read: DramCycles,
+    /// Earliest cycle a WRITE may issue to this rank.
+    next_write: DramCycles,
+    /// Cycle at which the next refresh becomes due.
+    next_refresh_due: DramCycles,
+    /// Number of REF commands issued.
+    refreshes: u64,
+}
+
+impl Rank {
+    /// Creates a rank with `banks` idle banks.
+    #[must_use]
+    pub fn new(banks: usize, t: &TimingParams) -> Self {
+        Self {
+            banks: (0..banks).map(|_| Bank::new()).collect(),
+            act_window: VecDeque::with_capacity(4),
+            next_act: 0,
+            next_read: 0,
+            next_write: 0,
+            next_refresh_due: t.t_refi,
+            refreshes: 0,
+        }
+    }
+
+    /// Number of banks in the rank.
+    #[must_use]
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Immutable access to a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    #[must_use]
+    pub fn bank(&self, bank: usize) -> &Bank {
+        &self.banks[bank]
+    }
+
+    /// Mutable access to a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn bank_mut(&mut self, bank: usize) -> &mut Bank {
+        &mut self.banks[bank]
+    }
+
+    /// Iterates over the banks.
+    pub fn banks(&self) -> impl Iterator<Item = &Bank> {
+        self.banks.iter()
+    }
+
+    /// Total REF commands issued to this rank.
+    #[must_use]
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Cycle at which the next periodic refresh becomes due.
+    #[must_use]
+    pub fn next_refresh_due(&self) -> DramCycles {
+        self.next_refresh_due
+    }
+
+    /// Whether a refresh is due at `now`.
+    #[must_use]
+    pub fn refresh_due(&self, now: DramCycles) -> bool {
+        now >= self.next_refresh_due
+    }
+
+    /// Earliest cycle an ACTIVATE may issue considering tRRD and tFAW
+    /// (rank-level constraints only).
+    #[must_use]
+    pub fn next_activate_allowed(&self, t: &TimingParams) -> DramCycles {
+        let faw_limit = if self.act_window.len() == 4 {
+            self.act_window.front().copied().unwrap_or(0) + t.t_faw
+        } else {
+            0
+        };
+        self.next_act.max(faw_limit)
+    }
+
+    /// Whether rank-level constraints allow an ACTIVATE at `now`.
+    #[must_use]
+    pub fn can_activate(&self, now: DramCycles, t: &TimingParams) -> bool {
+        now >= self.next_activate_allowed(t)
+    }
+
+    /// Whether rank-level constraints allow a READ at `now`.
+    #[must_use]
+    pub fn can_read(&self, now: DramCycles) -> bool {
+        now >= self.next_read
+    }
+
+    /// Whether rank-level constraints allow a WRITE at `now`.
+    #[must_use]
+    pub fn can_write(&self, now: DramCycles) -> bool {
+        now >= self.next_write
+    }
+
+    /// Records an ACTIVATE issued at `now`.
+    pub fn record_activate(&mut self, now: DramCycles, t: &TimingParams) {
+        debug_assert!(self.can_activate(now, t), "rank-level ACT violation at {now}");
+        if self.act_window.len() == 4 {
+            self.act_window.pop_front();
+        }
+        self.act_window.push_back(now);
+        self.next_act = self.next_act.max(now + t.t_rrd);
+    }
+
+    /// Records a READ issued at `now`.
+    pub fn record_read(&mut self, now: DramCycles, t: &TimingParams) {
+        self.next_read = self.next_read.max(now + t.t_ccd);
+        self.next_write = self.next_write.max(now + t.t_ccd);
+    }
+
+    /// Records a WRITE issued at `now`.
+    pub fn record_write(&mut self, now: DramCycles, t: &TimingParams) {
+        self.next_write = self.next_write.max(now + t.t_ccd);
+        self.next_read = self.next_read.max(now + t.write_to_read_same_rank());
+    }
+
+    /// Whether every bank in the rank is idle (required before REF).
+    #[must_use]
+    pub fn all_banks_idle(&self) -> bool {
+        self.banks.iter().all(|b| b.open_row().is_none())
+    }
+
+    /// Issues a REF at `now`: blocks all banks for `tRFC` and schedules the
+    /// next refresh interval. Returns the cycle at which the rank is usable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bank still has an open row.
+    pub fn refresh(&mut self, now: DramCycles, t: &TimingParams) -> DramCycles {
+        assert!(
+            self.all_banks_idle(),
+            "REF issued at {now} while banks still have open rows"
+        );
+        let done = now + t.t_rfc;
+        for bank in &mut self.banks {
+            bank.block_until(done);
+        }
+        self.next_act = self.next_act.max(done);
+        self.next_read = self.next_read.max(done);
+        self.next_write = self.next_write.max(done);
+        // Keep the refresh cadence anchored to the schedule, not to `now`,
+        // so postponed refreshes do not drift the average interval.
+        self.next_refresh_due += t.t_refi;
+        self.refreshes += 1;
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TimingParams {
+        TimingParams::ddr3_1600()
+    }
+
+    fn open_and_close(rank: &mut Rank, bank: usize, now: DramCycles, tp: &TimingParams) -> DramCycles {
+        rank.bank_mut(bank).activate(0, now, tp);
+        rank.record_activate(now, tp);
+        let pre_at = now + tp.t_ras;
+        rank.bank_mut(bank).precharge(pre_at, tp);
+        pre_at + tp.t_rp
+    }
+
+    #[test]
+    fn trrd_spaces_activates() {
+        let tp = t();
+        let mut r = Rank::new(8, &tp);
+        r.bank_mut(0).activate(0, 0, &tp);
+        r.record_activate(0, &tp);
+        assert!(!r.can_activate(tp.t_rrd - 1, &tp));
+        assert!(r.can_activate(tp.t_rrd, &tp));
+    }
+
+    #[test]
+    fn tfaw_limits_four_activates() {
+        let tp = t();
+        let mut r = Rank::new(8, &tp);
+        // Issue 4 ACTs as fast as tRRD allows: 0, 5, 10, 15.
+        for i in 0..4u64 {
+            let now = i * tp.t_rrd;
+            r.bank_mut(i as usize).activate(0, now, &tp);
+            r.record_activate(now, &tp);
+        }
+        // Fifth ACT must wait for the tFAW window opened at cycle 0.
+        assert_eq!(r.next_activate_allowed(&tp), tp.t_faw);
+        assert!(!r.can_activate(20, &tp));
+        assert!(r.can_activate(tp.t_faw, &tp));
+    }
+
+    #[test]
+    fn write_to_read_turnaround() {
+        let tp = t();
+        let mut r = Rank::new(8, &tp);
+        r.record_write(100, &tp);
+        assert!(!r.can_read(100 + tp.write_to_read_same_rank() - 1));
+        assert!(r.can_read(100 + tp.write_to_read_same_rank()));
+        // Writes only need tCCD spacing.
+        assert!(r.can_write(100 + tp.t_ccd));
+    }
+
+    #[test]
+    fn refresh_blocks_every_bank_for_trfc() {
+        let tp = t();
+        let mut r = Rank::new(8, &tp);
+        assert!(!r.refresh_due(tp.t_refi - 1));
+        assert!(r.refresh_due(tp.t_refi));
+        let done = r.refresh(tp.t_refi, &tp);
+        assert_eq!(done, tp.t_refi + tp.t_rfc);
+        for b in 0..8 {
+            assert!(!r.bank(b).can_activate(done - 1));
+            assert!(r.bank(b).can_activate(done));
+        }
+        assert_eq!(r.refreshes(), 1);
+        assert_eq!(r.next_refresh_due(), 2 * tp.t_refi);
+    }
+
+    #[test]
+    #[should_panic(expected = "open rows")]
+    fn refresh_with_open_row_panics() {
+        let tp = t();
+        let mut r = Rank::new(2, &tp);
+        r.bank_mut(0).activate(3, 0, &tp);
+        r.record_activate(0, &tp);
+        r.refresh(tp.t_refi, &tp);
+    }
+
+    #[test]
+    fn all_banks_idle_reflects_bank_state() {
+        let tp = t();
+        let mut r = Rank::new(2, &tp);
+        assert!(r.all_banks_idle());
+        let reopen = open_and_close(&mut r, 0, 0, &tp);
+        assert!(r.all_banks_idle());
+        assert!(reopen > 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests of the DRAM timing model: for arbitrary legal command
+//! sequences the device never violates its own protocol invariants.
+
+use proptest::prelude::*;
+
+use cloudmc_dram::{Command, CommandKind, DramChannel, DramConfig, Location};
+
+/// A simple request the driver will serve with an open-page policy.
+#[derive(Debug, Clone, Copy)]
+struct Req {
+    rank: usize,
+    bank: usize,
+    row: u64,
+    column: u64,
+    write: bool,
+}
+
+fn req_strategy() -> impl Strategy<Value = Req> {
+    (0usize..2, 0usize..8, 0u64..32, 0u64..128, any::<bool>()).prop_map(
+        |(rank, bank, row, column, write)| Req {
+            rank,
+            bank,
+            row,
+            column,
+            write,
+        },
+    )
+}
+
+/// Drives the requests through a channel with a naive open-page FSM (precharge
+/// on conflict, activate, column access), returning the issue history.
+fn drive(requests: &[Req]) -> (DramConfig, Vec<(u64, Command)>) {
+    let cfg = DramConfig::baseline();
+    let mut channel = DramChannel::new(&cfg);
+    let mut history = Vec::new();
+    let mut now = 0u64;
+    for req in requests {
+        let loc = Location::new(req.rank, req.bank, req.row, req.column);
+        loop {
+            assert!(now < 2_000_000, "request never became serviceable");
+            // Refresh beats everything when the device demands it.
+            if let Some(rank) = channel.refresh_due(now) {
+                let refresh = Command::refresh(rank);
+                if channel.can_issue(&refresh, now) {
+                    channel.issue(&refresh, now);
+                    history.push((now, refresh));
+                    now += 1;
+                    continue;
+                }
+            }
+            let next = match channel.open_row(req.rank, req.bank) {
+                Some(open) if open == req.row => {
+                    if req.write {
+                        Command::write(loc, false)
+                    } else {
+                        Command::read(loc, false)
+                    }
+                }
+                Some(_) => Command::precharge(loc),
+                None => Command::activate(loc),
+            };
+            if channel.can_issue(&next, now) {
+                channel.issue(&next, now);
+                history.push((now, next));
+                now += 1;
+                if next.kind.is_column() {
+                    break;
+                }
+            } else {
+                now += 1;
+            }
+        }
+    }
+    (cfg, history)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any request sequence can be served without panicking, and every
+    /// request results in exactly one column command.
+    #[test]
+    fn every_request_is_served_exactly_once(requests in proptest::collection::vec(req_strategy(), 1..40)) {
+        let (_, history) = drive(&requests);
+        let columns = history.iter().filter(|(_, c)| c.kind.is_column()).count();
+        prop_assert_eq!(columns, requests.len());
+    }
+
+    /// The four-activate window is never violated: any five consecutive
+    /// activates to one rank span more than tFAW cycles.
+    #[test]
+    fn tfaw_is_respected(requests in proptest::collection::vec(req_strategy(), 1..60)) {
+        let (cfg, history) = drive(&requests);
+        for rank in 0..cfg.ranks_per_channel {
+            let acts: Vec<u64> = history
+                .iter()
+                .filter(|(_, c)| c.kind == CommandKind::Activate && c.loc.rank == rank)
+                .map(|(t, _)| *t)
+                .collect();
+            for window in acts.windows(5) {
+                prop_assert!(
+                    window[4] - window[0] >= cfg.timing.t_faw,
+                    "five activates within tFAW: {:?}",
+                    window
+                );
+            }
+        }
+    }
+
+    /// Same-bank activates are separated by at least tRC, and activates to
+    /// different banks of one rank by at least tRRD.
+    #[test]
+    fn activate_spacing_is_respected(requests in proptest::collection::vec(req_strategy(), 1..60)) {
+        let (cfg, history) = drive(&requests);
+        let acts: Vec<(u64, usize, usize)> = history
+            .iter()
+            .filter(|(_, c)| c.kind == CommandKind::Activate)
+            .map(|(t, c)| (*t, c.loc.rank, c.loc.bank))
+            .collect();
+        for (i, &(t1, rank1, bank1)) in acts.iter().enumerate() {
+            for &(t0, rank0, bank0) in &acts[..i] {
+                if rank0 == rank1 {
+                    prop_assert!(t1 - t0 >= cfg.timing.t_rrd, "tRRD violated: {t0} -> {t1}");
+                    if bank0 == bank1 {
+                        prop_assert!(t1 - t0 >= cfg.timing.t_rc, "tRC violated: {t0} -> {t1}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Data bursts never overlap on the shared data bus.
+    #[test]
+    fn data_bus_bursts_never_overlap(requests in proptest::collection::vec(req_strategy(), 1..60)) {
+        let (cfg, history) = drive(&requests);
+        let t = cfg.timing;
+        let mut bursts: Vec<(u64, u64)> = history
+            .iter()
+            .filter_map(|(time, c)| match c.kind {
+                CommandKind::Read { .. } => Some((time + t.cl, time + t.cl + t.t_burst)),
+                CommandKind::Write { .. } => Some((time + t.cwl, time + t.cwl + t.t_burst)),
+                _ => None,
+            })
+            .collect();
+        bursts.sort_unstable();
+        for pair in bursts.windows(2) {
+            prop_assert!(
+                pair[1].0 >= pair[0].1,
+                "data bursts overlap: {:?} then {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    /// At most one command is issued per DRAM cycle (command-bus constraint).
+    #[test]
+    fn one_command_per_cycle(requests in proptest::collection::vec(req_strategy(), 1..60)) {
+        let (_, history) = drive(&requests);
+        for pair in history.windows(2) {
+            prop_assert!(pair[1].0 > pair[0].0, "two commands in cycle {}", pair[0].0);
+        }
+    }
+}

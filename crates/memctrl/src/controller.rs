@@ -1,0 +1,736 @@
+//! The memory controller proper: per-channel command generation combining a
+//! scheduling algorithm, a page-management policy, write draining and
+//! refresh handling.
+
+use serde::{Deserialize, Serialize};
+
+use cloudmc_dram::{
+    ChannelStats, Command, DramChannel, DramConfig, DramCycles, Location,
+};
+
+use crate::mapping::{AddressMapping, DecodedAddress};
+use crate::page::{PagePolicy, PagePolicyKind, PolicyView};
+use crate::queue::RequestQueue;
+use crate::request::{AccessKind, CompletedRequest, MemoryRequest, RowBufferOutcome};
+use crate::sched::{SchedContext, SchedDecision, Scheduler, SchedulerKind};
+use crate::stats::McStats;
+
+/// Configuration of a complete memory controller (all channels).
+///
+/// Defaults reproduce the paper's baseline (Table 2): FR-FCFS scheduling,
+/// open-adaptive page policy, one channel, `RoRaBaCoCh` address mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct McConfig {
+    /// DRAM organization and timing.
+    pub dram: DramConfig,
+    /// Address interleaving scheme.
+    pub mapping: AddressMapping,
+    /// Memory scheduling algorithm.
+    pub scheduler: SchedulerKind,
+    /// Page-management policy.
+    pub page_policy: PagePolicyKind,
+    /// Number of cores sharing the controller.
+    pub num_cores: usize,
+    /// Per-channel read queue capacity.
+    pub read_queue_capacity: usize,
+    /// Per-channel write queue capacity.
+    pub write_queue_capacity: usize,
+    /// Write-queue occupancy at which the controller switches to write drain.
+    pub write_drain_high: usize,
+    /// Write-queue occupancy at which the controller resumes serving reads.
+    pub write_drain_low: usize,
+}
+
+impl McConfig {
+    /// The paper's baseline configuration.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self {
+            dram: DramConfig::baseline(),
+            mapping: AddressMapping::RoRaBaCoCh,
+            scheduler: SchedulerKind::FrFcfs,
+            page_policy: PagePolicyKind::OpenAdaptive,
+            num_cores: 16,
+            read_queue_capacity: 64,
+            write_queue_capacity: 64,
+            write_drain_high: 32,
+            write_drain_low: 8,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        self.dram.validate()?;
+        if self.num_cores == 0 {
+            return Err("num_cores must be non-zero".to_owned());
+        }
+        if self.read_queue_capacity == 0 || self.write_queue_capacity == 0 {
+            return Err("queue capacities must be non-zero".to_owned());
+        }
+        if self.write_drain_low >= self.write_drain_high {
+            return Err(format!(
+                "write_drain_low ({}) must be below write_drain_high ({})",
+                self.write_drain_low, self.write_drain_high
+            ));
+        }
+        if self.write_drain_high > self.write_queue_capacity {
+            return Err(format!(
+                "write_drain_high ({}) must not exceed write_queue_capacity ({})",
+                self.write_drain_high, self.write_queue_capacity
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+/// A request whose column access has issued and whose data completes at a
+/// known cycle.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    completion: DramCycles,
+    done: CompletedRequest,
+}
+
+/// Controller state for one memory channel.
+#[derive(Debug)]
+struct ChannelController {
+    index: usize,
+    channel: DramChannel,
+    read_q: RequestQueue,
+    write_q: RequestQueue,
+    scheduler: Box<dyn Scheduler>,
+    policy: Box<dyn PagePolicy>,
+    write_mode: bool,
+    inflight: Vec<InFlight>,
+    /// Per flat-bank flag: a conflict-induced precharge has been issued and
+    /// the next activation of that bank serves a row-conflict request.
+    conflict_pending: Vec<bool>,
+    /// Per flat-bank flag: the currently open row was activated after a
+    /// conflict-induced precharge.
+    activated_after_conflict: Vec<bool>,
+    stats: McStats,
+    write_drain_high: usize,
+    write_drain_low: usize,
+    num_cores: usize,
+}
+
+impl ChannelController {
+    fn new(index: usize, cfg: &McConfig) -> Self {
+        let total_banks = cfg.dram.banks_per_channel();
+        Self {
+            index,
+            channel: DramChannel::new(&cfg.dram),
+            read_q: RequestQueue::new(cfg.read_queue_capacity),
+            write_q: RequestQueue::new(cfg.write_queue_capacity),
+            scheduler: cfg.scheduler.build(cfg.num_cores),
+            policy: cfg
+                .page_policy
+                .build(cfg.dram.ranks_per_channel, cfg.dram.banks_per_rank),
+            write_mode: false,
+            inflight: Vec::new(),
+            conflict_pending: vec![false; total_banks],
+            activated_after_conflict: vec![false; total_banks],
+            stats: McStats::new(cfg.num_cores),
+            write_drain_high: cfg.write_drain_high,
+            write_drain_low: cfg.write_drain_low,
+            num_cores: cfg.num_cores,
+        }
+    }
+
+    fn can_accept(&self, kind: AccessKind) -> bool {
+        match kind {
+            AccessKind::Read => !self.read_q.is_full(),
+            AccessKind::Write => !self.write_q.is_full(),
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.read_q.len() + self.write_q.len() + self.inflight.len()
+    }
+
+    fn enqueue(
+        &mut self,
+        request: MemoryRequest,
+        location: Location,
+        now: DramCycles,
+    ) -> Result<(), MemoryRequest> {
+        let queue = match request.kind {
+            AccessKind::Read => &mut self.read_q,
+            AccessKind::Write => &mut self.write_q,
+        };
+        queue.push(request, location, now)?;
+        let entry = *match request.kind {
+            AccessKind::Read => self.read_q.get(request.id),
+            AccessKind::Write => self.write_q.get(request.id),
+        }
+        .expect("entry just pushed");
+        self.scheduler.on_enqueue(&entry);
+        Ok(())
+    }
+
+    fn update_write_mode(&mut self) {
+        if self.scheduler.manages_write_drain() {
+            self.write_mode = false;
+            return;
+        }
+        if self.write_q.len() >= self.write_drain_high {
+            self.write_mode = true;
+        } else if self.write_mode
+            && (self.write_q.len() <= self.write_drain_low || self.write_q.is_empty())
+        {
+            self.write_mode = false;
+        }
+        // Opportunistic switches when one side is empty.
+        if self.read_q.is_empty() && !self.write_q.is_empty() {
+            self.write_mode = true;
+        } else if self.write_q.is_empty() {
+            self.write_mode = false;
+        }
+    }
+
+    fn flat_bank(&self, loc: &Location) -> usize {
+        loc.flat_bank(self.channel.banks_per_rank())
+    }
+
+    /// Classifies the row-buffer outcome of a column access issued to `loc`,
+    /// given how many accesses the open row had already served.
+    ///
+    /// The first access after an activation pays the activation (and possibly
+    /// precharge) latency — a miss or conflict; subsequent accesses to the
+    /// open row are row-buffer hits.
+    fn classify_access(&self, loc: &Location, accesses_before: u64) -> RowBufferOutcome {
+        if accesses_before >= 1 {
+            RowBufferOutcome::Hit
+        } else if self.activated_after_conflict[self.flat_bank(loc)] {
+            RowBufferOutcome::Conflict
+        } else {
+            RowBufferOutcome::Miss
+        }
+    }
+
+    /// Closes the row currently open in (`rank`, `bank`) for bookkeeping
+    /// purposes, recording the activation-reuse histogram and notifying the
+    /// page policy.
+    fn note_row_closed(&mut self, rank: usize, bank: usize, accesses: u64) {
+        if let Some(row) = self.channel.open_row(rank, bank) {
+            self.stats.record_activation_closed(accesses);
+            self.policy.on_row_closed(rank, bank, row, accesses);
+        }
+    }
+
+    /// Attempts to make progress on refresh; returns `true` if a command was
+    /// issued this cycle.
+    fn handle_refresh(&mut self, now: DramCycles) -> bool {
+        let Some(rank) = self.channel.refresh_due(now) else {
+            return false;
+        };
+        let refresh = Command::refresh(rank);
+        if self.channel.can_issue(&refresh, now) {
+            self.channel.issue(&refresh, now);
+            return true;
+        }
+        // Postpone lightly-loaded refreshes; force bank closure once the
+        // backlog grows to two full intervals.
+        if self.channel.refresh_backlog(rank, now) >= 2 {
+            for bank in 0..self.channel.banks_per_rank() {
+                if let Some(row) = self.channel.open_row(rank, bank) {
+                    let pre = Command::precharge(Location::new(rank, bank, row, 0));
+                    if self.channel.can_issue(&pre, now) {
+                        let accesses = self.channel.accesses_since_activate(rank, bank);
+                        self.note_row_closed(rank, bank, accesses);
+                        self.channel.issue(&pre, now);
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Executes a scheduler decision. Returns `true` if a command was issued.
+    fn execute(&mut self, decision: SchedDecision, now: DramCycles) -> bool {
+        let loc = decision.command.loc;
+        match decision.request_id {
+            Some(id) => {
+                // Column access completing a request: apply the page policy's
+                // auto-precharge decision, then issue.
+                let auto_precharge = {
+                    let view = PolicyView {
+                        now,
+                        channel: &self.channel,
+                        read_q: &self.read_q,
+                        write_q: &self.write_q,
+                    };
+                    self.policy.auto_precharge(&view, &loc)
+                };
+                let entry = self
+                    .read_q
+                    .remove(id)
+                    .or_else(|| self.write_q.remove(id))
+                    .expect("scheduled request must be queued");
+                let command = match entry.request.kind {
+                    AccessKind::Read => Command::read(loc, auto_precharge),
+                    AccessKind::Write => Command::write(loc, auto_precharge),
+                };
+                debug_assert!(self.channel.can_issue(&command, now));
+                let accesses_before = self.channel.accesses_since_activate(loc.rank, loc.bank);
+                let outcome = self.classify_access(&loc, accesses_before);
+                let issue = self.channel.issue(&command, now);
+                self.policy
+                    .on_column_access(loc.rank, loc.bank, loc.row, now);
+                if auto_precharge {
+                    self.stats.record_activation_closed(accesses_before + 1);
+                    self.policy
+                        .on_row_closed(loc.rank, loc.bank, loc.row, accesses_before + 1);
+                }
+                self.inflight.push(InFlight {
+                    completion: issue.completion_cycle,
+                    done: CompletedRequest {
+                        request: entry.request,
+                        channel: self.index,
+                        location: loc,
+                        completion: issue.completion_cycle,
+                        outcome,
+                    },
+                });
+                true
+            }
+            None => {
+                debug_assert!(self.channel.can_issue(&decision.command, now));
+                let flat = self.flat_bank(&loc);
+                match decision.command.kind {
+                    cloudmc_dram::CommandKind::Activate => {
+                        self.channel.issue(&decision.command, now);
+                        self.policy.on_activate(loc.rank, loc.bank, loc.row, now);
+                        self.activated_after_conflict[flat] = self.conflict_pending[flat];
+                        self.conflict_pending[flat] = false;
+                    }
+                    cloudmc_dram::CommandKind::Precharge => {
+                        let accesses = self.channel.accesses_since_activate(loc.rank, loc.bank);
+                        self.note_row_closed(loc.rank, loc.bank, accesses);
+                        // A scheduler-issued precharge is conflict-induced:
+                        // some pending request needs a different row.
+                        self.conflict_pending[flat] = true;
+                        self.channel.issue(&decision.command, now);
+                    }
+                    _ => {
+                        self.channel.issue(&decision.command, now);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Advances the controller by one DRAM cycle, returning the requests
+    /// whose data completed this cycle.
+    fn tick(&mut self, now: DramCycles) -> Vec<CompletedRequest> {
+        // 1. Retire completed transfers.
+        let mut finished = Vec::new();
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].completion <= now {
+                let inflight = self.inflight.swap_remove(i);
+                self.stats.record_completion(&inflight.done);
+                self.scheduler.on_complete(&inflight.done);
+                finished.push(inflight.done);
+            } else {
+                i += 1;
+            }
+        }
+
+        // 2. Sample queue occupancies for Figures 5 and 6.
+        self.stats.sample_queues(self.read_q.len(), self.write_q.len());
+
+        // 3. Scheduler per-cycle bookkeeping (quantum boundaries, etc.).
+        {
+            let ctx = SchedContext {
+                now,
+                channel: &self.channel,
+                read_q: &self.read_q,
+                write_q: &self.write_q,
+                write_mode: self.write_mode,
+                num_cores: self.num_cores,
+            };
+            self.scheduler.on_cycle(&ctx);
+        }
+
+        // 4. Read/write phase decision.
+        self.update_write_mode();
+
+        // 5. Refresh takes priority when due and issuable.
+        if self.handle_refresh(now) {
+            return finished;
+        }
+
+        // 6. Ask the scheduler for this cycle's command.
+        let decision = {
+            let ctx = SchedContext {
+                now,
+                channel: &self.channel,
+                read_q: &self.read_q,
+                write_q: &self.write_q,
+                write_mode: self.write_mode,
+                num_cores: self.num_cores,
+            };
+            self.scheduler.pick(&ctx)
+        };
+        if let Some(decision) = decision {
+            self.execute(decision, now);
+            return finished;
+        }
+
+        // 7. Otherwise let the page policy close an idle row proactively.
+        let proposal = {
+            let view = PolicyView {
+                now,
+                channel: &self.channel,
+                read_q: &self.read_q,
+                write_q: &self.write_q,
+            };
+            self.policy.propose_precharge(&view)
+        };
+        if let Some((rank, bank)) = proposal {
+            if let Some(row) = self.channel.open_row(rank, bank) {
+                let pre = Command::precharge(Location::new(rank, bank, row, 0));
+                if self.channel.can_issue(&pre, now) {
+                    let accesses = self.channel.accesses_since_activate(rank, bank);
+                    self.note_row_closed(rank, bank, accesses);
+                    self.channel.issue(&pre, now);
+                }
+            }
+        }
+        finished
+    }
+}
+
+/// A complete multi-channel memory controller.
+///
+/// # Examples
+///
+/// ```
+/// use cloudmc_memctrl::{AccessKind, McConfig, MemoryController, MemoryRequest};
+///
+/// let mut mc = MemoryController::new(McConfig::baseline()).unwrap();
+/// mc.enqueue(MemoryRequest::new(1, AccessKind::Read, 0x4000, 0, 0), 0).unwrap();
+/// let mut done = Vec::new();
+/// for cycle in 0..200 {
+///     done.extend(mc.tick(cycle));
+/// }
+/// assert_eq!(done.len(), 1);
+/// assert_eq!(done[0].request.id, 1);
+/// ```
+#[derive(Debug)]
+pub struct MemoryController {
+    cfg: McConfig,
+    channels: Vec<ChannelController>,
+}
+
+impl MemoryController {
+    /// Builds a controller from `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem if `cfg` does not validate.
+    pub fn new(cfg: McConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let channels = (0..cfg.dram.channels)
+            .map(|i| ChannelController::new(i, &cfg))
+            .collect();
+        Ok(Self { cfg, channels })
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &McConfig {
+        &self.cfg
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Decodes a physical address under the configured mapping.
+    #[must_use]
+    pub fn decode(&self, addr: u64) -> DecodedAddress {
+        self.cfg.mapping.decode(addr, &self.cfg.dram)
+    }
+
+    /// Whether a request for `addr` of the given kind can be accepted now.
+    #[must_use]
+    pub fn can_accept(&self, addr: u64, kind: AccessKind) -> bool {
+        let decoded = self.decode(addr);
+        self.channels[decoded.channel].can_accept(kind)
+    }
+
+    /// Number of requests currently queued or in flight.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.channels.iter().map(ChannelController::pending).sum()
+    }
+
+    /// Enqueues a request at DRAM cycle `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back if the target channel's queue is full.
+    pub fn enqueue(
+        &mut self,
+        request: MemoryRequest,
+        now: DramCycles,
+    ) -> Result<(), MemoryRequest> {
+        let decoded = self.decode(request.addr);
+        self.channels[decoded.channel].enqueue(request, decoded.location, now)
+    }
+
+    /// Advances every channel by one DRAM cycle. Returns requests completed
+    /// this cycle across all channels.
+    pub fn tick(&mut self, now: DramCycles) -> Vec<CompletedRequest> {
+        let mut done = Vec::new();
+        for channel in &mut self.channels {
+            done.extend(channel.tick(now));
+        }
+        done
+    }
+
+    /// Aggregated controller statistics across channels.
+    #[must_use]
+    pub fn stats(&self) -> McStats {
+        let mut total = McStats::new(self.cfg.num_cores);
+        for channel in &self.channels {
+            total.merge(&channel.stats);
+        }
+        total
+    }
+
+    /// Device-level statistics of one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    #[must_use]
+    pub fn channel_device_stats(&self, channel: usize) -> &ChannelStats {
+        self.channels[channel].channel.stats()
+    }
+
+    /// Sum of data-bus busy cycles over all channels (bandwidth accounting).
+    #[must_use]
+    pub fn total_data_bus_busy_cycles(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(|c| c.channel.stats().data_bus_busy_cycles)
+            .sum()
+    }
+
+    /// Peak bandwidth of the whole controller in bytes per second.
+    #[must_use]
+    pub fn peak_bandwidth_bytes_per_sec(&self) -> f64 {
+        self.cfg.dram.timing.peak_bandwidth_bytes_per_sec() * self.cfg.dram.channels as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PagePolicyKind;
+    use crate::sched::SchedulerKind;
+
+    fn drain(mc: &mut MemoryController, cycles: u64) -> Vec<CompletedRequest> {
+        let mut done = Vec::new();
+        for c in 0..cycles {
+            done.extend(mc.tick(c));
+        }
+        done
+    }
+
+    #[test]
+    fn config_validation_catches_bad_watermarks() {
+        let mut cfg = McConfig::baseline();
+        cfg.write_drain_low = cfg.write_drain_high;
+        assert!(cfg.validate().is_err());
+        cfg = McConfig::baseline();
+        cfg.write_drain_high = cfg.write_queue_capacity + 1;
+        assert!(cfg.validate().is_err());
+        cfg = McConfig::baseline();
+        cfg.num_cores = 0;
+        assert!(MemoryController::new(cfg).is_err());
+    }
+
+    #[test]
+    fn single_read_completes_with_reasonable_latency() {
+        let mut mc = MemoryController::new(McConfig::baseline()).unwrap();
+        mc.enqueue(MemoryRequest::new(1, AccessKind::Read, 0x10_0000, 2, 0), 0)
+            .unwrap();
+        let done = drain(&mut mc, 200);
+        assert_eq!(done.len(), 1);
+        let t = McConfig::baseline().dram.timing;
+        let min_latency = t.t_rcd + t.cl + t.t_burst;
+        assert!(done[0].latency() >= min_latency);
+        assert!(done[0].latency() < 200);
+        assert_eq!(done[0].outcome, RowBufferOutcome::Miss);
+        assert_eq!(mc.stats().reads_completed, 1);
+        assert_eq!(mc.pending(), 0);
+    }
+
+    #[test]
+    fn row_hits_are_detected_for_same_row_requests() {
+        let mut mc = MemoryController::new(McConfig::baseline()).unwrap();
+        // Two reads to consecutive blocks of the same row.
+        mc.enqueue(MemoryRequest::new(1, AccessKind::Read, 0x4000, 0, 0), 0)
+            .unwrap();
+        mc.enqueue(MemoryRequest::new(2, AccessKind::Read, 0x4040, 1, 0), 0)
+            .unwrap();
+        let done = drain(&mut mc, 300);
+        assert_eq!(done.len(), 2);
+        let stats = mc.stats();
+        assert_eq!(stats.row_hits, 1, "second access must hit the open row");
+        assert_eq!(stats.row_misses, 1);
+    }
+
+    #[test]
+    fn conflicting_rows_are_recorded_as_conflicts() {
+        let mut mc = MemoryController::new(McConfig::baseline()).unwrap();
+        let cfg = McConfig::baseline();
+        // Same bank, different rows: the second request conflicts.
+        let row_stride = cfg.dram.row_bytes * cfg.dram.banks_per_rank as u64
+            * cfg.dram.ranks_per_channel as u64;
+        mc.enqueue(MemoryRequest::new(1, AccessKind::Read, 0, 0, 0), 0)
+            .unwrap();
+        mc.enqueue(MemoryRequest::new(2, AccessKind::Read, row_stride, 1, 0), 0)
+            .unwrap();
+        let done = drain(&mut mc, 500);
+        assert_eq!(done.len(), 2);
+        let stats = mc.stats();
+        assert_eq!(stats.row_conflicts, 1);
+        assert!(stats.single_access_activation_fraction() > 0.0);
+    }
+
+    #[test]
+    fn writes_drain_via_watermarks() {
+        let mut cfg = McConfig::baseline();
+        cfg.write_drain_high = 4;
+        cfg.write_drain_low = 1;
+        let mut mc = MemoryController::new(cfg).unwrap();
+        for i in 0..6u64 {
+            mc.enqueue(
+                MemoryRequest::new(i, AccessKind::Write, i * 0x100_000, 0, 0),
+                0,
+            )
+            .unwrap();
+        }
+        let done = drain(&mut mc, 2000);
+        assert_eq!(done.len(), 6);
+        assert_eq!(mc.stats().writes_completed, 6);
+    }
+
+    #[test]
+    fn multi_channel_controller_spreads_requests() {
+        let mut cfg = McConfig::baseline();
+        cfg.dram.channels = 4;
+        let mut mc = MemoryController::new(cfg).unwrap();
+        assert_eq!(mc.channel_count(), 4);
+        for i in 0..8u64 {
+            mc.enqueue(MemoryRequest::new(i, AccessKind::Read, i * 64, 0, 0), 0)
+                .unwrap();
+        }
+        let done = drain(&mut mc, 400);
+        assert_eq!(done.len(), 8);
+        // Under RoRaBaCoCh consecutive blocks alternate channels, so every
+        // channel transferred some data.
+        for ch in 0..4 {
+            assert!(mc.channel_device_stats(ch).reads > 0, "channel {ch} unused");
+        }
+        assert!(mc.total_data_bus_busy_cycles() > 0);
+        assert!(mc.peak_bandwidth_bytes_per_sec() > 4.0 * 12.0e9);
+    }
+
+    #[test]
+    fn every_scheduler_and_policy_combination_completes_requests() {
+        for sched in SchedulerKind::paper_set() {
+            for policy in PagePolicyKind::paper_set() {
+                let mut cfg = McConfig::baseline();
+                cfg.scheduler = sched;
+                cfg.page_policy = policy;
+                let mut mc = MemoryController::new(cfg).unwrap();
+                for i in 0..20u64 {
+                    let kind = if i % 4 == 0 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    mc.enqueue(
+                        MemoryRequest::new(i, kind, (i % 7) * 0x2_0000 + i * 64, (i % 16) as usize, i),
+                        i,
+                    )
+                    .unwrap();
+                }
+                let done = drain(&mut mc, 5_000);
+                assert_eq!(
+                    done.len(),
+                    20,
+                    "scheduler {} with policy {} lost requests",
+                    sched.label(),
+                    policy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn queue_backpressure_rejects_when_full() {
+        let mut cfg = McConfig::baseline();
+        cfg.read_queue_capacity = 2;
+        let mut mc = MemoryController::new(cfg).unwrap();
+        assert!(mc.can_accept(0, AccessKind::Read));
+        mc.enqueue(MemoryRequest::new(1, AccessKind::Read, 0, 0, 0), 0)
+            .unwrap();
+        mc.enqueue(MemoryRequest::new(2, AccessKind::Read, 64, 0, 0), 0)
+            .unwrap();
+        assert!(!mc.can_accept(128, AccessKind::Read));
+        let rejected = mc
+            .enqueue(MemoryRequest::new(3, AccessKind::Read, 128, 0, 0), 0)
+            .unwrap_err();
+        assert_eq!(rejected.id, 3);
+    }
+
+    #[test]
+    fn refresh_happens_over_long_idle_periods() {
+        let mut mc = MemoryController::new(McConfig::baseline()).unwrap();
+        let t_refi = McConfig::baseline().dram.timing.t_refi;
+        for c in 0..(t_refi * 3) {
+            let _ = mc.tick(c);
+        }
+        assert!(mc.channel_device_stats(0).refreshes >= 2);
+    }
+
+    #[test]
+    fn close_policy_yields_single_access_activations() {
+        let mut cfg = McConfig::baseline();
+        cfg.page_policy = PagePolicyKind::Close;
+        let mut mc = MemoryController::new(cfg).unwrap();
+        for i in 0..10u64 {
+            mc.enqueue(
+                MemoryRequest::new(i, AccessKind::Read, i * 0x40_000, 0, i * 10),
+                i * 10,
+            )
+            .unwrap();
+        }
+        let done = drain(&mut mc, 3_000);
+        assert_eq!(done.len(), 10);
+        let stats = mc.stats();
+        assert!(stats.single_access_activation_fraction() > 0.9);
+        assert_eq!(stats.row_hits, 0);
+    }
+}

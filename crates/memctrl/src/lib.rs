@@ -1,0 +1,57 @@
+//! # cloudmc-memctrl
+//!
+//! Memory controller models for the `cloudmc` reproduction of *"Memory
+//! Controller Design Under Cloud Workloads"* (IISWC 2016).
+//!
+//! This crate is the paper's primary subject: it implements the memory
+//! scheduling algorithms (FCFS, FCFS-per-bank, FR-FCFS, PAR-BS, ATLAS and a
+//! reinforcement-learning scheduler), the page-management policies (open,
+//! close, open-adaptive, close-adaptive, RBPP, ABPP and an idle-timer
+//! extension), the four address interleaving schemes, multi-channel
+//! operation, write draining and refresh handling — all on top of the
+//! cycle-level DRAM device model in [`cloudmc_dram`].
+//!
+//! ## Quick example
+//!
+//! ```
+//! use cloudmc_memctrl::{AccessKind, McConfig, MemoryController, MemoryRequest, SchedulerKind};
+//!
+//! let mut cfg = McConfig::baseline();
+//! cfg.scheduler = SchedulerKind::FrFcfs;
+//! let mut mc = MemoryController::new(cfg)?;
+//! mc.enqueue(MemoryRequest::new(0, AccessKind::Read, 0x1000, 0, 0), 0)
+//!     .expect("queue has space");
+//! for cycle in 0..200 {
+//!     for done in mc.tick(cycle) {
+//!         println!("request {} finished after {} DRAM cycles", done.request.id, done.latency());
+//!     }
+//! }
+//! # Ok::<(), String>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod controller;
+pub mod mapping;
+pub mod page;
+pub mod queue;
+pub mod request;
+pub mod sched;
+pub mod stats;
+
+pub use controller::{McConfig, MemoryController};
+pub use mapping::{AddressMapping, DecodedAddress};
+pub use page::{
+    Abpp, CloseAdaptive, ClosePage, OpenAdaptive, OpenPage, PagePolicy, PagePolicyKind,
+    PolicyView, Rbpp, TimerPolicy,
+};
+pub use queue::{QueueEntry, RequestQueue};
+pub use request::{
+    AccessKind, CompletedRequest, MemoryRequest, RequestId, RowBufferOutcome,
+};
+pub use sched::{
+    Atlas, AtlasConfig, Fcfs, FcfsBanks, FrFcfs, ParBs, ParBsConfig, RlConfig, RlScheduler,
+    SchedContext, SchedDecision, Scheduler, SchedulerKind,
+};
+pub use stats::{McStats, ACTIVATION_REUSE_BUCKETS};

@@ -1,0 +1,239 @@
+//! Pending-request queues of the memory controller.
+
+use serde::{Deserialize, Serialize};
+
+use cloudmc_dram::{DramCycles, Location};
+
+use crate::request::{MemoryRequest, RequestId};
+
+/// A request waiting in the controller together with its decoded coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueEntry {
+    /// The pending request.
+    pub request: MemoryRequest,
+    /// Decoded DRAM coordinates within the owning channel.
+    pub location: Location,
+    /// Cycle at which the request entered this queue.
+    pub enqueued_at: DramCycles,
+}
+
+impl QueueEntry {
+    /// Age of the entry at `now` in DRAM cycles.
+    #[must_use]
+    pub fn age(&self, now: DramCycles) -> DramCycles {
+        now.saturating_sub(self.enqueued_at)
+    }
+}
+
+/// A bounded FIFO-ordered pool of pending requests.
+///
+/// Entries preserve arrival order (index 0 is the oldest), which the
+/// first-come-first-served family of schedulers relies on; other schedulers
+/// are free to pick any entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RequestQueue {
+    entries: Vec<QueueEntry>,
+    capacity: usize,
+}
+
+impl RequestQueue {
+    /// Creates a queue holding at most `capacity` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum number of simultaneously pending requests.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of pending requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue holds no requests.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the queue cannot accept another request.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Appends a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back if the queue is full.
+    pub fn push(
+        &mut self,
+        request: MemoryRequest,
+        location: Location,
+        now: DramCycles,
+    ) -> Result<(), MemoryRequest> {
+        if self.is_full() {
+            return Err(request);
+        }
+        self.entries.push(QueueEntry {
+            request,
+            location,
+            enqueued_at: now,
+        });
+        Ok(())
+    }
+
+    /// Removes and returns the entry with id `id`, preserving order of the rest.
+    pub fn remove(&mut self, id: RequestId) -> Option<QueueEntry> {
+        let idx = self.entries.iter().position(|e| e.request.id == id)?;
+        Some(self.entries.remove(idx))
+    }
+
+    /// The oldest entry, if any.
+    #[must_use]
+    pub fn oldest(&self) -> Option<&QueueEntry> {
+        self.entries.first()
+    }
+
+    /// Iterates over entries in arrival order (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = &QueueEntry> {
+        self.entries.iter()
+    }
+
+    /// Entry lookup by request id.
+    #[must_use]
+    pub fn get(&self, id: RequestId) -> Option<&QueueEntry> {
+        self.entries.iter().find(|e| e.request.id == id)
+    }
+
+    /// Whether any pending entry targets the given open row of (`rank`, `bank`).
+    #[must_use]
+    pub fn any_hit(&self, rank: usize, bank: usize, row: u64) -> bool {
+        self.entries.iter().any(|e| {
+            e.location.rank == rank && e.location.bank == bank && e.location.row == row
+        })
+    }
+
+    /// Whether any pending entry targets (`rank`, `bank`) but a different row.
+    #[must_use]
+    pub fn any_other_row(&self, rank: usize, bank: usize, row: u64) -> bool {
+        self.entries.iter().any(|e| {
+            e.location.rank == rank && e.location.bank == bank && e.location.row != row
+        })
+    }
+
+    /// Number of pending entries for `core`.
+    #[must_use]
+    pub fn count_for_core(&self, core: usize) -> usize {
+        self.entries.iter().filter(|e| e.request.core == core).count()
+    }
+
+    /// Number of pending entries for (`core`, flat bank index).
+    #[must_use]
+    pub fn count_for_core_bank(&self, core: usize, rank: usize, bank: usize) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.request.core == core && e.location.rank == rank && e.location.bank == bank)
+            .count()
+    }
+}
+
+impl<'a> IntoIterator for &'a RequestQueue {
+    type Item = &'a QueueEntry;
+    type IntoIter = std::slice::Iter<'a, QueueEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::AccessKind;
+
+    fn req(id: RequestId, core: usize) -> MemoryRequest {
+        MemoryRequest::new(id, AccessKind::Read, id * 64, core, id)
+    }
+
+    fn loc(rank: usize, bank: usize, row: u64) -> Location {
+        Location::new(rank, bank, row, 0)
+    }
+
+    #[test]
+    fn push_and_remove_preserve_fifo_order() {
+        let mut q = RequestQueue::new(4);
+        for i in 0..3 {
+            q.push(req(i, 0), loc(0, 0, i), i).unwrap();
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.oldest().unwrap().request.id, 0);
+        let removed = q.remove(1).unwrap();
+        assert_eq!(removed.request.id, 1);
+        let ids: Vec<_> = q.iter().map(|e| e.request.id).collect();
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn push_fails_when_full() {
+        let mut q = RequestQueue::new(2);
+        q.push(req(0, 0), loc(0, 0, 0), 0).unwrap();
+        q.push(req(1, 0), loc(0, 0, 0), 0).unwrap();
+        assert!(q.is_full());
+        let rejected = q.push(req(2, 0), loc(0, 0, 0), 0).unwrap_err();
+        assert_eq!(rejected.id, 2);
+    }
+
+    #[test]
+    fn row_queries_distinguish_hit_and_conflict() {
+        let mut q = RequestQueue::new(8);
+        q.push(req(0, 0), loc(0, 3, 100), 0).unwrap();
+        q.push(req(1, 1), loc(0, 3, 200), 0).unwrap();
+        assert!(q.any_hit(0, 3, 100));
+        assert!(q.any_hit(0, 3, 200));
+        assert!(!q.any_hit(0, 3, 300));
+        assert!(q.any_other_row(0, 3, 100));
+        assert!(!q.any_other_row(0, 4, 100));
+    }
+
+    #[test]
+    fn per_core_counters() {
+        let mut q = RequestQueue::new(8);
+        q.push(req(0, 2), loc(0, 1, 5), 0).unwrap();
+        q.push(req(1, 2), loc(0, 2, 5), 0).unwrap();
+        q.push(req(2, 3), loc(0, 1, 5), 0).unwrap();
+        assert_eq!(q.count_for_core(2), 2);
+        assert_eq!(q.count_for_core(3), 1);
+        assert_eq!(q.count_for_core_bank(2, 0, 1), 1);
+        assert_eq!(q.count_for_core_bank(2, 0, 2), 1);
+        assert_eq!(q.count_for_core_bank(3, 0, 2), 0);
+    }
+
+    #[test]
+    fn age_uses_enqueue_cycle() {
+        let mut q = RequestQueue::new(2);
+        q.push(req(0, 0), loc(0, 0, 0), 10).unwrap();
+        assert_eq!(q.oldest().unwrap().age(25), 15);
+        assert_eq!(q.oldest().unwrap().age(5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        let _ = RequestQueue::new(0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Memory requests as seen by the memory controller.
+
+use serde::{Deserialize, Serialize};
+
+use cloudmc_dram::{DramCycles, Location};
+
+/// Direction of a memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A read (load miss, instruction fetch miss, or DMA read).
+    Read,
+    /// A write (dirty write-back or DMA write).
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for reads.
+    #[must_use]
+    pub fn is_read(&self) -> bool {
+        matches!(self, Self::Read)
+    }
+}
+
+/// Identifier of a memory request, unique within one simulation.
+pub type RequestId = u64;
+
+/// A request for one cache block of off-chip memory.
+///
+/// # Examples
+///
+/// ```
+/// use cloudmc_memctrl::{AccessKind, MemoryRequest};
+///
+/// let req = MemoryRequest::new(1, AccessKind::Read, 0x1234_5678, 3, 1000);
+/// assert!(req.kind.is_read());
+/// assert_eq!(req.core, 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemoryRequest {
+    /// Unique identifier assigned by the requester.
+    pub id: RequestId,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Physical byte address of the cache block.
+    pub addr: u64,
+    /// Index of the requesting core (or a pseudo-core for DMA engines).
+    pub core: usize,
+    /// CPU-visible issue time, in DRAM cycles, used for latency accounting
+    /// and age-based scheduling.
+    pub arrival: DramCycles,
+    /// Whether the request originates from a DMA/IO engine rather than a core.
+    pub dma: bool,
+}
+
+impl MemoryRequest {
+    /// Creates a non-DMA request.
+    #[must_use]
+    pub fn new(id: RequestId, kind: AccessKind, addr: u64, core: usize, arrival: DramCycles) -> Self {
+        Self {
+            id,
+            kind,
+            addr,
+            core,
+            arrival,
+            dma: false,
+        }
+    }
+
+    /// Creates a DMA/IO request attributed to pseudo-core `core`.
+    #[must_use]
+    pub fn dma(id: RequestId, kind: AccessKind, addr: u64, core: usize, arrival: DramCycles) -> Self {
+        Self {
+            id,
+            kind,
+            addr,
+            core,
+            arrival,
+            dma: true,
+        }
+    }
+}
+
+/// Row-buffer outcome of a serviced request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowBufferOutcome {
+    /// The target row was already open when the request was first scheduled.
+    Hit,
+    /// The bank was idle; only an ACTIVATE was needed.
+    Miss,
+    /// A different row was open; PRECHARGE then ACTIVATE were needed.
+    Conflict,
+}
+
+/// A request that finished service, with timing information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletedRequest {
+    /// The original request.
+    pub request: MemoryRequest,
+    /// Where the request mapped in the DRAM organization.
+    pub channel: usize,
+    /// Bank-level location.
+    pub location: Location,
+    /// Cycle at which the data transfer finished (DRAM cycles).
+    pub completion: DramCycles,
+    /// Row-buffer outcome.
+    pub outcome: RowBufferOutcome,
+}
+
+impl CompletedRequest {
+    /// Memory access latency in DRAM cycles (arrival to data completion).
+    #[must_use]
+    pub fn latency(&self) -> DramCycles {
+        self.completion.saturating_sub(self.request.arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_completion_minus_arrival() {
+        let req = MemoryRequest::new(7, AccessKind::Write, 0x40, 0, 100);
+        let done = CompletedRequest {
+            request: req,
+            channel: 0,
+            location: Location::new(0, 0, 0, 0),
+            completion: 180,
+            outcome: RowBufferOutcome::Conflict,
+        };
+        assert_eq!(done.latency(), 80);
+    }
+
+    #[test]
+    fn dma_constructor_marks_dma() {
+        let req = MemoryRequest::dma(1, AccessKind::Read, 0, 16, 0);
+        assert!(req.dma);
+        assert!(!MemoryRequest::new(2, AccessKind::Read, 0, 0, 0).dma);
+    }
+
+    #[test]
+    fn access_kind_predicate() {
+        assert!(AccessKind::Read.is_read());
+        assert!(!AccessKind::Write.is_read());
+    }
+}

@@ -1,0 +1,447 @@
+//! Memory scheduling algorithms.
+//!
+//! A [`Scheduler`] is asked once per DRAM cycle (per channel) for the next
+//! command to issue, given the pending request queues and the device state.
+//! Implemented algorithms (Section 2.1 of the paper):
+//!
+//! * [`fcfs::Fcfs`] — strict first-come-first-served (head-of-line blocking).
+//! * [`fcfs::FcfsBanks`] — per-bank FCFS exploiting bank-level parallelism.
+//! * [`frfcfs::FrFcfs`] — first-ready FCFS, the paper's baseline.
+//! * [`parbs::ParBs`] — parallelism-aware batch scheduling.
+//! * [`atlas::Atlas`] — adaptive per-thread least-attained-service.
+//! * [`rl::RlScheduler`] — reinforcement-learning self-optimizing scheduler.
+
+pub mod atlas;
+pub mod fcfs;
+pub mod frfcfs;
+pub mod parbs;
+pub mod rl;
+
+use serde::{Deserialize, Serialize};
+
+use cloudmc_dram::{Command, DramChannel, DramCycles};
+
+use crate::queue::{QueueEntry, RequestQueue};
+use crate::request::{AccessKind, CompletedRequest, RequestId};
+
+pub use atlas::{Atlas, AtlasConfig};
+pub use fcfs::{Fcfs, FcfsBanks};
+pub use frfcfs::FrFcfs;
+pub use parbs::{ParBs, ParBsConfig};
+pub use rl::{RlConfig, RlScheduler};
+
+/// Read-only view of one channel's controller state offered to schedulers.
+#[derive(Debug)]
+pub struct SchedContext<'a> {
+    /// Current DRAM cycle.
+    pub now: DramCycles,
+    /// Device state of the channel.
+    pub channel: &'a DramChannel,
+    /// Pending reads.
+    pub read_q: &'a RequestQueue,
+    /// Pending writes (write-backs, DMA writes).
+    pub write_q: &'a RequestQueue,
+    /// Whether the controller is draining writes this cycle.
+    pub write_mode: bool,
+    /// Number of cores sharing the controller.
+    pub num_cores: usize,
+}
+
+impl SchedContext<'_> {
+    /// The queue the controller is currently serving (reads unless draining
+    /// writes).
+    #[must_use]
+    pub fn active_queue(&self) -> &RequestQueue {
+        if self.write_mode {
+            self.write_q
+        } else {
+            self.read_q
+        }
+    }
+
+    /// Whether `entry`'s target row is currently open (a row-buffer hit).
+    #[must_use]
+    pub fn is_row_hit(&self, entry: &QueueEntry) -> bool {
+        self.channel.open_row(entry.location.rank, entry.location.bank)
+            == Some(entry.location.row)
+    }
+}
+
+/// A command chosen by a scheduler, optionally completing a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedDecision {
+    /// The DRAM command to issue this cycle.
+    pub command: Command,
+    /// The request this command completes (set only for the column access
+    /// that transfers the request's data).
+    pub request_id: Option<RequestId>,
+}
+
+/// The kind of progress that can be made toward serving one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Progress {
+    /// The data transfer itself can issue now.
+    Column(SchedDecision),
+    /// The bank is idle; the row can be activated now.
+    Activate(SchedDecision),
+    /// A different row is open; the bank can be precharged now.
+    Precharge(SchedDecision),
+    /// No command for this request is legal this cycle.
+    Blocked,
+}
+
+impl Progress {
+    /// The decision carried by this progress step, if any.
+    #[must_use]
+    pub fn decision(self) -> Option<SchedDecision> {
+        match self {
+            Self::Column(d) | Self::Activate(d) | Self::Precharge(d) => Some(d),
+            Self::Blocked => None,
+        }
+    }
+}
+
+/// Determines which command (if any) can be issued *this cycle* to make
+/// progress on `entry`. Shared by the request-ordering schedulers.
+#[must_use]
+pub fn progress_for(entry: &QueueEntry, ctx: &SchedContext<'_>) -> Progress {
+    let loc = entry.location;
+    let open = ctx.channel.open_row(loc.rank, loc.bank);
+    match open {
+        Some(row) if row == loc.row => {
+            let command = match entry.request.kind {
+                AccessKind::Read => Command::read(loc, false),
+                AccessKind::Write => Command::write(loc, false),
+            };
+            if ctx.channel.can_issue(&command, ctx.now) {
+                Progress::Column(SchedDecision {
+                    command,
+                    request_id: Some(entry.request.id),
+                })
+            } else {
+                Progress::Blocked
+            }
+        }
+        Some(_) => {
+            let command = Command::precharge(loc);
+            if ctx.channel.can_issue(&command, ctx.now) {
+                Progress::Precharge(SchedDecision {
+                    command,
+                    request_id: None,
+                })
+            } else {
+                Progress::Blocked
+            }
+        }
+        None => {
+            let command = Command::activate(loc);
+            if ctx.channel.can_issue(&command, ctx.now) {
+                Progress::Activate(SchedDecision {
+                    command,
+                    request_id: None,
+                })
+            } else {
+                Progress::Blocked
+            }
+        }
+    }
+}
+
+/// Picks the first entry (by the iteration order of `entries`) for which a
+/// column command is ready, then the first for which an activate is ready,
+/// then the first for which a precharge is ready.
+///
+/// This is the work-conserving "first ready" skeleton shared by FR-FCFS and
+/// the ranking schedulers; they differ only in how `entries` is ordered.
+#[must_use]
+pub fn first_ready<'a, I>(entries: I, ctx: &SchedContext<'_>) -> Option<SchedDecision>
+where
+    I: IntoIterator<Item = &'a QueueEntry>,
+{
+    let mut best_activate = None;
+    let mut best_precharge = None;
+    for entry in entries {
+        match progress_for(entry, ctx) {
+            Progress::Column(d) => return Some(d),
+            Progress::Activate(d) => {
+                if best_activate.is_none() {
+                    best_activate = Some(d);
+                }
+            }
+            Progress::Precharge(d) => {
+                if best_precharge.is_none() {
+                    best_precharge = Some(d);
+                }
+            }
+            Progress::Blocked => {}
+        }
+    }
+    best_activate.or(best_precharge)
+}
+
+/// A memory scheduling algorithm.
+pub trait Scheduler: std::fmt::Debug + Send {
+    /// Short human-readable name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Chooses the command to issue this cycle, if any.
+    fn pick(&mut self, ctx: &SchedContext<'_>) -> Option<SchedDecision>;
+
+    /// Observes a newly enqueued request.
+    fn on_enqueue(&mut self, _entry: &QueueEntry) {}
+
+    /// Observes a completed request.
+    fn on_complete(&mut self, _done: &CompletedRequest) {}
+
+    /// Called once per cycle before `pick` (for quantum/bookkeeping updates).
+    fn on_cycle(&mut self, _ctx: &SchedContext<'_>) {}
+
+    /// Whether the scheduler handles the read/write interleaving itself.
+    ///
+    /// When `false` (the default) the controller drains writes using
+    /// high/low watermarks on the write queue and the scheduler only sees the
+    /// active queue. The RL scheduler returns `true` and freely mixes reads
+    /// and writes.
+    fn manages_write_drain(&self) -> bool {
+        false
+    }
+}
+
+/// Identifier for constructing schedulers by name, with the per-algorithm
+/// parameters of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Strict first-come-first-served over a single queue.
+    Fcfs,
+    /// Per-bank FCFS (the paper's `FCFS_banks`).
+    FcfsBanks,
+    /// First-ready FCFS (the paper's baseline).
+    FrFcfs,
+    /// Parallelism-aware batch scheduling.
+    ParBs(ParBsConfig),
+    /// Adaptive per-thread least-attained-service scheduling.
+    Atlas(AtlasConfig),
+    /// Reinforcement-learning scheduler.
+    Rl(RlConfig),
+}
+
+impl SchedulerKind {
+    /// The five algorithms compared in Figures 1–7, with Table 3 parameters.
+    #[must_use]
+    pub fn paper_set() -> [Self; 5] {
+        [
+            Self::FrFcfs,
+            Self::FcfsBanks,
+            Self::ParBs(ParBsConfig::default()),
+            Self::Atlas(AtlasConfig::default()),
+            Self::Rl(RlConfig::default()),
+        ]
+    }
+
+    /// Instantiates the scheduler for a controller with `num_cores` cores.
+    #[must_use]
+    pub fn build(self, num_cores: usize) -> Box<dyn Scheduler> {
+        match self {
+            Self::Fcfs => Box::new(Fcfs::new()),
+            Self::FcfsBanks => Box::new(FcfsBanks::new()),
+            Self::FrFcfs => Box::new(FrFcfs::new()),
+            Self::ParBs(cfg) => Box::new(ParBs::new(cfg, num_cores)),
+            Self::Atlas(cfg) => Box::new(Atlas::new(cfg, num_cores)),
+            Self::Rl(cfg) => Box::new(RlScheduler::new(cfg)),
+        }
+    }
+
+    /// Canonical short name used in figures.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Fcfs => "FCFS",
+            Self::FcfsBanks => "FCFS_Banks",
+            Self::FrFcfs => "FR-FCFS",
+            Self::ParBs(_) => "PAR-BS",
+            Self::Atlas(_) => "ATLAS",
+            Self::Rl(_) => "RL",
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "fcfs" => Ok(Self::Fcfs),
+            "fcfs_banks" | "fcfs-banks" => Ok(Self::FcfsBanks),
+            "fr-fcfs" | "frfcfs" => Ok(Self::FrFcfs),
+            "par-bs" | "parbs" => Ok(Self::ParBs(ParBsConfig::default())),
+            "atlas" => Ok(Self::Atlas(AtlasConfig::default())),
+            "rl" => Ok(Self::Rl(RlConfig::default())),
+            other => Err(format!("unknown scheduler `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::MemoryRequest;
+    use cloudmc_dram::{DramConfig, Location};
+
+    fn fixture() -> (DramChannel, RequestQueue, RequestQueue) {
+        let cfg = DramConfig::baseline();
+        (DramChannel::new(&cfg), RequestQueue::new(16), RequestQueue::new(16))
+    }
+
+    fn entry(id: u64, kind: AccessKind, rank: usize, bank: usize, row: u64) -> QueueEntry {
+        QueueEntry {
+            request: MemoryRequest::new(id, kind, 0, 0, 0),
+            location: Location::new(rank, bank, row, 0),
+            enqueued_at: 0,
+        }
+    }
+
+    #[test]
+    fn progress_for_idle_bank_is_activate() {
+        let (ch, rq, wq) = fixture();
+        let ctx = SchedContext {
+            now: 0,
+            channel: &ch,
+            read_q: &rq,
+            write_q: &wq,
+            write_mode: false,
+            num_cores: 16,
+        };
+        let e = entry(1, AccessKind::Read, 0, 0, 5);
+        match progress_for(&e, &ctx) {
+            Progress::Activate(d) => {
+                assert_eq!(d.request_id, None);
+                assert_eq!(d.command, Command::activate(e.location));
+            }
+            other => panic!("expected Activate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn progress_for_open_row_is_column_with_request_id() {
+        let (mut ch, rq, wq) = fixture();
+        ch.issue(&Command::activate(Location::new(0, 0, 5, 0)), 0);
+        let now = ch.timing().t_rcd;
+        let ctx = SchedContext {
+            now,
+            channel: &ch,
+            read_q: &rq,
+            write_q: &wq,
+            write_mode: false,
+            num_cores: 16,
+        };
+        let e = entry(9, AccessKind::Write, 0, 0, 5);
+        match progress_for(&e, &ctx) {
+            Progress::Column(d) => {
+                assert_eq!(d.request_id, Some(9));
+                assert!(d.command.kind.is_write());
+            }
+            other => panic!("expected Column, got {other:?}"),
+        }
+        assert!(ctx.is_row_hit(&e));
+    }
+
+    #[test]
+    fn progress_for_conflict_is_precharge_after_tras() {
+        let (mut ch, rq, wq) = fixture();
+        ch.issue(&Command::activate(Location::new(0, 0, 5, 0)), 0);
+        let e = entry(2, AccessKind::Read, 0, 0, 9);
+        let t_ras = ch.timing().t_ras;
+        let early = SchedContext {
+            now: 1,
+            channel: &ch,
+            read_q: &rq,
+            write_q: &wq,
+            write_mode: false,
+            num_cores: 16,
+        };
+        assert_eq!(progress_for(&e, &early), Progress::Blocked);
+        let late = SchedContext {
+            now: t_ras,
+            channel: &ch,
+            read_q: &rq,
+            write_q: &wq,
+            write_mode: false,
+            num_cores: 16,
+        };
+        match progress_for(&e, &late) {
+            Progress::Precharge(d) => assert_eq!(d.command, Command::precharge(e.location)),
+            other => panic!("expected Precharge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_ready_prefers_column_over_activate() {
+        let (mut ch, rq, wq) = fixture();
+        ch.issue(&Command::activate(Location::new(0, 0, 5, 0)), 0);
+        let now = ch.timing().t_rcd;
+        let ctx = SchedContext {
+            now,
+            channel: &ch,
+            read_q: &rq,
+            write_q: &wq,
+            write_mode: false,
+            num_cores: 16,
+        };
+        // Oldest entry needs an activate, a younger one is a ready hit.
+        let miss = entry(1, AccessKind::Read, 0, 1, 7);
+        let hit = entry(2, AccessKind::Read, 0, 0, 5);
+        let picked = first_ready([&miss, &hit], &ctx).unwrap();
+        assert_eq!(picked.request_id, Some(2));
+    }
+
+    #[test]
+    fn active_queue_follows_write_mode() {
+        let (ch, mut rq, mut wq) = fixture();
+        rq.push(MemoryRequest::new(1, AccessKind::Read, 0, 0, 0), Location::new(0, 0, 0, 0), 0)
+            .unwrap();
+        wq.push(MemoryRequest::new(2, AccessKind::Write, 0, 0, 0), Location::new(0, 0, 0, 0), 0)
+            .unwrap();
+        let read_ctx = SchedContext {
+            now: 0,
+            channel: &ch,
+            read_q: &rq,
+            write_q: &wq,
+            write_mode: false,
+            num_cores: 16,
+        };
+        assert_eq!(read_ctx.active_queue().oldest().unwrap().request.id, 1);
+        let write_ctx = SchedContext {
+            write_mode: true,
+            ..read_ctx
+        };
+        assert_eq!(write_ctx.active_queue().oldest().unwrap().request.id, 2);
+    }
+
+    #[test]
+    fn scheduler_kind_labels_and_parsing() {
+        for kind in SchedulerKind::paper_set() {
+            let mut s = kind.build(16);
+            assert!(!s.name().is_empty());
+            let (ch, rq, wq) = fixture();
+            let ctx = SchedContext {
+                now: 0,
+                channel: &ch,
+                read_q: &rq,
+                write_q: &wq,
+                write_mode: false,
+                num_cores: 16,
+            };
+            // Empty queues: every scheduler must return None.
+            assert!(s.pick(&ctx).is_none(), "{} returned work for empty queues", s.name());
+        }
+        assert_eq!("fr-fcfs".parse::<SchedulerKind>().unwrap().label(), "FR-FCFS");
+        assert_eq!("atlas".parse::<SchedulerKind>().unwrap().label(), "ATLAS");
+        assert!("nope".parse::<SchedulerKind>().is_err());
+    }
+}

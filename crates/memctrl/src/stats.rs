@@ -1,0 +1,300 @@
+//! Statistics collected by the memory controller.
+
+use serde::{Deserialize, Serialize};
+
+use cloudmc_dram::DramCycles;
+
+use crate::request::{CompletedRequest, RowBufferOutcome};
+
+/// Counters and accumulators for one memory controller (all channels).
+///
+/// These feed every figure of the paper's evaluation: average memory access
+/// latency (Fig. 3/10/14), row-buffer hit rate (Fig. 2/9/13), queue lengths
+/// (Fig. 5/6), bandwidth utilization (Fig. 7) and the single-access row
+/// activation histogram (Fig. 8).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct McStats {
+    /// Completed read requests.
+    pub reads_completed: u64,
+    /// Completed write requests.
+    pub writes_completed: u64,
+    /// Sum of read latencies (arrival to data return), DRAM cycles.
+    pub total_read_latency: DramCycles,
+    /// Sum of write latencies (arrival to burst completion), DRAM cycles.
+    pub total_write_latency: DramCycles,
+    /// Requests that hit an already-open row.
+    pub row_hits: u64,
+    /// Requests that found the bank precharged (row miss / empty).
+    pub row_misses: u64,
+    /// Requests that found a different row open (row conflict).
+    pub row_conflicts: u64,
+    /// Histogram of column accesses served per row activation, indexed by
+    /// access count (index 0 = activations closed with zero accesses,
+    /// index 1 = single-access activations, ...). The last bucket aggregates
+    /// everything at or above the bucket count.
+    pub activation_reuse: Vec<u64>,
+    /// Number of cycles over which queue lengths were sampled.
+    pub queue_samples: u64,
+    /// Sum of read-queue occupancies over all samples and channels.
+    pub read_queue_occupancy_sum: u64,
+    /// Sum of write-queue occupancies over all samples and channels.
+    pub write_queue_occupancy_sum: u64,
+    /// Completed requests per core (fairness analysis).
+    pub completed_per_core: Vec<u64>,
+    /// Sum of read latencies per core (fairness analysis).
+    pub read_latency_per_core: Vec<DramCycles>,
+    /// Reads completed per core.
+    pub reads_per_core: Vec<u64>,
+}
+
+/// Number of buckets kept in the activation-reuse histogram.
+pub const ACTIVATION_REUSE_BUCKETS: usize = 33;
+
+impl McStats {
+    /// Creates zeroed statistics for `cores` cores.
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        Self {
+            activation_reuse: vec![0; ACTIVATION_REUSE_BUCKETS],
+            completed_per_core: vec![0; cores],
+            read_latency_per_core: vec![0; cores],
+            reads_per_core: vec![0; cores],
+            ..Self::default()
+        }
+    }
+
+    /// Records a completed request.
+    pub fn record_completion(&mut self, done: &CompletedRequest) {
+        let latency = done.latency();
+        match done.outcome {
+            RowBufferOutcome::Hit => self.row_hits += 1,
+            RowBufferOutcome::Miss => self.row_misses += 1,
+            RowBufferOutcome::Conflict => self.row_conflicts += 1,
+        }
+        let core = done.request.core;
+        if core < self.completed_per_core.len() {
+            self.completed_per_core[core] += 1;
+        }
+        if done.request.kind.is_read() {
+            self.reads_completed += 1;
+            self.total_read_latency += latency;
+            if core < self.reads_per_core.len() {
+                self.reads_per_core[core] += 1;
+                self.read_latency_per_core[core] += latency;
+            }
+        } else {
+            self.writes_completed += 1;
+            self.total_write_latency += latency;
+        }
+    }
+
+    /// Records that a row activation was closed after `accesses` column accesses.
+    pub fn record_activation_closed(&mut self, accesses: u64) {
+        if self.activation_reuse.is_empty() {
+            self.activation_reuse = vec![0; ACTIVATION_REUSE_BUCKETS];
+        }
+        let idx = (accesses as usize).min(self.activation_reuse.len() - 1);
+        self.activation_reuse[idx] += 1;
+    }
+
+    /// Records one per-cycle sample of queue occupancies.
+    pub fn sample_queues(&mut self, read_len: usize, write_len: usize) {
+        self.queue_samples += 1;
+        self.read_queue_occupancy_sum += read_len as u64;
+        self.write_queue_occupancy_sum += write_len as u64;
+    }
+
+    /// Total completed requests.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.reads_completed + self.writes_completed
+    }
+
+    /// Average read latency in DRAM cycles.
+    #[must_use]
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads_completed == 0 {
+            0.0
+        } else {
+            self.total_read_latency as f64 / self.reads_completed as f64
+        }
+    }
+
+    /// Average latency over reads and writes in DRAM cycles.
+    #[must_use]
+    pub fn avg_latency(&self) -> f64 {
+        let n = self.completed();
+        if n == 0 {
+            0.0
+        } else {
+            (self.total_read_latency + self.total_write_latency) as f64 / n as f64
+        }
+    }
+
+    /// Row-buffer hit rate over all serviced requests (0.0–1.0).
+    #[must_use]
+    pub fn row_buffer_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of row activations that served exactly one column access.
+    #[must_use]
+    pub fn single_access_activation_fraction(&self) -> f64 {
+        let total: u64 = self.activation_reuse.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.activation_reuse.get(1).copied().unwrap_or(0) as f64 / total as f64
+        }
+    }
+
+    /// Time-averaged read-queue occupancy.
+    #[must_use]
+    pub fn avg_read_queue_len(&self) -> f64 {
+        if self.queue_samples == 0 {
+            0.0
+        } else {
+            self.read_queue_occupancy_sum as f64 / self.queue_samples as f64
+        }
+    }
+
+    /// Time-averaged write-queue occupancy.
+    #[must_use]
+    pub fn avg_write_queue_len(&self) -> f64 {
+        if self.queue_samples == 0 {
+            0.0
+        } else {
+            self.write_queue_occupancy_sum as f64 / self.queue_samples as f64
+        }
+    }
+
+    /// Average read latency observed by one core, in DRAM cycles.
+    #[must_use]
+    pub fn avg_read_latency_for_core(&self, core: usize) -> f64 {
+        match (self.reads_per_core.get(core), self.read_latency_per_core.get(core)) {
+            (Some(&n), Some(&sum)) if n > 0 => sum as f64 / n as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Merges another statistics block into this one (used to aggregate
+    /// multiple channels or simulation samples).
+    pub fn merge(&mut self, other: &Self) {
+        self.reads_completed += other.reads_completed;
+        self.writes_completed += other.writes_completed;
+        self.total_read_latency += other.total_read_latency;
+        self.total_write_latency += other.total_write_latency;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.row_conflicts += other.row_conflicts;
+        if self.activation_reuse.len() < other.activation_reuse.len() {
+            self.activation_reuse.resize(other.activation_reuse.len(), 0);
+        }
+        for (i, v) in other.activation_reuse.iter().enumerate() {
+            self.activation_reuse[i] += v;
+        }
+        self.queue_samples += other.queue_samples;
+        self.read_queue_occupancy_sum += other.read_queue_occupancy_sum;
+        self.write_queue_occupancy_sum += other.write_queue_occupancy_sum;
+        if self.completed_per_core.len() < other.completed_per_core.len() {
+            self.completed_per_core.resize(other.completed_per_core.len(), 0);
+            self.read_latency_per_core
+                .resize(other.completed_per_core.len(), 0);
+            self.reads_per_core.resize(other.completed_per_core.len(), 0);
+        }
+        for (i, v) in other.completed_per_core.iter().enumerate() {
+            self.completed_per_core[i] += v;
+        }
+        for (i, v) in other.read_latency_per_core.iter().enumerate() {
+            self.read_latency_per_core[i] += v;
+        }
+        for (i, v) in other.reads_per_core.iter().enumerate() {
+            self.reads_per_core[i] += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{AccessKind, MemoryRequest};
+    use cloudmc_dram::Location;
+
+    fn completed(kind: AccessKind, core: usize, outcome: RowBufferOutcome, latency: u64) -> CompletedRequest {
+        CompletedRequest {
+            request: MemoryRequest::new(1, kind, 0, core, 100),
+            channel: 0,
+            location: Location::new(0, 0, 0, 0),
+            completion: 100 + latency,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn record_completion_updates_latency_and_hits() {
+        let mut s = McStats::new(4);
+        s.record_completion(&completed(AccessKind::Read, 1, RowBufferOutcome::Hit, 30));
+        s.record_completion(&completed(AccessKind::Read, 1, RowBufferOutcome::Conflict, 90));
+        s.record_completion(&completed(AccessKind::Write, 2, RowBufferOutcome::Miss, 60));
+        assert_eq!(s.reads_completed, 2);
+        assert_eq!(s.writes_completed, 1);
+        assert!((s.avg_read_latency() - 60.0).abs() < 1e-9);
+        assert!((s.avg_latency() - 60.0).abs() < 1e-9);
+        assert!((s.row_buffer_hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.completed_per_core[1], 2);
+        assert!((s.avg_read_latency_for_core(1) - 60.0).abs() < 1e-9);
+        assert_eq!(s.avg_read_latency_for_core(3), 0.0);
+    }
+
+    #[test]
+    fn activation_histogram_and_single_access_fraction() {
+        let mut s = McStats::new(1);
+        s.record_activation_closed(1);
+        s.record_activation_closed(1);
+        s.record_activation_closed(1);
+        s.record_activation_closed(5);
+        assert!((s.single_access_activation_fraction() - 0.75).abs() < 1e-9);
+        // Out-of-range counts land in the last bucket without panicking.
+        s.record_activation_closed(10_000);
+        assert_eq!(*s.activation_reuse.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn queue_sampling_averages() {
+        let mut s = McStats::new(1);
+        s.sample_queues(4, 10);
+        s.sample_queues(6, 30);
+        assert!((s.avg_read_queue_len() - 5.0).abs() < 1e-9);
+        assert!((s.avg_write_queue_len() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_return_zeroes() {
+        let s = McStats::new(2);
+        assert_eq!(s.avg_read_latency(), 0.0);
+        assert_eq!(s.row_buffer_hit_rate(), 0.0);
+        assert_eq!(s.avg_read_queue_len(), 0.0);
+        assert_eq!(s.single_access_activation_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = McStats::new(2);
+        let mut b = McStats::new(2);
+        a.record_completion(&completed(AccessKind::Read, 0, RowBufferOutcome::Hit, 10));
+        b.record_completion(&completed(AccessKind::Read, 1, RowBufferOutcome::Conflict, 50));
+        b.record_activation_closed(1);
+        b.sample_queues(3, 7);
+        a.merge(&b);
+        assert_eq!(a.reads_completed, 2);
+        assert_eq!(a.row_conflicts, 1);
+        assert_eq!(a.completed_per_core[1], 1);
+        assert_eq!(a.queue_samples, 1);
+        assert_eq!(a.activation_reuse[1], 1);
+    }
+}

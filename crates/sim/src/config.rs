@@ -1,0 +1,171 @@
+//! Full-system configuration.
+
+use serde::{Deserialize, Serialize};
+
+use cloudmc_cpu::{CoreConfig, L2Config};
+use cloudmc_memctrl::{McConfig, SchedulerKind};
+use cloudmc_workloads::{Workload, WorkloadSpec};
+
+/// Clock ratio of the model: the cores run at 2 GHz and the DRAM command
+/// clock at 800 MHz (DDR3-1600), i.e. 2 DRAM cycles per 5 CPU cycles.
+pub const DRAM_CYCLES_PER_5_CPU_CYCLES: u64 = 2;
+
+/// Configuration of one full-system simulation run.
+///
+/// Defaults reproduce the paper's baseline (Table 2): a 16-core in-order pod
+/// with 32 KB L1s and a shared 4 MB L2, an FR-FCFS single-channel controller
+/// with the open-adaptive page policy, driven by one of the twelve workload
+/// models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Statistical workload model driving the cores.
+    pub workload: WorkloadSpec,
+    /// Per-core configuration (L1 caches, MSHRs).
+    pub core: CoreConfig,
+    /// Shared L2 configuration.
+    pub l2: L2Config,
+    /// Memory controller and DRAM configuration.
+    pub mc: McConfig,
+    /// Random seed for workload generation and DMA injection.
+    pub seed: u64,
+    /// CPU cycles of warm-up before statistics are collected.
+    pub warmup_cpu_cycles: u64,
+    /// CPU cycles of measurement after warm-up.
+    pub measure_cpu_cycles: u64,
+    /// Functionally install the instruction working set and hot data of each
+    /// core into the caches before simulation starts, standing in for the
+    /// billion-instruction functional warm-up of the paper's methodology.
+    pub functional_warmup: bool,
+    /// Scale ATLAS's quantum and starvation threshold down so that several
+    /// ranking quanta elapse within the (reduced-scale) measurement window,
+    /// preserving the algorithm's behaviour at laptop scale.
+    pub scale_scheduler_time_constants: bool,
+}
+
+impl SystemConfig {
+    /// Baseline configuration for `workload` (Table 2 plus the calibrated
+    /// workload spec).
+    #[must_use]
+    pub fn baseline(workload: Workload) -> Self {
+        let spec = workload.spec();
+        let mut mc = McConfig::baseline();
+        mc.num_cores = spec.cores;
+        Self {
+            workload: spec,
+            core: CoreConfig::default(),
+            l2: L2Config::baseline(),
+            mc,
+            seed: 1,
+            warmup_cpu_cycles: 250_000,
+            measure_cpu_cycles: 1_000_000,
+            functional_warmup: true,
+            scale_scheduler_time_constants: true,
+        }
+    }
+
+    /// Total simulated CPU cycles (warm-up plus measurement).
+    #[must_use]
+    pub fn total_cpu_cycles(&self) -> u64 {
+        self.warmup_cpu_cycles + self.measure_cpu_cycles
+    }
+
+    /// DRAM cycles corresponding to `cpu_cycles` under the fixed clock ratio.
+    #[must_use]
+    pub fn cpu_to_dram_cycles(cpu_cycles: u64) -> u64 {
+        cpu_cycles * DRAM_CYCLES_PER_5_CPU_CYCLES / 5
+    }
+
+    /// The effective memory-controller configuration, with scheduler time
+    /// constants scaled to the run length when requested.
+    #[must_use]
+    pub fn effective_mc(&self) -> McConfig {
+        let mut mc = self.mc;
+        mc.num_cores = self.workload.cores;
+        if self.scale_scheduler_time_constants {
+            if let SchedulerKind::Atlas(mut atlas) = mc.scheduler {
+                let total_dram = Self::cpu_to_dram_cycles(self.total_cpu_cycles()).max(1);
+                // Aim for roughly 10 quanta over the whole run, as a stand-in
+                // for the hundreds of quanta of a full-length simulation. The
+                // starvation threshold is deliberately *not* scaled: its ratio
+                // to the memory latency (not to the quantum) is what bounds
+                // how long a deprioritized core can be denied service, which
+                // is the effect the paper attributes ATLAS's losses to.
+                let target_quantum = (total_dram / 10).max(10_000);
+                if target_quantum < atlas.quantum {
+                    atlas.quantum = target_quantum;
+                    mc.scheduler = SchedulerKind::Atlas(atlas);
+                }
+            }
+        }
+        mc
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        self.workload.validate()?;
+        self.l2.validate()?;
+        self.mc.validate()?;
+        if self.measure_cpu_cycles == 0 {
+            return Err("measure_cpu_cycles must be non-zero".to_owned());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudmc_memctrl::AtlasConfig;
+
+    #[test]
+    fn baseline_validates_for_every_workload() {
+        for w in Workload::all() {
+            let cfg = SystemConfig::baseline(w);
+            cfg.validate().unwrap();
+            assert_eq!(cfg.mc.num_cores, w.spec().cores);
+        }
+    }
+
+    #[test]
+    fn clock_ratio_is_2_to_5() {
+        assert_eq!(SystemConfig::cpu_to_dram_cycles(5), 2);
+        assert_eq!(SystemConfig::cpu_to_dram_cycles(1_000_000), 400_000);
+    }
+
+    #[test]
+    fn atlas_quantum_is_scaled_to_run_length() {
+        let mut cfg = SystemConfig::baseline(Workload::MapReduce);
+        cfg.mc.scheduler = SchedulerKind::Atlas(AtlasConfig::default());
+        let effective = cfg.effective_mc();
+        match effective.scheduler {
+            SchedulerKind::Atlas(a) => {
+                assert!(a.quantum < AtlasConfig::default().quantum);
+                let total_dram = SystemConfig::cpu_to_dram_cycles(cfg.total_cpu_cycles());
+                assert!(a.quantum <= total_dram / 5);
+            }
+            other => panic!("expected ATLAS, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scaling_can_be_disabled() {
+        let mut cfg = SystemConfig::baseline(Workload::MapReduce);
+        cfg.mc.scheduler = SchedulerKind::Atlas(AtlasConfig::default());
+        cfg.scale_scheduler_time_constants = false;
+        match cfg.effective_mc().scheduler {
+            SchedulerKind::Atlas(a) => assert_eq!(a.quantum, AtlasConfig::default().quantum),
+            other => panic!("expected ATLAS, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_measurement() {
+        let mut cfg = SystemConfig::baseline(Workload::WebSearch);
+        cfg.measure_cpu_cycles = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

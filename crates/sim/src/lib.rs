@@ -1,0 +1,33 @@
+//! # cloudmc-sim
+//!
+//! Full-system cycle-level simulator for the `cloudmc` reproduction of
+//! *"Memory Controller Design Under Cloud Workloads"* (IISWC 2016): it wires
+//! the in-order cores and caches of [`cloudmc_cpu`], the workload models of
+//! [`cloudmc_workloads`], the memory controller of [`cloudmc_memctrl`] and
+//! the DRAM devices of [`cloudmc_dram`] into one simulated 16-core pod, and
+//! provides the warm-up/measure methodology and the metrics the paper
+//! reports.
+//!
+//! ```
+//! use cloudmc_sim::{Simulator, SystemConfig};
+//! use cloudmc_workloads::Workload;
+//!
+//! let mut cfg = SystemConfig::baseline(Workload::DataServing);
+//! cfg.warmup_cpu_cycles = 2_000;
+//! cfg.measure_cpu_cycles = 10_000;
+//! let stats = Simulator::new(cfg).unwrap().run();
+//! println!("user IPC = {:.2}", stats.user_ipc());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod runner;
+pub mod stats;
+pub mod system;
+
+pub use config::{SystemConfig, DRAM_CYCLES_PER_5_CPU_CYCLES};
+pub use runner::{default_threads, run_all, run_all_with_threads};
+pub use stats::{mean, SimStats};
+pub use system::{run_system, Simulator, System};

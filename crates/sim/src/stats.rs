@@ -1,0 +1,226 @@
+//! Measurement results of one simulation run.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics collected over the measurement window of one run.
+///
+/// These are exactly the quantities the paper's figures report: user IPC,
+/// average memory access latency, row-buffer hit rate, L2 MPKI, queue
+/// occupancies, bandwidth utilization and the single-access activation
+/// fraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Workload acronym.
+    pub workload: String,
+    /// Scheduler label (e.g. "FR-FCFS").
+    pub scheduler: String,
+    /// Page policy name (e.g. "open-adaptive").
+    pub page_policy: String,
+    /// Address mapping scheme name.
+    pub mapping: String,
+    /// Number of memory channels.
+    pub channels: usize,
+    /// Number of cores simulated.
+    pub cores: usize,
+    /// CPU cycles in the measurement window.
+    pub cpu_cycles: u64,
+    /// DRAM cycles in the measurement window.
+    pub dram_cycles: u64,
+    /// Committed user instructions over all cores.
+    pub user_instructions: u64,
+    /// Committed user instructions per core.
+    pub instructions_per_core: Vec<u64>,
+    /// Memory read requests sent off-chip (demand L2 misses).
+    pub memory_reads_sent: u64,
+    /// Memory write requests sent off-chip (L2 write-backs plus DMA writes).
+    pub memory_writes_sent: u64,
+    /// Reads completed by the memory controller.
+    pub reads_completed: u64,
+    /// Writes completed by the memory controller.
+    pub writes_completed: u64,
+    /// Average read latency in DRAM cycles (arrival at MC to data return).
+    pub avg_read_latency_dram: f64,
+    /// Average read latency in nanoseconds.
+    pub avg_read_latency_ns: f64,
+    /// Row-buffer hit rate (0.0–1.0).
+    pub row_buffer_hit_rate: f64,
+    /// Fraction of row activations with exactly one access (0.0–1.0).
+    pub single_access_activation_fraction: f64,
+    /// Average read-queue occupancy.
+    pub avg_read_queue_len: f64,
+    /// Average write-queue occupancy.
+    pub avg_write_queue_len: f64,
+    /// Data-bus utilization across channels (0.0–1.0).
+    pub bandwidth_utilization: f64,
+    /// L2 misses per kilo user instructions.
+    pub l2_mpki: f64,
+    /// DRAM activations per kilo user instructions.
+    pub activations_per_kilo_instr: f64,
+    /// Total DRAM energy estimate in millijoules (extension; the paper defers
+    /// power analysis to future work).
+    pub dram_energy_mj: f64,
+}
+
+impl SimStats {
+    /// Aggregate user IPC: committed user instructions per CPU cycle summed
+    /// over all cores (the paper's throughput metric).
+    #[must_use]
+    pub fn user_ipc(&self) -> f64 {
+        if self.cpu_cycles == 0 {
+            0.0
+        } else {
+            self.user_instructions as f64 / self.cpu_cycles as f64
+        }
+    }
+
+    /// Per-core IPC values.
+    #[must_use]
+    pub fn per_core_ipc(&self) -> Vec<f64> {
+        self.instructions_per_core
+            .iter()
+            .map(|&n| {
+                if self.cpu_cycles == 0 {
+                    0.0
+                } else {
+                    n as f64 / self.cpu_cycles as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Ratio of the slowest core's IPC to the fastest core's IPC (1.0 means
+    /// perfectly balanced; small values indicate unfair scheduling).
+    #[must_use]
+    pub fn ipc_fairness(&self) -> f64 {
+        let ipcs = self.per_core_ipc();
+        let max = ipcs.iter().copied().fold(f64::NAN, f64::max);
+        let min = ipcs.iter().copied().fold(f64::NAN, f64::min);
+        if !max.is_finite() || max <= 0.0 {
+            0.0
+        } else {
+            min / max
+        }
+    }
+
+    /// This run's user IPC normalized to a baseline run.
+    #[must_use]
+    pub fn normalized_ipc(&self, baseline: &Self) -> f64 {
+        let b = baseline.user_ipc();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.user_ipc() / b
+        }
+    }
+
+    /// This run's average read latency normalized to a baseline run.
+    #[must_use]
+    pub fn normalized_latency(&self, baseline: &Self) -> f64 {
+        if baseline.avg_read_latency_dram == 0.0 {
+            0.0
+        } else {
+            self.avg_read_latency_dram / baseline.avg_read_latency_dram
+        }
+    }
+
+    /// This run's row-buffer hit rate normalized to a baseline run.
+    #[must_use]
+    pub fn normalized_hit_rate(&self, baseline: &Self) -> f64 {
+        if baseline.row_buffer_hit_rate == 0.0 {
+            0.0
+        } else {
+            self.row_buffer_hit_rate / baseline.row_buffer_hit_rate
+        }
+    }
+}
+
+/// Arithmetic mean of an iterator of values (0 when empty). Used when
+/// averaging a metric over the workloads of one category, as the paper does
+/// for the `Avg_SCO` / `Avg_TRS` / `Avg_DSP` bars.
+#[must_use]
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(instr: u64, cycles: u64) -> SimStats {
+        SimStats {
+            workload: "DS".to_owned(),
+            scheduler: "FR-FCFS".to_owned(),
+            page_policy: "open-adaptive".to_owned(),
+            mapping: "RoRaBaCoCh".to_owned(),
+            channels: 1,
+            cores: 4,
+            cpu_cycles: cycles,
+            dram_cycles: cycles * 2 / 5,
+            user_instructions: instr,
+            instructions_per_core: vec![instr / 4; 4],
+            memory_reads_sent: 100,
+            memory_writes_sent: 40,
+            reads_completed: 100,
+            writes_completed: 40,
+            avg_read_latency_dram: 80.0,
+            avg_read_latency_ns: 100.0,
+            row_buffer_hit_rate: 0.4,
+            single_access_activation_fraction: 0.85,
+            avg_read_queue_len: 2.0,
+            avg_write_queue_len: 5.0,
+            bandwidth_utilization: 0.3,
+            l2_mpki: 5.0,
+            activations_per_kilo_instr: 3.0,
+            dram_energy_mj: 1.0,
+        }
+    }
+
+    #[test]
+    fn ipc_and_normalization() {
+        let base = stats(4000, 1000);
+        let other = stats(2000, 1000);
+        assert!((base.user_ipc() - 4.0).abs() < 1e-9);
+        assert!((other.normalized_ipc(&base) - 0.5).abs() < 1e-9);
+        assert!((other.normalized_latency(&base) - 1.0).abs() < 1e-9);
+        assert!((other.normalized_hit_rate(&base) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fairness_detects_imbalance() {
+        let mut s = stats(4000, 1000);
+        assert!((s.ipc_fairness() - 1.0).abs() < 1e-9);
+        s.instructions_per_core = vec![100, 1000, 1000, 1900];
+        assert!(s.ipc_fairness() < 0.2);
+    }
+
+    #[test]
+    fn zero_cycles_do_not_divide_by_zero() {
+        let s = stats(0, 0);
+        assert_eq!(s.user_ipc(), 0.0);
+        assert_eq!(s.per_core_ipc(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn mean_handles_empty_and_values() {
+        assert_eq!(mean([]), 0.0);
+        assert!((mean([1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_serialize_to_json() {
+        let s = stats(100, 10);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SimStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

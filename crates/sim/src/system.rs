@@ -1,0 +1,716 @@
+//! The full-system cycle-level simulator: cores, caches, memory controller
+//! and DRAM wired together.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cloudmc_cpu::{InOrderCore, SharedL2};
+use cloudmc_memctrl::{AccessKind, McStats, MemoryController, MemoryRequest, RequestId};
+use cloudmc_workloads::WorkloadStreams;
+
+use crate::config::{SystemConfig, DRAM_CYCLES_PER_5_CPU_CYCLES};
+use crate::stats::SimStats;
+
+/// A memory read whose data is on its way back to a core.
+#[derive(Debug, Clone, Copy)]
+struct PendingFill {
+    due_cpu_cycle: u64,
+    core: usize,
+    addr: u64,
+}
+
+/// A memory request waiting for space in the controller's queues.
+#[derive(Debug, Clone, Copy)]
+struct WaitingRequest {
+    request: MemoryRequest,
+}
+
+/// Snapshot of all monotonically increasing counters, used to compute
+/// measurement-window deltas after warm-up.
+#[derive(Debug, Clone, Default)]
+struct Snapshot {
+    cpu_cycles: u64,
+    dram_cycles: u64,
+    committed: Vec<u64>,
+    mem_reads_sent: u64,
+    mem_writes_sent: u64,
+    mc: Option<McStats>,
+    bus_busy: u64,
+    dram_activates: u64,
+    dram_reads: u64,
+    dram_writes: u64,
+    dram_refreshes: u64,
+    dram_precharges: u64,
+}
+
+/// The simulated 16-core pod with its memory system.
+///
+/// # Examples
+///
+/// ```
+/// use cloudmc_sim::{Simulator, SystemConfig};
+/// use cloudmc_workloads::Workload;
+///
+/// let mut cfg = SystemConfig::baseline(Workload::WebSearch);
+/// cfg.warmup_cpu_cycles = 5_000;
+/// cfg.measure_cpu_cycles = 20_000;
+/// let stats = Simulator::new(cfg).unwrap().run();
+/// assert!(stats.user_ipc() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<InOrderCore>,
+    streams: WorkloadStreams,
+    l2: SharedL2,
+    mc: MemoryController,
+    rng: StdRng,
+    cpu_cycle: u64,
+    dram_cycle: u64,
+    clock_acc: u64,
+    next_request_id: RequestId,
+    /// Outstanding off-chip reads: (request id, requesting core, address).
+    outstanding_reads: Vec<(RequestId, usize, u64)>,
+    /// L2-hit and memory fills scheduled for delivery to cores.
+    fills: Vec<PendingFill>,
+    /// Requests rejected by a full controller queue, retried each DRAM cycle.
+    waiting: VecDeque<WaitingRequest>,
+    dma_accumulator: f64,
+    dma_cursor: u64,
+    mem_reads_sent: u64,
+    mem_writes_sent: u64,
+    /// Off-chip reads broken down by address region (code, shared, hot,
+    /// private); used by diagnostics and calibration tooling.
+    reads_by_region: [u64; 4],
+}
+
+impl System {
+    /// Builds the system described by `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem if the configuration is invalid.
+    pub fn new(cfg: SystemConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let mc = MemoryController::new(cfg.effective_mc())?;
+        let streams = WorkloadStreams::from_spec(cfg.workload, cfg.seed);
+        let cores = (0..cfg.workload.cores)
+            .map(|i| InOrderCore::new(i, cfg.core))
+            .collect();
+        let mut system = Self {
+            cores,
+            streams,
+            l2: SharedL2::new(cfg.l2),
+            mc,
+            rng: StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x5851_F42D_4C95_7F2D) ^ 0xD3A),
+            cpu_cycle: 0,
+            dram_cycle: 0,
+            clock_acc: 0,
+            next_request_id: 0,
+            outstanding_reads: Vec::new(),
+            fills: Vec::new(),
+            waiting: VecDeque::new(),
+            dma_accumulator: 0.0,
+            dma_cursor: 0,
+            mem_reads_sent: 0,
+            reads_by_region: [0; 4],
+            mem_writes_sent: 0,
+            cfg,
+        };
+        if cfg.functional_warmup {
+            system.prewarm();
+        }
+        Ok(system)
+    }
+
+    /// Functionally installs each core's instruction working set and hot data
+    /// region into the L1s and the shared L2 (no timing is modelled).
+    ///
+    /// This mirrors the effect of the paper's one-billion-instruction warm-up:
+    /// measurement starts with the code resident in the LLC so that the
+    /// off-chip traffic seen by the memory controller is the steady-state
+    /// data-miss stream, not a cold-start transient.
+    fn prewarm(&mut self) {
+        let block = 64u64;
+        for core_idx in 0..self.cores.len() {
+            let (code_base, code_size) = self.streams.stream(core_idx).code_region();
+            for offset in (0..code_size).step_by(block as usize) {
+                let addr = code_base + offset;
+                self.cores[core_idx].prewarm(addr, true);
+                self.l2.access(addr, false);
+            }
+            let (hot_base, hot_size) = self.streams.stream(core_idx).hot_region();
+            for offset in (0..hot_size).step_by(block as usize) {
+                let addr = hot_base + offset;
+                self.cores[core_idx].prewarm(addr, false);
+                self.l2.access(addr, false);
+            }
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Current CPU cycle.
+    #[must_use]
+    pub fn cpu_cycle(&self) -> u64 {
+        self.cpu_cycle
+    }
+
+    /// Committed user instructions per core so far.
+    #[must_use]
+    pub fn committed_per_core(&self) -> Vec<u64> {
+        self.cores.iter().map(InOrderCore::committed).collect()
+    }
+
+    /// Performance counters of one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn core_stats(&self, core: usize) -> &cloudmc_cpu::CoreStats {
+        self.cores[core].stats()
+    }
+
+    /// L1 instruction-cache counters of one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn l1i_stats(&self, core: usize) -> &cloudmc_cpu::CacheStats {
+        self.cores[core].l1i_stats()
+    }
+
+    /// L1 data-cache counters of one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn l1d_stats(&self, core: usize) -> &cloudmc_cpu::CacheStats {
+        self.cores[core].l1d_stats()
+    }
+
+    /// Aggregated shared-L2 counters.
+    #[must_use]
+    pub fn l2_stats(&self) -> cloudmc_cpu::CacheStats {
+        self.l2.stats()
+    }
+
+    /// Controller statistics accumulated since reset.
+    #[must_use]
+    pub fn controller_stats(&self) -> McStats {
+        self.mc.stats()
+    }
+
+    fn alloc_request_id(&mut self) -> RequestId {
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        id
+    }
+
+    /// Classifies an address into (code, shared, hot, private) for the
+    /// diagnostic read breakdown.
+    fn region_of(addr: u64) -> usize {
+        if (0x2000_0000..0x4000_0000).contains(&addr) {
+            0
+        } else if (0x0400_0000..0x1400_0000).contains(&addr) {
+            1
+        } else if addr >= 0x4000_0000 && (addr & 0x0FFF_FFFF) >= 0x0FFF_C000 {
+            2
+        } else {
+            3
+        }
+    }
+
+    /// Off-chip reads sent so far, broken down as (code, shared, hot, private).
+    #[must_use]
+    pub fn reads_by_region(&self) -> [u64; 4] {
+        self.reads_by_region
+    }
+
+    fn send_memory_read(&mut self, core: usize, addr: u64) {
+        let id = self.alloc_request_id();
+        self.mem_reads_sent += 1;
+        self.reads_by_region[Self::region_of(addr)] += 1;
+        self.outstanding_reads.push((id, core, addr));
+        let request = MemoryRequest::new(id, AccessKind::Read, addr, core, self.dram_cycle);
+        self.try_enqueue(request);
+    }
+
+    fn send_memory_write(&mut self, core: usize, addr: u64, dma: bool) {
+        let id = self.alloc_request_id();
+        self.mem_writes_sent += 1;
+        let request = if dma {
+            MemoryRequest::dma(id, AccessKind::Write, addr, core, self.dram_cycle)
+        } else {
+            MemoryRequest::new(id, AccessKind::Write, addr, core, self.dram_cycle)
+        };
+        self.try_enqueue(request);
+    }
+
+    fn send_dma_read(&mut self, core: usize, addr: u64) {
+        let id = self.alloc_request_id();
+        self.mem_reads_sent += 1;
+        let request = MemoryRequest::dma(id, AccessKind::Read, addr, core, self.dram_cycle);
+        self.try_enqueue(request);
+    }
+
+    fn try_enqueue(&mut self, request: MemoryRequest) {
+        if let Err(rejected) = self.mc.enqueue(request, self.dram_cycle) {
+            self.waiting.push_back(WaitingRequest { request: rejected });
+        }
+    }
+
+    fn drain_waiting(&mut self) {
+        let mut remaining = VecDeque::new();
+        while let Some(w) = self.waiting.pop_front() {
+            if self.mc.can_accept(w.request.addr, w.request.kind) {
+                // Preserve the original arrival time: queueing delay caused by
+                // controller backpressure is part of the observed latency.
+                self.mc
+                    .enqueue(w.request, self.dram_cycle)
+                    .expect("can_accept was just checked");
+            } else {
+                remaining.push_back(w);
+            }
+        }
+        self.waiting = remaining;
+    }
+
+    /// Routes one L1-level request (refill or write-back) through the L2.
+    fn handle_core_request(&mut self, core: usize, addr: u64, is_writeback: bool) {
+        let outcome = self.l2.access(addr, is_writeback);
+        if let Some(victim) = outcome.writeback {
+            self.send_memory_write(core, victim, false);
+        }
+        if is_writeback {
+            // L1 write-backs terminate at the L2 (write-allocate without
+            // fetch); any capacity effect was handled via the victim above.
+            return;
+        }
+        if outcome.hit {
+            self.fills.push(PendingFill {
+                due_cpu_cycle: self.cpu_cycle + outcome.latency,
+                core,
+                addr,
+            });
+        } else {
+            self.send_memory_read(core, addr);
+        }
+    }
+
+    fn inject_dma(&mut self) {
+        let rate = self.cfg.workload.dma_per_kcycle;
+        if rate <= 0.0 {
+            return;
+        }
+        self.dma_accumulator += rate / 1000.0;
+        while self.dma_accumulator >= 1.0 {
+            self.dma_accumulator -= 1.0;
+            let core = self.rng.gen_range(0..self.cores.len());
+            // DMA engines stream sequentially through I/O buffers in the
+            // shared region: mostly the next cache block, occasionally a jump
+            // to a fresh buffer. This gives DMA traffic the high row-buffer
+            // locality the paper observes for Web Frontend's extra accesses.
+            if self.dma_cursor == 0 || self.rng.gen_bool(1.0 / 24.0) {
+                let base = 0x0400_0000u64;
+                self.dma_cursor = base + self.rng.gen_range(0..0x0100_0000u64 / 8192) * 8192;
+            } else {
+                self.dma_cursor += 64;
+            }
+            let addr = self.dma_cursor;
+            if self.rng.gen_bool(0.5) {
+                self.send_dma_read(core, addr);
+            } else {
+                self.send_memory_write(core, addr, true);
+            }
+        }
+    }
+
+    fn dram_tick(&mut self) {
+        self.drain_waiting();
+        let completed = self.mc.tick(self.dram_cycle);
+        for done in completed {
+            if done.request.kind.is_read() {
+                if let Some(pos) = self
+                    .outstanding_reads
+                    .iter()
+                    .position(|&(id, _, _)| id == done.request.id)
+                {
+                    let (_, core, addr) = self.outstanding_reads.swap_remove(pos);
+                    // Data returns through the crossbar to the waiting core.
+                    self.fills.push(PendingFill {
+                        due_cpu_cycle: self.cpu_cycle + u64::from(self.cfg.l2.crossbar_latency as u32),
+                        core,
+                        addr,
+                    });
+                }
+            }
+        }
+        self.dram_cycle += 1;
+    }
+
+    fn deliver_fills(&mut self) {
+        let mut i = 0;
+        while i < self.fills.len() {
+            if self.fills[i].due_cpu_cycle <= self.cpu_cycle {
+                let fill = self.fills.swap_remove(i);
+                self.cores[fill.core].fill(fill.addr);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Advances the whole system by one CPU cycle.
+    pub fn step(&mut self) {
+        self.deliver_fills();
+        for core_idx in 0..self.cores.len() {
+            let requests = {
+                let stream = self.streams.stream_mut(core_idx);
+                let mut source = || stream.next_op();
+                self.cores[core_idx].tick(&mut source)
+            };
+            for request in requests {
+                self.handle_core_request(core_idx, request.addr, request.write);
+            }
+        }
+        self.inject_dma();
+        self.clock_acc += DRAM_CYCLES_PER_5_CPU_CYCLES;
+        while self.clock_acc >= 5 {
+            self.clock_acc -= 5;
+            self.dram_tick();
+        }
+        self.cpu_cycle += 1;
+    }
+
+    /// Runs `cycles` CPU cycles.
+    pub fn run_cycles(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let mut bus_busy = 0;
+        let mut activates = 0;
+        let mut reads = 0;
+        let mut writes = 0;
+        let mut refreshes = 0;
+        let mut precharges = 0;
+        for ch in 0..self.mc.channel_count() {
+            let s = self.mc.channel_device_stats(ch);
+            bus_busy += s.data_bus_busy_cycles;
+            activates += s.activates;
+            reads += s.reads;
+            writes += s.writes;
+            refreshes += s.refreshes;
+            precharges += s.precharges;
+        }
+        Snapshot {
+            cpu_cycles: self.cpu_cycle,
+            dram_cycles: self.dram_cycle,
+            committed: self.committed_per_core(),
+            mem_reads_sent: self.mem_reads_sent,
+            mem_writes_sent: self.mem_writes_sent,
+            mc: Some(self.mc.stats()),
+            bus_busy,
+            dram_activates: activates,
+            dram_reads: reads,
+            dram_writes: writes,
+            dram_refreshes: refreshes,
+            dram_precharges: precharges,
+        }
+    }
+
+    fn stats_since(&self, start: &Snapshot) -> SimStats {
+        let cfg = &self.cfg;
+        let end = self.snapshot();
+        let mc_end = end.mc.clone().unwrap_or_default();
+        let mc_start = start.mc.clone().unwrap_or_default();
+        let cpu_cycles = end.cpu_cycles - start.cpu_cycles;
+        let dram_cycles = end.dram_cycles - start.dram_cycles;
+        let instructions_per_core: Vec<u64> = end
+            .committed
+            .iter()
+            .zip(start.committed.iter().chain(std::iter::repeat(&0)))
+            .map(|(e, s)| e - s)
+            .collect();
+        let user_instructions: u64 = instructions_per_core.iter().sum();
+        let reads_completed = mc_end.reads_completed - mc_start.reads_completed;
+        let writes_completed = mc_end.writes_completed - mc_start.writes_completed;
+        let read_latency_sum = mc_end.total_read_latency - mc_start.total_read_latency;
+        let avg_read_latency_dram = if reads_completed == 0 {
+            0.0
+        } else {
+            read_latency_sum as f64 / reads_completed as f64
+        };
+        let hits = mc_end.row_hits - mc_start.row_hits;
+        let misses = mc_end.row_misses - mc_start.row_misses;
+        let conflicts = mc_end.row_conflicts - mc_start.row_conflicts;
+        let total_outcomes = hits + misses + conflicts;
+        let row_buffer_hit_rate = if total_outcomes == 0 {
+            0.0
+        } else {
+            hits as f64 / total_outcomes as f64
+        };
+        let mut single = 0u64;
+        let mut activations_closed = 0u64;
+        for (i, (e, s)) in mc_end
+            .activation_reuse
+            .iter()
+            .zip(mc_start.activation_reuse.iter().chain(std::iter::repeat(&0)))
+            .enumerate()
+        {
+            let d = e - s;
+            activations_closed += d;
+            if i == 1 {
+                single = d;
+            }
+        }
+        let single_access_activation_fraction = if activations_closed == 0 {
+            0.0
+        } else {
+            single as f64 / activations_closed as f64
+        };
+        let queue_samples = mc_end.queue_samples - mc_start.queue_samples;
+        let avg_read_queue_len = if queue_samples == 0 {
+            0.0
+        } else {
+            (mc_end.read_queue_occupancy_sum - mc_start.read_queue_occupancy_sum) as f64
+                / queue_samples as f64
+        };
+        let avg_write_queue_len = if queue_samples == 0 {
+            0.0
+        } else {
+            (mc_end.write_queue_occupancy_sum - mc_start.write_queue_occupancy_sum) as f64
+                / queue_samples as f64
+        };
+        let bus_busy = end.bus_busy - start.bus_busy;
+        let bandwidth_utilization = if dram_cycles == 0 {
+            0.0
+        } else {
+            bus_busy as f64 / (dram_cycles * cfg.mc.dram.channels as u64) as f64
+        };
+        let mem_reads_sent = end.mem_reads_sent - start.mem_reads_sent;
+        let mem_writes_sent = end.mem_writes_sent - start.mem_writes_sent;
+        let l2_mpki = if user_instructions == 0 {
+            0.0
+        } else {
+            mem_reads_sent as f64 * 1000.0 / user_instructions as f64
+        };
+        let activations = end.dram_activates - start.dram_activates;
+        let activations_per_kilo_instr = if user_instructions == 0 {
+            0.0
+        } else {
+            activations as f64 * 1000.0 / user_instructions as f64
+        };
+        // Energy estimate (extension): event-based model over the deltas.
+        let energy_model = cloudmc_dram::EnergyModel::default();
+        let delta_channel_stats = cloudmc_dram::ChannelStats {
+            activates: activations,
+            precharges: end.dram_precharges - start.dram_precharges,
+            reads: end.dram_reads - start.dram_reads,
+            writes: end.dram_writes - start.dram_writes,
+            refreshes: end.dram_refreshes - start.dram_refreshes,
+            data_bus_busy_cycles: bus_busy,
+        };
+        let breakdown = energy_model.breakdown(
+            &delta_channel_stats,
+            dram_cycles.max(1) * cfg.mc.dram.channels as u64,
+            bus_busy * 4,
+            &cfg.mc.dram.timing,
+        );
+        let timing = cfg.mc.dram.timing;
+        SimStats {
+            workload: cfg.workload.workload.acronym().to_owned(),
+            scheduler: cfg.mc.scheduler.label().to_owned(),
+            page_policy: cfg.mc.page_policy.to_string(),
+            mapping: cfg.mc.mapping.to_string(),
+            channels: cfg.mc.dram.channels,
+            cores: cfg.workload.cores,
+            cpu_cycles,
+            dram_cycles,
+            user_instructions,
+            instructions_per_core,
+            memory_reads_sent: mem_reads_sent,
+            memory_writes_sent: mem_writes_sent,
+            reads_completed,
+            writes_completed,
+            avg_read_latency_dram,
+            avg_read_latency_ns: timing.cycles_to_ns(avg_read_latency_dram.round() as u64),
+            row_buffer_hit_rate,
+            single_access_activation_fraction,
+            avg_read_queue_len,
+            avg_write_queue_len,
+            bandwidth_utilization,
+            l2_mpki,
+            activations_per_kilo_instr,
+            dram_energy_mj: breakdown.total_pj() * 1e-9,
+        }
+    }
+}
+
+/// Warm-up + measurement driver around [`System`], following the SimFlex-like
+/// methodology of the paper at reduced scale.
+#[derive(Debug)]
+pub struct Simulator {
+    system: System,
+}
+
+impl Simulator {
+    /// Builds the simulator for `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem if the configuration is invalid.
+    pub fn new(cfg: SystemConfig) -> Result<Self, String> {
+        Ok(Self {
+            system: System::new(cfg)?,
+        })
+    }
+
+    /// Runs warm-up then measurement and returns the measured statistics.
+    #[must_use]
+    pub fn run(mut self) -> SimStats {
+        let warmup = self.system.cfg.warmup_cpu_cycles;
+        let measure = self.system.cfg.measure_cpu_cycles;
+        self.system.run_cycles(warmup);
+        let snapshot = self.system.snapshot();
+        self.system.run_cycles(measure);
+        self.system.stats_since(&snapshot)
+    }
+
+    /// Access to the underlying system (e.g. to inspect state mid-run).
+    #[must_use]
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// Mutable access to the underlying system.
+    pub fn system_mut(&mut self) -> &mut System {
+        &mut self.system
+    }
+}
+
+/// Convenience: run one workload under one controller configuration.
+///
+/// # Errors
+///
+/// Returns a description of the problem if the configuration is invalid.
+pub fn run_system(cfg: SystemConfig) -> Result<SimStats, String> {
+    Ok(Simulator::new(cfg)?.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudmc_memctrl::{PagePolicyKind, SchedulerKind};
+    use cloudmc_workloads::Workload;
+
+    fn small(workload: Workload) -> SystemConfig {
+        let mut cfg = SystemConfig::baseline(workload);
+        cfg.warmup_cpu_cycles = 10_000;
+        cfg.measure_cpu_cycles = 60_000;
+        cfg
+    }
+
+    #[test]
+    fn baseline_run_produces_sane_metrics() {
+        let stats = run_system(small(Workload::DataServing)).unwrap();
+        assert!(stats.user_ipc() > 0.5, "aggregate IPC {}", stats.user_ipc());
+        assert!(stats.user_ipc() <= 16.0);
+        assert!(stats.reads_completed > 50, "reads {}", stats.reads_completed);
+        assert!(stats.avg_read_latency_dram > 20.0);
+        assert!(stats.row_buffer_hit_rate >= 0.0 && stats.row_buffer_hit_rate <= 1.0);
+        assert!(stats.bandwidth_utilization > 0.0 && stats.bandwidth_utilization < 1.0);
+        assert!(stats.l2_mpki > 0.5);
+        assert!(stats.dram_energy_mj > 0.0);
+        assert_eq!(stats.cores, 16);
+        assert_eq!(stats.cpu_cycles, 60_000);
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let a = run_system(small(Workload::WebSearch)).unwrap();
+        let b = run_system(small(Workload::WebSearch)).unwrap();
+        assert_eq!(a.user_instructions, b.user_instructions);
+        assert_eq!(a.reads_completed, b.reads_completed);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_system(small(Workload::WebSearch)).unwrap();
+        let mut cfg = small(Workload::WebSearch);
+        cfg.seed = 99;
+        let b = run_system(cfg).unwrap();
+        assert_ne!(a.user_instructions, b.user_instructions);
+    }
+
+    #[test]
+    fn web_frontend_uses_eight_cores_and_injects_dma() {
+        let stats = run_system(small(Workload::WebFrontend)).unwrap();
+        assert_eq!(stats.cores, 8);
+        assert_eq!(stats.instructions_per_core.len(), 8);
+    }
+
+    #[test]
+    fn all_schedulers_run_end_to_end() {
+        for sched in SchedulerKind::paper_set() {
+            let mut cfg = small(Workload::WebSearch);
+            cfg.mc.scheduler = sched;
+            let stats = run_system(cfg).unwrap();
+            assert!(
+                stats.user_ipc() > 0.1,
+                "{} produced IPC {}",
+                sched.label(),
+                stats.user_ipc()
+            );
+        }
+    }
+
+    #[test]
+    fn all_page_policies_run_end_to_end() {
+        for policy in PagePolicyKind::paper_set() {
+            let mut cfg = small(Workload::TpchQ6);
+            cfg.mc.page_policy = policy;
+            let stats = run_system(cfg).unwrap();
+            assert!(stats.reads_completed > 0, "{policy} completed no reads");
+        }
+    }
+
+    #[test]
+    fn multi_channel_configurations_run() {
+        for channels in [1usize, 2, 4] {
+            let mut cfg = small(Workload::TpchQ6);
+            cfg.mc.dram.channels = channels;
+            let stats = run_system(cfg).unwrap();
+            assert_eq!(stats.channels, channels);
+            assert!(stats.user_ipc() > 0.1);
+        }
+    }
+
+    #[test]
+    fn close_page_policy_kills_row_hits() {
+        let mut open = small(Workload::MediaStreaming);
+        open.mc.page_policy = PagePolicyKind::OpenAdaptive;
+        let mut close = small(Workload::MediaStreaming);
+        close.mc.page_policy = PagePolicyKind::Close;
+        let open_stats = run_system(open).unwrap();
+        let close_stats = run_system(close).unwrap();
+        assert!(
+            close_stats.row_buffer_hit_rate < open_stats.row_buffer_hit_rate,
+            "close {} vs open {}",
+            close_stats.row_buffer_hit_rate,
+            open_stats.row_buffer_hit_rate
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! # cloudmc-workloads
+//!
+//! Synthetic workload models for the `cloudmc` memory controller study.
+//!
+//! The paper evaluates CloudSuite scale-out workloads, SPECweb99/TPC-C
+//! transactional workloads and TPC-H decision-support queries running on a
+//! full-system simulator. Those applications (and their commercial database
+//! engines) cannot be redistributed, so this crate provides statistical
+//! generators calibrated to the access-stream characteristics the paper
+//! reports: off-chip miss rates, row-buffer reuse, read/write mix,
+//! memory-level parallelism, per-core imbalance and DMA traffic.
+//!
+//! ```
+//! use cloudmc_workloads::{Workload, WorkloadStreams};
+//!
+//! let mut streams = WorkloadStreams::new(Workload::DataServing, 42);
+//! assert_eq!(streams.cores(), 16);
+//! let _first_op = streams.stream_mut(0).next_op();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod generator;
+pub mod spec;
+pub mod trace;
+
+pub use generator::{CoreStream, WorkloadStreams, BLOCK_BYTES, ROW_BYTES};
+pub use spec::{Category, Workload, WorkloadSpec};
+pub use trace::{TraceReader, TraceRecord, TraceWriter};

@@ -1,0 +1,276 @@
+//! Recording and replaying instruction streams.
+//!
+//! Traces make experiments exactly reproducible across machines and make it
+//! possible to feed externally captured access streams (e.g. from a real
+//! profiler) into the simulator. The format is a simple line-oriented text
+//! format, one record per line:
+//!
+//! ```text
+//! <core> C <count>            # compute burst
+//! <core> L|S|I <hex addr> <0|1>  # load/store/ifetch, overlappable flag
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use cloudmc_cpu::{CoreOp, MemOp, OpKind};
+
+/// One trace record: which core executed which instruction-stream slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Core index.
+    pub core: usize,
+    /// The instruction-stream slot.
+    pub op: CoreOp,
+}
+
+/// Writes trace records to any [`Write`] sink.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    records: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer over `sink`.
+    pub fn new(sink: W) -> Self {
+        Self { sink, records: 0 }
+    }
+
+    /// Number of records written so far.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying sink.
+    pub fn write(&mut self, record: &TraceRecord) -> io::Result<()> {
+        match record.op {
+            CoreOp::Compute(n) => writeln!(self.sink, "{} C {}", record.core, n)?,
+            CoreOp::Mem(op) => {
+                let kind = match op.kind {
+                    OpKind::Load => 'L',
+                    OpKind::Store => 'S',
+                    OpKind::Ifetch => 'I',
+                };
+                writeln!(
+                    self.sink,
+                    "{} {} {:x} {}",
+                    record.core,
+                    kind,
+                    op.addr,
+                    u8::from(op.overlappable)
+                )?;
+            }
+        }
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Finishes writing and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Reads trace records from any [`BufRead`] source.
+#[derive(Debug)]
+pub struct TraceReader<R: BufRead> {
+    source: R,
+    line: u64,
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Creates a reader over `source`.
+    pub fn new(source: R) -> Self {
+        Self { source, line: 0 }
+    }
+
+    /// Reads the next record, or `None` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for I/O failures or malformed lines (the error
+    /// message includes the 1-based line number).
+    pub fn read(&mut self) -> io::Result<Option<TraceRecord>> {
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            if self.source.read_line(&mut buf)? == 0 {
+                return Ok(None);
+            }
+            self.line += 1;
+            let trimmed = buf.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            return self.parse(trimmed).map(Some);
+        }
+    }
+
+    fn parse(&self, line: &str) -> io::Result<TraceRecord> {
+        let err = |msg: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("trace line {}: {msg}: `{line}`", self.line),
+            )
+        };
+        let mut parts = line.split_whitespace();
+        let core: usize = parts
+            .next()
+            .ok_or_else(|| err("missing core"))?
+            .parse()
+            .map_err(|_| err("bad core index"))?;
+        let kind = parts.next().ok_or_else(|| err("missing kind"))?;
+        let op = match kind {
+            "C" => {
+                let n: u32 = parts
+                    .next()
+                    .ok_or_else(|| err("missing compute count"))?
+                    .parse()
+                    .map_err(|_| err("bad compute count"))?;
+                CoreOp::Compute(n)
+            }
+            "L" | "S" | "I" => {
+                let addr = u64::from_str_radix(
+                    parts.next().ok_or_else(|| err("missing address"))?,
+                    16,
+                )
+                .map_err(|_| err("bad address"))?;
+                let overlappable = match parts.next() {
+                    Some("1") => true,
+                    Some("0") | None => false,
+                    Some(_) => return Err(err("bad overlappable flag")),
+                };
+                let kind = match kind {
+                    "L" => OpKind::Load,
+                    "S" => OpKind::Store,
+                    _ => OpKind::Ifetch,
+                };
+                CoreOp::Mem(MemOp {
+                    kind,
+                    addr,
+                    overlappable,
+                })
+            }
+            _ => return Err(err("unknown record kind")),
+        };
+        if parts.next().is_some() {
+            return Err(err("trailing fields"));
+        }
+        Ok(TraceRecord { core, op })
+    }
+
+    /// Collects all remaining records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first read error.
+    pub fn read_all(&mut self) -> io::Result<Vec<TraceRecord>> {
+        let mut out = Vec::new();
+        while let Some(record) = self.read()? {
+            out.push(record);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CoreStream;
+    use crate::spec::Workload;
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let mut stream = CoreStream::new(Workload::TpcC1.spec(), 0, 17);
+        let records: Vec<TraceRecord> = (0..500)
+            .map(|_| TraceRecord {
+                core: 0,
+                op: stream.next_op(),
+            })
+            .collect();
+        let mut writer = TraceWriter::new(Vec::new());
+        for r in &records {
+            writer.write(r).unwrap();
+        }
+        assert_eq!(writer.records(), 500);
+        let bytes = writer.finish().unwrap();
+        let mut reader = TraceReader::new(bytes.as_slice());
+        let back = reader.read_all().unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# a comment\n\n0 C 10\n1 L 4f00 1\n";
+        let mut reader = TraceReader::new(text.as_bytes());
+        let records = reader.read_all().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].op, CoreOp::Compute(10));
+        assert_eq!(
+            records[1].op,
+            CoreOp::Mem(MemOp {
+                kind: OpKind::Load,
+                addr: 0x4f00,
+                overlappable: true
+            })
+        );
+        assert_eq!(records[1].core, 1);
+    }
+
+    #[test]
+    fn malformed_lines_report_line_numbers() {
+        let cases = [
+            "0 X 1234 0",
+            "0 L zz 0",
+            "0 C",
+            "notanumber C 5",
+            "0 L 10 2",
+            "0 L 10 1 extra",
+        ];
+        for case in cases {
+            let mut reader = TraceReader::new(case.as_bytes());
+            let e = reader.read().unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData, "case `{case}`");
+            assert!(e.to_string().contains("line 1"), "case `{case}`: {e}");
+        }
+    }
+
+    #[test]
+    fn store_and_ifetch_kinds_round_trip() {
+        let records = vec![
+            TraceRecord {
+                core: 3,
+                op: CoreOp::Mem(MemOp {
+                    kind: OpKind::Store,
+                    addr: 0xabc0,
+                    overlappable: false,
+                }),
+            },
+            TraceRecord {
+                core: 4,
+                op: CoreOp::Mem(MemOp {
+                    kind: OpKind::Ifetch,
+                    addr: 0x2000_0040,
+                    overlappable: false,
+                }),
+            },
+        ];
+        let mut w = TraceWriter::new(Vec::new());
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let back = TraceReader::new(bytes.as_slice()).read_all().unwrap();
+        assert_eq!(back, records);
+    }
+}

@@ -1,0 +1,6 @@
+//! cloudmc umbrella crate: re-exports the full public API.
+pub use cloudmc_cpu as cpu;
+pub use cloudmc_dram as dram;
+pub use cloudmc_memctrl as memctrl;
+pub use cloudmc_sim as sim;
+pub use cloudmc_workloads as workloads;

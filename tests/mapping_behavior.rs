@@ -1,0 +1,73 @@
+//! Integration tests of the address-mapping behaviour that Section 4.3 of the
+//! paper builds its multi-channel argument on: the baseline `RoRaBaCoCh`
+//! scheme splits sequential cache blocks across channels (destroying row
+//! locality), whereas the schemes with the channel bits higher up keep a
+//! whole row's worth of blocks on one channel.
+
+use cloudmc::dram::DramConfig;
+use cloudmc::memctrl::AddressMapping;
+
+#[test]
+fn baseline_mapping_splits_a_row_across_channels() {
+    let cfg = DramConfig::with_channels(4);
+    let row_blocks = cfg.row_bytes / cfg.column_bytes;
+    let mut channels_touched = std::collections::HashSet::new();
+    for block in 0..row_blocks {
+        channels_touched.insert(AddressMapping::RoRaBaCoCh.decode(block * 64, &cfg).channel);
+    }
+    assert_eq!(
+        channels_touched.len(),
+        4,
+        "RoRaBaCoCh must interleave sequential blocks over every channel"
+    );
+}
+
+#[test]
+fn row_preserving_mappings_keep_sequential_blocks_on_one_channel_and_row() {
+    let cfg = DramConfig::with_channels(4);
+    for mapping in [
+        AddressMapping::RoRaBaChCo,
+        AddressMapping::RoRaChBaCo,
+        AddressMapping::RoChRaBaCo,
+    ] {
+        let first = mapping.decode(0, &cfg);
+        for block in 0..cfg.columns_per_row() {
+            let d = mapping.decode(block * 64, &cfg);
+            assert_eq!(d.channel, first.channel, "{mapping} split the row across channels");
+            assert_eq!(d.location.row, first.location.row);
+            assert_eq!(d.location.bank, first.location.bank);
+        }
+    }
+}
+
+#[test]
+fn all_mappings_cover_every_channel_bank_and_rank() {
+    let cfg = DramConfig::with_channels(2);
+    for mapping in AddressMapping::all() {
+        let mut channels = std::collections::HashSet::new();
+        let mut banks = std::collections::HashSet::new();
+        let mut ranks = std::collections::HashSet::new();
+        for i in 0..100_000u64 {
+            let d = mapping.decode(i * 64, &cfg);
+            channels.insert(d.channel);
+            banks.insert(d.location.bank);
+            ranks.insert(d.location.rank);
+        }
+        assert_eq!(channels.len(), cfg.channels, "{mapping} does not use every channel");
+        assert_eq!(banks.len(), cfg.banks_per_rank, "{mapping} does not use every bank");
+        assert_eq!(ranks.len(), cfg.ranks_per_channel, "{mapping} does not use every rank");
+    }
+}
+
+#[test]
+fn single_channel_geometry_makes_all_schemes_equivalent() {
+    let cfg = DramConfig::baseline();
+    for addr in (0..50u64).map(|i| i * 1_234_567 * 64 % cfg.capacity_bytes()) {
+        let reference = AddressMapping::RoRaBaCoCh.decode(addr, &cfg);
+        for mapping in AddressMapping::all() {
+            let d = mapping.decode(addr, &cfg);
+            assert_eq!(d.location.row, reference.location.row, "{mapping} row differs");
+            assert_eq!(d.location.column, reference.location.column);
+        }
+    }
+}
