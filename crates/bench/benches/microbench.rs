@@ -7,8 +7,10 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use cloudmc_cpu::{Cache, CacheConfig};
 use cloudmc_dram::{Command, DramChannel, DramConfig, Location};
 use cloudmc_memctrl::{
-    AccessKind, AddressMapping, McConfig, MemoryController, MemoryRequest, SchedulerKind,
+    AccessKind, AddressMapping, FrFcfs, McConfig, MemoryController, MemoryRequest, RequestQueue,
+    SchedContext, SchedulerImpl, SchedulerKind,
 };
+use cloudmc_sim::{run_system, SystemConfig};
 use cloudmc_workloads::{CoreStream, Workload};
 
 fn bench_dram_channel(c: &mut Criterion) {
@@ -75,13 +77,75 @@ fn bench_scheduler_tick(c: &mut Criterion) {
     group.finish();
 }
 
+/// Dispatch cost of the per-cycle scheduler consultation: the devirtualized
+/// `SchedulerImpl::FrFcfs` fast path against the same algorithm behind
+/// `Box<dyn Scheduler>` (how every scheduler was called before the enum
+/// dispatch was introduced).
+fn bench_scheduler_dispatch(c: &mut Criterion) {
+    let cfg = DramConfig::baseline();
+    let channel = DramChannel::new(&cfg);
+    let mut read_q = RequestQueue::new(64);
+    let write_q = RequestQueue::new(64);
+    for i in 0..16u64 {
+        let mc = McConfig::baseline();
+        let decoded = mc.mapping.decode(i * 0x2_0000, &mc.dram);
+        read_q
+            .push(
+                MemoryRequest::new(i, AccessKind::Read, i * 0x2_0000, i as usize, 0),
+                decoded.location,
+                0,
+            )
+            .unwrap();
+    }
+    let mut group = c.benchmark_group("scheduler/dispatch_pick_16_pending");
+    for (label, mut sched) in [
+        ("enum_frfcfs", SchedulerImpl::FrFcfs(FrFcfs::new())),
+        (
+            "boxed_frfcfs",
+            SchedulerImpl::Boxed(Box::new(FrFcfs::new())),
+        ),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let ctx = SchedContext {
+                    now: 0,
+                    channel: &channel,
+                    read_q: &read_q,
+                    write_q: &write_q,
+                    write_mode: false,
+                    num_cores: 16,
+                };
+                black_box(sched.pick(black_box(&ctx)))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The acceptance benchmark of the kernel refactor: a full 16-core baseline
+/// run, dominated by the per-cycle hot loop (fill delivery, request tracking,
+/// scheduler dispatch).
+fn bench_system_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system/16_core_baseline_run");
+    group.sample_size(10);
+    group.bench_function("ds_20k_cycles", |b| {
+        b.iter(|| {
+            let mut cfg = SystemConfig::baseline(Workload::DataServing);
+            cfg.warmup_cpu_cycles = 2_000;
+            cfg.measure_cpu_cycles = 18_000;
+            black_box(run_system(cfg).unwrap().user_ipc())
+        });
+    });
+    group.finish();
+}
+
 fn bench_cache(c: &mut Criterion) {
     c.bench_function("cache/l1_access_stream", |b| {
         let mut cache = Cache::new(CacheConfig::l1_baseline());
         let mut i = 0u64;
         b.iter(|| {
             i = i.wrapping_add(1);
-            cache.access(black_box((i * 64) % (64 * 1024)), i % 4 == 0)
+            cache.access(black_box((i * 64) % (64 * 1024)), i.is_multiple_of(4))
         });
     });
 }
@@ -98,6 +162,8 @@ criterion_group!(
     bench_dram_channel,
     bench_address_mapping,
     bench_scheduler_tick,
+    bench_scheduler_dispatch,
+    bench_system_baseline,
     bench_cache,
     bench_workload_generation
 );

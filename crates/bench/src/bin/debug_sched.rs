@@ -21,9 +21,7 @@ fn cache_details(cfg: cloudmc_sim::SystemConfig) {
     }
     let l2 = system.l2_stats();
     let [code, shared, hot, private] = system.reads_by_region();
-    println!(
-        "reads by region: code {code} shared {shared} hot {hot} private {private}"
-    );
+    println!("reads by region: code {code} shared {shared} hot {hot} private {private}");
     println!(
         "cache detail: L1I miss% {:.1} ({} misses)  L1D miss% {:.1} ({} misses)  L2 miss% {:.1} ({}/{})  core stall% {:.1}",
         100.0 * l1i_m as f64 / (l1i_h + l1i_m).max(1) as f64,

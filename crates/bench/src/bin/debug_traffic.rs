@@ -2,7 +2,7 @@
 //! timing) and break the off-chip read traffic down by address region, to
 //! check the workload calibration against the paper's Figure 4 MPKI targets.
 
-use cloudmc_cpu::{CoreConfig, InOrderCore, SharedL2, L2Config};
+use cloudmc_cpu::{CoreConfig, InOrderCore, L2Config, SharedL2};
 use cloudmc_workloads::{Workload, WorkloadStreams};
 
 fn main() {

@@ -173,9 +173,7 @@ fn main() -> ExitCode {
             }
         }
     }
-    if wants(&[
-        "channels", "all", "fig12", "fig13", "fig14", "table4",
-    ]) {
+    if wants(&["channels", "all", "fig12", "fig13", "fig14", "table4"]) {
         let study = channel_study(&scale);
         let figures = [
             ("fig12", figure12(&study)),

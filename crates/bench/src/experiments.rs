@@ -15,6 +15,10 @@ use cloudmc_workloads::{Category, Workload};
 
 use crate::report::{Table, TextTable};
 
+/// A named tweak applied to the baseline controller configuration of one
+/// experiment variant.
+type McTweak = Box<dyn Fn(&mut McConfig) + Sync>;
+
 /// How long each simulation point runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scale {
@@ -152,11 +156,7 @@ impl Matrix {
 
 /// Runs `workloads` x `variants`, where each variant customizes the baseline
 /// memory-controller configuration.
-fn run_matrix(
-    workloads: &[Workload],
-    variants: &[(String, Box<dyn Fn(&mut McConfig) + Sync>)],
-    scale: &Scale,
-) -> Matrix {
+fn run_matrix(workloads: &[Workload], variants: &[(String, McTweak)], scale: &Scale) -> Matrix {
     let mut configs = Vec::with_capacity(workloads.len() * variants.len());
     for &w in workloads {
         for (_, customize) in variants {
@@ -208,11 +208,10 @@ pub fn paper_schedulers() -> Vec<(String, SchedulerKind)> {
 /// the 5 schedulers. Feeds Figures 1-7.
 #[must_use]
 pub fn scheduler_study(scale: &Scale) -> Matrix {
-    let variants: Vec<(String, Box<dyn Fn(&mut McConfig) + Sync>)> = paper_schedulers()
+    let variants: Vec<(String, McTweak)> = paper_schedulers()
         .into_iter()
         .map(|(label, kind)| {
-            let f: Box<dyn Fn(&mut McConfig) + Sync> =
-                Box::new(move |mc: &mut McConfig| mc.scheduler = kind);
+            let f: McTweak = Box::new(move |mc: &mut McConfig| mc.scheduler = kind);
             (label, f)
         })
         .collect();
@@ -229,11 +228,10 @@ pub fn page_policy_study(scale: &Scale) -> Matrix {
         ("RBPP", PagePolicyKind::Rbpp),
         ("ABPP", PagePolicyKind::Abpp),
     ];
-    let variants: Vec<(String, Box<dyn Fn(&mut McConfig) + Sync>)> = policies
+    let variants: Vec<(String, McTweak)> = policies
         .into_iter()
         .map(|(label, kind)| {
-            let f: Box<dyn Fn(&mut McConfig) + Sync> =
-                Box::new(move |mc: &mut McConfig| mc.page_policy = kind);
+            let f: McTweak = Box::new(move |mc: &mut McConfig| mc.page_policy = kind);
             (label.to_owned(), f)
         })
         .collect();
@@ -252,7 +250,11 @@ pub struct ChannelStudy {
 }
 
 impl ChannelStudy {
-    fn best_for(&self, workload: Workload, list: &[(Workload, AddressMapping, SimStats)]) -> SimStats {
+    fn best_for(
+        &self,
+        workload: Workload,
+        list: &[(Workload, AddressMapping, SimStats)],
+    ) -> SimStats {
         list.iter()
             .find(|(w, _, _)| *w == workload)
             .map(|(_, _, s)| s.clone())
@@ -268,7 +270,10 @@ impl ChannelStudy {
             .iter()
             .map(|&w| {
                 vec![
-                    self.one_channel.get(w, 0).expect("baseline present").clone(),
+                    self.one_channel
+                        .get(w, 0)
+                        .expect("baseline present")
+                        .clone(),
                     self.best_for(w, &self.two_channel),
                     self.best_for(w, &self.four_channel),
                 ]
@@ -376,7 +381,7 @@ pub fn channel_study(scale: &Scale) -> ChannelStudy {
 /// the characterization table).
 #[must_use]
 pub fn baseline_study(scale: &Scale) -> Matrix {
-    let variants: Vec<(String, Box<dyn Fn(&mut McConfig) + Sync>)> =
+    let variants: Vec<(String, McTweak)> =
         vec![("baseline".to_owned(), Box::new(|_: &mut McConfig| {}))];
     run_matrix(&Workload::all(), &variants, scale)
 }
@@ -611,13 +616,19 @@ mod tests {
     fn scheduler_study_produces_full_matrix_on_subset() {
         // Use a reduced workload list through run_matrix directly to keep the
         // test fast; the full sweep is exercised by the repro binary.
-        let variants: Vec<(String, Box<dyn Fn(&mut McConfig) + Sync>)> = vec![
-            ("FR-FCFS".to_owned(), Box::new(|mc: &mut McConfig| {
-                mc.scheduler = SchedulerKind::FrFcfs;
-            })),
-            ("FCFS_Banks".to_owned(), Box::new(|mc: &mut McConfig| {
-                mc.scheduler = SchedulerKind::FcfsBanks;
-            })),
+        let variants: Vec<(String, McTweak)> = vec![
+            (
+                "FR-FCFS".to_owned(),
+                Box::new(|mc: &mut McConfig| {
+                    mc.scheduler = SchedulerKind::FrFcfs;
+                }),
+            ),
+            (
+                "FCFS_Banks".to_owned(),
+                Box::new(|mc: &mut McConfig| {
+                    mc.scheduler = SchedulerKind::FcfsBanks;
+                }),
+            ),
         ];
         let matrix = run_matrix(
             &[Workload::WebSearch, Workload::TpchQ6],
@@ -656,10 +667,8 @@ mod tests {
 
     #[test]
     fn figure_builders_render_from_small_matrices() {
-        let variants: Vec<(String, Box<dyn Fn(&mut McConfig) + Sync>)> = vec![(
-            "baseline".to_owned(),
-            Box::new(|_: &mut McConfig| {}),
-        )];
+        let variants: Vec<(String, McTweak)> =
+            vec![("baseline".to_owned(), Box::new(|_: &mut McConfig| {}))];
         let matrix = run_matrix(&[Workload::MediaStreaming], &variants, &tiny_scale());
         let fig8 = figure8(&matrix);
         let value = fig8.value("MS", "baseline").unwrap();

@@ -1,10 +1,8 @@
 //! Set-associative cache model with LRU replacement and write-back,
 //! write-allocate semantics.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry of one cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -53,9 +51,15 @@ impl CacheConfig {
             return Err("cache dimensions must be non-zero".to_owned());
         }
         if !self.block_bytes.is_power_of_two() {
-            return Err(format!("block size {} must be a power of two", self.block_bytes));
+            return Err(format!(
+                "block size {} must be a power of two",
+                self.block_bytes
+            ));
         }
-        if self.size_bytes % (self.block_bytes * self.associativity as u64) != 0 {
+        if !self
+            .size_bytes
+            .is_multiple_of(self.block_bytes * self.associativity as u64)
+        {
             return Err("capacity must divide evenly into sets".to_owned());
         }
         if !self.sets().is_power_of_two() {
@@ -66,7 +70,7 @@ impl CacheConfig {
 }
 
 /// Outcome of one cache access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheAccess {
     /// Whether the block was present.
     pub hit: bool,
@@ -75,7 +79,7 @@ pub struct CacheAccess {
 }
 
 /// Event counters for one cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Accesses that hit.
     pub hits: u64,
@@ -206,17 +210,14 @@ impl Cache {
         }
         self.stats.misses += 1;
         // Choose a victim: an invalid way if possible, else the LRU way.
-        let victim_idx = lines
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                lines
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.last_use)
-                    .map(|(i, _)| i)
-                    .expect("associativity is non-zero")
-            });
+        let victim_idx = lines.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("associativity is non-zero")
+        });
         let victim = lines[victim_idx];
         let writeback = if victim.valid && victim.dirty {
             self.stats.writebacks += 1;

@@ -7,13 +7,11 @@
 //! number of outstanding misses (the workload's memory-level parallelism) and
 //! dirty write-backs.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::mshr::{Mshr, MshrOutcome};
 
 /// The kind of a memory operation executed by a core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Data load.
     Load,
@@ -24,7 +22,7 @@ pub enum OpKind {
 }
 
 /// One memory operation of the instruction stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemOp {
     /// Operation kind.
     pub kind: OpKind,
@@ -36,7 +34,7 @@ pub struct MemOp {
 }
 
 /// One slot of the instruction stream handed to the core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoreOp {
     /// `n` back-to-back non-memory instructions (`n >= 1`).
     Compute(u32),
@@ -46,7 +44,7 @@ pub enum CoreOp {
 
 /// A request the core sends down the hierarchy (an L1 miss refill or a dirty
 /// write-back).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CoreRequest {
     /// Issuing core.
     pub core: usize,
@@ -57,7 +55,7 @@ pub struct CoreRequest {
 }
 
 /// Static configuration of one core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreConfig {
     /// L1 instruction cache geometry.
     pub l1i: CacheConfig,
@@ -78,7 +76,7 @@ impl Default for CoreConfig {
 }
 
 /// Per-core performance counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Committed (user) instructions.
     pub committed: u64,
@@ -210,7 +208,11 @@ impl InOrderCore {
             self.stall = Some(Stall::MshrFull(op));
             return;
         }
-        let cache = if is_ifetch { &mut self.l1i } else { &mut self.l1d };
+        let cache = if is_ifetch {
+            &mut self.l1i
+        } else {
+            &mut self.l1d
+        };
         let access = cache.access(op.addr, is_store);
         if let Some(victim) = access.writeback {
             self.stats.l1_writebacks += 1;
@@ -458,7 +460,11 @@ mod tests {
         assert!(core.is_stalled());
         core.fill(0x8000);
         assert!(!core.is_stalled());
-        assert_eq!(core.committed(), 0, "instruction fetches are not user commits");
+        assert_eq!(
+            core.committed(),
+            0,
+            "instruction fetches are not user commits"
+        );
     }
 
     #[test]

@@ -5,12 +5,10 @@
 //! the banked cache plus fixed crossbar/bank latencies; the full-system
 //! simulator routes L2 misses and dirty evictions to the memory controller.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cache::{Cache, CacheConfig, CacheStats};
 
 /// Configuration of the shared L2 and the crossbar reaching it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct L2Config {
     /// Geometry of one bank.
     pub bank: CacheConfig,
@@ -54,7 +52,10 @@ impl L2Config {
     /// bank count, or an invalid bank geometry.
     pub fn validate(&self) -> Result<(), String> {
         if self.banks == 0 || !self.banks.is_power_of_two() {
-            return Err(format!("bank count {} must be a non-zero power of two", self.banks));
+            return Err(format!(
+                "bank count {} must be a non-zero power of two",
+                self.banks
+            ));
         }
         self.bank.validate()
     }
@@ -67,7 +68,7 @@ impl Default for L2Config {
 }
 
 /// Outcome of an L2 access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct L2Outcome {
     /// Whether the block was present.
     pub hit: bool,

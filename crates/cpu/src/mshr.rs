@@ -1,10 +1,8 @@
 //! Miss Status Holding Registers: track outstanding cache misses and merge
 //! secondary misses to the same block.
 
-use serde::{Deserialize, Serialize};
-
 /// Result of registering a miss with the MSHR file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MshrOutcome {
     /// A new entry was allocated: the miss must be sent down the hierarchy.
     Allocated,
@@ -29,7 +27,7 @@ pub enum MshrOutcome {
 /// assert_eq!(mshr.allocate(0x3000), MshrOutcome::Full);
 /// assert_eq!(mshr.complete(0x1000), 2); // two merged requesters woken
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Mshr {
     capacity: usize,
     block_bytes: u64,

@@ -1,11 +1,9 @@
 //! Per-bank state machine and timing bookkeeping.
 
-use serde::{Deserialize, Serialize};
-
 use crate::timing::{DramCycles, TimingParams};
 
 /// The row-buffer state of a bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BankState {
     /// All rows closed; the bank can accept an ACTIVATE.
     Idle,
@@ -22,7 +20,7 @@ pub enum BankState {
 /// command class may legally be issued to it. Rank- and channel-level
 /// constraints (tRRD, tFAW, bus occupancy, turnaround) are enforced by
 /// [`crate::rank::Rank`] and [`crate::channel::DramChannel`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Bank {
     state: BankState,
     next_activate: DramCycles,
@@ -155,7 +153,13 @@ impl Bank {
     /// # Panics
     ///
     /// Panics if the read is not legal for the open row.
-    pub fn read(&mut self, row: u64, now: DramCycles, auto_precharge: bool, t: &TimingParams) -> DramCycles {
+    pub fn read(
+        &mut self,
+        row: u64,
+        now: DramCycles,
+        auto_precharge: bool,
+        t: &TimingParams,
+    ) -> DramCycles {
         assert!(
             self.can_access(row, false, now),
             "illegal READ of row {row} at {now} (state {:?})",
@@ -179,7 +183,13 @@ impl Bank {
     /// # Panics
     ///
     /// Panics if the write is not legal for the open row.
-    pub fn write(&mut self, row: u64, now: DramCycles, auto_precharge: bool, t: &TimingParams) -> DramCycles {
+    pub fn write(
+        &mut self,
+        row: u64,
+        now: DramCycles,
+        auto_precharge: bool,
+        t: &TimingParams,
+    ) -> DramCycles {
         assert!(
             self.can_access(row, true, now),
             "illegal WRITE of row {row} at {now} (state {:?})",

@@ -6,22 +6,20 @@
 //! rank-level (tRRD/tFAW/tWTR via [`crate::rank::Rank`]) and channel-level
 //! (command-bus occupancy, data-bus occupancy, read/write turnaround, tRTRS).
 
-use serde::{Deserialize, Serialize};
-
 use crate::command::{Command, CommandKind, IssueOutcome};
 use crate::config::{DramConfig, Location};
 use crate::rank::Rank;
 use crate::timing::{DramCycles, TimingParams};
 
 /// Direction of the last data burst on the channel's data bus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum BusDirection {
     Read,
     Write,
 }
 
 /// Event and utilization counters for one channel.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChannelStats {
     /// ACTIVATE commands issued.
     pub activates: u64,
@@ -73,7 +71,7 @@ impl ChannelStats {
 /// let outcome = ch.issue(&Command::read(loc, false), ready);
 /// assert_eq!(outcome.completion_cycle, ready + cfg.timing.cl + cfg.timing.t_burst);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DramChannel {
     timing: TimingParams,
     banks_per_rank: usize,

@@ -1,11 +1,9 @@
 //! DRAM command vocabulary.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::Location;
 
 /// The kind of a DRAM command.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CommandKind {
     /// Open (activate) a row into the bank's row buffer.
     Activate,
@@ -72,7 +70,7 @@ impl std::fmt::Display for CommandKind {
 ///
 /// For [`CommandKind::Refresh`] only the `rank` field of the location is
 /// meaningful.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Command {
     /// Command kind.
     pub kind: CommandKind,
@@ -128,7 +126,7 @@ impl Command {
 }
 
 /// Result of successfully issuing a command.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IssueOutcome {
     /// Cycle at which the command's effect completes.
     ///

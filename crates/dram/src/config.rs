@@ -1,7 +1,5 @@
 //! DRAM organization (geometry) configuration.
 
-use serde::{Deserialize, Serialize};
-
 use crate::timing::TimingParams;
 
 /// Physical organization of the off-chip DRAM attached to one controller.
@@ -20,7 +18,7 @@ use crate::timing::TimingParams;
 /// assert_eq!(cfg.row_bytes, 8 * 1024);
 /// assert!(cfg.capacity_bytes() >= 32 * (1u64 << 30));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramConfig {
     /// Number of independent memory channels.
     pub channels: usize,
@@ -133,7 +131,7 @@ impl Default for DramConfig {
 ///
 /// The channel index itself is resolved by the memory controller's address
 /// mapping before the request reaches the device model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Location {
     /// Rank index within the channel.
     pub rank: usize,

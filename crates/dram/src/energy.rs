@@ -6,15 +6,13 @@
 //! Micron power calculator, driven by the command counters collected in
 //! [`crate::channel::ChannelStats`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::channel::ChannelStats;
 use crate::timing::TimingParams;
 
 /// Per-event and background energy parameters, in picojoules / milliwatts.
 ///
 /// Defaults approximate a 4 Gb DDR3-1600 x8 device scaled to a 64-bit rank.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyParams {
     /// Energy of one ACTIVATE+PRECHARGE pair (pJ).
     pub activate_precharge_pj: f64,
@@ -44,7 +42,7 @@ impl Default for EnergyParams {
 }
 
 /// Energy consumed by one channel over a measured interval.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Row activation + precharge energy (pJ).
     pub activation_pj: f64,
@@ -77,7 +75,7 @@ impl EnergyBreakdown {
 }
 
 /// Event-based energy model.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyModel {
     params: EnergyParams,
 }

@@ -3,14 +3,12 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use crate::bank::Bank;
 use crate::timing::{DramCycles, TimingParams};
 
 /// A DRAM rank: a set of banks that share command/address pins and obey
 /// rank-level activation and turnaround constraints.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Rank {
     banks: Vec<Bank>,
     /// Issue times of the most recent ACTIVATEs (bounded to 4 for tFAW).
@@ -122,7 +120,10 @@ impl Rank {
 
     /// Records an ACTIVATE issued at `now`.
     pub fn record_activate(&mut self, now: DramCycles, t: &TimingParams) {
-        debug_assert!(self.can_activate(now, t), "rank-level ACT violation at {now}");
+        debug_assert!(
+            self.can_activate(now, t),
+            "rank-level ACT violation at {now}"
+        );
         if self.act_window.len() == 4 {
             self.act_window.pop_front();
         }
@@ -182,7 +183,12 @@ mod tests {
         TimingParams::ddr3_1600()
     }
 
-    fn open_and_close(rank: &mut Rank, bank: usize, now: DramCycles, tp: &TimingParams) -> DramCycles {
+    fn open_and_close(
+        rank: &mut Rank,
+        bank: usize,
+        now: DramCycles,
+        tp: &TimingParams,
+    ) -> DramCycles {
         rank.bank_mut(bank).activate(0, now, tp);
         rank.record_activate(now, tp);
         let pre_at = now + tp.t_ras;

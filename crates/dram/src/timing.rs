@@ -6,8 +6,6 @@
 //! `tCAS-tRCD-tRP-tRAS = 11-11-11-28`, `tRC-tWR-tWTR-tRTP = 39-12-6-6`,
 //! `tRRD = 5`, `tFAW = 24`.
 
-use serde::{Deserialize, Serialize};
-
 /// A number of DRAM clock cycles.
 pub type DramCycles = u64;
 
@@ -30,7 +28,7 @@ pub type DramCycles = u64;
 /// // Row-cycle time is at least tRAS + tRP.
 /// assert!(t.t_rc >= t.t_ras + t.t_rp);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimingParams {
     /// Command-clock period in picoseconds (1.25 ns for DDR3-1600).
     pub t_ck_ps: u64,

@@ -1,7 +1,12 @@
-//! Property-based tests of the DRAM timing model: for arbitrary legal command
+//! Randomized tests of the DRAM timing model: for arbitrary legal command
 //! sequences the device never violates its own protocol invariants.
+//!
+//! These were originally `proptest` properties; the build environment has no
+//! registry access, so they now draw their cases from a seeded [`rand`]
+//! stream — same invariants, deterministic inputs.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use cloudmc_dram::{Command, CommandKind, DramChannel, DramConfig, Location};
 
@@ -15,16 +20,17 @@ struct Req {
     write: bool,
 }
 
-fn req_strategy() -> impl Strategy<Value = Req> {
-    (0usize..2, 0usize..8, 0u64..32, 0u64..128, any::<bool>()).prop_map(
-        |(rank, bank, row, column, write)| Req {
-            rank,
-            bank,
-            row,
-            column,
-            write,
-        },
-    )
+fn random_requests(rng: &mut StdRng, max_len: usize) -> Vec<Req> {
+    let len = rng.gen_range(1..max_len);
+    (0..len)
+        .map(|_| Req {
+            rank: rng.gen_range(0..2usize),
+            bank: rng.gen_range(0..8usize),
+            row: rng.gen_range(0..32u64),
+            column: rng.gen_range(0..128u64),
+            write: rng.gen_bool(0.5),
+        })
+        .collect()
 }
 
 /// Drives the requests through a channel with a naive open-page FSM (precharge
@@ -74,22 +80,26 @@ fn drive(requests: &[Req]) -> (DramConfig, Vec<(u64, Command)>) {
     (cfg, history)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any request sequence can be served without panicking, and every
-    /// request results in exactly one column command.
-    #[test]
-    fn every_request_is_served_exactly_once(requests in proptest::collection::vec(req_strategy(), 1..40)) {
+/// Any request sequence can be served without panicking, and every request
+/// results in exactly one column command.
+#[test]
+fn every_request_is_served_exactly_once() {
+    let mut rng = StdRng::seed_from_u64(0xD1A);
+    for _case in 0..48 {
+        let requests = random_requests(&mut rng, 40);
         let (_, history) = drive(&requests);
         let columns = history.iter().filter(|(_, c)| c.kind.is_column()).count();
-        prop_assert_eq!(columns, requests.len());
+        assert_eq!(columns, requests.len());
     }
+}
 
-    /// The four-activate window is never violated: any five consecutive
-    /// activates to one rank span more than tFAW cycles.
-    #[test]
-    fn tfaw_is_respected(requests in proptest::collection::vec(req_strategy(), 1..60)) {
+/// The four-activate window is never violated: any five consecutive activates
+/// to one rank span more than tFAW cycles.
+#[test]
+fn tfaw_is_respected() {
+    let mut rng = StdRng::seed_from_u64(0xFA11);
+    for _case in 0..48 {
+        let requests = random_requests(&mut rng, 60);
         let (cfg, history) = drive(&requests);
         for rank in 0..cfg.ranks_per_channel {
             let acts: Vec<u64> = history
@@ -98,19 +108,22 @@ proptest! {
                 .map(|(t, _)| *t)
                 .collect();
             for window in acts.windows(5) {
-                prop_assert!(
+                assert!(
                     window[4] - window[0] >= cfg.timing.t_faw,
-                    "five activates within tFAW: {:?}",
-                    window
+                    "five activates within tFAW: {window:?}"
                 );
             }
         }
     }
+}
 
-    /// Same-bank activates are separated by at least tRC, and activates to
-    /// different banks of one rank by at least tRRD.
-    #[test]
-    fn activate_spacing_is_respected(requests in proptest::collection::vec(req_strategy(), 1..60)) {
+/// Same-bank activates are separated by at least tRC, and activates to
+/// different banks of one rank by at least tRRD.
+#[test]
+fn activate_spacing_is_respected() {
+    let mut rng = StdRng::seed_from_u64(0x5BAC);
+    for _case in 0..48 {
+        let requests = random_requests(&mut rng, 60);
         let (cfg, history) = drive(&requests);
         let acts: Vec<(u64, usize, usize)> = history
             .iter()
@@ -120,18 +133,22 @@ proptest! {
         for (i, &(t1, rank1, bank1)) in acts.iter().enumerate() {
             for &(t0, rank0, bank0) in &acts[..i] {
                 if rank0 == rank1 {
-                    prop_assert!(t1 - t0 >= cfg.timing.t_rrd, "tRRD violated: {t0} -> {t1}");
+                    assert!(t1 - t0 >= cfg.timing.t_rrd, "tRRD violated: {t0} -> {t1}");
                     if bank0 == bank1 {
-                        prop_assert!(t1 - t0 >= cfg.timing.t_rc, "tRC violated: {t0} -> {t1}");
+                        assert!(t1 - t0 >= cfg.timing.t_rc, "tRC violated: {t0} -> {t1}");
                     }
                 }
             }
         }
     }
+}
 
-    /// Data bursts never overlap on the shared data bus.
-    #[test]
-    fn data_bus_bursts_never_overlap(requests in proptest::collection::vec(req_strategy(), 1..60)) {
+/// Data bursts never overlap on the shared data bus.
+#[test]
+fn data_bus_bursts_never_overlap() {
+    let mut rng = StdRng::seed_from_u64(0xB0B5);
+    for _case in 0..48 {
+        let requests = random_requests(&mut rng, 60);
         let (cfg, history) = drive(&requests);
         let t = cfg.timing;
         let mut bursts: Vec<(u64, u64)> = history
@@ -144,7 +161,7 @@ proptest! {
             .collect();
         bursts.sort_unstable();
         for pair in bursts.windows(2) {
-            prop_assert!(
+            assert!(
                 pair[1].0 >= pair[0].1,
                 "data bursts overlap: {:?} then {:?}",
                 pair[0],
@@ -152,13 +169,17 @@ proptest! {
             );
         }
     }
+}
 
-    /// At most one command is issued per DRAM cycle (command-bus constraint).
-    #[test]
-    fn one_command_per_cycle(requests in proptest::collection::vec(req_strategy(), 1..60)) {
+/// At most one command is issued per DRAM cycle (command-bus constraint).
+#[test]
+fn one_command_per_cycle() {
+    let mut rng = StdRng::seed_from_u64(0xC10C);
+    for _case in 0..48 {
+        let requests = random_requests(&mut rng, 60);
         let (_, history) = drive(&requests);
         for pair in history.windows(2) {
-            prop_assert!(pair[1].0 > pair[0].0, "two commands in cycle {}", pair[0].0);
+            assert!(pair[1].0 > pair[0].0, "two commands in cycle {}", pair[0].0);
         }
     }
 }

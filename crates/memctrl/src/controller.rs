@@ -2,24 +2,20 @@
 //! scheduling algorithm, a page-management policy, write draining and
 //! refresh handling.
 
-use serde::{Deserialize, Serialize};
-
-use cloudmc_dram::{
-    ChannelStats, Command, DramChannel, DramConfig, DramCycles, Location,
-};
+use cloudmc_dram::{ChannelStats, Command, DramChannel, DramConfig, DramCycles, Location};
 
 use crate::mapping::{AddressMapping, DecodedAddress};
 use crate::page::{PagePolicy, PagePolicyKind, PolicyView};
 use crate::queue::RequestQueue;
 use crate::request::{AccessKind, CompletedRequest, MemoryRequest, RowBufferOutcome};
-use crate::sched::{SchedContext, SchedDecision, Scheduler, SchedulerKind};
+use crate::sched::{SchedContext, SchedDecision, SchedulerImpl, SchedulerKind};
 use crate::stats::McStats;
 
 /// Configuration of a complete memory controller (all channels).
 ///
 /// Defaults reproduce the paper's baseline (Table 2): FR-FCFS scheduling,
 /// open-adaptive page policy, one channel, `RoRaBaCoCh` address mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct McConfig {
     /// DRAM organization and timing.
     pub dram: DramConfig,
@@ -108,7 +104,7 @@ struct ChannelController {
     channel: DramChannel,
     read_q: RequestQueue,
     write_q: RequestQueue,
-    scheduler: Box<dyn Scheduler>,
+    scheduler: SchedulerImpl,
     policy: Box<dyn PagePolicy>,
     write_mode: bool,
     inflight: Vec<InFlight>,
@@ -132,7 +128,7 @@ impl ChannelController {
             channel: DramChannel::new(&cfg.dram),
             read_q: RequestQueue::new(cfg.read_queue_capacity),
             write_q: RequestQueue::new(cfg.write_queue_capacity),
-            scheduler: cfg.scheduler.build(cfg.num_cores),
+            scheduler: cfg.scheduler.build_impl(cfg.num_cores),
             policy: cfg
                 .page_policy
                 .build(cfg.dram.ranks_per_channel, cfg.dram.banks_per_rank),
@@ -350,7 +346,8 @@ impl ChannelController {
         }
 
         // 2. Sample queue occupancies for Figures 5 and 6.
-        self.stats.sample_queues(self.read_q.len(), self.write_q.len());
+        self.stats
+            .sample_queues(self.read_q.len(), self.write_q.len());
 
         // 3. Scheduler per-cycle bookkeeping (quantum boundaries, etc.).
         {
@@ -604,8 +601,8 @@ mod tests {
         let mut mc = MemoryController::new(McConfig::baseline()).unwrap();
         let cfg = McConfig::baseline();
         // Same bank, different rows: the second request conflicts.
-        let row_stride = cfg.dram.row_bytes * cfg.dram.banks_per_rank as u64
-            * cfg.dram.ranks_per_channel as u64;
+        let row_stride =
+            cfg.dram.row_bytes * cfg.dram.banks_per_rank as u64 * cfg.dram.ranks_per_channel as u64;
         mc.enqueue(MemoryRequest::new(1, AccessKind::Read, 0, 0, 0), 0)
             .unwrap();
         mc.enqueue(MemoryRequest::new(2, AccessKind::Read, row_stride, 1, 0), 0)
@@ -671,7 +668,13 @@ mod tests {
                         AccessKind::Read
                     };
                     mc.enqueue(
-                        MemoryRequest::new(i, kind, (i % 7) * 0x2_0000 + i * 64, (i % 16) as usize, i),
+                        MemoryRequest::new(
+                            i,
+                            kind,
+                            (i % 7) * 0x2_0000 + i * 64,
+                            (i % 16) as usize,
+                            i,
+                        ),
                         i,
                     )
                     .unwrap();

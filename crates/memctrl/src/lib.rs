@@ -43,15 +43,13 @@ pub mod stats;
 pub use controller::{McConfig, MemoryController};
 pub use mapping::{AddressMapping, DecodedAddress};
 pub use page::{
-    Abpp, CloseAdaptive, ClosePage, OpenAdaptive, OpenPage, PagePolicy, PagePolicyKind,
-    PolicyView, Rbpp, TimerPolicy,
+    Abpp, CloseAdaptive, ClosePage, OpenAdaptive, OpenPage, PagePolicy, PagePolicyKind, PolicyView,
+    Rbpp, TimerPolicy,
 };
 pub use queue::{QueueEntry, RequestQueue};
-pub use request::{
-    AccessKind, CompletedRequest, MemoryRequest, RequestId, RowBufferOutcome,
-};
+pub use request::{AccessKind, CompletedRequest, MemoryRequest, RequestId, RowBufferOutcome};
 pub use sched::{
     Atlas, AtlasConfig, Fcfs, FcfsBanks, FrFcfs, ParBs, ParBsConfig, RlConfig, RlScheduler,
-    SchedContext, SchedDecision, Scheduler, SchedulerKind,
+    SchedContext, SchedDecision, Scheduler, SchedulerImpl, SchedulerKind,
 };
 pub use stats::{McStats, ACTIVATION_REUSE_BUCKETS};

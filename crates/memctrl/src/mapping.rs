@@ -8,12 +8,10 @@
 //! within one channel). Fields are listed most-significant first in the
 //! scheme name: e.g. `RoRaBaCoCh` = Row | Rank | Bank | Column | Channel.
 
-use serde::{Deserialize, Serialize};
-
 use cloudmc_dram::{DramConfig, Location};
 
 /// A DRAM coordinate produced by decoding a physical address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DecodedAddress {
     /// Memory channel index.
     pub channel: usize,
@@ -22,7 +20,7 @@ pub struct DecodedAddress {
 }
 
 /// The individual fields of a mapping scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Field {
     Channel,
     Rank,
@@ -46,7 +44,7 @@ enum Field {
 /// let b = m.decode(0x0040, &cfg);
 /// assert_ne!(a.channel, b.channel);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AddressMapping {
     /// Row | Rank | Bank | Column | Channel — the paper's baseline. Channel
     /// bits are the lowest, so sequential blocks alternate channels.
@@ -200,7 +198,9 @@ mod tests {
         let chans: Vec<usize> = (0..4).map(|i| m.decode(i * 64, &cfg).channel).collect();
         assert_eq!(chans, vec![0, 1, 2, 3]);
         // Same row for all four: only the channel bits changed.
-        let rows: Vec<u64> = (0..4).map(|i| m.decode(i * 64, &cfg).location.row).collect();
+        let rows: Vec<u64> = (0..4)
+            .map(|i| m.decode(i * 64, &cfg).location.row)
+            .collect();
         assert!(rows.iter().all(|&r| r == rows[0]));
     }
 
@@ -236,9 +236,19 @@ mod tests {
     fn decode_encode_round_trip() {
         let cfg = cfg4();
         for m in AddressMapping::all() {
-            for addr in [0u64, 64, 4096, 0xdead_beef_c0 & !63, cfg.capacity_bytes() - 64] {
+            for addr in [
+                0u64,
+                64,
+                4096,
+                0x00de_adbe_efc0 & !63,
+                cfg.capacity_bytes() - 64,
+            ] {
                 let d = m.decode(addr, &cfg);
-                assert_eq!(m.encode(&d, &cfg), addr % cfg.capacity_bytes(), "scheme {m}");
+                assert_eq!(
+                    m.encode(&d, &cfg),
+                    addr % cfg.capacity_bytes(),
+                    "scheme {m}"
+                );
             }
         }
     }

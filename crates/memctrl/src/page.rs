@@ -13,8 +13,6 @@
 //! close-adaptive ([`CloseAdaptive`]), RBPP ([`Rbpp`]), ABPP ([`Abpp`]) and a
 //! per-bank idle-timer policy ([`TimerPolicy`], an extension).
 
-use serde::{Deserialize, Serialize};
-
 use cloudmc_dram::{DramChannel, DramCycles, Location};
 
 use crate::queue::RequestQueue;
@@ -82,7 +80,7 @@ pub trait PagePolicy: std::fmt::Debug + Send {
 
 /// Identifier for constructing page policies by name (used by the experiment
 /// harness to sweep policies).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PagePolicyKind {
     /// Keep rows open until a conflict forces closure.
     Open,
@@ -104,7 +102,12 @@ impl PagePolicyKind {
     /// The four policies compared in Figures 9–11.
     #[must_use]
     pub fn paper_set() -> [Self; 4] {
-        [Self::OpenAdaptive, Self::CloseAdaptive, Self::Rbpp, Self::Abpp]
+        [
+            Self::OpenAdaptive,
+            Self::CloseAdaptive,
+            Self::Rbpp,
+            Self::Abpp,
+        ]
     }
 
     /// Instantiates the policy for a channel with `ranks` x `banks` banks.
@@ -209,9 +212,7 @@ impl PagePolicy for OpenAdaptive {
 
     fn propose_precharge(&mut self, view: &PolicyView<'_>) -> Option<(usize, usize)> {
         view.open_banks()
-            .find(|&(r, b, row)| {
-                !view.pending_hit(r, b, row) && view.pending_other_row(r, b, row)
-            })
+            .find(|&(r, b, row)| !view.pending_hit(r, b, row) && view.pending_other_row(r, b, row))
             .map(|(r, b, _)| (r, b))
     }
 }
@@ -239,7 +240,7 @@ impl PagePolicy for CloseAdaptive {
 
 /// One predictor entry: a row and the number of hits it received during its
 /// previous activation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct RowHistory {
     row: u64,
     hits: u64,
@@ -509,7 +510,7 @@ impl PagePolicy for TimerPolicy {
 mod tests {
     use super::*;
     use crate::request::{AccessKind, MemoryRequest};
-    use cloudmc_dram::{Command, DramConfig, DramChannel};
+    use cloudmc_dram::{Command, DramChannel, DramConfig};
 
     fn view_fixture(open_row: Option<u64>) -> (DramChannel, RequestQueue, RequestQueue) {
         let cfg = DramConfig::baseline();

@@ -1,13 +1,11 @@
 //! Pending-request queues of the memory controller.
 
-use serde::{Deserialize, Serialize};
-
 use cloudmc_dram::{DramCycles, Location};
 
 use crate::request::{MemoryRequest, RequestId};
 
 /// A request waiting in the controller together with its decoded coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueEntry {
     /// The pending request.
     pub request: MemoryRequest,
@@ -30,7 +28,7 @@ impl QueueEntry {
 /// Entries preserve arrival order (index 0 is the oldest), which the
 /// first-come-first-served family of schedulers relies on; other schedulers
 /// are free to pick any entry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RequestQueue {
     entries: Vec<QueueEntry>,
     capacity: usize,
@@ -123,23 +121,26 @@ impl RequestQueue {
     /// Whether any pending entry targets the given open row of (`rank`, `bank`).
     #[must_use]
     pub fn any_hit(&self, rank: usize, bank: usize, row: u64) -> bool {
-        self.entries.iter().any(|e| {
-            e.location.rank == rank && e.location.bank == bank && e.location.row == row
-        })
+        self.entries
+            .iter()
+            .any(|e| e.location.rank == rank && e.location.bank == bank && e.location.row == row)
     }
 
     /// Whether any pending entry targets (`rank`, `bank`) but a different row.
     #[must_use]
     pub fn any_other_row(&self, rank: usize, bank: usize, row: u64) -> bool {
-        self.entries.iter().any(|e| {
-            e.location.rank == rank && e.location.bank == bank && e.location.row != row
-        })
+        self.entries
+            .iter()
+            .any(|e| e.location.rank == rank && e.location.bank == bank && e.location.row != row)
     }
 
     /// Number of pending entries for `core`.
     #[must_use]
     pub fn count_for_core(&self, core: usize) -> usize {
-        self.entries.iter().filter(|e| e.request.core == core).count()
+        self.entries
+            .iter()
+            .filter(|e| e.request.core == core)
+            .count()
     }
 
     /// Number of pending entries for (`core`, flat bank index).
@@ -147,7 +148,9 @@ impl RequestQueue {
     pub fn count_for_core_bank(&self, core: usize, rank: usize, bank: usize) -> usize {
         self.entries
             .iter()
-            .filter(|e| e.request.core == core && e.location.rank == rank && e.location.bank == bank)
+            .filter(|e| {
+                e.request.core == core && e.location.rank == rank && e.location.bank == bank
+            })
             .count()
     }
 }

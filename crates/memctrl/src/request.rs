@@ -1,11 +1,9 @@
 //! Memory requests as seen by the memory controller.
 
-use serde::{Deserialize, Serialize};
-
 use cloudmc_dram::{DramCycles, Location};
 
 /// Direction of a memory request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AccessKind {
     /// A read (load miss, instruction fetch miss, or DMA read).
     Read,
@@ -35,7 +33,7 @@ pub type RequestId = u64;
 /// assert!(req.kind.is_read());
 /// assert_eq!(req.core, 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemoryRequest {
     /// Unique identifier assigned by the requester.
     pub id: RequestId,
@@ -55,7 +53,13 @@ pub struct MemoryRequest {
 impl MemoryRequest {
     /// Creates a non-DMA request.
     #[must_use]
-    pub fn new(id: RequestId, kind: AccessKind, addr: u64, core: usize, arrival: DramCycles) -> Self {
+    pub fn new(
+        id: RequestId,
+        kind: AccessKind,
+        addr: u64,
+        core: usize,
+        arrival: DramCycles,
+    ) -> Self {
         Self {
             id,
             kind,
@@ -68,7 +72,13 @@ impl MemoryRequest {
 
     /// Creates a DMA/IO request attributed to pseudo-core `core`.
     #[must_use]
-    pub fn dma(id: RequestId, kind: AccessKind, addr: u64, core: usize, arrival: DramCycles) -> Self {
+    pub fn dma(
+        id: RequestId,
+        kind: AccessKind,
+        addr: u64,
+        core: usize,
+        arrival: DramCycles,
+    ) -> Self {
         Self {
             id,
             kind,
@@ -81,7 +91,7 @@ impl MemoryRequest {
 }
 
 /// Row-buffer outcome of a serviced request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RowBufferOutcome {
     /// The target row was already open when the request was first scheduled.
     Hit,
@@ -92,7 +102,7 @@ pub enum RowBufferOutcome {
 }
 
 /// A request that finished service, with timing information.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompletedRequest {
     /// The original request.
     pub request: MemoryRequest,

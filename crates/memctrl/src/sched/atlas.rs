@@ -1,8 +1,6 @@
 //! ATLAS: Adaptive per-Thread Least-Attained-Service scheduling
 //! (Kim et al., HPCA 2010).
 
-use serde::{Deserialize, Serialize};
-
 use cloudmc_dram::DramCycles;
 
 use crate::queue::QueueEntry;
@@ -10,7 +8,7 @@ use crate::request::{CompletedRequest, RowBufferOutcome};
 use crate::sched::{first_ready, SchedContext, SchedDecision, Scheduler};
 
 /// ATLAS parameters (Table 3 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AtlasConfig {
     /// Quantum length in DRAM cycles; core ranks are recomputed at quantum
     /// boundaries. The paper uses 10 M cycles.
@@ -308,7 +306,11 @@ mod tests {
         let c = ctx(&ch, &rq, &wq, now);
         s.on_cycle(&c);
         let d = s.pick(&c).unwrap();
-        assert_eq!(d.request_id, Some(2), "row hit should win while ranks are equal");
+        assert_eq!(
+            d.request_id,
+            Some(2),
+            "row hit should win while ranks are equal"
+        );
     }
 
     #[test]

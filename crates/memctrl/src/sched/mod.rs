@@ -17,8 +17,6 @@ pub mod frfcfs;
 pub mod parbs;
 pub mod rl;
 
-use serde::{Deserialize, Serialize};
-
 use cloudmc_dram::{Command, DramChannel, DramCycles};
 
 use crate::queue::{QueueEntry, RequestQueue};
@@ -62,13 +60,14 @@ impl SchedContext<'_> {
     /// Whether `entry`'s target row is currently open (a row-buffer hit).
     #[must_use]
     pub fn is_row_hit(&self, entry: &QueueEntry) -> bool {
-        self.channel.open_row(entry.location.rank, entry.location.bank)
+        self.channel
+            .open_row(entry.location.rank, entry.location.bank)
             == Some(entry.location.row)
     }
 }
 
 /// A command chosen by a scheduler, optionally completing a request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SchedDecision {
     /// The DRAM command to issue this cycle.
     pub command: Command,
@@ -207,9 +206,84 @@ pub trait Scheduler: std::fmt::Debug + Send {
     }
 }
 
+/// A scheduler instance behind static-or-dynamic dispatch.
+///
+/// The controller consults its scheduler once per DRAM cycle per channel, so
+/// dispatch sits on the hottest path of the whole simulator. The FR-FCFS
+/// baseline — the configuration every sweep runs most — is stored inline and
+/// devirtualized (the compiler can inline [`FrFcfs::pick`] straight into the
+/// controller loop); every other algorithm stays behind a `Box<dyn
+/// Scheduler>`, where a vtable call is noise next to the algorithm's own
+/// cost.
+#[derive(Debug)]
+pub enum SchedulerImpl {
+    /// The FR-FCFS baseline, statically dispatched.
+    FrFcfs(FrFcfs),
+    /// Any other algorithm, dynamically dispatched.
+    Boxed(Box<dyn Scheduler>),
+}
+
+impl SchedulerImpl {
+    /// Short human-readable name (used in reports).
+    #[inline]
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::FrFcfs(s) => s.name(),
+            Self::Boxed(s) => s.name(),
+        }
+    }
+
+    /// Chooses the command to issue this cycle, if any.
+    #[inline]
+    pub fn pick(&mut self, ctx: &SchedContext<'_>) -> Option<SchedDecision> {
+        match self {
+            Self::FrFcfs(s) => s.pick(ctx),
+            Self::Boxed(s) => s.pick(ctx),
+        }
+    }
+
+    /// Observes a newly enqueued request.
+    #[inline]
+    pub fn on_enqueue(&mut self, entry: &QueueEntry) {
+        match self {
+            Self::FrFcfs(s) => s.on_enqueue(entry),
+            Self::Boxed(s) => s.on_enqueue(entry),
+        }
+    }
+
+    /// Observes a completed request.
+    #[inline]
+    pub fn on_complete(&mut self, done: &CompletedRequest) {
+        match self {
+            Self::FrFcfs(s) => s.on_complete(done),
+            Self::Boxed(s) => s.on_complete(done),
+        }
+    }
+
+    /// Called once per cycle before `pick` (quantum/bookkeeping updates).
+    #[inline]
+    pub fn on_cycle(&mut self, ctx: &SchedContext<'_>) {
+        match self {
+            Self::FrFcfs(s) => s.on_cycle(ctx),
+            Self::Boxed(s) => s.on_cycle(ctx),
+        }
+    }
+
+    /// Whether the scheduler handles read/write interleaving itself.
+    #[inline]
+    #[must_use]
+    pub fn manages_write_drain(&self) -> bool {
+        match self {
+            Self::FrFcfs(s) => s.manages_write_drain(),
+            Self::Boxed(s) => s.manages_write_drain(),
+        }
+    }
+}
+
 /// Identifier for constructing schedulers by name, with the per-algorithm
 /// parameters of Table 3.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SchedulerKind {
     /// Strict first-come-first-served over a single queue.
     Fcfs,
@@ -236,6 +310,16 @@ impl SchedulerKind {
             Self::Atlas(AtlasConfig::default()),
             Self::Rl(RlConfig::default()),
         ]
+    }
+
+    /// Instantiates the scheduler behind the dispatch wrapper the controller
+    /// uses: statically for the FR-FCFS baseline, boxed otherwise.
+    #[must_use]
+    pub fn build_impl(self, num_cores: usize) -> SchedulerImpl {
+        match self {
+            Self::FrFcfs => SchedulerImpl::FrFcfs(FrFcfs::new()),
+            other => SchedulerImpl::Boxed(other.build(num_cores)),
+        }
     }
 
     /// Instantiates the scheduler for a controller with `num_cores` cores.
@@ -295,7 +379,11 @@ mod tests {
 
     fn fixture() -> (DramChannel, RequestQueue, RequestQueue) {
         let cfg = DramConfig::baseline();
-        (DramChannel::new(&cfg), RequestQueue::new(16), RequestQueue::new(16))
+        (
+            DramChannel::new(&cfg),
+            RequestQueue::new(16),
+            RequestQueue::new(16),
+        )
     }
 
     fn entry(id: u64, kind: AccessKind, rank: usize, bank: usize, row: u64) -> QueueEntry {
@@ -403,10 +491,18 @@ mod tests {
     #[test]
     fn active_queue_follows_write_mode() {
         let (ch, mut rq, mut wq) = fixture();
-        rq.push(MemoryRequest::new(1, AccessKind::Read, 0, 0, 0), Location::new(0, 0, 0, 0), 0)
-            .unwrap();
-        wq.push(MemoryRequest::new(2, AccessKind::Write, 0, 0, 0), Location::new(0, 0, 0, 0), 0)
-            .unwrap();
+        rq.push(
+            MemoryRequest::new(1, AccessKind::Read, 0, 0, 0),
+            Location::new(0, 0, 0, 0),
+            0,
+        )
+        .unwrap();
+        wq.push(
+            MemoryRequest::new(2, AccessKind::Write, 0, 0, 0),
+            Location::new(0, 0, 0, 0),
+            0,
+        )
+        .unwrap();
         let read_ctx = SchedContext {
             now: 0,
             channel: &ch,
@@ -438,9 +534,16 @@ mod tests {
                 num_cores: 16,
             };
             // Empty queues: every scheduler must return None.
-            assert!(s.pick(&ctx).is_none(), "{} returned work for empty queues", s.name());
+            assert!(
+                s.pick(&ctx).is_none(),
+                "{} returned work for empty queues",
+                s.name()
+            );
         }
-        assert_eq!("fr-fcfs".parse::<SchedulerKind>().unwrap().label(), "FR-FCFS");
+        assert_eq!(
+            "fr-fcfs".parse::<SchedulerKind>().unwrap().label(),
+            "FR-FCFS"
+        );
         assert_eq!("atlas".parse::<SchedulerKind>().unwrap().label(), "ATLAS");
         assert!("nope".parse::<SchedulerKind>().is_err());
     }

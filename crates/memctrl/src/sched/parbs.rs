@@ -2,14 +2,12 @@
 
 use std::collections::HashSet;
 
-use serde::{Deserialize, Serialize};
-
 use crate::queue::QueueEntry;
 use crate::request::{CompletedRequest, RequestId};
 use crate::sched::{first_ready, SchedContext, SchedDecision, Scheduler};
 
 /// PAR-BS parameters (Table 3 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParBsConfig {
     /// Maximum number of requests marked per core per bank when a batch forms.
     pub batching_cap: usize,
@@ -105,8 +103,7 @@ impl ParBs {
             return true;
         }
         // The batch is done when none of the marked requests is still queued.
-        !ctx
-            .active_queue()
+        !ctx.active_queue()
             .iter()
             .any(|e| self.marked.contains(&e.request.id))
     }
@@ -201,7 +198,10 @@ mod tests {
         assert_eq!(s.batches_formed(), 1);
         let marked: Vec<bool> = (0..8).map(|i| s.is_marked(i)).collect();
         assert_eq!(marked.iter().filter(|&&m| m).count(), 5);
-        assert!(marked[..5].iter().all(|&m| m), "the oldest 5 must be marked");
+        assert!(
+            marked[..5].iter().all(|&m| m),
+            "the oldest 5 must be marked"
+        );
     }
 
     #[test]

@@ -14,7 +14,6 @@ use std::hash::{Hash, Hasher};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use cloudmc_dram::{CommandKind, DramCycles};
 
@@ -22,7 +21,7 @@ use crate::queue::QueueEntry;
 use crate::sched::{progress_for, Progress, SchedContext, SchedDecision, Scheduler};
 
 /// RL scheduler parameters (Table 3 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RlConfig {
     /// Number of hashed Q-value tables (tilings).
     pub num_tables: usize,
@@ -49,7 +48,7 @@ impl Default for RlConfig {
             gamma: 0.95,
             epsilon: 0.05,
             starvation_threshold: 10_000,
-            seed: 0xC10D_Dc0D,
+            seed: 0xC10D_DC0D,
         }
     }
 }
@@ -157,7 +156,10 @@ impl RlScheduler {
             .min(3) as u8;
         Features {
             action,
-            row_hit: matches!(decision.command.kind, CommandKind::Read { .. } | CommandKind::Write { .. }),
+            row_hit: matches!(
+                decision.command.kind,
+                CommandKind::Read { .. } | CommandKind::Write { .. }
+            ),
             read_q_bucket: Self::bucket(ctx.read_q.len()),
             write_q_bucket: Self::bucket(ctx.write_q.len()),
             same_row_pending,
@@ -207,10 +209,7 @@ impl RlScheduler {
 
     /// Collects all commands that could legally issue this cycle, one per
     /// pending request, from both queues.
-    fn candidates<'q>(
-        &self,
-        ctx: &SchedContext<'q>,
-    ) -> Vec<(&'q QueueEntry, SchedDecision)> {
+    fn candidates<'q>(&self, ctx: &SchedContext<'q>) -> Vec<(&'q QueueEntry, SchedDecision)> {
         let mut seen_commands = Vec::new();
         let mut out = Vec::new();
         for entry in ctx.read_q.iter().chain(ctx.write_q.iter()) {
@@ -279,11 +278,18 @@ impl Scheduler for RlScheduler {
             scored
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap_or(std::cmp::Ordering::Equal))
+                .max_by(|a, b| {
+                    a.1 .1
+                        .partial_cmp(&b.1 .1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
                 .map(|(i, _)| i)
                 .unwrap_or(0)
         };
-        let (indices, q, decision) = scored.into_iter().nth(chosen).expect("chosen index in range");
+        let (indices, q, decision) = scored
+            .into_iter()
+            .nth(chosen)
+            .expect("chosen index in range");
         self.learn(q);
         self.prev = Some((indices, q, Self::reward_of(&decision)));
         self.decisions += 1;

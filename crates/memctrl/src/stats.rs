@@ -1,7 +1,5 @@
 //! Statistics collected by the memory controller.
 
-use serde::{Deserialize, Serialize};
-
 use cloudmc_dram::DramCycles;
 
 use crate::request::{CompletedRequest, RowBufferOutcome};
@@ -12,7 +10,7 @@ use crate::request::{CompletedRequest, RowBufferOutcome};
 /// latency (Fig. 3/10/14), row-buffer hit rate (Fig. 2/9/13), queue lengths
 /// (Fig. 5/6), bandwidth utilization (Fig. 7) and the single-access row
 /// activation histogram (Fig. 8).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct McStats {
     /// Completed read requests.
     pub reads_completed: u64,
@@ -176,7 +174,10 @@ impl McStats {
     /// Average read latency observed by one core, in DRAM cycles.
     #[must_use]
     pub fn avg_read_latency_for_core(&self, core: usize) -> f64 {
-        match (self.reads_per_core.get(core), self.read_latency_per_core.get(core)) {
+        match (
+            self.reads_per_core.get(core),
+            self.read_latency_per_core.get(core),
+        ) {
             (Some(&n), Some(&sum)) if n > 0 => sum as f64 / n as f64,
             _ => 0.0,
         }
@@ -193,7 +194,8 @@ impl McStats {
         self.row_misses += other.row_misses;
         self.row_conflicts += other.row_conflicts;
         if self.activation_reuse.len() < other.activation_reuse.len() {
-            self.activation_reuse.resize(other.activation_reuse.len(), 0);
+            self.activation_reuse
+                .resize(other.activation_reuse.len(), 0);
         }
         for (i, v) in other.activation_reuse.iter().enumerate() {
             self.activation_reuse[i] += v;
@@ -202,10 +204,12 @@ impl McStats {
         self.read_queue_occupancy_sum += other.read_queue_occupancy_sum;
         self.write_queue_occupancy_sum += other.write_queue_occupancy_sum;
         if self.completed_per_core.len() < other.completed_per_core.len() {
-            self.completed_per_core.resize(other.completed_per_core.len(), 0);
+            self.completed_per_core
+                .resize(other.completed_per_core.len(), 0);
             self.read_latency_per_core
                 .resize(other.completed_per_core.len(), 0);
-            self.reads_per_core.resize(other.completed_per_core.len(), 0);
+            self.reads_per_core
+                .resize(other.completed_per_core.len(), 0);
         }
         for (i, v) in other.completed_per_core.iter().enumerate() {
             self.completed_per_core[i] += v;
@@ -225,7 +229,12 @@ mod tests {
     use crate::request::{AccessKind, MemoryRequest};
     use cloudmc_dram::Location;
 
-    fn completed(kind: AccessKind, core: usize, outcome: RowBufferOutcome, latency: u64) -> CompletedRequest {
+    fn completed(
+        kind: AccessKind,
+        core: usize,
+        outcome: RowBufferOutcome,
+        latency: u64,
+    ) -> CompletedRequest {
         CompletedRequest {
             request: MemoryRequest::new(1, kind, 0, core, 100),
             channel: 0,
@@ -239,7 +248,12 @@ mod tests {
     fn record_completion_updates_latency_and_hits() {
         let mut s = McStats::new(4);
         s.record_completion(&completed(AccessKind::Read, 1, RowBufferOutcome::Hit, 30));
-        s.record_completion(&completed(AccessKind::Read, 1, RowBufferOutcome::Conflict, 90));
+        s.record_completion(&completed(
+            AccessKind::Read,
+            1,
+            RowBufferOutcome::Conflict,
+            90,
+        ));
         s.record_completion(&completed(AccessKind::Write, 2, RowBufferOutcome::Miss, 60));
         assert_eq!(s.reads_completed, 2);
         assert_eq!(s.writes_completed, 1);
@@ -287,7 +301,12 @@ mod tests {
         let mut a = McStats::new(2);
         let mut b = McStats::new(2);
         a.record_completion(&completed(AccessKind::Read, 0, RowBufferOutcome::Hit, 10));
-        b.record_completion(&completed(AccessKind::Read, 1, RowBufferOutcome::Conflict, 50));
+        b.record_completion(&completed(
+            AccessKind::Read,
+            1,
+            RowBufferOutcome::Conflict,
+            50,
+        ));
         b.record_activation_closed(1);
         b.sample_queues(3, 7);
         a.merge(&b);

@@ -1,10 +1,15 @@
-//! Property-based tests of the memory controller: address mapping is a
-//! bijection, and every enqueued request completes exactly once under every
-//! scheduler and page-policy combination.
+//! Randomized tests of the memory controller: address mapping is a bijection,
+//! and every enqueued request completes exactly once under every scheduler
+//! and page-policy combination.
+//!
+//! These were originally `proptest` properties; the build environment has no
+//! registry access, so they now draw their cases from a seeded [`rand`]
+//! stream — same invariants, deterministic inputs.
 
 use std::collections::HashSet;
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use cloudmc_dram::DramConfig;
 use cloudmc_memctrl::{
@@ -12,92 +17,86 @@ use cloudmc_memctrl::{
     SchedulerKind,
 };
 
-fn mapping_strategy() -> impl Strategy<Value = AddressMapping> {
-    prop_oneof![
-        Just(AddressMapping::RoRaBaCoCh),
-        Just(AddressMapping::RoRaBaChCo),
-        Just(AddressMapping::RoRaChBaCo),
-        Just(AddressMapping::RoChRaBaCo),
+fn schedulers() -> [SchedulerKind; 6] {
+    [
+        SchedulerKind::Fcfs,
+        SchedulerKind::FcfsBanks,
+        SchedulerKind::FrFcfs,
+        "par-bs".parse().unwrap(),
+        "atlas".parse().unwrap(),
+        "rl".parse().unwrap(),
     ]
 }
 
-fn scheduler_strategy() -> impl Strategy<Value = SchedulerKind> {
-    prop_oneof![
-        Just(SchedulerKind::Fcfs),
-        Just(SchedulerKind::FcfsBanks),
-        Just(SchedulerKind::FrFcfs),
-        Just("par-bs".parse::<SchedulerKind>().unwrap()),
-        Just("atlas".parse::<SchedulerKind>().unwrap()),
-        Just("rl".parse::<SchedulerKind>().unwrap()),
+fn policies() -> [PagePolicyKind; 7] {
+    [
+        PagePolicyKind::Open,
+        PagePolicyKind::Close,
+        PagePolicyKind::OpenAdaptive,
+        PagePolicyKind::CloseAdaptive,
+        PagePolicyKind::Rbpp,
+        PagePolicyKind::Abpp,
+        PagePolicyKind::Timer,
     ]
 }
 
-fn policy_strategy() -> impl Strategy<Value = PagePolicyKind> {
-    prop_oneof![
-        Just(PagePolicyKind::Open),
-        Just(PagePolicyKind::Close),
-        Just(PagePolicyKind::OpenAdaptive),
-        Just(PagePolicyKind::CloseAdaptive),
-        Just(PagePolicyKind::Rbpp),
-        Just(PagePolicyKind::Abpp),
-        Just(PagePolicyKind::Timer),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// decode(addr) -> encode(decoded) is the identity for in-range addresses
-    /// under every mapping and channel count.
-    #[test]
-    fn address_mapping_round_trips(
-        mapping in mapping_strategy(),
-        channels in prop_oneof![Just(1usize), Just(2), Just(4)],
-        block in 0u64..(1 << 40) / 64,
-    ) {
-        let cfg = DramConfig::with_channels(channels);
-        let addr = (block * 64) % cfg.capacity_bytes();
-        let decoded = mapping.decode(addr, &cfg);
-        prop_assert!(decoded.channel < channels);
-        prop_assert!(decoded.location.rank < cfg.ranks_per_channel);
-        prop_assert!(decoded.location.bank < cfg.banks_per_rank);
-        prop_assert!(decoded.location.row < cfg.rows_per_bank);
-        prop_assert!(decoded.location.column < cfg.columns_per_row());
-        prop_assert_eq!(mapping.encode(&decoded, &cfg), addr);
-    }
-
-    /// Two distinct block addresses never decode to the same coordinates.
-    #[test]
-    fn address_mapping_is_injective_on_blocks(
-        mapping in mapping_strategy(),
-        a in 0u64..1_000_000,
-        b in 0u64..1_000_000,
-    ) {
-        prop_assume!(a != b);
-        let cfg = DramConfig::with_channels(4);
-        let da = mapping.decode(a * 64, &cfg);
-        let db = mapping.decode(b * 64, &cfg);
-        prop_assert_ne!((da.channel, da.location), (db.channel, db.location));
+/// decode(addr) -> encode(decoded) is the identity for in-range addresses
+/// under every mapping and channel count.
+#[test]
+fn address_mapping_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0xAD0);
+    for mapping in AddressMapping::all() {
+        for channels in [1usize, 2, 4] {
+            let cfg = DramConfig::with_channels(channels);
+            for _case in 0..64 {
+                let block = rng.gen_range(0..(1u64 << 40) / 64);
+                let addr = (block * 64) % cfg.capacity_bytes();
+                let decoded = mapping.decode(addr, &cfg);
+                assert!(decoded.channel < channels);
+                assert!(decoded.location.rank < cfg.ranks_per_channel);
+                assert!(decoded.location.bank < cfg.banks_per_rank);
+                assert!(decoded.location.row < cfg.rows_per_bank);
+                assert!(decoded.location.column < cfg.columns_per_row());
+                assert_eq!(mapping.encode(&decoded, &cfg), addr, "{mapping} {addr:#x}");
+            }
+        }
     }
 }
 
-proptest! {
-    // End-to-end controller runs are slower; keep the case count modest.
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Two distinct block addresses never decode to the same coordinates.
+#[test]
+fn address_mapping_is_injective_on_blocks() {
+    let mut rng = StdRng::seed_from_u64(0x1213);
+    let cfg = DramConfig::with_channels(4);
+    for mapping in AddressMapping::all() {
+        for _case in 0..64 {
+            let a = rng.gen_range(0..1_000_000u64);
+            let b = rng.gen_range(0..1_000_000u64);
+            if a == b {
+                continue;
+            }
+            let da = mapping.decode(a * 64, &cfg);
+            let db = mapping.decode(b * 64, &cfg);
+            assert_ne!(
+                (da.channel, da.location),
+                (db.channel, db.location),
+                "{mapping}: blocks {a} and {b} collide"
+            );
+        }
+    }
+}
 
-    /// Every enqueued request completes exactly once, regardless of the
-    /// scheduler, page policy, mapping and channel count in use.
-    #[test]
-    fn requests_are_conserved(
-        scheduler in scheduler_strategy(),
-        policy in policy_strategy(),
-        mapping in mapping_strategy(),
-        channels in prop_oneof![Just(1usize), Just(2)],
-        requests in proptest::collection::vec(
-            (0u64..1 << 26, any::<bool>(), 0usize..16, 0u64..64),
-            1..48,
-        ),
-    ) {
+/// Every enqueued request completes exactly once, regardless of the
+/// scheduler, page policy, mapping and channel count in use.
+#[test]
+fn requests_are_conserved() {
+    let mut rng = StdRng::seed_from_u64(0xC0_1357);
+    for case in 0..24 {
+        let scheduler = schedulers()[case % schedulers().len()];
+        let policy = policies()[rng.gen_range(0..policies().len())];
+        let mapping = AddressMapping::all()[rng.gen_range(0..4usize)];
+        let channels = [1usize, 2][rng.gen_range(0..2usize)];
+
         let mut cfg = McConfig::baseline();
         cfg.scheduler = scheduler;
         cfg.page_policy = policy;
@@ -105,21 +104,30 @@ proptest! {
         cfg.dram.channels = channels;
         let mut mc = MemoryController::new(cfg).expect("valid config");
         let mut pending = std::collections::VecDeque::new();
-        for (i, &(block, write, core, offset)) in requests.iter().enumerate() {
-            let kind = if write { AccessKind::Write } else { AccessKind::Read };
-            let addr = (block * 64) % cfg.dram.capacity_bytes();
-            pending.push_back(MemoryRequest::new(i as u64, kind, addr, core, offset));
+        let total = rng.gen_range(1..48usize);
+        for i in 0..total {
+            let kind = if rng.gen_bool(0.5) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let addr = (rng.gen_range(0..1u64 << 26) * 64) % cfg.dram.capacity_bytes();
+            let core = rng.gen_range(0..16usize);
+            pending.push_back(MemoryRequest::new(i as u64, kind, addr, core, 0));
         }
-        let total = pending.len();
         let mut completed = HashSet::new();
         let mut cycle = 0u64;
         while completed.len() < total {
-            prop_assert!(cycle < 500_000, "requests did not drain ({}/{total})", completed.len());
+            assert!(
+                cycle < 500_000,
+                "{scheduler} / {policy} / {mapping}: requests did not drain ({}/{total})",
+                completed.len()
+            );
             // Feed requests as queue space allows, spread over time.
-            if cycle % 3 == 0 {
+            if cycle.is_multiple_of(3) {
                 if let Some(mut req) = pending.pop_front() {
                     // Arrival is the cycle the controller first sees the
-                    // request; the generated offset only staggers issue order.
+                    // request; generation only staggers issue order.
                     req.arrival = cycle;
                     if mc.enqueue(req, cycle).is_err() {
                         pending.push_front(req);
@@ -127,21 +135,21 @@ proptest! {
                 }
             }
             for done in mc.tick(cycle) {
-                prop_assert!(
+                assert!(
                     completed.insert(done.request.id),
                     "request {} completed twice",
                     done.request.id
                 );
-                prop_assert!(done.completion >= done.request.arrival);
+                assert!(done.completion >= done.request.arrival);
             }
             cycle += 1;
         }
         let stats = mc.stats();
-        prop_assert_eq!(stats.completed(), total as u64);
-        prop_assert_eq!(
+        assert_eq!(stats.completed(), total as u64);
+        assert_eq!(
             stats.row_hits + stats.row_misses + stats.row_conflicts,
             total as u64
         );
-        prop_assert_eq!(mc.pending(), 0);
+        assert_eq!(mc.pending(), 0);
     }
 }

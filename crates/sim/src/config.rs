@@ -1,7 +1,5 @@
 //! Full-system configuration.
 
-use serde::{Deserialize, Serialize};
-
 use cloudmc_cpu::{CoreConfig, L2Config};
 use cloudmc_memctrl::{McConfig, SchedulerKind};
 use cloudmc_workloads::{Workload, WorkloadSpec};
@@ -16,7 +14,7 @@ pub const DRAM_CYCLES_PER_5_CPU_CYCLES: u64 = 2;
 /// with 32 KB L1s and a shared 4 MB L2, an FR-FCFS single-channel controller
 /// with the open-adaptive page policy, driven by one of the twelve workload
 /// models.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
     /// Statistical workload model driving the cores.
     pub workload: WorkloadSpec,
@@ -24,8 +22,14 @@ pub struct SystemConfig {
     pub core: CoreConfig,
     /// Shared L2 configuration.
     pub l2: L2Config,
-    /// Memory controller and DRAM configuration.
+    /// Memory controller and DRAM configuration (per backend shard).
     pub mc: McConfig,
+    /// Number of independent memory-controller shards in the backend.
+    ///
+    /// Cache blocks interleave across shards by block address, so the total
+    /// channel count of the system is `num_channels * mc.dram.channels`.
+    /// The default of 1 reproduces the seed single-controller system.
+    pub num_channels: usize,
     /// Random seed for workload generation and DMA injection.
     pub seed: u64,
     /// CPU cycles of warm-up before statistics are collected.
@@ -55,6 +59,7 @@ impl SystemConfig {
             core: CoreConfig::default(),
             l2: L2Config::baseline(),
             mc,
+            num_channels: 1,
             seed: 1,
             warmup_cpu_cycles: 250_000,
             measure_cpu_cycles: 1_000_000,
@@ -109,6 +114,15 @@ impl SystemConfig {
         self.workload.validate()?;
         self.l2.validate()?;
         self.mc.validate()?;
+        if self.num_channels == 0 {
+            return Err("num_channels must be non-zero".to_owned());
+        }
+        if self.num_channels > 64 {
+            return Err(format!(
+                "num_channels ({}) is unreasonably large (max 64)",
+                self.num_channels
+            ));
+        }
         if self.measure_cpu_cycles == 0 {
             return Err("measure_cpu_cycles must be non-zero".to_owned());
         }
@@ -167,5 +181,17 @@ mod tests {
         let mut cfg = SystemConfig::baseline(Workload::WebSearch);
         cfg.measure_cpu_cycles = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_bounds_channel_count() {
+        let mut cfg = SystemConfig::baseline(Workload::WebSearch);
+        assert_eq!(cfg.num_channels, 1);
+        cfg.num_channels = 0;
+        assert!(cfg.validate().is_err());
+        cfg.num_channels = 65;
+        assert!(cfg.validate().is_err());
+        cfg.num_channels = 4;
+        cfg.validate().unwrap();
     }
 }

@@ -1,0 +1,320 @@
+//! The CPU-side frontend: in-order cores, their workload streams, the shared
+//! L2 and the DMA traffic injector.
+//!
+//! The frontend owns everything clocked by the 2 GHz core clock. Each
+//! [`Tick::tick`] call advances every core by one CPU cycle, routes the L1
+//! refills and write-backs they produce through the shared L2, and injects
+//! this cycle's DMA traffic; whatever must leave the chip is reported as
+//! [`FrontendEvent`]s for the kernel to hand to the memory
+//! [`backend`](crate::backend). The frontend never sees DRAM cycles — the
+//! clock-ratio bookkeeping (`DRAM_CYCLES_PER_5_CPU_CYCLES`) lives entirely in
+//! [`kernel::ClockCrossing`](crate::kernel::ClockCrossing).
+//!
+//! Returning data to a core goes the other way: the kernel calls
+//! [`Frontend::fill`] once a block's delivery cycle arrives.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cloudmc_cpu::{CacheStats, CoreStats, InOrderCore, SharedL2};
+use cloudmc_workloads::WorkloadStreams;
+
+use crate::config::SystemConfig;
+use crate::kernel::Tick;
+
+/// Off-chip traffic (or an L2 hit in flight) produced by one frontend cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontendEvent {
+    /// A demand access that hit in the shared L2; the data must be delivered
+    /// to `core` after `ready_in` further CPU cycles.
+    L2Hit {
+        /// Requesting core.
+        core: usize,
+        /// Block address.
+        addr: u64,
+        /// L2 access latency in CPU cycles.
+        ready_in: u64,
+    },
+    /// A demand read that missed the L2 and must go to memory.
+    Read {
+        /// Requesting core.
+        core: usize,
+        /// Block address.
+        addr: u64,
+    },
+    /// A write leaving the chip (L2 victim write-back or DMA write).
+    Write {
+        /// Core the write is attributed to.
+        core: usize,
+        /// Block address.
+        addr: u64,
+        /// Whether a DMA engine (not a core) produced the write.
+        dma: bool,
+    },
+    /// A read issued by a DMA engine (no core is stalled on it).
+    DmaRead {
+        /// Core the read is attributed to for fairness accounting.
+        core: usize,
+        /// Block address.
+        addr: u64,
+    },
+}
+
+/// Cores, workload streams, shared L2 and the DMA injector.
+#[derive(Debug)]
+pub struct Frontend {
+    cores: Vec<InOrderCore>,
+    streams: WorkloadStreams,
+    l2: SharedL2,
+    rng: StdRng,
+    dma_per_kcycle: f64,
+    dma_accumulator: f64,
+    dma_cursor: u64,
+}
+
+impl Frontend {
+    /// Builds the frontend described by `cfg`.
+    #[must_use]
+    pub fn new(cfg: &SystemConfig) -> Self {
+        let streams = WorkloadStreams::from_spec(cfg.workload, cfg.seed);
+        let cores = (0..cfg.workload.cores)
+            .map(|i| InOrderCore::new(i, cfg.core))
+            .collect();
+        Self {
+            cores,
+            streams,
+            l2: SharedL2::new(cfg.l2),
+            rng: StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x5851_F42D_4C95_7F2D) ^ 0xD3A),
+            dma_per_kcycle: cfg.workload.dma_per_kcycle,
+            dma_accumulator: 0.0,
+            dma_cursor: 0,
+        }
+    }
+
+    /// Functionally installs each core's instruction working set and hot data
+    /// region into the L1s and the shared L2 (no timing is modelled).
+    ///
+    /// This mirrors the effect of the paper's one-billion-instruction warm-up:
+    /// measurement starts with the code resident in the LLC so that the
+    /// off-chip traffic seen by the memory controller is the steady-state
+    /// data-miss stream, not a cold-start transient.
+    pub fn prewarm(&mut self) {
+        let block = 64u64;
+        for core_idx in 0..self.cores.len() {
+            let (code_base, code_size) = self.streams.stream(core_idx).code_region();
+            for offset in (0..code_size).step_by(block as usize) {
+                let addr = code_base + offset;
+                self.cores[core_idx].prewarm(addr, true);
+                self.l2.access(addr, false);
+            }
+            let (hot_base, hot_size) = self.streams.stream(core_idx).hot_region();
+            for offset in (0..hot_size).step_by(block as usize) {
+                let addr = hot_base + offset;
+                self.cores[core_idx].prewarm(addr, false);
+                self.l2.access(addr, false);
+            }
+        }
+    }
+
+    /// Delivers a block to a core (memory fill or delayed L2 hit).
+    pub fn fill(&mut self, core: usize, addr: u64) {
+        self.cores[core].fill(addr);
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Committed user instructions per core so far.
+    #[must_use]
+    pub fn committed_per_core(&self) -> Vec<u64> {
+        self.cores.iter().map(InOrderCore::committed).collect()
+    }
+
+    /// Performance counters of one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn core_stats(&self, core: usize) -> &CoreStats {
+        self.cores[core].stats()
+    }
+
+    /// L1 instruction-cache counters of one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn l1i_stats(&self, core: usize) -> &CacheStats {
+        self.cores[core].l1i_stats()
+    }
+
+    /// L1 data-cache counters of one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn l1d_stats(&self, core: usize) -> &CacheStats {
+        self.cores[core].l1d_stats()
+    }
+
+    /// Aggregated shared-L2 counters.
+    #[must_use]
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// Routes one L1-level request (refill or write-back) through the L2.
+    fn handle_core_request(
+        &mut self,
+        core: usize,
+        addr: u64,
+        is_writeback: bool,
+        events: &mut Vec<FrontendEvent>,
+    ) {
+        let outcome = self.l2.access(addr, is_writeback);
+        if let Some(victim) = outcome.writeback {
+            events.push(FrontendEvent::Write {
+                core,
+                addr: victim,
+                dma: false,
+            });
+        }
+        if is_writeback {
+            // L1 write-backs terminate at the L2 (write-allocate without
+            // fetch); any capacity effect was handled via the victim above.
+            return;
+        }
+        if outcome.hit {
+            events.push(FrontendEvent::L2Hit {
+                core,
+                addr,
+                ready_in: outcome.latency,
+            });
+        } else {
+            events.push(FrontendEvent::Read { core, addr });
+        }
+    }
+
+    fn inject_dma(&mut self, events: &mut Vec<FrontendEvent>) {
+        if self.dma_per_kcycle <= 0.0 {
+            return;
+        }
+        self.dma_accumulator += self.dma_per_kcycle / 1000.0;
+        while self.dma_accumulator >= 1.0 {
+            self.dma_accumulator -= 1.0;
+            let core = self.rng.gen_range(0..self.cores.len());
+            // DMA engines stream sequentially through I/O buffers in the
+            // shared region: mostly the next cache block, occasionally a jump
+            // to a fresh buffer. This gives DMA traffic the high row-buffer
+            // locality the paper observes for Web Frontend's extra accesses.
+            if self.dma_cursor == 0 || self.rng.gen_bool(1.0 / 24.0) {
+                let base = 0x0400_0000u64;
+                self.dma_cursor = base + self.rng.gen_range(0..0x0100_0000u64 / 8192) * 8192;
+            } else {
+                self.dma_cursor += 64;
+            }
+            let addr = self.dma_cursor;
+            if self.rng.gen_bool(0.5) {
+                events.push(FrontendEvent::DmaRead { core, addr });
+            } else {
+                events.push(FrontendEvent::Write {
+                    core,
+                    addr,
+                    dma: true,
+                });
+            }
+        }
+    }
+}
+
+impl Tick for Frontend {
+    type Event = FrontendEvent;
+
+    /// Advances every core by one CPU cycle and injects DMA traffic,
+    /// reporting everything that must leave the frontend this cycle.
+    fn tick(&mut self, _now: u64, events: &mut Vec<FrontendEvent>) {
+        for core_idx in 0..self.cores.len() {
+            let requests = {
+                let stream = self.streams.stream_mut(core_idx);
+                let mut source = || stream.next_op();
+                self.cores[core_idx].tick(&mut source)
+            };
+            for request in requests {
+                self.handle_core_request(core_idx, request.addr, request.write, events);
+            }
+        }
+        self.inject_dma(events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudmc_workloads::Workload;
+
+    fn frontend(workload: Workload) -> Frontend {
+        Frontend::new(&SystemConfig::baseline(workload))
+    }
+
+    #[test]
+    fn cold_frontend_produces_memory_reads() {
+        let mut fe = frontend(Workload::DataServing);
+        let mut events = Vec::new();
+        for cycle in 0..2_000 {
+            fe.tick(cycle, &mut events);
+        }
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, FrontendEvent::Read { .. })),
+            "a cold 16-core frontend must miss off-chip"
+        );
+    }
+
+    #[test]
+    fn prewarm_seeds_the_caches() {
+        let mut cold = frontend(Workload::WebSearch);
+        let mut warm = frontend(Workload::WebSearch);
+        warm.prewarm();
+        let run = |fe: &mut Frontend| {
+            let mut events = Vec::new();
+            for cycle in 0..3_000 {
+                fe.tick(cycle, &mut events);
+            }
+            // Feed every miss straight back so the cores keep running.
+            let mut reads = 0usize;
+            for e in &events {
+                if let FrontendEvent::Read { core, addr } = *e {
+                    reads += 1;
+                    fe.fill(core, addr);
+                }
+            }
+            reads
+        };
+        let cold_reads = run(&mut cold);
+        let warm_reads = run(&mut warm);
+        assert!(
+            warm_reads < cold_reads,
+            "prewarmed frontend should miss less ({warm_reads} vs {cold_reads})"
+        );
+    }
+
+    #[test]
+    fn web_frontend_injects_dma_traffic() {
+        let mut fe = frontend(Workload::WebFrontend);
+        let mut events = Vec::new();
+        for cycle in 0..20_000 {
+            fe.tick(cycle, &mut events);
+        }
+        assert!(events.iter().any(|e| matches!(
+            e,
+            FrontendEvent::DmaRead { .. } | FrontendEvent::Write { dma: true, .. }
+        )));
+    }
+}

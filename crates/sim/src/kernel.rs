@@ -1,0 +1,210 @@
+//! The simulation kernel: the pieces that glue the CPU-side frontend to the
+//! DRAM-side backend without belonging to either.
+//!
+//! # Clock-domain crossing
+//!
+//! The model runs two clock domains: cores and caches at 2 GHz, the DRAM
+//! command bus at 800 MHz (DDR3-1600). The ratio is exactly
+//! [`DRAM_CYCLES_PER_5_CPU_CYCLES`](crate::config::DRAM_CYCLES_PER_5_CPU_CYCLES)
+//! DRAM cycles per 5 CPU cycles, so [`ClockCrossing`] keeps a fractional
+//! accumulator in units of fifths: every CPU step adds 2/5 of a DRAM cycle,
+//! and whenever the accumulator reaches a whole DRAM cycle the backend is
+//! ticked. Over any window of 5 CPU cycles the backend therefore runs exactly
+//! 2 DRAM cycles, with no drift and no floating point.
+//!
+//! # Pending fills and retries
+//!
+//! Data moving *up* (memory fills and L2 hits on their way back to a core)
+//! waits in a [`FillQueue`], a min-heap ordered by due CPU cycle so that
+//! delivering the due fills each cycle costs `O(due · log n)` instead of a
+//! linear scan over everything outstanding. Requests moving *down* that were
+//! rejected by a full controller queue wait in per-(shard, channel, kind)
+//! retry buckets owned by the [`backend`](crate::backend); both structures
+//! replace the `O(outstanding)` per-cycle `Vec` scans of the former
+//! monolithic `System`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::config::DRAM_CYCLES_PER_5_CPU_CYCLES;
+
+/// A component advanced cycle by cycle in its own clock domain.
+///
+/// One `tick` call advances the component by one cycle of *its* clock and
+/// appends whatever surfaced this cycle to `events`; the kernel decides how
+/// often each domain ticks (see [`ClockCrossing`]). Taking the event buffer
+/// as a parameter lets the caller reuse one allocation across the whole run.
+pub trait Tick {
+    /// What the component reports back each cycle (completed requests for a
+    /// memory backend, memory traffic for a core frontend).
+    type Event;
+
+    /// Advances the component to cycle `now`, pushing this cycle's events.
+    fn tick(&mut self, now: u64, events: &mut Vec<Self::Event>);
+}
+
+/// Tracks the CPU and DRAM clocks and the fractional phase between them.
+#[derive(Debug, Clone, Default)]
+pub struct ClockCrossing {
+    cpu_cycle: u64,
+    dram_cycle: u64,
+    /// Fractional DRAM cycles owed, in units of 1/5 DRAM cycle.
+    acc: u64,
+}
+
+impl ClockCrossing {
+    /// Both clocks at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current CPU cycle.
+    #[must_use]
+    pub fn cpu_cycle(&self) -> u64 {
+        self.cpu_cycle
+    }
+
+    /// Current DRAM cycle.
+    #[must_use]
+    pub fn dram_cycle(&self) -> u64 {
+        self.dram_cycle
+    }
+
+    /// Accrues one CPU cycle's worth of DRAM time and returns how many whole
+    /// DRAM cycles the backend must now be ticked.
+    pub fn accrue_cpu_cycle(&mut self) -> u64 {
+        self.acc += DRAM_CYCLES_PER_5_CPU_CYCLES;
+        let due = self.acc / 5;
+        self.acc %= 5;
+        due
+    }
+
+    /// Records that one due DRAM tick ran.
+    pub fn complete_dram_tick(&mut self) {
+        self.dram_cycle += 1;
+    }
+
+    /// Records that the CPU cycle finished.
+    pub fn complete_cpu_cycle(&mut self) {
+        self.cpu_cycle += 1;
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FillEntry {
+    due_cpu_cycle: u64,
+    /// Insertion sequence number: ties on the due cycle break FIFO so that
+    /// delivery order — and with it the whole simulation — is deterministic.
+    seq: u64,
+    core: usize,
+    addr: u64,
+}
+
+impl Ord for FillEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due_cpu_cycle, self.seq).cmp(&(other.due_cpu_cycle, other.seq))
+    }
+}
+
+impl PartialOrd for FillEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Cache blocks on their way back to a core (L2 hits after their access
+/// latency, memory fills after the crossbar), ordered by delivery cycle.
+#[derive(Debug, Default)]
+pub struct FillQueue {
+    heap: BinaryHeap<Reverse<FillEntry>>,
+    seq: u64,
+}
+
+impl FillQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules delivery of `addr` to `core` at CPU cycle `due_cpu_cycle`.
+    pub fn push(&mut self, due_cpu_cycle: u64, core: usize, addr: u64) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(FillEntry {
+            due_cpu_cycle,
+            seq,
+            core,
+            addr,
+        }));
+    }
+
+    /// Removes and returns the next `(core, addr)` due at or before `now`.
+    pub fn pop_due(&mut self, now: u64) -> Option<(usize, u64)> {
+        let Reverse(head) = self.heap.peek()?;
+        if head.due_cpu_cycle > now {
+            return None;
+        }
+        let Reverse(entry) = self.heap.pop().expect("peeked entry exists");
+        Some((entry.core, entry.addr))
+    }
+
+    /// Number of undelivered fills.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no fill is pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_ratio_is_exactly_two_dram_per_five_cpu() {
+        let mut clock = ClockCrossing::new();
+        let mut dram_ticks = 0;
+        for _ in 0..5_000 {
+            for _ in 0..clock.accrue_cpu_cycle() {
+                clock.complete_dram_tick();
+                dram_ticks += 1;
+            }
+            clock.complete_cpu_cycle();
+        }
+        assert_eq!(clock.cpu_cycle(), 5_000);
+        assert_eq!(dram_ticks, 2_000);
+        assert_eq!(clock.dram_cycle(), 2_000);
+    }
+
+    #[test]
+    fn dram_ticks_are_spread_not_bunched() {
+        let mut clock = ClockCrossing::new();
+        let per_cycle: Vec<u64> = (0..5).map(|_| clock.accrue_cpu_cycle()).collect();
+        // 2 DRAM cycles per 5 CPU cycles, at most one per CPU cycle.
+        assert_eq!(per_cycle.iter().sum::<u64>(), 2);
+        assert!(per_cycle.iter().all(|&n| n <= 1));
+    }
+
+    #[test]
+    fn fills_pop_in_due_then_fifo_order() {
+        let mut q = FillQueue::new();
+        q.push(10, 0, 0xA);
+        q.push(5, 1, 0xB);
+        q.push(10, 2, 0xC);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop_due(4), None);
+        assert_eq!(q.pop_due(5), Some((1, 0xB)));
+        assert_eq!(q.pop_due(9), None);
+        // Equal due cycles come back in insertion order.
+        assert_eq!(q.pop_due(10), Some((0, 0xA)));
+        assert_eq!(q.pop_due(10), Some((2, 0xC)));
+        assert!(q.is_empty());
+    }
+}

@@ -22,12 +22,18 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod config;
+pub mod frontend;
+pub mod kernel;
 pub mod runner;
 pub mod stats;
 pub mod system;
 
+pub use backend::Backend;
 pub use config::{SystemConfig, DRAM_CYCLES_PER_5_CPU_CYCLES};
+pub use frontend::{Frontend, FrontendEvent};
+pub use kernel::{ClockCrossing, FillQueue, Tick};
 pub use runner::{default_threads, run_all, run_all_with_threads};
 pub use stats::{mean, SimStats};
 pub use system::{run_system, Simulator, System};

@@ -4,7 +4,8 @@
 //! several controller configurations). Runs are independent, so the harness
 //! executes them on a pool of worker threads.
 
-use crossbeam::channel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::config::SystemConfig;
 use crate::stats::SimStats;
@@ -39,36 +40,30 @@ pub fn run_all_with_threads(
     if threads <= 1 || configs.len() <= 1 {
         return configs.iter().map(|cfg| run_system(*cfg)).collect();
     }
-    let (work_tx, work_rx) = channel::unbounded::<(usize, SystemConfig)>();
-    let (result_tx, result_rx) = channel::unbounded::<(usize, Result<SimStats, String>)>();
-    for (i, cfg) in configs.iter().enumerate() {
-        work_tx.send((i, *cfg)).expect("channel open");
-    }
-    drop(work_tx);
-    crossbeam::scope(|scope| {
+    // Work stealing over an atomic cursor: each worker claims the next
+    // unclaimed configuration index and writes its result into the slot
+    // reserved for it, so results come back in input order with no channels.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<SimStats, String>>>> =
+        configs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            let work_rx = work_rx.clone();
-            let result_tx = result_tx.clone();
-            scope.spawn(move |_| {
-                while let Ok((i, cfg)) = work_rx.recv() {
-                    let result = run_system(cfg);
-                    if result_tx.send((i, result)).is_err() {
-                        break;
-                    }
-                }
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cfg) = configs.get(i) else { break };
+                let result = run_system(*cfg);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
-        drop(result_tx);
-        let mut results: Vec<Option<Result<SimStats, String>>> = vec![None; configs.len()];
-        while let Ok((i, result)) = result_rx.recv() {
-            results[i] = Some(result);
-        }
-        results
-            .into_iter()
-            .map(|r| r.unwrap_or_else(|| Err("worker thread dropped the run".to_owned())))
-            .collect()
-    })
-    .expect("worker thread panicked")
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .unwrap_or_else(|| Err("worker thread dropped the run".to_owned()))
+        })
+        .collect()
 }
 
 #[cfg(test)]

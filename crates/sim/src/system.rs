@@ -1,30 +1,27 @@
-//! The full-system cycle-level simulator: cores, caches, memory controller
-//! and DRAM wired together.
+//! The full-system simulator: the [`kernel`](crate::kernel) composing a
+//! CPU-side [`Frontend`] with a memory-side [`Backend`].
+//!
+//! [`System`] owns the cross-domain state — request-id allocation, the
+//! [`FillQueue`] of data on its way back to cores, and the hash-indexed map
+//! of outstanding off-chip reads — and advances the two clock domains through
+//! [`ClockCrossing`]. All component behaviour lives in the frontend (cores,
+//! caches, workload streams, DMA) and the backend (controller shards, DRAM).
 
-use std::collections::VecDeque;
+use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cloudmc_memctrl::{AccessKind, McStats, MemoryRequest, RequestId};
 
-use cloudmc_cpu::{InOrderCore, SharedL2};
-use cloudmc_memctrl::{AccessKind, McStats, MemoryController, MemoryRequest, RequestId};
-use cloudmc_workloads::WorkloadStreams;
-
-use crate::config::{SystemConfig, DRAM_CYCLES_PER_5_CPU_CYCLES};
+use crate::backend::Backend;
+use crate::config::SystemConfig;
+use crate::frontend::{Frontend, FrontendEvent};
+use crate::kernel::{ClockCrossing, FillQueue, Tick};
 use crate::stats::SimStats;
 
-/// A memory read whose data is on its way back to a core.
+/// A read that left the chip and has not returned yet.
 #[derive(Debug, Clone, Copy)]
-struct PendingFill {
-    due_cpu_cycle: u64,
+struct OutstandingRead {
     core: usize,
     addr: u64,
-}
-
-/// A memory request waiting for space in the controller's queues.
-#[derive(Debug, Clone, Copy)]
-struct WaitingRequest {
-    request: MemoryRequest,
 }
 
 /// Snapshot of all monotonically increasing counters, used to compute
@@ -37,12 +34,7 @@ struct Snapshot {
     mem_reads_sent: u64,
     mem_writes_sent: u64,
     mc: Option<McStats>,
-    bus_busy: u64,
-    dram_activates: u64,
-    dram_reads: u64,
-    dram_writes: u64,
-    dram_refreshes: u64,
-    dram_precharges: u64,
+    device: cloudmc_dram::ChannelStats,
 }
 
 /// The simulated 16-core pod with its memory system.
@@ -62,28 +54,22 @@ struct Snapshot {
 #[derive(Debug)]
 pub struct System {
     cfg: SystemConfig,
-    cores: Vec<InOrderCore>,
-    streams: WorkloadStreams,
-    l2: SharedL2,
-    mc: MemoryController,
-    rng: StdRng,
-    cpu_cycle: u64,
-    dram_cycle: u64,
-    clock_acc: u64,
+    frontend: Frontend,
+    backend: Backend,
+    clock: ClockCrossing,
+    fills: FillQueue,
     next_request_id: RequestId,
-    /// Outstanding off-chip reads: (request id, requesting core, address).
-    outstanding_reads: Vec<(RequestId, usize, u64)>,
-    /// L2-hit and memory fills scheduled for delivery to cores.
-    fills: Vec<PendingFill>,
-    /// Requests rejected by a full controller queue, retried each DRAM cycle.
-    waiting: VecDeque<WaitingRequest>,
-    dma_accumulator: f64,
-    dma_cursor: u64,
+    /// Outstanding off-chip reads, indexed by request id: completion is an
+    /// O(1) hash removal instead of the seed's O(outstanding) `Vec` scan.
+    outstanding_reads: HashMap<RequestId, OutstandingRead>,
     mem_reads_sent: u64,
     mem_writes_sent: u64,
     /// Off-chip reads broken down by address region (code, shared, hot,
     /// private); used by diagnostics and calibration tooling.
     reads_by_region: [u64; 4],
+    /// Reusable event buffers (one per clock domain).
+    frontend_events: Vec<FrontendEvent>,
+    completions: Vec<cloudmc_memctrl::CompletedRequest>,
 }
 
 impl System {
@@ -94,60 +80,25 @@ impl System {
     /// Returns a description of the problem if the configuration is invalid.
     pub fn new(cfg: SystemConfig) -> Result<Self, String> {
         cfg.validate()?;
-        let mc = MemoryController::new(cfg.effective_mc())?;
-        let streams = WorkloadStreams::from_spec(cfg.workload, cfg.seed);
-        let cores = (0..cfg.workload.cores)
-            .map(|i| InOrderCore::new(i, cfg.core))
-            .collect();
-        let mut system = Self {
-            cores,
-            streams,
-            l2: SharedL2::new(cfg.l2),
-            mc,
-            rng: StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x5851_F42D_4C95_7F2D) ^ 0xD3A),
-            cpu_cycle: 0,
-            dram_cycle: 0,
-            clock_acc: 0,
-            next_request_id: 0,
-            outstanding_reads: Vec::new(),
-            fills: Vec::new(),
-            waiting: VecDeque::new(),
-            dma_accumulator: 0.0,
-            dma_cursor: 0,
-            mem_reads_sent: 0,
-            reads_by_region: [0; 4],
-            mem_writes_sent: 0,
-            cfg,
-        };
+        let backend = Backend::new(&cfg)?;
+        let mut frontend = Frontend::new(&cfg);
         if cfg.functional_warmup {
-            system.prewarm();
+            frontend.prewarm();
         }
-        Ok(system)
-    }
-
-    /// Functionally installs each core's instruction working set and hot data
-    /// region into the L1s and the shared L2 (no timing is modelled).
-    ///
-    /// This mirrors the effect of the paper's one-billion-instruction warm-up:
-    /// measurement starts with the code resident in the LLC so that the
-    /// off-chip traffic seen by the memory controller is the steady-state
-    /// data-miss stream, not a cold-start transient.
-    fn prewarm(&mut self) {
-        let block = 64u64;
-        for core_idx in 0..self.cores.len() {
-            let (code_base, code_size) = self.streams.stream(core_idx).code_region();
-            for offset in (0..code_size).step_by(block as usize) {
-                let addr = code_base + offset;
-                self.cores[core_idx].prewarm(addr, true);
-                self.l2.access(addr, false);
-            }
-            let (hot_base, hot_size) = self.streams.stream(core_idx).hot_region();
-            for offset in (0..hot_size).step_by(block as usize) {
-                let addr = hot_base + offset;
-                self.cores[core_idx].prewarm(addr, false);
-                self.l2.access(addr, false);
-            }
-        }
+        Ok(Self {
+            frontend,
+            backend,
+            clock: ClockCrossing::new(),
+            fills: FillQueue::new(),
+            next_request_id: 0,
+            outstanding_reads: HashMap::new(),
+            mem_reads_sent: 0,
+            mem_writes_sent: 0,
+            reads_by_region: [0; 4],
+            frontend_events: Vec::new(),
+            completions: Vec::new(),
+            cfg,
+        })
     }
 
     /// The configuration in effect.
@@ -159,13 +110,13 @@ impl System {
     /// Current CPU cycle.
     #[must_use]
     pub fn cpu_cycle(&self) -> u64 {
-        self.cpu_cycle
+        self.clock.cpu_cycle()
     }
 
     /// Committed user instructions per core so far.
     #[must_use]
     pub fn committed_per_core(&self) -> Vec<u64> {
-        self.cores.iter().map(InOrderCore::committed).collect()
+        self.frontend.committed_per_core()
     }
 
     /// Performance counters of one core.
@@ -175,7 +126,7 @@ impl System {
     /// Panics if `core` is out of range.
     #[must_use]
     pub fn core_stats(&self, core: usize) -> &cloudmc_cpu::CoreStats {
-        self.cores[core].stats()
+        self.frontend.core_stats(core)
     }
 
     /// L1 instruction-cache counters of one core.
@@ -185,7 +136,7 @@ impl System {
     /// Panics if `core` is out of range.
     #[must_use]
     pub fn l1i_stats(&self, core: usize) -> &cloudmc_cpu::CacheStats {
-        self.cores[core].l1i_stats()
+        self.frontend.l1i_stats(core)
     }
 
     /// L1 data-cache counters of one core.
@@ -195,19 +146,45 @@ impl System {
     /// Panics if `core` is out of range.
     #[must_use]
     pub fn l1d_stats(&self, core: usize) -> &cloudmc_cpu::CacheStats {
-        self.cores[core].l1d_stats()
+        self.frontend.l1d_stats(core)
     }
 
     /// Aggregated shared-L2 counters.
     #[must_use]
     pub fn l2_stats(&self) -> cloudmc_cpu::CacheStats {
-        self.l2.stats()
+        self.frontend.l2_stats()
     }
 
-    /// Controller statistics accumulated since reset.
+    /// Controller statistics accumulated since reset, merged over all
+    /// backend shards.
     #[must_use]
     pub fn controller_stats(&self) -> McStats {
-        self.mc.stats()
+        self.backend.stats()
+    }
+
+    /// The memory backend (shard routing, per-shard controllers).
+    #[must_use]
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Memory read requests sent off-chip so far (demand plus DMA).
+    #[must_use]
+    pub fn memory_reads_sent(&self) -> u64 {
+        self.mem_reads_sent
+    }
+
+    /// Memory write requests sent off-chip so far (write-backs plus DMA).
+    #[must_use]
+    pub fn memory_writes_sent(&self) -> u64 {
+        self.mem_writes_sent
+    }
+
+    /// Requests sent but not yet completed by the backend, wherever they
+    /// currently wait (controller queues, DRAM, or retry buckets).
+    #[must_use]
+    pub fn requests_in_flight(&self) -> u64 {
+        (self.backend.pending() + self.backend.retry_backlog()) as u64
     }
 
     fn alloc_request_id(&mut self) -> RequestId {
@@ -236,160 +213,89 @@ impl System {
         self.reads_by_region
     }
 
-    fn send_memory_read(&mut self, core: usize, addr: u64) {
-        let id = self.alloc_request_id();
-        self.mem_reads_sent += 1;
-        self.reads_by_region[Self::region_of(addr)] += 1;
-        self.outstanding_reads.push((id, core, addr));
-        let request = MemoryRequest::new(id, AccessKind::Read, addr, core, self.dram_cycle);
-        self.try_enqueue(request);
-    }
-
-    fn send_memory_write(&mut self, core: usize, addr: u64, dma: bool) {
-        let id = self.alloc_request_id();
-        self.mem_writes_sent += 1;
-        let request = if dma {
-            MemoryRequest::dma(id, AccessKind::Write, addr, core, self.dram_cycle)
-        } else {
-            MemoryRequest::new(id, AccessKind::Write, addr, core, self.dram_cycle)
-        };
-        self.try_enqueue(request);
-    }
-
-    fn send_dma_read(&mut self, core: usize, addr: u64) {
-        let id = self.alloc_request_id();
-        self.mem_reads_sent += 1;
-        let request = MemoryRequest::dma(id, AccessKind::Read, addr, core, self.dram_cycle);
-        self.try_enqueue(request);
-    }
-
-    fn try_enqueue(&mut self, request: MemoryRequest) {
-        if let Err(rejected) = self.mc.enqueue(request, self.dram_cycle) {
-            self.waiting.push_back(WaitingRequest { request: rejected });
-        }
-    }
-
-    fn drain_waiting(&mut self) {
-        let mut remaining = VecDeque::new();
-        while let Some(w) = self.waiting.pop_front() {
-            if self.mc.can_accept(w.request.addr, w.request.kind) {
-                // Preserve the original arrival time: queueing delay caused by
-                // controller backpressure is part of the observed latency.
-                self.mc
-                    .enqueue(w.request, self.dram_cycle)
-                    .expect("can_accept was just checked");
-            } else {
-                remaining.push_back(w);
-            }
-        }
-        self.waiting = remaining;
-    }
-
-    /// Routes one L1-level request (refill or write-back) through the L2.
-    fn handle_core_request(&mut self, core: usize, addr: u64, is_writeback: bool) {
-        let outcome = self.l2.access(addr, is_writeback);
-        if let Some(victim) = outcome.writeback {
-            self.send_memory_write(core, victim, false);
-        }
-        if is_writeback {
-            // L1 write-backs terminate at the L2 (write-allocate without
-            // fetch); any capacity effect was handled via the victim above.
-            return;
-        }
-        if outcome.hit {
-            self.fills.push(PendingFill {
-                due_cpu_cycle: self.cpu_cycle + outcome.latency,
+    /// Hands one frontend event to the right destination: fills back into the
+    /// fill queue, off-chip traffic into the backend.
+    fn dispatch(&mut self, event: FrontendEvent) {
+        let now_dram = self.clock.dram_cycle();
+        match event {
+            FrontendEvent::L2Hit {
                 core,
                 addr,
-            });
-        } else {
-            self.send_memory_read(core, addr);
-        }
-    }
-
-    fn inject_dma(&mut self) {
-        let rate = self.cfg.workload.dma_per_kcycle;
-        if rate <= 0.0 {
-            return;
-        }
-        self.dma_accumulator += rate / 1000.0;
-        while self.dma_accumulator >= 1.0 {
-            self.dma_accumulator -= 1.0;
-            let core = self.rng.gen_range(0..self.cores.len());
-            // DMA engines stream sequentially through I/O buffers in the
-            // shared region: mostly the next cache block, occasionally a jump
-            // to a fresh buffer. This gives DMA traffic the high row-buffer
-            // locality the paper observes for Web Frontend's extra accesses.
-            if self.dma_cursor == 0 || self.rng.gen_bool(1.0 / 24.0) {
-                let base = 0x0400_0000u64;
-                self.dma_cursor = base + self.rng.gen_range(0..0x0100_0000u64 / 8192) * 8192;
-            } else {
-                self.dma_cursor += 64;
+                ready_in,
+            } => {
+                self.fills
+                    .push(self.clock.cpu_cycle() + ready_in, core, addr);
             }
-            let addr = self.dma_cursor;
-            if self.rng.gen_bool(0.5) {
-                self.send_dma_read(core, addr);
-            } else {
-                self.send_memory_write(core, addr, true);
+            FrontendEvent::Read { core, addr } => {
+                let id = self.alloc_request_id();
+                self.mem_reads_sent += 1;
+                self.reads_by_region[Self::region_of(addr)] += 1;
+                self.outstanding_reads
+                    .insert(id, OutstandingRead { core, addr });
+                self.backend.submit(
+                    MemoryRequest::new(id, AccessKind::Read, addr, core, now_dram),
+                    now_dram,
+                );
             }
-        }
-    }
-
-    fn dram_tick(&mut self) {
-        self.drain_waiting();
-        let completed = self.mc.tick(self.dram_cycle);
-        for done in completed {
-            if done.request.kind.is_read() {
-                if let Some(pos) = self
-                    .outstanding_reads
-                    .iter()
-                    .position(|&(id, _, _)| id == done.request.id)
-                {
-                    let (_, core, addr) = self.outstanding_reads.swap_remove(pos);
-                    // Data returns through the crossbar to the waiting core.
-                    self.fills.push(PendingFill {
-                        due_cpu_cycle: self.cpu_cycle + u64::from(self.cfg.l2.crossbar_latency as u32),
-                        core,
-                        addr,
-                    });
-                }
+            FrontendEvent::Write { core, addr, dma } => {
+                let id = self.alloc_request_id();
+                self.mem_writes_sent += 1;
+                let request = if dma {
+                    MemoryRequest::dma(id, AccessKind::Write, addr, core, now_dram)
+                } else {
+                    MemoryRequest::new(id, AccessKind::Write, addr, core, now_dram)
+                };
+                self.backend.submit(request, now_dram);
             }
-        }
-        self.dram_cycle += 1;
-    }
-
-    fn deliver_fills(&mut self) {
-        let mut i = 0;
-        while i < self.fills.len() {
-            if self.fills[i].due_cpu_cycle <= self.cpu_cycle {
-                let fill = self.fills.swap_remove(i);
-                self.cores[fill.core].fill(fill.addr);
-            } else {
-                i += 1;
+            FrontendEvent::DmaRead { core, addr } => {
+                let id = self.alloc_request_id();
+                self.mem_reads_sent += 1;
+                self.backend.submit(
+                    MemoryRequest::dma(id, AccessKind::Read, addr, core, now_dram),
+                    now_dram,
+                );
             }
         }
     }
 
     /// Advances the whole system by one CPU cycle.
     pub fn step(&mut self) {
-        self.deliver_fills();
-        for core_idx in 0..self.cores.len() {
-            let requests = {
-                let stream = self.streams.stream_mut(core_idx);
-                let mut source = || stream.next_op();
-                self.cores[core_idx].tick(&mut source)
-            };
-            for request in requests {
-                self.handle_core_request(core_idx, request.addr, request.write);
+        let now_cpu = self.clock.cpu_cycle();
+
+        // 1. Deliver data that reached its core this cycle.
+        while let Some((core, addr)) = self.fills.pop_due(now_cpu) {
+            self.frontend.fill(core, addr);
+        }
+
+        // 2. One frontend (CPU-domain) cycle.
+        let mut events = std::mem::take(&mut self.frontend_events);
+        events.clear();
+        self.frontend.tick(now_cpu, &mut events);
+        for event in events.drain(..) {
+            self.dispatch(event);
+        }
+        self.frontend_events = events;
+
+        // 3. As many backend (DRAM-domain) cycles as the clock ratio owes.
+        for _ in 0..self.clock.accrue_cpu_cycle() {
+            let now_dram = self.clock.dram_cycle();
+            let mut completions = std::mem::take(&mut self.completions);
+            completions.clear();
+            self.backend.tick(now_dram, &mut completions);
+            for done in completions.drain(..) {
+                if done.request.kind.is_read() {
+                    if let Some(read) = self.outstanding_reads.remove(&done.request.id) {
+                        // Data returns through the crossbar to the waiting core.
+                        let due = now_cpu + u64::from(self.cfg.l2.crossbar_latency as u32);
+                        self.fills.push(due, read.core, read.addr);
+                    }
+                }
             }
+            self.completions = completions;
+            self.clock.complete_dram_tick();
         }
-        self.inject_dma();
-        self.clock_acc += DRAM_CYCLES_PER_5_CPU_CYCLES;
-        while self.clock_acc >= 5 {
-            self.clock_acc -= 5;
-            self.dram_tick();
-        }
-        self.cpu_cycle += 1;
+
+        self.clock.complete_cpu_cycle();
     }
 
     /// Runs `cycles` CPU cycles.
@@ -400,39 +306,20 @@ impl System {
     }
 
     fn snapshot(&self) -> Snapshot {
-        let mut bus_busy = 0;
-        let mut activates = 0;
-        let mut reads = 0;
-        let mut writes = 0;
-        let mut refreshes = 0;
-        let mut precharges = 0;
-        for ch in 0..self.mc.channel_count() {
-            let s = self.mc.channel_device_stats(ch);
-            bus_busy += s.data_bus_busy_cycles;
-            activates += s.activates;
-            reads += s.reads;
-            writes += s.writes;
-            refreshes += s.refreshes;
-            precharges += s.precharges;
-        }
         Snapshot {
-            cpu_cycles: self.cpu_cycle,
-            dram_cycles: self.dram_cycle,
+            cpu_cycles: self.clock.cpu_cycle(),
+            dram_cycles: self.clock.dram_cycle(),
             committed: self.committed_per_core(),
             mem_reads_sent: self.mem_reads_sent,
             mem_writes_sent: self.mem_writes_sent,
-            mc: Some(self.mc.stats()),
-            bus_busy,
-            dram_activates: activates,
-            dram_reads: reads,
-            dram_writes: writes,
-            dram_refreshes: refreshes,
-            dram_precharges: precharges,
+            mc: Some(self.backend.stats()),
+            device: self.backend.device_totals(),
         }
     }
 
     fn stats_since(&self, start: &Snapshot) -> SimStats {
         let cfg = &self.cfg;
+        let total_channels = self.backend.total_channels();
         let end = self.snapshot();
         let mc_end = end.mc.clone().unwrap_or_default();
         let mc_start = start.mc.clone().unwrap_or_default();
@@ -467,7 +354,12 @@ impl System {
         for (i, (e, s)) in mc_end
             .activation_reuse
             .iter()
-            .zip(mc_start.activation_reuse.iter().chain(std::iter::repeat(&0)))
+            .zip(
+                mc_start
+                    .activation_reuse
+                    .iter()
+                    .chain(std::iter::repeat(&0)),
+            )
             .enumerate()
         {
             let d = e - s;
@@ -494,11 +386,11 @@ impl System {
             (mc_end.write_queue_occupancy_sum - mc_start.write_queue_occupancy_sum) as f64
                 / queue_samples as f64
         };
-        let bus_busy = end.bus_busy - start.bus_busy;
+        let bus_busy = end.device.data_bus_busy_cycles - start.device.data_bus_busy_cycles;
         let bandwidth_utilization = if dram_cycles == 0 {
             0.0
         } else {
-            bus_busy as f64 / (dram_cycles * cfg.mc.dram.channels as u64) as f64
+            bus_busy as f64 / (dram_cycles * total_channels as u64) as f64
         };
         let mem_reads_sent = end.mem_reads_sent - start.mem_reads_sent;
         let mem_writes_sent = end.mem_writes_sent - start.mem_writes_sent;
@@ -507,7 +399,7 @@ impl System {
         } else {
             mem_reads_sent as f64 * 1000.0 / user_instructions as f64
         };
-        let activations = end.dram_activates - start.dram_activates;
+        let activations = end.device.activates - start.device.activates;
         let activations_per_kilo_instr = if user_instructions == 0 {
             0.0
         } else {
@@ -517,15 +409,15 @@ impl System {
         let energy_model = cloudmc_dram::EnergyModel::default();
         let delta_channel_stats = cloudmc_dram::ChannelStats {
             activates: activations,
-            precharges: end.dram_precharges - start.dram_precharges,
-            reads: end.dram_reads - start.dram_reads,
-            writes: end.dram_writes - start.dram_writes,
-            refreshes: end.dram_refreshes - start.dram_refreshes,
+            precharges: end.device.precharges - start.device.precharges,
+            reads: end.device.reads - start.device.reads,
+            writes: end.device.writes - start.device.writes,
+            refreshes: end.device.refreshes - start.device.refreshes,
             data_bus_busy_cycles: bus_busy,
         };
         let breakdown = energy_model.breakdown(
             &delta_channel_stats,
-            dram_cycles.max(1) * cfg.mc.dram.channels as u64,
+            dram_cycles.max(1) * total_channels as u64,
             bus_busy * 4,
             &cfg.mc.dram.timing,
         );
@@ -535,7 +427,7 @@ impl System {
             scheduler: cfg.mc.scheduler.label().to_owned(),
             page_policy: cfg.mc.page_policy.to_string(),
             mapping: cfg.mc.mapping.to_string(),
-            channels: cfg.mc.dram.channels,
+            channels: total_channels,
             cores: cfg.workload.cores,
             cpu_cycles,
             dram_cycles,
@@ -628,7 +520,11 @@ mod tests {
         let stats = run_system(small(Workload::DataServing)).unwrap();
         assert!(stats.user_ipc() > 0.5, "aggregate IPC {}", stats.user_ipc());
         assert!(stats.user_ipc() <= 16.0);
-        assert!(stats.reads_completed > 50, "reads {}", stats.reads_completed);
+        assert!(
+            stats.reads_completed > 50,
+            "reads {}",
+            stats.reads_completed
+        );
         assert!(stats.avg_read_latency_dram > 20.0);
         assert!(stats.row_buffer_hit_rate >= 0.0 && stats.row_buffer_hit_rate <= 1.0);
         assert!(stats.bandwidth_utilization > 0.0 && stats.bandwidth_utilization < 1.0);
@@ -695,6 +591,18 @@ mod tests {
             let stats = run_system(cfg).unwrap();
             assert_eq!(stats.channels, channels);
             assert!(stats.user_ipc() > 0.1);
+        }
+    }
+
+    #[test]
+    fn sharded_backend_reports_total_channels() {
+        for shards in [1usize, 2, 4] {
+            let mut cfg = small(Workload::TpchQ6);
+            cfg.num_channels = shards;
+            let stats = run_system(cfg).unwrap();
+            assert_eq!(stats.channels, shards * cfg.mc.dram.channels);
+            assert!(stats.user_ipc() > 0.1);
+            assert!(stats.reads_completed > 0);
         }
     }
 

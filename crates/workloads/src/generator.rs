@@ -32,13 +32,13 @@ struct Layout {
 
 impl Layout {
     const DEFAULT: Self = Self {
-        shared_base: 0x0400_0000,        // 64 MiB
-        shared_size: 0x1000_0000,        // 256 MiB shared region
-        code_base: 0x2000_0000,          // 512 MiB
-        code_stride: 0x0040_0000,        // 4 MiB per core of code space
-        private_base: 0x4000_0000,       // 1 GiB
-        private_stride: 0x1000_0000,     // 256 MiB per core
-        hot_stride: 0x0000_4000,         // 16 KiB hot region per core
+        shared_base: 0x0400_0000,    // 64 MiB
+        shared_size: 0x1000_0000,    // 256 MiB shared region
+        code_base: 0x2000_0000,      // 512 MiB
+        code_stride: 0x0040_0000,    // 4 MiB per core of code space
+        private_base: 0x4000_0000,   // 1 GiB
+        private_stride: 0x1000_0000, // 256 MiB per core
+        hot_stride: 0x0000_4000,     // 16 KiB hot region per core
     };
 }
 
@@ -94,7 +94,11 @@ impl CoreStream {
     #[must_use]
     pub fn new(spec: WorkloadSpec, core: usize, seed: u64) -> Self {
         spec.validate().expect("invalid workload spec");
-        assert!(core < spec.cores, "core {core} out of range ({} cores)", spec.cores);
+        assert!(
+            core < spec.cores,
+            "core {core} out of range ({} cores)",
+            spec.cores
+        );
         let mut stream = Self {
             spec,
             core,
@@ -205,10 +209,9 @@ impl CoreStream {
     fn data_interval(&self) -> f64 {
         let accesses_per_event =
             self.spec.row_burst_prob * self.spec.row_burst_len + (1.0 - self.spec.row_burst_prob);
-        let mpki = (self.spec.data_mpki
-            * self.spec.intensity_factor(self.core)
-            * self.phase_multiplier())
-        .max(1e-3);
+        let mpki =
+            (self.spec.data_mpki * self.spec.intensity_factor(self.core) * self.phase_multiplier())
+                .max(1e-3);
         1000.0 * accesses_per_event / mpki
     }
 
@@ -254,7 +257,10 @@ impl CoreStream {
 
     fn private_region(&self) -> (u64, u64) {
         let base = self.layout.private_base + self.core as u64 * self.layout.private_stride;
-        (base, self.spec.footprint_bytes.min(self.layout.private_stride))
+        (
+            base,
+            self.spec.footprint_bytes.min(self.layout.private_stride),
+        )
     }
 
     fn random_block_in(&mut self, base: u64, size: u64) -> u64 {
@@ -304,7 +310,11 @@ impl CoreStream {
         let is_store = self.rng.gen_bool(self.spec.store_fraction);
         let overlappable = !is_store && self.rng.gen_bool(self.spec.mlp_fraction);
         MemOp {
-            kind: if is_store { OpKind::Store } else { OpKind::Load },
+            kind: if is_store {
+                OpKind::Store
+            } else {
+                OpKind::Load
+            },
             addr,
             overlappable,
         }
@@ -341,7 +351,11 @@ impl CoreStream {
         let addr = self.random_block_in(base, self.layout.hot_stride);
         let is_store = self.rng.gen_bool(0.3);
         MemOp {
-            kind: if is_store { OpKind::Store } else { OpKind::Load },
+            kind: if is_store {
+                OpKind::Store
+            } else {
+                OpKind::Load
+            },
             addr,
             overlappable: true,
         }
@@ -583,7 +597,10 @@ mod tests {
         assert!(!a0.is_empty() && !a1.is_empty());
         let max0 = a0.iter().max().unwrap();
         let min1 = a1.iter().min().unwrap();
-        assert!(max0 < min1, "core 0 addresses must stay below core 1's region");
+        assert!(
+            max0 < min1,
+            "core 0 addresses must stay below core 1's region"
+        );
     }
 
     #[test]

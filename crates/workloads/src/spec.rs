@@ -9,10 +9,8 @@
 //! per-core balance from the Section 4 discussion) — and synthesized by
 //! [`crate::generator::CoreStream`].
 
-use serde::{Deserialize, Serialize};
-
 /// The three workload categories of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Category {
     /// Scale-out (CloudSuite) workloads, `SCOW`.
     ScaleOut,
@@ -41,7 +39,7 @@ impl std::fmt::Display for Category {
 }
 
 /// The twelve workloads of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(clippy::upper_case_acronyms)]
 pub enum Workload {
     /// Data Serving (Cassandra NoSQL store).
@@ -165,7 +163,7 @@ impl std::str::FromStr for Workload {
 /// Statistical description of one workload's per-core access stream.
 ///
 /// All rates are per committed user instruction unless noted otherwise.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadSpec {
     /// Which workload this spec describes.
     pub workload: Workload,
@@ -422,7 +420,10 @@ impl WorkloadSpec {
         prob("mlp_fraction", self.mlp_fraction)?;
         prob("shared_fraction", self.shared_fraction)?;
         if !(0.0..1.0).contains(&self.burstiness) {
-            return Err(format!("burstiness ({}) must be within [0, 1)", self.burstiness));
+            return Err(format!(
+                "burstiness ({}) must be within [0, 1)",
+                self.burstiness
+            ));
         }
         if !(0.0..1.0).contains(&self.core_imbalance) {
             return Err(format!(

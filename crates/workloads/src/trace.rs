@@ -140,11 +140,9 @@ impl<R: BufRead> TraceReader<R> {
                 CoreOp::Compute(n)
             }
             "L" | "S" | "I" => {
-                let addr = u64::from_str_radix(
-                    parts.next().ok_or_else(|| err("missing address"))?,
-                    16,
-                )
-                .map_err(|_| err("bad address"))?;
+                let addr =
+                    u64::from_str_radix(parts.next().ok_or_else(|| err("missing address"))?, 16)
+                        .map_err(|_| err("bad address"))?;
                 let overlappable = match parts.next() {
                     Some("1") => true,
                     Some("0") | None => false,

@@ -1,6 +1,11 @@
-//! Multi-channel study (Section 4.3 of the paper): sweep 1, 2 and 4 memory
-//! channels and all four address mapping schemes for one workload, reporting
-//! the best mapping per channel count as the paper's Table 4 does.
+//! Multi-channel study (Section 4.3 of the paper), in two parts:
+//!
+//! 1. A backend-shard sweep: 1, 2 and 4 independent memory controllers
+//!    (`SystemConfig::num_channels`) serving block-interleaved traffic. On a
+//!    bandwidth-bound workload the average read latency must fall (or at
+//!    least not rise) with every added channel — the example asserts it.
+//! 2. The paper's Table 4 view: per-controller channel count crossed with all
+//!    four address mapping schemes, reporting the best mapping per count.
 //!
 //! Run with (workload acronym optional, defaults to TPC-H Q6):
 //! ```text
@@ -9,16 +14,27 @@
 
 use cloudmc::memctrl::AddressMapping;
 use cloudmc::sim::{run_system, SimStats, SystemConfig};
-use cloudmc::workloads::Workload;
+use cloudmc::workloads::{Category, Workload};
 
-fn run_point(
+fn scaled(workload: Workload) -> SystemConfig {
+    let mut config = SystemConfig::baseline(workload);
+    config.warmup_cpu_cycles = 80_000;
+    config.measure_cpu_cycles = 300_000;
+    config
+}
+
+fn run_shards(workload: Workload, num_channels: usize) -> Result<SimStats, String> {
+    let mut config = scaled(workload);
+    config.num_channels = num_channels;
+    run_system(config)
+}
+
+fn run_mapping(
     workload: Workload,
     channels: usize,
     mapping: AddressMapping,
 ) -> Result<SimStats, String> {
-    let mut config = SystemConfig::baseline(workload);
-    config.warmup_cpu_cycles = 80_000;
-    config.measure_cpu_cycles = 300_000;
+    let mut config = scaled(workload);
     config.mc.dram.channels = channels;
     config.mc.mapping = mapping;
     run_system(config)
@@ -29,9 +45,41 @@ fn main() -> Result<(), String> {
         .nth(1)
         .unwrap_or_else(|| "TPCH-Q6".to_owned())
         .parse()?;
+    println!("workload: {workload}\n");
 
-    println!("workload: {workload}");
-    let baseline = run_point(workload, 1, AddressMapping::RoRaBaCoCh)?;
+    println!("— backend shards (SystemConfig::num_channels) —");
+    let mut latencies = Vec::new();
+    for num_channels in [1usize, 2, 4] {
+        let stats = run_shards(workload, num_channels)?;
+        println!(
+            "{num_channels} channel(s): IPC {:.3}, avg read latency {:.1} DRAM cycles ({:.1} ns), \
+             BW util {:.1}%",
+            stats.user_ipc(),
+            stats.avg_read_latency_dram,
+            stats.avg_read_latency_ns,
+            stats.bandwidth_utilization * 100.0
+        );
+        latencies.push(stats.avg_read_latency_dram);
+    }
+    let monotone = latencies.windows(2).all(|w| w[1] <= w[0]);
+    if workload.category() == Category::DecisionSupport {
+        // Bandwidth-bound workloads must get faster with every added channel.
+        assert!(
+            monotone,
+            "average read latency must be monotonically non-increasing over 1/2/4 channels \
+             on the bandwidth-bound workload, got {latencies:?}"
+        );
+        println!("latency is monotonically non-increasing: {latencies:?}\n");
+    } else if monotone {
+        println!("latency is monotonically non-increasing: {latencies:?}\n");
+    } else {
+        // Latency-bound workloads barely queue, so interleaving can cost a
+        // cycle or two of row locality — the paper's Section 4.3 observation.
+        println!("latency is not monotone (workload is not bandwidth-bound): {latencies:?}\n");
+    }
+
+    println!("— per-controller channels x address mapping (Table 4) —");
+    let baseline = run_mapping(workload, 1, AddressMapping::RoRaBaCoCh)?;
     println!(
         "1 channel  ({}): IPC {:.3}, latency {:.1} ns, hit {:.1}%",
         baseline.mapping,
@@ -39,11 +87,10 @@ fn main() -> Result<(), String> {
         baseline.avg_read_latency_ns,
         baseline.row_buffer_hit_rate * 100.0
     );
-
     for channels in [2usize, 4] {
         let mut best: Option<SimStats> = None;
         for mapping in AddressMapping::all() {
-            let stats = run_point(workload, channels, mapping)?;
+            let stats = run_mapping(workload, channels, mapping)?;
             if best
                 .as_ref()
                 .map(|b| stats.user_ipc() > b.user_ipc())

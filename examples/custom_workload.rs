@@ -46,8 +46,16 @@ fn main() -> Result<(), String> {
 
     // Evaluate two controller designs against the custom workload.
     let candidates = [
-        ("FR-FCFS + open-adaptive", SchedulerKind::FrFcfs, PagePolicyKind::OpenAdaptive),
-        ("FCFS/bank + close-adaptive", SchedulerKind::FcfsBanks, PagePolicyKind::CloseAdaptive),
+        (
+            "FR-FCFS + open-adaptive",
+            SchedulerKind::FrFcfs,
+            PagePolicyKind::OpenAdaptive,
+        ),
+        (
+            "FCFS/bank + close-adaptive",
+            SchedulerKind::FcfsBanks,
+            PagePolicyKind::CloseAdaptive,
+        ),
     ];
     println!(
         "{:<28} {:>8} {:>12} {:>10}",

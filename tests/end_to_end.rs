@@ -20,7 +20,11 @@ fn run(cfg: SystemConfig) -> SimStats {
 fn baseline_characteristics_are_in_calibrated_bands() {
     let ds = run(small(Workload::DataServing));
     // A 16-core pod commits between 1 and 16 instructions per cycle.
-    assert!(ds.user_ipc() > 1.0 && ds.user_ipc() < 16.0, "IPC {}", ds.user_ipc());
+    assert!(
+        ds.user_ipc() > 1.0 && ds.user_ipc() < 16.0,
+        "IPC {}",
+        ds.user_ipc()
+    );
     // Row-buffer hit rate and single-access fraction are proper fractions.
     assert!(ds.row_buffer_hit_rate > 0.05 && ds.row_buffer_hit_rate < 0.9);
     assert!(ds.single_access_activation_fraction > 0.4);
@@ -79,7 +83,11 @@ fn every_scheduler_completes_work_on_a_scale_out_workload() {
         let mut cfg = small(Workload::DataServing);
         cfg.mc.scheduler = scheduler;
         let stats = run(cfg);
-        assert!(stats.reads_completed > 100, "{} completed too little", stats.scheduler);
+        assert!(
+            stats.reads_completed > 100,
+            "{} completed too little",
+            stats.scheduler
+        );
         let base = *baseline_reads.get_or_insert(stats.reads_completed);
         // All schedulers serve the same closed-loop demand within 2x.
         assert!(stats.reads_completed * 2 > base);
@@ -114,7 +122,10 @@ fn web_frontend_runs_with_eight_cores_and_dma_traffic() {
     let wf = run(small(Workload::WebFrontend));
     assert_eq!(wf.cores, 8);
     assert_eq!(wf.instructions_per_core.len(), 8);
-    assert!(wf.memory_writes_sent > 0, "DMA writes and write-backs expected");
+    assert!(
+        wf.memory_writes_sent > 0,
+        "DMA writes and write-backs expected"
+    );
 }
 
 #[test]

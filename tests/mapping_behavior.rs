@@ -33,7 +33,10 @@ fn row_preserving_mappings_keep_sequential_blocks_on_one_channel_and_row() {
         let first = mapping.decode(0, &cfg);
         for block in 0..cfg.columns_per_row() {
             let d = mapping.decode(block * 64, &cfg);
-            assert_eq!(d.channel, first.channel, "{mapping} split the row across channels");
+            assert_eq!(
+                d.channel, first.channel,
+                "{mapping} split the row across channels"
+            );
             assert_eq!(d.location.row, first.location.row);
             assert_eq!(d.location.bank, first.location.bank);
         }
@@ -53,9 +56,21 @@ fn all_mappings_cover_every_channel_bank_and_rank() {
             banks.insert(d.location.bank);
             ranks.insert(d.location.rank);
         }
-        assert_eq!(channels.len(), cfg.channels, "{mapping} does not use every channel");
-        assert_eq!(banks.len(), cfg.banks_per_rank, "{mapping} does not use every bank");
-        assert_eq!(ranks.len(), cfg.ranks_per_channel, "{mapping} does not use every rank");
+        assert_eq!(
+            channels.len(),
+            cfg.channels,
+            "{mapping} does not use every channel"
+        );
+        assert_eq!(
+            banks.len(),
+            cfg.banks_per_rank,
+            "{mapping} does not use every bank"
+        );
+        assert_eq!(
+            ranks.len(),
+            cfg.ranks_per_channel,
+            "{mapping} does not use every rank"
+        );
     }
 }
 
@@ -66,7 +81,10 @@ fn single_channel_geometry_makes_all_schemes_equivalent() {
         let reference = AddressMapping::RoRaBaCoCh.decode(addr, &cfg);
         for mapping in AddressMapping::all() {
             let d = mapping.decode(addr, &cfg);
-            assert_eq!(d.location.row, reference.location.row, "{mapping} row differs");
+            assert_eq!(
+                d.location.row, reference.location.row,
+                "{mapping} row differs"
+            );
             assert_eq!(d.location.column, reference.location.column);
         }
     }

@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of criterion's API that the `cloudmc` benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's full statistical machinery it runs a short warm-up,
+//! then times enough iterations to fill a measurement window and reports the
+//! mean wall-clock time per iteration. That is deliberately simple but more
+//! than adequate for the relative before/after comparisons the repository's
+//! microbenchmarks are used for.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; forwards to [`std::hint::black_box`].
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are sized (API compatibility only; the stand-in treats
+/// every batch size identically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Per-benchmark timing driver handed to the closure of `bench_function`.
+#[derive(Debug)]
+pub struct Bencher {
+    measured: Option<(u64, Duration)>,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    fn new(measure_for: Duration) -> Self {
+        Self {
+            measured: None,
+            measure_for,
+        }
+    }
+
+    /// Times `routine` repeatedly and records the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also provides a first cost estimate to size batches.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let estimate = warm_start.elapsed().max(Duration::from_nanos(1));
+        let batch =
+            (self.measure_for.as_nanos() / estimate.as_nanos() / 8).clamp(1, 1 << 24) as u64;
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.measure_for {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            elapsed += start.elapsed();
+            iters += batch;
+        }
+        self.measured = Some((iters, elapsed));
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; only the routine
+    /// is included in the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let warm_start = Instant::now();
+        black_box(routine(input));
+        let estimate = warm_start.elapsed().max(Duration::from_nanos(1));
+        let target_iters =
+            (self.measure_for.as_nanos() / estimate.as_nanos()).clamp(1, 1 << 20) as u64;
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..target_iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+            if elapsed >= self.measure_for {
+                break;
+            }
+        }
+        self.measured = Some((iters, elapsed));
+    }
+}
+
+fn report(name: &str, measured: Option<(u64, Duration)>) {
+    match measured {
+        Some((iters, elapsed)) if iters > 0 => {
+            let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            let (value, unit) = if per_iter >= 1_000_000.0 {
+                (per_iter / 1_000_000.0, "ms")
+            } else if per_iter >= 1_000.0 {
+                (per_iter / 1_000.0, "µs")
+            } else {
+                (per_iter, "ns")
+            };
+            println!("{name:<48} {value:>10.3} {unit}/iter  ({iters} iters)");
+        }
+        _ => println!("{name:<48} (no measurement recorded)"),
+    }
+}
+
+/// Benchmark registry and runner, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CLOUDMC_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Self {
+            measure_for: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.measure_for);
+        f(&mut bencher);
+        report(&name.to_string(), bencher.measured);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.criterion.measure_for);
+        f(&mut bencher);
+        report(&format!("{}/{name}", self.prefix), bencher.measured);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(5),
+        };
+        c.bench_function("smoke/iter", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+}

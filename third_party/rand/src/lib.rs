@@ -1,0 +1,176 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crates.io registry, so this
+//! vendored crate provides the exact subset of the `rand` 0.8 API that the
+//! `cloudmc` workspace uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! and [`Rng`] with `gen_range` / `gen_bool`.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — fast, with
+//! excellent statistical quality for simulation purposes. Sequences differ
+//! from upstream `rand`'s ChaCha-based `StdRng`, which is fine here: the
+//! simulator only requires determinism for a fixed seed and good uniformity,
+//! not a specific stream.
+
+/// Random number generator implementations.
+pub mod rngs {
+    /// The standard deterministic generator (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let s = &mut self.state;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+use rngs::StdRng;
+
+/// Seedable construction of generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state, as
+        // recommended by the xoshiro authors.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            state: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// A half-open range that a value can be uniformly sampled from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample from `self` using `rng`.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+impl SampleRange for core::ops::Range<u64> {
+    type Output = u64;
+    #[inline]
+    fn sample(self, rng: &mut StdRng) -> u64 {
+        let span = self.end.checked_sub(self.start).expect("empty range");
+        assert!(span > 0, "cannot sample an empty range");
+        // Multiply-shift reduction (Lemire); bias is negligible for
+        // simulation workloads and the result stays deterministic.
+        let hi = ((u128::from(rng.next_u64_impl()) * u128::from(span)) >> 64) as u64;
+        self.start + hi
+    }
+}
+
+impl SampleRange for core::ops::Range<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample(self, rng: &mut StdRng) -> usize {
+        (self.start as u64..self.end as u64).sample(rng) as usize
+    }
+}
+
+impl SampleRange for core::ops::Range<u32> {
+    type Output = u32;
+    #[inline]
+    fn sample(self, rng: &mut StdRng) -> u32 {
+        (u64::from(self.start)..u64::from(self.end)).sample(rng) as u32
+    }
+}
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        let unit = (rng.next_u64_impl() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Uniform sampling methods, mirroring the `rand::Rng` extension trait.
+pub trait Rng {
+    /// Draws one uniform sample from the half-open `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output;
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit = (self.next_u64_impl() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.gen_range(0u64..u64::MAX) == b.gen_range(0u64..u64::MAX))
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability_is_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "hits {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}
