@@ -4,6 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
+use cloudmc_bench::{dense_config, idle_heavy_config, Scale};
 use cloudmc_cpu::{Cache, CacheConfig};
 use cloudmc_dram::{Command, DramChannel, DramConfig, Location};
 use cloudmc_memctrl::{
@@ -65,8 +66,10 @@ fn bench_scheduler_tick(c: &mut Criterion) {
                     mc
                 },
                 |mut mc| {
+                    let mut done = Vec::new();
                     for cycle in 0..256u64 {
-                        black_box(mc.tick(cycle).len());
+                        mc.tick(cycle, &mut done);
+                        black_box(done.len());
                     }
                     mc.stats().reads_completed
                 },
@@ -139,6 +142,35 @@ fn bench_system_baseline(c: &mut Criterion) {
     group.finish();
 }
 
+/// The acceptance benchmark of the event-horizon fast-forward: simulated
+/// CPU cycles per second on an idle-heavy (2% intensity) stream versus the
+/// dense TPC-H Q6 scan, each with the fast-forward on and off. The idle
+/// point is where skipping dead cycles pays (the differential test pins the
+/// results to be bit-identical); the dense point guards against the horizon
+/// scan slowing the busy path down.
+fn bench_fast_forward(c: &mut Criterion) {
+    let scale = Scale {
+        warmup_cpu_cycles: 5_000,
+        measure_cpu_cycles: 45_000,
+        seed: 1,
+        threads: 1,
+    };
+    let mut group = c.benchmark_group("system/fast_forward_50k_cycles");
+    group.sample_size(10);
+    for (label, mut cfg) in [
+        ("idle_heavy_naive", idle_heavy_config(&scale)),
+        ("idle_heavy_fast_forward", idle_heavy_config(&scale)),
+        ("tpch_q6_naive", dense_config(&scale)),
+        ("tpch_q6_fast_forward", dense_config(&scale)),
+    ] {
+        cfg.fast_forward = label.ends_with("fast_forward");
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(run_system(black_box(cfg)).unwrap().user_instructions));
+        });
+    }
+    group.finish();
+}
+
 fn bench_cache(c: &mut Criterion) {
     c.bench_function("cache/l1_access_stream", |b| {
         let mut cache = Cache::new(CacheConfig::l1_baseline());
@@ -164,6 +196,7 @@ criterion_group!(
     bench_scheduler_tick,
     bench_scheduler_dispatch,
     bench_system_baseline,
+    bench_fast_forward,
     bench_cache,
     bench_workload_generation
 );

@@ -13,6 +13,8 @@
 //!   sched         figs 1-7 in one sweep
 //!   pages         figs 9-11 in one sweep
 //!   channels      figs 12-14 + table 4 in one sweep
+//!   fastforward   simulator throughput with/without event-horizon
+//!                 fast-forward; writes BENCH_fastforward.json
 //!   all           everything above
 //!
 //! options:
@@ -28,9 +30,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use cloudmc_bench::{
-    baseline_study, channel_study, config_report, figure1, figure10, figure11, figure12, figure13,
-    figure14, figure2, figure3, figure4, figure5, figure6, figure7, figure8, figure9,
-    page_policy_study, scheduler_study, Scale, Table,
+    baseline_study, channel_study, config_report, fastforward_report, figure1, figure10, figure11,
+    figure12, figure13, figure14, figure2, figure3, figure4, figure5, figure6, figure7, figure8,
+    figure9, page_policy_study, scheduler_study, Scale, Table,
 };
 
 struct Options {
@@ -93,7 +95,7 @@ fn parse_args() -> Result<Options, String> {
     })
 }
 
-const HELP: &str = "usage: repro <config|fig1..fig14|table4|sched|pages|channels|all> \
+const HELP: &str = "usage: repro <config|fig1..fig14|table4|sched|pages|channels|fastforward|all> \
 [--quick|--full] [--measure N] [--warmup N] [--seed N] [--threads N] [--csv DIR]";
 
 fn emit(table: &Table, csv_dir: &Option<PathBuf>) {
@@ -189,9 +191,35 @@ fn main() -> ExitCode {
             println!("{}", study.table4().to_text());
         }
     }
+    if wants(&["fastforward", "all"]) {
+        let report = fastforward_report(&scale);
+        println!("{}", report.to_text());
+        let path = "BENCH_fastforward.json";
+        std::fs::write(path, report.to_json()).expect("write BENCH_fastforward.json");
+        eprintln!("wrote {path}");
+    }
     let known = [
-        "config", "all", "sched", "pages", "channels", "table4", "fig1", "fig2", "fig3", "fig4",
-        "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+        "config",
+        "all",
+        "sched",
+        "pages",
+        "channels",
+        "table4",
+        "fastforward",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
     ];
     if !known.contains(&exp) {
         eprintln!("error: unknown experiment `{exp}`");

@@ -1,0 +1,197 @@
+//! Fast-forward performance tracking: simulated-CPU-cycles-per-second with
+//! the kernel's event-horizon fast-forward on and off, on an idle-heavy
+//! stream and on a dense decision-support stream.
+//!
+//! The `repro fastforward` experiment serializes the result as
+//! `BENCH_fastforward.json` so the performance trajectory of the simulator
+//! itself is tracked alongside the paper's figures.
+
+use std::time::Instant;
+
+use cloudmc_sim::{run_system, SimStats, SystemConfig};
+use cloudmc_workloads::Workload;
+
+use crate::experiments::{baseline_config, Scale};
+
+/// The idle-intensity factor of the benchmark's low-arrival-rate stream.
+///
+/// 2% of Web Search's off-chip rate models the low-utilization phases cloud
+/// services spend most of their wall-clock in: tens of thousands of compute
+/// instructions between memory events per core.
+pub const IDLE_INTENSITY: f64 = 0.02;
+
+/// The idle-heavy configuration: Web Search scaled to [`IDLE_INTENSITY`].
+#[must_use]
+pub fn idle_heavy_config(scale: &Scale) -> SystemConfig {
+    let mut cfg = baseline_config(Workload::WebSearch, scale);
+    cfg.workload = cfg.workload.with_intensity(IDLE_INTENSITY);
+    cfg
+}
+
+/// The dense configuration: the unmodified TPC-H Q6 scan, the most
+/// bandwidth-bound stream in the suite (the fast-forward's worst case).
+#[must_use]
+pub fn dense_config(scale: &Scale) -> SystemConfig {
+    baseline_config(Workload::TpchQ6, scale)
+}
+
+/// Throughput of one configuration under one kernel mode.
+#[derive(Debug, Clone, Copy)]
+pub struct Throughput {
+    /// Simulated CPU cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Wall-clock seconds for the run.
+    pub wall_seconds: f64,
+}
+
+/// One benchmark point: the same workload under both kernel modes.
+#[derive(Debug, Clone)]
+pub struct FastForwardPoint {
+    /// Point name (`idle_heavy`, `tpch_q6`).
+    pub name: &'static str,
+    /// Total simulated CPU cycles per run.
+    pub simulated_cpu_cycles: u64,
+    /// Naive per-cycle loop.
+    pub naive: Throughput,
+    /// Event-horizon fast-forward.
+    pub fast_forward: Throughput,
+}
+
+impl FastForwardPoint {
+    /// Fast-forward speedup over the naive loop.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.fast_forward.cycles_per_sec / self.naive.cycles_per_sec
+    }
+}
+
+/// The full report: both points plus the scale they ran at.
+#[derive(Debug, Clone)]
+pub struct FastForwardReport {
+    /// Idle-heavy and dense benchmark points.
+    pub points: Vec<FastForwardPoint>,
+}
+
+fn timed_run(cfg: SystemConfig) -> (SimStats, Throughput) {
+    let start = Instant::now();
+    let stats = run_system(cfg).expect("valid benchmark configuration");
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    let total = cfg.total_cpu_cycles();
+    (
+        stats,
+        Throughput {
+            cycles_per_sec: total as f64 / wall,
+            wall_seconds: wall,
+        },
+    )
+}
+
+fn measure_point(name: &'static str, cfg: SystemConfig) -> FastForwardPoint {
+    let mut fast_cfg = cfg;
+    fast_cfg.fast_forward = true;
+    let mut naive_cfg = cfg;
+    naive_cfg.fast_forward = false;
+    // Warm the instruction/data caches of the *host* with one throwaway run,
+    // then time each mode.
+    let _ = timed_run(fast_cfg);
+    let (fast_stats, fast) = timed_run(fast_cfg);
+    let (naive_stats, naive) = timed_run(naive_cfg);
+    assert_eq!(
+        fast_stats, naive_stats,
+        "{name}: benchmark modes must stay bit-identical"
+    );
+    FastForwardPoint {
+        name,
+        simulated_cpu_cycles: cfg.total_cpu_cycles(),
+        naive,
+        fast_forward: fast,
+    }
+}
+
+/// A representative full-intensity scale-out stream (Web Search, unscaled).
+#[must_use]
+pub fn scale_out_config(scale: &Scale) -> SystemConfig {
+    baseline_config(Workload::WebSearch, scale)
+}
+
+/// Runs all benchmark points at `scale`.
+#[must_use]
+pub fn fastforward_report(scale: &Scale) -> FastForwardReport {
+    FastForwardReport {
+        points: vec![
+            measure_point("idle_heavy", idle_heavy_config(scale)),
+            measure_point("web_search", scale_out_config(scale)),
+            measure_point("tpch_q6", dense_config(scale)),
+        ],
+    }
+}
+
+impl FastForwardReport {
+    /// Machine-readable JSON for `BENCH_fastforward.json`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"benchmark\": \"event_horizon_fast_forward\",\n");
+        out.push_str("  \"unit\": \"simulated_cpu_cycles_per_second\",\n  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"simulated_cpu_cycles\": {}, \
+                 \"naive_cycles_per_sec\": {:.0}, \"fast_forward_cycles_per_sec\": {:.0}, \
+                 \"speedup\": {:.3}}}{}\n",
+                p.name,
+                p.simulated_cpu_cycles,
+                p.naive.cycles_per_sec,
+                p.fast_forward.cycles_per_sec,
+                p.speedup(),
+                if i + 1 == self.points.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Human-readable summary for the terminal.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(
+            "fast-forward throughput (simulated CPU cycles / second)\n\
+             point        naive          fast-forward   speedup\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:<12} {:>12.0}   {:>12.0}   {:>6.2}x\n",
+                p.name,
+                p.naive.cycles_per_sec,
+                p.fast_forward.cycles_per_sec,
+                p.speedup()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_runs_and_serializes() {
+        let scale = Scale {
+            warmup_cpu_cycles: 2_000,
+            measure_cpu_cycles: 10_000,
+            seed: 1,
+            threads: 1,
+        };
+        let report = fastforward_report(&scale);
+        assert_eq!(report.points.len(), 3);
+        let json = report.to_json();
+        assert!(json.contains("\"idle_heavy\""));
+        assert!(json.contains("\"web_search\""));
+        assert!(json.contains("\"tpch_q6\""));
+        assert!(json.contains("speedup"));
+        assert!(report.to_text().contains("speedup"));
+        for p in &report.points {
+            assert!(p.naive.wall_seconds > 0.0);
+            assert!(p.fast_forward.cycles_per_sec > 0.0);
+        }
+    }
+}

@@ -12,7 +12,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod fastforward;
 pub mod report;
+
+pub use fastforward::{
+    dense_config, fastforward_report, idle_heavy_config, FastForwardPoint, FastForwardReport,
+};
 
 pub use experiments::{
     baseline_config, baseline_study, channel_study, config_report, figure1, figure10, figure11,

@@ -291,6 +291,50 @@ impl InOrderCore {
         out
     }
 
+    /// How many upcoming cycles this core is *provably deterministic* for —
+    /// the per-core ingredient of the kernel's event-horizon fast-forward.
+    ///
+    /// * `None` — the core needs its instruction stream on the very next
+    ///   tick; nothing can be skipped.
+    /// * `Some(u64::MAX)` — the core is blocked until a fill arrives; every
+    ///   cycle until then is a stall cycle.
+    /// * `Some(k)` — the next `k` ticks each retire one buffered compute
+    ///   instruction and touch nothing else.
+    ///
+    /// [`InOrderCore::skip_cycles`] applies up to that many cycles in bulk
+    /// with effects identical to calling [`InOrderCore::tick`] per cycle.
+    #[must_use]
+    pub fn runway(&self) -> Option<u64> {
+        match self.stall {
+            Some(Stall::Miss { .. }) => Some(u64::MAX),
+            // A core parked on a full MSHR file stays parked until a fill
+            // frees an entry; if the file has space it retries next tick.
+            Some(Stall::MshrFull(_)) => self.mshr.is_full().then_some(u64::MAX),
+            None => (self.pending_compute > 0).then(|| u64::from(self.pending_compute)),
+        }
+    }
+
+    /// Advances the core by `cycles` cycles in bulk. Exactly equivalent to
+    /// `cycles` calls of [`InOrderCore::tick`], valid only while the core is
+    /// inside the window reported by [`InOrderCore::runway`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `cycles` exceeds the current runway.
+    pub fn skip_cycles(&mut self, cycles: u64) {
+        debug_assert!(
+            self.runway().is_some_and(|r| r >= cycles),
+            "skip of {cycles} cycles exceeds the core's runway"
+        );
+        self.stats.cycles += cycles;
+        if self.stall.is_some() {
+            self.stats.stall_cycles += cycles;
+        } else {
+            self.stats.committed += cycles;
+            self.pending_compute -= cycles as u32;
+        }
+    }
+
     /// Delivers the refill of `block_addr`; wakes the core if it was blocked
     /// on that block.
     pub fn fill(&mut self, block_addr: u64) {
@@ -505,6 +549,51 @@ mod tests {
         }
         assert_eq!(writebacks, 1);
         assert_eq!(core.stats().l1_writebacks, 1);
+    }
+
+    #[test]
+    fn runway_and_skip_match_cycle_by_cycle_ticking() {
+        // A stream with a long compute burst: skipping the burst in bulk must
+        // leave the core in exactly the state per-cycle ticking would.
+        let make = || {
+            let mut core = tiny_core();
+            let mut ops = vec![CoreOp::Compute(100)].into_iter();
+            let mut src = move || ops.next().unwrap_or(CoreOp::Compute(1));
+            core.tick(&mut src); // consume the burst head; 99 buffered
+            core
+        };
+        let mut ticked = make();
+        let mut src = compute_stream();
+        for _ in 0..40 {
+            ticked.tick(&mut src);
+        }
+        let mut skipped = make();
+        assert_eq!(skipped.runway(), Some(99));
+        skipped.skip_cycles(40);
+        assert_eq!(ticked.stats(), skipped.stats());
+        assert_eq!(skipped.runway(), Some(59));
+    }
+
+    #[test]
+    fn runway_reflects_stall_state() {
+        let mut core = tiny_core();
+        // Fresh core must consult the stream immediately.
+        assert_eq!(core.runway(), None);
+        let mut first = Some(CoreOp::Mem(MemOp {
+            kind: OpKind::Load,
+            addr: 0x1000,
+            overlappable: false,
+        }));
+        let mut src = move || first.take().unwrap_or(CoreOp::Compute(1));
+        core.tick(&mut src);
+        assert!(core.is_stalled());
+        assert_eq!(core.runway(), Some(u64::MAX));
+        // A bulk stall advance matches per-cycle stalling.
+        core.skip_cycles(25);
+        assert_eq!(core.stats().stall_cycles, 25);
+        assert_eq!(core.committed(), 0);
+        core.fill(0x1000);
+        assert_eq!(core.runway(), None, "woken core needs the stream again");
     }
 
     #[test]

@@ -224,6 +224,62 @@ impl DramChannel {
         ready
     }
 
+    /// Whether this channel issues periodic refresh at all.
+    #[must_use]
+    pub fn refresh_enabled(&self) -> bool {
+        self.refresh_enabled
+    }
+
+    /// Earliest cycle at which `cmd` could legally issue, assuming no other
+    /// command is issued in the meantime (the device state stays frozen).
+    ///
+    /// Returns `None` when no passage of time can make the command legal from
+    /// the current state — e.g. a column access to a row that is not open, or
+    /// a precharge of an idle bank. The one-command-per-cycle command-bus
+    /// rule is deliberately ignored: it constrains only the cycle of the most
+    /// recent issue, which the caller (the kernel's event-horizon scan) never
+    /// revisits. Under that caveat, `can_issue(cmd, t)` holds exactly for
+    /// `t >= earliest_legal(cmd)` while the state stays frozen, which is what
+    /// lets the simulation kernel jump over provably dead cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the command's location is outside the configured geometry.
+    #[must_use]
+    pub fn earliest_legal(&self, cmd: &Command) -> Option<DramCycles> {
+        self.check_location(&cmd.loc);
+        let rank = &self.ranks[cmd.loc.rank];
+        let bank = rank.bank(cmd.loc.bank);
+        let t = &self.timing;
+        match cmd.kind {
+            CommandKind::Activate => bank.open_row().is_none().then(|| {
+                bank.next_activate_allowed()
+                    .max(rank.next_activate_allowed(t))
+            }),
+            CommandKind::Read { .. } => (bank.open_row() == Some(cmd.loc.row)).then(|| {
+                let bus = self
+                    .data_bus_ready(cmd.loc.rank, BusDirection::Read)
+                    .saturating_sub(t.cl);
+                bank.next_read_allowed()
+                    .max(rank.next_read_allowed())
+                    .max(bus)
+            }),
+            CommandKind::Write { .. } => (bank.open_row() == Some(cmd.loc.row)).then(|| {
+                let bus = self
+                    .data_bus_ready(cmd.loc.rank, BusDirection::Write)
+                    .saturating_sub(t.cwl);
+                bank.next_write_allowed()
+                    .max(rank.next_write_allowed())
+                    .max(bus)
+            }),
+            CommandKind::Precharge => bank
+                .open_row()
+                .is_some()
+                .then(|| bank.next_precharge_allowed()),
+            CommandKind::Refresh => (self.refresh_enabled && rank.all_banks_idle()).then_some(0),
+        }
+    }
+
     /// Whether `cmd` may legally issue at cycle `now`.
     ///
     /// # Panics
@@ -503,6 +559,93 @@ mod tests {
         ch.issue(&Command::read(loc, true), t.t_rcd + t.t_ras);
         assert_eq!(ch.stats().precharges, 1);
         assert_eq!(ch.open_row(0, 0), None);
+    }
+
+    /// `earliest_legal` must be the exact boundary of `can_issue` for a
+    /// frozen device state (ignoring the one-command-per-cycle rule, which is
+    /// sidestepped by probing cycles after the last issue).
+    fn assert_earliest_matches(ch: &DramChannel, cmd: &Command, probe_from: DramCycles) {
+        match ch.earliest_legal(cmd) {
+            Some(earliest) => {
+                let start = earliest.max(probe_from);
+                if earliest > probe_from {
+                    assert!(
+                        !ch.can_issue(cmd, earliest - 1),
+                        "{} legal one cycle before earliest_legal ({earliest})",
+                        cmd.kind
+                    );
+                }
+                assert!(
+                    ch.can_issue(cmd, start),
+                    "{} not legal at earliest_legal ({start})",
+                    cmd.kind
+                );
+            }
+            None => {
+                for t in probe_from..probe_from + 2_000 {
+                    assert!(
+                        !ch.can_issue(cmd, t),
+                        "{} became legal at {t} despite earliest_legal = None",
+                        cmd.kind
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn earliest_legal_matches_can_issue_boundaries() {
+        let (mut ch, cfg) = channel();
+        let t = cfg.timing;
+        let a = Location::new(0, 0, 5, 0);
+        let other_row = Location::new(0, 0, 9, 0);
+        let b = Location::new(1, 2, 7, 0);
+
+        // Idle bank: activate legal immediately, column/precharge never.
+        assert_earliest_matches(&ch, &Command::activate(a), 1);
+        assert_eq!(ch.earliest_legal(&Command::read(a, false)), None);
+        assert_eq!(ch.earliest_legal(&Command::precharge(a)), None);
+        assert_earliest_matches(&ch, &Command::refresh(0), 1);
+
+        // Open a row and exercise every boundary: tRCD for the column
+        // access, tRAS for the precharge, tRC for the re-activate.
+        ch.issue(&Command::activate(a), 0);
+        assert_earliest_matches(&ch, &Command::read(a, false), 1);
+        assert_earliest_matches(&ch, &Command::write(a, false), 1);
+        assert_earliest_matches(&ch, &Command::precharge(a), 1);
+        assert_eq!(ch.earliest_legal(&Command::activate(a)), None);
+        assert_eq!(ch.earliest_legal(&Command::read(other_row, false)), None);
+        assert_eq!(ch.earliest_legal(&Command::refresh(0)), None);
+
+        // After a read, the other rank's activate only waits on its own
+        // constraints while a same-rank activate is fenced by tRC.
+        ch.issue(&Command::read(a, false), t.t_rcd);
+        assert_earliest_matches(&ch, &Command::activate(b), t.t_rcd + 1);
+        assert_earliest_matches(&ch, &Command::precharge(a), t.t_rcd + 1);
+
+        // Cross-rank read: the data-bus + tRTRS gap must be the boundary.
+        ch.issue(&Command::activate(b), t.t_rcd + 1);
+        assert_earliest_matches(&ch, &Command::read(b, false), t.t_rcd + 2);
+
+        // Write-to-read turnaround on the same rank.
+        let wr_at = ch
+            .earliest_legal(&Command::write(b, false))
+            .unwrap()
+            .max(t.t_rcd + 2);
+        ch.issue(&Command::write(b, false), wr_at);
+        assert_earliest_matches(&ch, &Command::read(b, false), wr_at + 1);
+    }
+
+    #[test]
+    fn earliest_legal_refresh_requires_idle_banks_and_enabled_refresh() {
+        let mut cfg = DramConfig::baseline();
+        cfg.refresh_enabled = false;
+        let ch = DramChannel::new(&cfg);
+        assert!(!ch.refresh_enabled());
+        assert_eq!(ch.earliest_legal(&Command::refresh(0)), None);
+        let (ch2, _) = channel();
+        assert!(ch2.refresh_enabled());
+        assert_eq!(ch2.earliest_legal(&Command::refresh(0)), Some(0));
     }
 
     #[test]

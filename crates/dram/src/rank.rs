@@ -118,6 +118,18 @@ impl Rank {
         now >= self.next_write
     }
 
+    /// Earliest cycle a READ may issue (rank-level constraints only).
+    #[must_use]
+    pub fn next_read_allowed(&self) -> DramCycles {
+        self.next_read
+    }
+
+    /// Earliest cycle a WRITE may issue (rank-level constraints only).
+    #[must_use]
+    pub fn next_write_allowed(&self) -> DramCycles {
+        self.next_write
+    }
+
     /// Records an ACTIVATE issued at `now`.
     pub fn record_activate(&mut self, now: DramCycles, t: &TimingParams) {
         debug_assert!(

@@ -328,11 +328,11 @@ impl ChannelController {
         }
     }
 
-    /// Advances the controller by one DRAM cycle, returning the requests
-    /// whose data completed this cycle.
-    fn tick(&mut self, now: DramCycles) -> Vec<CompletedRequest> {
+    /// Advances the controller by one DRAM cycle, appending the requests
+    /// whose data completed this cycle to `finished` (the caller owns and
+    /// reuses the buffer, keeping the per-cycle hot path allocation-free).
+    fn tick(&mut self, now: DramCycles, finished: &mut Vec<CompletedRequest>) {
         // 1. Retire completed transfers.
-        let mut finished = Vec::new();
         let mut i = 0;
         while i < self.inflight.len() {
             if self.inflight[i].completion <= now {
@@ -367,7 +367,7 @@ impl ChannelController {
 
         // 5. Refresh takes priority when due and issuable.
         if self.handle_refresh(now) {
-            return finished;
+            return;
         }
 
         // 6. Ask the scheduler for this cycle's command.
@@ -384,7 +384,7 @@ impl ChannelController {
         };
         if let Some(decision) = decision {
             self.execute(decision, now);
-            return finished;
+            return;
         }
 
         // 7. Otherwise let the page policy close an idle row proactively.
@@ -407,7 +407,106 @@ impl ChannelController {
                 }
             }
         }
-        finished
+    }
+
+    /// Accounts for `cycles` DRAM cycles the kernel has proven eventless for
+    /// this channel: the only per-cycle side effect of an eventless tick is
+    /// the queue-occupancy sample, applied here in bulk.
+    fn skip_cycles(&mut self, cycles: u64) {
+        self.stats
+            .sample_queues_n(self.read_q.len(), self.write_q.len(), cycles);
+    }
+
+    /// Earliest cycle of its current progress command for one queued entry,
+    /// assuming the device state stays frozen (see
+    /// [`cloudmc_dram::DramChannel::earliest_legal`]). Mirrors the
+    /// command-derivation of [`crate::sched::progress_for`].
+    fn earliest_progress(&self, entry: &crate::queue::QueueEntry) -> Option<DramCycles> {
+        let loc = entry.location;
+        let cmd = match self.channel.open_row(loc.rank, loc.bank) {
+            Some(row) if row == loc.row => match entry.request.kind {
+                AccessKind::Read => Command::read(loc, false),
+                AccessKind::Write => Command::write(loc, false),
+            },
+            Some(_) => Command::precharge(loc),
+            None => Command::activate(loc),
+        };
+        self.channel.earliest_legal(&cmd)
+    }
+
+    /// The next DRAM cycle at which this channel can possibly do anything
+    /// beyond bulk bookkeeping: retire a transfer, issue a refresh (or the
+    /// forced precharges of an overdue refresh), make progress on a pending
+    /// request, hit a scheduler time boundary, or act on a page-policy
+    /// proposal. `u64::MAX` means the channel is fully quiescent.
+    ///
+    /// The bound must never overshoot (skipping a cycle where the naive loop
+    /// would have acted breaks bit-identical equivalence); undershooting is
+    /// always safe and merely costs an extra no-op tick.
+    fn next_ready_dram_cycle(&self, now: DramCycles) -> DramCycles {
+        let mut next = DramCycles::MAX;
+        // Pending data transfers retire at their completion cycle.
+        for inflight in &self.inflight {
+            next = next.min(inflight.completion);
+        }
+        // Refresh: issuable at its due cycle when the rank is idle; otherwise
+        // the controller force-precharges open banks once the backlog reaches
+        // two intervals.
+        if self.channel.refresh_enabled() {
+            let t_refi = self.channel.timing().t_refi;
+            for r in 0..self.channel.rank_count() {
+                let rank = self.channel.rank(r);
+                let due = rank.next_refresh_due();
+                if rank.all_banks_idle() {
+                    next = next.min(due);
+                } else {
+                    let force_at = due.saturating_add(t_refi);
+                    let earliest_pre = (0..self.channel.banks_per_rank())
+                        .filter(|&b| self.channel.open_row(r, b).is_some())
+                        .map(|b| rank.bank(b).next_precharge_allowed())
+                        .min();
+                    if let Some(pre) = earliest_pre {
+                        next = next.min(force_at.max(pre));
+                    }
+                }
+            }
+        }
+        // Pending requests: earliest legal progress command over both queues
+        // (a superset of what any scheduler would consider, hence an
+        // undershooting — safe — bound for all of them).
+        for entry in self.read_q.iter().chain(self.write_q.iter()) {
+            if let Some(cycle) = self.earliest_progress(entry) {
+                next = next.min(cycle);
+            }
+        }
+        // Scheduler-internal time boundaries (e.g. the ATLAS quantum).
+        if let Some(cycle) = self.scheduler.next_event_cycle() {
+            next = next.min(cycle);
+        }
+        // Page-policy proposals: if one stands now, wake when its precharge
+        // becomes legal; otherwise ask the policy when its answer could flip.
+        let view = PolicyView {
+            now,
+            channel: &self.channel,
+            read_q: &self.read_q,
+            write_q: &self.write_q,
+        };
+        match self.policy.propose_precharge(&view) {
+            Some((rank, bank)) => {
+                if let Some(row) = self.channel.open_row(rank, bank) {
+                    let pre = Command::precharge(Location::new(rank, bank, row, 0));
+                    if let Some(cycle) = self.channel.earliest_legal(&pre) {
+                        next = next.min(cycle);
+                    }
+                }
+            }
+            None => {
+                if let Some(cycle) = self.policy.next_wake(&view) {
+                    next = next.min(cycle);
+                }
+            }
+        }
+        next
     }
 }
 
@@ -422,7 +521,7 @@ impl ChannelController {
 /// mc.enqueue(MemoryRequest::new(1, AccessKind::Read, 0x4000, 0, 0), 0).unwrap();
 /// let mut done = Vec::new();
 /// for cycle in 0..200 {
-///     done.extend(mc.tick(cycle));
+///     mc.tick(cycle, &mut done);
 /// }
 /// assert_eq!(done.len(), 1);
 /// assert_eq!(done[0].request.id, 1);
@@ -492,14 +591,40 @@ impl MemoryController {
         self.channels[decoded.channel].enqueue(request, decoded.location, now)
     }
 
-    /// Advances every channel by one DRAM cycle. Returns requests completed
-    /// this cycle across all channels.
-    pub fn tick(&mut self, now: DramCycles) -> Vec<CompletedRequest> {
-        let mut done = Vec::new();
+    /// Advances every channel by one DRAM cycle, appending requests completed
+    /// this cycle across all channels to `done`.
+    ///
+    /// Takes the completion buffer as a parameter (matching the simulation
+    /// kernel's `Tick` contract) so the caller reuses one allocation for the
+    /// whole run instead of the controller returning a fresh `Vec` per cycle.
+    pub fn tick(&mut self, now: DramCycles, done: &mut Vec<CompletedRequest>) {
         for channel in &mut self.channels {
-            done.extend(channel.tick(now));
+            channel.tick(now, done);
         }
-        done
+    }
+
+    /// The next DRAM cycle at or after `now` at which any channel can
+    /// possibly do work (retire, refresh, serve a pending request, hit a
+    /// scheduler boundary, or close a row), derived from the bank/rank/bus
+    /// timing state and the pending queues. `u64::MAX` means the controller
+    /// is fully quiescent; the kernel may fast-forward to the returned cycle
+    /// and remain bit-identical to ticking every cycle.
+    #[must_use]
+    pub fn next_ready_dram_cycle(&self, now: DramCycles) -> DramCycles {
+        self.channels
+            .iter()
+            .map(|c| c.next_ready_dram_cycle(now))
+            .min()
+            .unwrap_or(DramCycles::MAX)
+    }
+
+    /// Accounts for `cycles` DRAM cycles the kernel has proven eventless:
+    /// applies the per-cycle queue-occupancy samples in bulk, the only side
+    /// effect an eventless tick has.
+    pub fn skip_dram_cycles(&mut self, cycles: u64) {
+        for channel in &mut self.channels {
+            channel.skip_cycles(cycles);
+        }
     }
 
     /// Aggregated controller statistics across channels.
@@ -547,7 +672,7 @@ mod tests {
     fn drain(mc: &mut MemoryController, cycles: u64) -> Vec<CompletedRequest> {
         let mut done = Vec::new();
         for c in 0..cycles {
-            done.extend(mc.tick(c));
+            mc.tick(c, &mut done);
         }
         done
     }
@@ -712,10 +837,90 @@ mod tests {
     fn refresh_happens_over_long_idle_periods() {
         let mut mc = MemoryController::new(McConfig::baseline()).unwrap();
         let t_refi = McConfig::baseline().dram.timing.t_refi;
+        let mut done = Vec::new();
         for c in 0..(t_refi * 3) {
-            let _ = mc.tick(c);
+            mc.tick(c, &mut done);
         }
         assert!(mc.channel_device_stats(0).refreshes >= 2);
+    }
+
+    /// `next_ready_dram_cycle` must never overshoot: ticking every cycle and
+    /// jumping straight to each announced cycle must produce identical
+    /// completions, identical stats and identical device state for every
+    /// scheduler/policy combination.
+    #[test]
+    fn next_ready_never_skips_an_eventful_cycle() {
+        for sched in SchedulerKind::paper_set() {
+            for policy in [
+                PagePolicyKind::OpenAdaptive,
+                PagePolicyKind::Close,
+                PagePolicyKind::Timer,
+            ] {
+                let mut cfg = McConfig::baseline();
+                cfg.scheduler = sched;
+                cfg.page_policy = policy;
+                let mut naive = MemoryController::new(cfg).unwrap();
+                let mut jumpy = MemoryController::new(cfg).unwrap();
+                let submit = |mc: &mut MemoryController| {
+                    for i in 0..12u64 {
+                        mc.enqueue(
+                            MemoryRequest::new(
+                                i,
+                                AccessKind::Read,
+                                (i % 5) * 0x2_0000 + i * 64,
+                                0,
+                                0,
+                            ),
+                            0,
+                        )
+                        .unwrap();
+                    }
+                };
+                submit(&mut naive);
+                submit(&mut jumpy);
+                let horizon = cfg.dram.timing.t_refi * 3;
+                let mut naive_done = Vec::new();
+                for c in 0..horizon {
+                    naive.tick(c, &mut naive_done);
+                }
+                let mut jumpy_done = Vec::new();
+                let mut c = 0u64;
+                while c < horizon {
+                    jumpy.tick(c, &mut jumpy_done);
+                    let next = jumpy.next_ready_dram_cycle(c).max(c + 1).min(horizon);
+                    if next > c + 1 {
+                        jumpy.skip_dram_cycles(next - c - 1);
+                    }
+                    c = next;
+                }
+                assert_eq!(
+                    naive_done.len(),
+                    jumpy_done.len(),
+                    "{sched:?}/{policy}: completion counts diverged"
+                );
+                assert_eq!(
+                    naive.stats(),
+                    jumpy.stats(),
+                    "{sched:?}/{policy}: stats diverged"
+                );
+                assert_eq!(
+                    naive.channel_device_stats(0),
+                    jumpy.channel_device_stats(0),
+                    "{sched:?}/{policy}: device counters diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quiescent_controller_reports_refresh_as_next_event() {
+        let mc = MemoryController::new(McConfig::baseline()).unwrap();
+        let due = McConfig::baseline().dram.timing.t_refi;
+        assert_eq!(mc.next_ready_dram_cycle(0), due);
+        let mut cfg = McConfig::baseline();
+        cfg.dram.refresh_enabled = false;
+        let quiet = MemoryController::new(cfg).unwrap();
+        assert_eq!(quiet.next_ready_dram_cycle(0), u64::MAX);
     }
 
     #[test]

@@ -21,9 +21,11 @@
 //! let mut mc = MemoryController::new(cfg)?;
 //! mc.enqueue(MemoryRequest::new(0, AccessKind::Read, 0x1000, 0, 0), 0)
 //!     .expect("queue has space");
+//! let mut done = Vec::new();
 //! for cycle in 0..200 {
-//!     for done in mc.tick(cycle) {
-//!         println!("request {} finished after {} DRAM cycles", done.request.id, done.latency());
+//!     mc.tick(cycle, &mut done);
+//!     for d in done.drain(..) {
+//!         println!("request {} finished after {} DRAM cycles", d.request.id, d.latency());
 //!     }
 //! }
 //! # Ok::<(), String>(())

@@ -65,8 +65,29 @@ pub trait PagePolicy: std::fmt::Debug + Send {
     /// Proposes an open bank to precharge proactively, as `(rank, bank)`.
     ///
     /// Only called on cycles where the scheduler has nothing better to issue;
-    /// returning `None` keeps all rows open.
-    fn propose_precharge(&mut self, view: &PolicyView<'_>) -> Option<(usize, usize)>;
+    /// returning `None` keeps all rows open. Takes `&self`: proposals must be
+    /// pure functions of the view, because the simulation kernel also
+    /// consults them when computing the event horizon it may fast-forward to
+    /// (any hidden mutation would make skipped idle cycles observable).
+    fn propose_precharge(&self, view: &PolicyView<'_>) -> Option<(usize, usize)>;
+
+    /// Earliest future cycle at which [`PagePolicy::propose_precharge`] could
+    /// start returning `Some`, assuming the device state and the pending
+    /// queues stay exactly as in `view` (no commands issue, nothing arrives).
+    ///
+    /// `None` means "never under a frozen state" — correct for every policy
+    /// whose proposal depends only on the queues and the open rows, because
+    /// those do not change while the kernel skips idle cycles. A policy whose
+    /// proposal depends on *time* (like [`TimerPolicy`]) MUST override this
+    /// and return the cycle its answer flips, otherwise fast-forwarding will
+    /// jump over the cycle where it would have acted and the simulation stops
+    /// being identical to the cycle-by-cycle run.
+    ///
+    /// Only consulted when `propose_precharge` currently returns `None`; an
+    /// earlier-than-necessary (conservative) answer is always safe.
+    fn next_wake(&self, _view: &PolicyView<'_>) -> Option<DramCycles> {
+        None
+    }
 
     /// Called when a row is activated.
     fn on_activate(&mut self, _rank: usize, _bank: usize, _row: u64, _now: DramCycles) {}
@@ -170,7 +191,7 @@ impl PagePolicy for OpenPage {
         false
     }
 
-    fn propose_precharge(&mut self, _view: &PolicyView<'_>) -> Option<(usize, usize)> {
+    fn propose_precharge(&self, _view: &PolicyView<'_>) -> Option<(usize, usize)> {
         None
     }
 }
@@ -188,7 +209,7 @@ impl PagePolicy for ClosePage {
         true
     }
 
-    fn propose_precharge(&mut self, view: &PolicyView<'_>) -> Option<(usize, usize)> {
+    fn propose_precharge(&self, view: &PolicyView<'_>) -> Option<(usize, usize)> {
         // Any row left open (e.g. activated but its request was cancelled)
         // is closed as soon as possible.
         view.open_banks().map(|(r, b, _)| (r, b)).next()
@@ -210,7 +231,7 @@ impl PagePolicy for OpenAdaptive {
             && view.pending_other_row(loc.rank, loc.bank, loc.row)
     }
 
-    fn propose_precharge(&mut self, view: &PolicyView<'_>) -> Option<(usize, usize)> {
+    fn propose_precharge(&self, view: &PolicyView<'_>) -> Option<(usize, usize)> {
         view.open_banks()
             .find(|&(r, b, row)| !view.pending_hit(r, b, row) && view.pending_other_row(r, b, row))
             .map(|(r, b, _)| (r, b))
@@ -231,7 +252,7 @@ impl PagePolicy for CloseAdaptive {
         !view.pending_hit(loc.rank, loc.bank, loc.row)
     }
 
-    fn propose_precharge(&mut self, view: &PolicyView<'_>) -> Option<(usize, usize)> {
+    fn propose_precharge(&self, view: &PolicyView<'_>) -> Option<(usize, usize)> {
         view.open_banks()
             .find(|&(r, b, row)| !view.pending_hit(r, b, row))
             .map(|(r, b, _)| (r, b))
@@ -426,7 +447,7 @@ macro_rules! impl_predictive_policy {
                     && self.predictor.prediction_met(loc.rank, loc.bank, true)
             }
 
-            fn propose_precharge(&mut self, view: &PolicyView<'_>) -> Option<(usize, usize)> {
+            fn propose_precharge(&self, view: &PolicyView<'_>) -> Option<(usize, usize)> {
                 view.open_banks()
                     .find(|&(r, b, row)| {
                         !view.pending_hit(r, b, row) && self.predictor.prediction_met(r, b, false)
@@ -486,13 +507,22 @@ impl PagePolicy for TimerPolicy {
         false
     }
 
-    fn propose_precharge(&mut self, view: &PolicyView<'_>) -> Option<(usize, usize)> {
+    fn propose_precharge(&self, view: &PolicyView<'_>) -> Option<(usize, usize)> {
         view.open_banks()
             .find(|&(r, b, row)| {
                 !view.pending_hit(r, b, row)
                     && view.now.saturating_sub(self.last_access[self.idx(r, b)]) >= self.timeout
             })
             .map(|(r, b, _)| (r, b))
+    }
+
+    /// The proposal flips from `None` to `Some` when the first idle open
+    /// bank's timeout expires; the kernel must not fast-forward past that.
+    fn next_wake(&self, view: &PolicyView<'_>) -> Option<DramCycles> {
+        view.open_banks()
+            .filter(|&(r, b, row)| !view.pending_hit(r, b, row))
+            .map(|(r, b, _)| self.last_access[self.idx(r, b)] + self.timeout)
+            .min()
     }
 
     fn on_activate(&mut self, rank: usize, bank: usize, _row: u64, now: DramCycles) {

@@ -193,7 +193,26 @@ pub trait Scheduler: std::fmt::Debug + Send {
     fn on_complete(&mut self, _done: &CompletedRequest) {}
 
     /// Called once per cycle before `pick` (for quantum/bookkeeping updates).
+    ///
+    /// The simulation kernel may *skip* provably eventless cycles, so this is
+    /// not guaranteed to run at every cycle: implementations must be written
+    /// in catch-up style (`while now >= boundary { ... }`) so that one call
+    /// at a later `now` leaves the scheduler in the same state as a call per
+    /// cycle would have. Work that must happen at an exact cycle relative to
+    /// request completions must additionally be announced through
+    /// [`Scheduler::next_event_cycle`] so the kernel never skips past it.
     fn on_cycle(&mut self, _ctx: &SchedContext<'_>) {}
+
+    /// The next cycle at which this scheduler changes state *on its own*
+    /// (e.g. a ranking-quantum boundary), independent of queue contents.
+    ///
+    /// The kernel's event-horizon fast-forward never jumps past this cycle,
+    /// guaranteeing that `on_cycle` runs at the exact boundary relative to
+    /// the completions around it. `None` (the default) means the scheduler
+    /// has no time-driven state of its own.
+    fn next_event_cycle(&self) -> Option<DramCycles> {
+        None
+    }
 
     /// Whether the scheduler handles the read/write interleaving itself.
     ///
@@ -267,6 +286,17 @@ impl SchedulerImpl {
         match self {
             Self::FrFcfs(s) => s.on_cycle(ctx),
             Self::Boxed(s) => s.on_cycle(ctx),
+        }
+    }
+
+    /// The next cycle at which the scheduler changes state on its own, if any
+    /// (see [`Scheduler::next_event_cycle`]).
+    #[inline]
+    #[must_use]
+    pub fn next_event_cycle(&self) -> Option<DramCycles> {
+        match self {
+            Self::FrFcfs(s) => s.next_event_cycle(),
+            Self::Boxed(s) => s.next_event_cycle(),
         }
     }
 

@@ -97,9 +97,17 @@ impl McStats {
 
     /// Records one per-cycle sample of queue occupancies.
     pub fn sample_queues(&mut self, read_len: usize, write_len: usize) {
-        self.queue_samples += 1;
-        self.read_queue_occupancy_sum += read_len as u64;
-        self.write_queue_occupancy_sum += write_len as u64;
+        self.sample_queues_n(read_len, write_len, 1);
+    }
+
+    /// Records `n` consecutive per-cycle samples during which the queue
+    /// occupancies did not change — the bulk form used when the kernel
+    /// fast-forwards over cycles it has proven eventless. Equivalent to
+    /// calling [`McStats::sample_queues`] `n` times.
+    pub fn sample_queues_n(&mut self, read_len: usize, write_len: usize, n: u64) {
+        self.queue_samples += n;
+        self.read_queue_occupancy_sum += read_len as u64 * n;
+        self.write_queue_occupancy_sum += write_len as u64 * n;
     }
 
     /// Total completed requests.

@@ -116,6 +116,7 @@ fn requests_are_conserved() {
             pending.push_back(MemoryRequest::new(i as u64, kind, addr, core, 0));
         }
         let mut completed = HashSet::new();
+        let mut done = Vec::new();
         let mut cycle = 0u64;
         while completed.len() < total {
             assert!(
@@ -134,13 +135,14 @@ fn requests_are_conserved() {
                     }
                 }
             }
-            for done in mc.tick(cycle) {
+            mc.tick(cycle, &mut done);
+            for d in done.drain(..) {
                 assert!(
-                    completed.insert(done.request.id),
+                    completed.insert(d.request.id),
                     "request {} completed twice",
-                    done.request.id
+                    d.request.id
                 );
-                assert!(done.completion >= done.request.arrival);
+                assert!(d.completion >= d.request.arrival);
             }
             cycle += 1;
         }

@@ -186,6 +186,32 @@ impl Backend {
         total
     }
 
+    /// The next DRAM cycle at or after `now` at which any shard can possibly
+    /// do work, derived from each controller's timing/queue state. While a
+    /// retry backlog exists the backend must be ticked every cycle (admission
+    /// is retried per tick), so `now` is returned. `u64::MAX` means the whole
+    /// backend is quiescent.
+    #[must_use]
+    pub fn next_ready_dram_cycle(&self, now: DramCycles) -> DramCycles {
+        if self.retry_len > 0 {
+            return now;
+        }
+        self.shards
+            .iter()
+            .map(|shard| shard.next_ready_dram_cycle(now))
+            .min()
+            .unwrap_or(DramCycles::MAX)
+    }
+
+    /// Accounts for `cycles` DRAM cycles the kernel has proven eventless for
+    /// every shard (bulk queue-occupancy sampling; see
+    /// [`MemoryController::skip_dram_cycles`]).
+    pub fn skip_dram_cycles(&mut self, cycles: u64) {
+        for shard in &mut self.shards {
+            shard.skip_dram_cycles(cycles);
+        }
+    }
+
     /// Device-level statistics summed over every channel of every shard.
     #[must_use]
     pub fn device_totals(&self) -> ChannelStats {
@@ -213,7 +239,7 @@ impl Tick for Backend {
     fn tick(&mut self, now: u64, events: &mut Vec<CompletedRequest>) {
         self.drain_retries(now);
         for shard in &mut self.shards {
-            events.extend(shard.tick(now));
+            shard.tick(now, events);
         }
     }
 }

@@ -44,6 +44,17 @@ pub struct SystemConfig {
     /// ranking quanta elapse within the (reduced-scale) measurement window,
     /// preserving the algorithm's behaviour at laptop scale.
     pub scale_scheduler_time_constants: bool,
+    /// Event-horizon fast-forward: let the kernel jump over cycles every
+    /// layer has proven eventless (cores burning compute bursts or stalled,
+    /// controllers waiting out timing fences or refresh intervals) instead of
+    /// ticking through them one by one.
+    ///
+    /// The jump is bit-identical by construction — the final statistics match
+    /// the naive cycle loop exactly for every seed (enforced by
+    /// `tests/fast_forward_equivalence.rs`) — so this defaults to `true`;
+    /// the knob exists to make that equivalence testable and to aid
+    /// debugging of the horizon computation itself.
+    pub fast_forward: bool,
 }
 
 impl SystemConfig {
@@ -65,6 +76,7 @@ impl SystemConfig {
             measure_cpu_cycles: 1_000_000,
             functional_warmup: true,
             scale_scheduler_time_constants: true,
+            fast_forward: true,
         }
     }
 

@@ -60,6 +60,12 @@ pub enum FrontendEvent {
     },
 }
 
+/// Fixed-point scale of the DMA-rate accumulator: one DMA event per
+/// `DMA_FP_ONE` accumulated units. Integer arithmetic makes accumulating
+/// `n` cycles at once exactly equal to accumulating `n` times — the property
+/// the kernel's fast-forward relies on (f64 addition is not associative).
+const DMA_FP_ONE: u64 = 1 << 32;
+
 /// Cores, workload streams, shared L2 and the DMA injector.
 #[derive(Debug)]
 pub struct Frontend {
@@ -67,8 +73,11 @@ pub struct Frontend {
     streams: WorkloadStreams,
     l2: SharedL2,
     rng: StdRng,
-    dma_per_kcycle: f64,
-    dma_accumulator: f64,
+    /// DMA events accrued per CPU cycle, in `1/DMA_FP_ONE` units.
+    dma_rate_fp: u64,
+    /// Accrued DMA credit, in `1/DMA_FP_ONE` units (always `< DMA_FP_ONE`
+    /// right after a tick).
+    dma_acc_fp: u64,
     dma_cursor: u64,
 }
 
@@ -80,13 +89,16 @@ impl Frontend {
         let cores = (0..cfg.workload.cores)
             .map(|i| InOrderCore::new(i, cfg.core))
             .collect();
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let dma_rate_fp =
+            (cfg.workload.dma_per_kcycle.max(0.0) / 1000.0 * DMA_FP_ONE as f64).round() as u64;
         Self {
             cores,
             streams,
             l2: SharedL2::new(cfg.l2),
             rng: StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x5851_F42D_4C95_7F2D) ^ 0xD3A),
-            dma_per_kcycle: cfg.workload.dma_per_kcycle,
-            dma_accumulator: 0.0,
+            dma_rate_fp,
+            dma_acc_fp: 0,
             dma_cursor: 0,
         }
     }
@@ -202,12 +214,12 @@ impl Frontend {
     }
 
     fn inject_dma(&mut self, events: &mut Vec<FrontendEvent>) {
-        if self.dma_per_kcycle <= 0.0 {
+        if self.dma_rate_fp == 0 {
             return;
         }
-        self.dma_accumulator += self.dma_per_kcycle / 1000.0;
-        while self.dma_accumulator >= 1.0 {
-            self.dma_accumulator -= 1.0;
+        self.dma_acc_fp += self.dma_rate_fp;
+        while self.dma_acc_fp >= DMA_FP_ONE {
+            self.dma_acc_fp -= DMA_FP_ONE;
             let core = self.rng.gen_range(0..self.cores.len());
             // DMA engines stream sequentially through I/O buffers in the
             // shared region: mostly the next cache block, occasionally a jump
@@ -229,6 +241,48 @@ impl Frontend {
                     dma: true,
                 });
             }
+        }
+    }
+    /// The earliest CPU cycle at or after `now` at which a frontend tick can
+    /// possibly do more than bulk counter updates: a core consuming its
+    /// instruction stream or retrying a structural stall, or a DMA beat
+    /// firing. `u64::MAX` means every core is blocked on memory and no DMA is
+    /// configured — the frontend is fully event-driven until a fill arrives.
+    ///
+    /// `now` is the cycle about to be executed; returning `now` means "tick
+    /// normally, nothing can be skipped".
+    #[must_use]
+    pub fn next_event_cycle(&self, now: u64) -> u64 {
+        let mut next = u64::MAX;
+        for core in &self.cores {
+            match core.runway() {
+                None => return now,
+                Some(u64::MAX) => {}
+                Some(runway) => next = next.min(now.saturating_add(runway)),
+            }
+        }
+        // The tick at `now + j` accrues `j + 1` rate increments; the first
+        // one reaching DMA_FP_ONE fires. (checked_div: no DMA means no beat.)
+        if let Some(fire_in) = (DMA_FP_ONE - self.dma_acc_fp - 1).checked_div(self.dma_rate_fp) {
+            next = next.min(now.saturating_add(fire_in));
+        }
+        next
+    }
+
+    /// Advances the frontend by `cycles` CPU cycles in bulk: every core
+    /// consumes runway or stalls, and DMA credit accrues without reaching a
+    /// beat. Exactly equivalent to `cycles` ticks, valid only for windows
+    /// ending at or before [`Frontend::next_event_cycle`].
+    pub fn skip_cycles(&mut self, cycles: u64) {
+        for core in &mut self.cores {
+            core.skip_cycles(cycles);
+        }
+        if self.dma_rate_fp > 0 {
+            self.dma_acc_fp += self.dma_rate_fp * cycles;
+            debug_assert!(
+                self.dma_acc_fp < DMA_FP_ONE,
+                "skip of {cycles} cycles crossed a DMA beat"
+            );
         }
     }
 }
@@ -303,6 +357,63 @@ mod tests {
             warm_reads < cold_reads,
             "prewarmed frontend should miss less ({warm_reads} vs {cold_reads})"
         );
+    }
+
+    /// Skipping up to the reported event horizon and then ticking must
+    /// produce the same events and the same state as ticking every cycle —
+    /// including the DMA accumulator, which is why it is fixed-point.
+    #[test]
+    fn skip_to_horizon_matches_per_cycle_ticking() {
+        let make = || {
+            let mut fe = frontend(Workload::WebFrontend);
+            fe.prewarm();
+            fe
+        };
+        let mut ticked = make();
+        let mut jumped = make();
+        let mut ticked_events = Vec::new();
+        let mut jumped_events = Vec::new();
+        let horizon_cycles = 30_000u64;
+
+        let mut cycle = 0u64;
+        while cycle < horizon_cycles {
+            let before = ticked_events.len();
+            ticked.tick(cycle, &mut ticked_events);
+            for e in &ticked_events[before..] {
+                if let FrontendEvent::Read { core, addr }
+                | FrontendEvent::L2Hit { core, addr, .. } = *e
+                {
+                    ticked.fill(core, addr);
+                }
+            }
+            cycle += 1;
+        }
+
+        let mut cycle = 0u64;
+        while cycle < horizon_cycles {
+            let next = jumped.next_event_cycle(cycle).min(horizon_cycles);
+            if next > cycle {
+                jumped.skip_cycles(next - cycle);
+                cycle = next;
+                continue;
+            }
+            let before = jumped_events.len();
+            jumped.tick(cycle, &mut jumped_events);
+            for e in &jumped_events[before..] {
+                if let FrontendEvent::Read { core, addr }
+                | FrontendEvent::L2Hit { core, addr, .. } = *e
+                {
+                    jumped.fill(core, addr);
+                }
+            }
+            cycle += 1;
+        }
+
+        assert_eq!(ticked_events, jumped_events, "event streams must match");
+        assert_eq!(ticked.committed_per_core(), jumped.committed_per_core());
+        for core in 0..ticked.core_count() {
+            assert_eq!(ticked.core_stats(core), jumped.core_stats(core));
+        }
     }
 
     #[test]

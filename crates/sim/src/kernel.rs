@@ -22,6 +22,33 @@
 //! retry buckets owned by the [`backend`](crate::backend); both structures
 //! replace the `O(outstanding)` per-cycle `Vec` scans of the former
 //! monolithic `System`.
+//!
+//! # Event-horizon fast-forward
+//!
+//! A cycle-accurate model spends most of its wall-clock on cycles where
+//! nothing happens: cores burning down a compute burst or stalled on memory,
+//! controllers waiting out DRAM timing fences, whole refresh intervals of
+//! silence. The kernel therefore lets every layer report the next cycle at
+//! which it could possibly act:
+//!
+//! * the frontend, via `Frontend::next_event_cycle` — the next core that
+//!   needs its instruction stream, wakes from a stall, or the next DMA beat
+//!   (cores expose this as `InOrderCore::runway`);
+//! * the fill queue, via [`FillQueue::next_due_cycle`] — the min-heap head;
+//! * the backend, via `MemoryController::next_ready_dram_cycle` — derived
+//!   from bank/rank/bus timing state, pending queues, refresh schedules,
+//!   scheduler time boundaries and page-policy proposals.
+//!
+//! `System::run_cycles` takes the minimum over all layers (the *event
+//! horizon*), converts DRAM-domain events to CPU cycles through
+//! [`ClockCrossing::cpu_cycle_of_dram_tick`], and jumps straight there with
+//! [`ClockCrossing::fast_forward`] — which advances both clocks and the
+//! fractional 2:5 phase accumulator exactly as per-cycle stepping would, so
+//! the jump is invisible: every layer guarantees its bound never overshoots,
+//! making the fast-forwarded run *bit-identical* to the naive loop (the
+//! `fast_forward` config knob and `tests/fast_forward_equivalence.rs` hold
+//! it to that). Skipped cycles apply their only side effects (core cycle
+//! counters, controller queue-occupancy samples) in closed form.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -89,6 +116,52 @@ impl ClockCrossing {
     pub fn complete_cpu_cycle(&mut self) {
         self.cpu_cycle += 1;
     }
+
+    /// How many DRAM ticks would run within the next `cpu_cycles` CPU cycles,
+    /// without advancing anything.
+    #[must_use]
+    pub fn dram_ticks_within(&self, cpu_cycles: u64) -> u64 {
+        (self.acc + DRAM_CYCLES_PER_5_CPU_CYCLES * cpu_cycles) / 5
+    }
+
+    /// Jumps both clocks forward by `cpu_cycles` CPU cycles at once.
+    ///
+    /// Exactly equivalent to `cpu_cycles` iterations of
+    /// [`ClockCrossing::accrue_cpu_cycle`] / [`ClockCrossing::complete_dram_tick`] /
+    /// [`ClockCrossing::complete_cpu_cycle`]: the integer phase accumulator
+    /// makes the bulk update associative, so the 2:5 ratio carries no drift
+    /// across a jump of any length. The caller is responsible for ensuring
+    /// the skipped DRAM ticks would have been no-ops.
+    pub fn fast_forward(&mut self, cpu_cycles: u64) {
+        let total = self.acc + DRAM_CYCLES_PER_5_CPU_CYCLES * cpu_cycles;
+        self.dram_cycle += total / 5;
+        self.acc = total % 5;
+        self.cpu_cycle += cpu_cycles;
+    }
+
+    /// The CPU cycle during which DRAM tick number `dram_tick` runs (the
+    /// tick that observes `now == dram_tick`), given the current phase.
+    ///
+    /// Ticks that already ran map to the current CPU cycle; `u64::MAX` maps
+    /// to `u64::MAX` (the conventional "never" sentinel).
+    #[must_use]
+    pub fn cpu_cycle_of_dram_tick(&self, dram_tick: u64) -> u64 {
+        if dram_tick == u64::MAX {
+            return u64::MAX;
+        }
+        if dram_tick < self.dram_cycle {
+            return self.cpu_cycle;
+        }
+        // The tick runs during the N-th upcoming CPU cycle, where N is the
+        // smallest count with floor((acc + 2N) / 5) covering it. Saturating
+        // arithmetic keeps far-future sentinels from wrapping.
+        let needed = dram_tick - self.dram_cycle + 1;
+        let n = 5u64
+            .saturating_mul(needed)
+            .saturating_sub(self.acc)
+            .div_ceil(DRAM_CYCLES_PER_5_CPU_CYCLES);
+        self.cpu_cycle.saturating_add(n - 1)
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,6 +211,13 @@ impl FillQueue {
             core,
             addr,
         }));
+    }
+
+    /// The CPU cycle of the earliest pending fill, if any (the event-horizon
+    /// contribution of data already on its way back to a core).
+    #[must_use]
+    pub fn next_due_cycle(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(entry)| entry.due_cpu_cycle)
     }
 
     /// Removes and returns the next `(core, addr)` due at or before `now`.
@@ -190,6 +270,70 @@ mod tests {
         // 2 DRAM cycles per 5 CPU cycles, at most one per CPU cycle.
         assert_eq!(per_cycle.iter().sum::<u64>(), 2);
         assert!(per_cycle.iter().all(|&n| n <= 1));
+    }
+
+    #[test]
+    fn fast_forward_matches_per_cycle_stepping() {
+        // Every jump length from every phase must land on the exact state the
+        // per-cycle loop reaches.
+        for prefix in 0..7u64 {
+            for jump in 0..23u64 {
+                let mut stepped = ClockCrossing::new();
+                let mut jumped = ClockCrossing::new();
+                for clock in [&mut stepped, &mut jumped] {
+                    for _ in 0..prefix {
+                        for _ in 0..clock.accrue_cpu_cycle() {
+                            clock.complete_dram_tick();
+                        }
+                        clock.complete_cpu_cycle();
+                    }
+                }
+                for _ in 0..jump {
+                    for _ in 0..stepped.accrue_cpu_cycle() {
+                        stepped.complete_dram_tick();
+                    }
+                    stepped.complete_cpu_cycle();
+                }
+                assert_eq!(jumped.dram_ticks_within(jump), {
+                    stepped.dram_cycle() - jumped.dram_cycle()
+                });
+                jumped.fast_forward(jump);
+                assert_eq!(stepped.cpu_cycle(), jumped.cpu_cycle());
+                assert_eq!(stepped.dram_cycle(), jumped.dram_cycle());
+                assert_eq!(stepped.acc, jumped.acc);
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_cycle_of_dram_tick_names_the_cycle_the_tick_runs_in() {
+        // Walk the real interleaving and record which CPU cycle each DRAM
+        // tick executes in, then check the closed form from every phase.
+        let mut clock = ClockCrossing::new();
+        let mut tick_cycle = Vec::new();
+        for cpu in 0..50u64 {
+            // The prediction for the next tick must hold at every phase.
+            let next_tick = clock.dram_cycle();
+            let predicted = clock.cpu_cycle_of_dram_tick(next_tick);
+            for _ in 0..clock.accrue_cpu_cycle() {
+                tick_cycle.push(cpu);
+                clock.complete_dram_tick();
+            }
+            if clock.dram_cycle() > next_tick {
+                assert_eq!(predicted, cpu, "next-tick prediction at cycle {cpu}");
+            }
+            clock.complete_cpu_cycle();
+        }
+        // Re-predict every tick from a fresh clock at phase zero.
+        let fresh = ClockCrossing::new();
+        for (tick, &cycle) in tick_cycle.iter().enumerate() {
+            assert_eq!(
+                fresh.cpu_cycle_of_dram_tick(tick as u64),
+                cycle,
+                "tick {tick} predicted wrong cycle"
+            );
+        }
+        assert_eq!(fresh.cpu_cycle_of_dram_tick(u64::MAX), u64::MAX);
     }
 
     #[test]

@@ -298,10 +298,96 @@ impl System {
         self.clock.complete_cpu_cycle();
     }
 
+    /// The earliest CPU cycle at or after the current one at which *any*
+    /// layer can possibly act: a core consuming its stream or a DMA beat
+    /// (frontend), a fill reaching its core (fill queue), or a DRAM-domain
+    /// event (backend), mapped into the CPU domain through the clock
+    /// crossing. Every cycle strictly before the returned one is provably a
+    /// no-op apart from linear counter updates.
+    fn next_event_cycle(&self) -> u64 {
+        let now = self.clock.cpu_cycle();
+        // Cheapest veto first: in dense phases a fill is due almost every
+        // cycle, and the heap peek is O(1) while the frontend check scans
+        // every core.
+        let fills = self.fills.next_due_cycle().unwrap_or(u64::MAX);
+        if fills <= now {
+            return now;
+        }
+        let frontend = self.frontend.next_event_cycle(now);
+        if frontend <= now {
+            return now;
+        }
+        let near = frontend.min(fills);
+        // DRAM-domain events can only occur when a DRAM tick runs; the next
+        // tick's CPU cycle is therefore a free conservative stand-in for the
+        // backend, exact whenever the CPU-side horizon is nearer than it.
+        let next_tick_cpu = self.clock.cpu_cycle_of_dram_tick(self.clock.dram_cycle());
+        if near <= next_tick_cpu {
+            return near;
+        }
+        // Consult the exact timing-derived backend horizon only when the
+        // CPU side leaves room to skip past whole DRAM ticks. While the
+        // backend is busy, demand the window be worth the scan; a quiescent
+        // backend's scan is cheap (empty queues: refresh + policy only).
+        const BACKEND_SCAN_THRESHOLD: u64 = 8;
+        let busy = self.backend.pending() + self.backend.retry_backlog() > 0;
+        if busy && near - now < BACKEND_SCAN_THRESHOLD {
+            return near.min(next_tick_cpu);
+        }
+        let backend_dram = self.backend.next_ready_dram_cycle(self.clock.dram_cycle());
+        near.min(self.clock.cpu_cycle_of_dram_tick(backend_dram))
+    }
+
+    /// Jumps the whole system forward by `cycles` CPU cycles the event
+    /// horizon has proven eventless, applying the per-cycle side effects
+    /// (core cycle/stall/commit counters, DMA credit, controller queue
+    /// samples, both clocks) in closed form.
+    fn fast_forward(&mut self, cycles: u64) {
+        self.frontend.skip_cycles(cycles);
+        let dram_ticks = self.clock.dram_ticks_within(cycles);
+        if dram_ticks > 0 {
+            self.backend.skip_dram_cycles(dram_ticks);
+        }
+        self.clock.fast_forward(cycles);
+    }
+
     /// Runs `cycles` CPU cycles.
+    ///
+    /// With [`SystemConfig::fast_forward`] enabled (the default), stretches
+    /// of cycles no layer can act in are jumped over instead of ticked
+    /// through; the result is bit-identical to the naive loop either way.
     pub fn run_cycles(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.step();
+        let end = self.clock.cpu_cycle().saturating_add(cycles);
+        if !self.cfg.fast_forward {
+            for _ in 0..cycles {
+                self.step();
+            }
+            return;
+        }
+        // Adaptive pacing of the horizon checks: a failed check costs a
+        // frontend scan, so consecutive failures back off exponentially
+        // (capped) and just step; a skip shorter than a handful of cycles
+        // costs more than the stalled-core steps it replaces, so it is
+        // declined. Skipping fewer cycles than possible is always
+        // bit-identical — this trades a few forfeited skip cycles at phase
+        // boundaries for near-zero overhead in dense phases.
+        const MIN_PROFITABLE_SKIP: u64 = 2;
+        let mut miss_streak: u32 = 0;
+        while self.clock.cpu_cycle() < end {
+            let now = self.clock.cpu_cycle();
+            let horizon = self.next_event_cycle().min(end);
+            let remaining = end - now;
+            if horizon - now >= MIN_PROFITABLE_SKIP.min(remaining) && horizon > now {
+                self.fast_forward(horizon - now);
+                miss_streak = 0;
+            } else {
+                self.step();
+                let backoff = 1u64 << miss_streak.min(3);
+                miss_streak = miss_streak.saturating_add(1);
+                for _ in 0..backoff.min(end - self.clock.cpu_cycle()) {
+                    self.step();
+                }
+            }
         }
     }
 

@@ -380,6 +380,30 @@ impl WorkloadSpec {
         self.data_mpki + self.ifetch_mpki
     }
 
+    /// A copy of this spec with every traffic rate scaled by `factor`:
+    /// off-chip data and instruction-fetch MPKI, DMA injection, the
+    /// L1-resident hot-access rate, and (for factors below one) the phase
+    /// burstiness. The address-stream *shape* (row locality, store fraction,
+    /// MLP, footprints) is untouched.
+    ///
+    /// Low factors model the idle-heavy phases cloud services spend most of
+    /// their time in — long compute stretches between sparse memory events —
+    /// which is exactly where the simulation kernel's event-horizon
+    /// fast-forward earns its keep (arrival gaps grow as `1/factor`). Used by
+    /// the intensity sweeps and the fast-forward benchmarks.
+    #[must_use]
+    pub fn with_intensity(mut self, factor: f64) -> Self {
+        let factor = factor.max(0.0);
+        self.data_mpki *= factor;
+        self.ifetch_mpki *= factor;
+        self.dma_per_kcycle *= factor;
+        self.hot_access_rate *= factor;
+        if factor < 1.0 {
+            self.burstiness *= factor;
+        }
+        self
+    }
+
     /// Expected fraction of row activations that serve exactly one access
     /// under an idealized open policy (used for calibration checks).
     #[must_use]
@@ -444,6 +468,24 @@ impl WorkloadSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn with_intensity_scales_rates_and_stays_valid() {
+        let base = Workload::WebSearch.spec();
+        let idle = base.with_intensity(0.01);
+        idle.validate().unwrap();
+        assert!((idle.data_mpki - base.data_mpki * 0.01).abs() < 1e-12);
+        assert!((idle.ifetch_mpki - base.ifetch_mpki * 0.01).abs() < 1e-12);
+        assert!((idle.hot_access_rate - base.hot_access_rate * 0.01).abs() < 1e-12);
+        // Shape knobs are untouched.
+        assert_eq!(idle.row_burst_prob, base.row_burst_prob);
+        assert_eq!(idle.store_fraction, base.store_fraction);
+        assert_eq!(idle.footprint_bytes, base.footprint_bytes);
+        // Scaling up is allowed too and burstiness stays in range.
+        let hot = base.with_intensity(2.0);
+        hot.validate().unwrap();
+        assert_eq!(hot.burstiness, base.burstiness);
+    }
 
     #[test]
     fn twelve_workloads_with_correct_categories() {

@@ -1,0 +1,114 @@
+//! The event-horizon fast-forward must be invisible: running with
+//! `fast_forward` on and off must produce *bit-identical* statistics — every
+//! counter, every latency sum, every per-core vector, every float — for any
+//! workload, seed, scheduler, page policy and shard count.
+//!
+//! These tests are the contract that lets the kernel skip idle cycles at all:
+//! any layer whose "next event" bound overshoots by even one cycle shows up
+//! here as a diverging field.
+
+use cloudmc::memctrl::{PagePolicyKind, SchedulerKind};
+use cloudmc::sim::{run_system, SimStats, SystemConfig};
+use cloudmc::workloads::Workload;
+
+fn small(workload: Workload, seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::baseline(workload);
+    cfg.warmup_cpu_cycles = 10_000;
+    cfg.measure_cpu_cycles = 60_000;
+    cfg.seed = seed;
+    cfg
+}
+
+/// Runs `cfg` with the fast-forward on and off and demands byte-identical
+/// results.
+fn assert_equivalent(mut cfg: SystemConfig, label: &str) -> SimStats {
+    cfg.fast_forward = true;
+    let fast = run_system(cfg).expect("valid config");
+    cfg.fast_forward = false;
+    let naive = run_system(cfg).expect("valid config");
+    assert_eq!(
+        fast, naive,
+        "{label}: fast-forward diverged from the naive cycle loop"
+    );
+    assert_eq!(
+        format!("{fast:?}"),
+        format!("{naive:?}"),
+        "{label}: debug renderings must be byte-identical"
+    );
+    fast
+}
+
+/// Acceptance criterion: identical stats on several seeded workloads under
+/// the baseline controller (FR-FCFS, open-adaptive).
+#[test]
+fn baseline_stats_are_bit_identical_across_seeds() {
+    for workload in [
+        Workload::DataServing,
+        Workload::WebFrontend, // exercises the DMA injector
+        Workload::TpchQ6,      // dense decision-support stream
+        Workload::WebSearch,   // low-intensity scale-out stream
+    ] {
+        for seed in [1u64, 7, 99] {
+            let stats =
+                assert_equivalent(small(workload, seed), &format!("{workload:?} seed {seed}"));
+            assert!(stats.user_instructions > 0, "{workload:?} must commit work");
+        }
+    }
+}
+
+/// The horizon must respect every scheduler's private clockwork (ATLAS
+/// quanta, PAR-BS batches, the RL learner's decision stream).
+#[test]
+fn every_scheduler_is_bit_identical() {
+    for scheduler in SchedulerKind::paper_set() {
+        let mut cfg = small(Workload::WebSearch, 3);
+        cfg.mc.scheduler = scheduler;
+        assert_equivalent(cfg, scheduler.label());
+    }
+}
+
+/// The horizon must respect every page policy — including the idle-timer
+/// policy, whose proposals flip purely with the passage of time.
+#[test]
+fn every_page_policy_is_bit_identical() {
+    for policy in [
+        PagePolicyKind::Open,
+        PagePolicyKind::Close,
+        PagePolicyKind::OpenAdaptive,
+        PagePolicyKind::CloseAdaptive,
+        PagePolicyKind::Rbpp,
+        PagePolicyKind::Abpp,
+        PagePolicyKind::Timer,
+    ] {
+        let mut cfg = small(Workload::MediaStreaming, 5);
+        cfg.mc.page_policy = policy;
+        assert_equivalent(cfg, &policy.to_string());
+    }
+}
+
+/// Sharded backends and multi-channel controllers fast-forward identically.
+#[test]
+fn sharded_and_multichannel_backends_are_bit_identical() {
+    let mut sharded = small(Workload::TpchQ6, 11);
+    sharded.num_channels = 2;
+    assert_equivalent(sharded, "2 shards");
+
+    let mut multichannel = small(Workload::TpchQ6, 11);
+    multichannel.mc.dram.channels = 2;
+    assert_equivalent(multichannel, "2 channels");
+}
+
+/// Request conservation holds at arbitrary observation points mid-run, even
+/// when those points land inside fast-forwarded regions.
+#[test]
+fn conservation_holds_under_fast_forward() {
+    use cloudmc::sim::System;
+    let cfg = small(Workload::WebSearch, 2);
+    let mut system = System::new(cfg).unwrap();
+    for _ in 0..14 {
+        system.run_cycles(5_000);
+        let sent = system.memory_reads_sent() + system.memory_writes_sent();
+        let completed = system.controller_stats().completed();
+        assert_eq!(sent, completed + system.requests_in_flight());
+    }
+}
