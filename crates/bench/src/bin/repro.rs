@@ -15,6 +15,9 @@
 //!   channels      figs 12-14 + table 4 in one sweep
 //!   fastforward   simulator throughput with/without event-horizon
 //!                 fast-forward; writes BENCH_fastforward.json
+//!   energy        DRAM energy sweep: 5 schedulers x 4 page policies x
+//!                 4 power policies on idle-heavy + dense workloads;
+//!                 writes BENCH_energy.json
 //!   all           everything above
 //!
 //! options:
@@ -30,9 +33,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use cloudmc_bench::{
-    baseline_study, channel_study, config_report, fastforward_report, figure1, figure10, figure11,
-    figure12, figure13, figure14, figure2, figure3, figure4, figure5, figure6, figure7, figure8,
-    figure9, page_policy_study, scheduler_study, Scale, Table,
+    baseline_study, channel_study, config_report, energy_study, fastforward_report, figure1,
+    figure10, figure11, figure12, figure13, figure14, figure2, figure3, figure4, figure5, figure6,
+    figure7, figure8, figure9, page_policy_study, scheduler_study, Scale, Table,
 };
 
 struct Options {
@@ -95,7 +98,8 @@ fn parse_args() -> Result<Options, String> {
     })
 }
 
-const HELP: &str = "usage: repro <config|fig1..fig14|table4|sched|pages|channels|fastforward|all> \
+const HELP: &str =
+    "usage: repro <config|fig1..fig14|table4|sched|pages|channels|fastforward|energy|all> \
 [--quick|--full] [--measure N] [--warmup N] [--seed N] [--threads N] [--csv DIR]";
 
 fn emit(table: &Table, csv_dir: &Option<PathBuf>) {
@@ -198,6 +202,13 @@ fn main() -> ExitCode {
         std::fs::write(path, report.to_json()).expect("write BENCH_fastforward.json");
         eprintln!("wrote {path}");
     }
+    if wants(&["energy", "all"]) {
+        let report = energy_study(&scale);
+        println!("{}", report.to_text());
+        let path = "BENCH_energy.json";
+        std::fs::write(path, report.to_json()).expect("write BENCH_energy.json");
+        eprintln!("wrote {path}");
+    }
     let known = [
         "config",
         "all",
@@ -206,6 +217,7 @@ fn main() -> ExitCode {
         "channels",
         "table4",
         "fastforward",
+        "energy",
         "fig1",
         "fig2",
         "fig3",

@@ -11,10 +11,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod energy;
 pub mod experiments;
 pub mod fastforward;
 pub mod report;
 
+pub use energy::{energy_study, EnergyPoint, EnergyReport};
 pub use fastforward::{
     dense_config, fastforward_report, idle_heavy_config, FastForwardPoint, FastForwardReport,
 };

@@ -8,7 +8,7 @@
 
 use crate::command::{Command, CommandKind, IssueOutcome};
 use crate::config::{DramConfig, Location};
-use crate::rank::Rank;
+use crate::rank::{PowerDownMode, PowerState, Rank};
 use crate::timing::{DramCycles, TimingParams};
 
 /// Direction of the last data burst on the channel's data bus.
@@ -33,6 +33,25 @@ pub struct ChannelStats {
     pub refreshes: u64,
     /// DRAM cycles during which the data bus carried a burst.
     pub data_bus_busy_cycles: u64,
+    /// Rank-cycles spent in active standby (at least one open row), summed
+    /// over the channel's ranks. Only populated by
+    /// [`DramChannel::stats_at`]; the live counter view
+    /// ([`DramChannel::stats`]) reports command counts only.
+    pub active_standby_cycles: u64,
+    /// Rank-cycles spent in precharge standby (CKE high, all banks closed).
+    pub precharge_standby_cycles: u64,
+    /// Rank-cycles spent in fast-exit power-down.
+    pub power_down_fast_cycles: u64,
+    /// Rank-cycles spent in slow-exit power-down.
+    pub power_down_slow_cycles: u64,
+    /// Rank-cycles spent in self-refresh.
+    pub self_refresh_cycles: u64,
+    /// Power-down entries (fast or slow, counted once per standby departure).
+    pub power_down_entries: u64,
+    /// Self-refresh entries.
+    pub self_refresh_entries: u64,
+    /// Power-down exits (wakes).
+    pub power_wakes: u64,
 }
 
 impl ChannelStats {
@@ -50,6 +69,71 @@ impl ChannelStats {
     #[must_use]
     pub fn bytes_transferred(&self, column_bytes: u64) -> u64 {
         (self.reads + self.writes) * column_bytes
+    }
+
+    /// Total rank-cycles accounted across all power states. Equals
+    /// `elapsed_cycles * rank_count` when read through
+    /// [`DramChannel::stats_at`].
+    #[must_use]
+    pub fn state_residency_cycles(&self) -> u64 {
+        self.active_standby_cycles
+            + self.precharge_standby_cycles
+            + self.power_down_fast_cycles
+            + self.power_down_slow_cycles
+            + self.self_refresh_cycles
+    }
+
+    /// Rank-cycles spent in any CKE-low state (power-down or self-refresh).
+    #[must_use]
+    pub fn powered_down_cycles(&self) -> u64 {
+        self.power_down_fast_cycles + self.power_down_slow_cycles + self.self_refresh_cycles
+    }
+
+    /// Adds every counter of `other` into `self` (aggregation across
+    /// channels or shards).
+    pub fn merge(&mut self, other: &ChannelStats) {
+        self.activates += other.activates;
+        self.precharges += other.precharges;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.refreshes += other.refreshes;
+        self.data_bus_busy_cycles += other.data_bus_busy_cycles;
+        self.active_standby_cycles += other.active_standby_cycles;
+        self.precharge_standby_cycles += other.precharge_standby_cycles;
+        self.power_down_fast_cycles += other.power_down_fast_cycles;
+        self.power_down_slow_cycles += other.power_down_slow_cycles;
+        self.self_refresh_cycles += other.self_refresh_cycles;
+        self.power_down_entries += other.power_down_entries;
+        self.self_refresh_entries += other.self_refresh_entries;
+        self.power_wakes += other.power_wakes;
+    }
+
+    /// Field-wise `self - start`: the counters accumulated over a
+    /// measurement window whose beginning was snapshotted as `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter of `start` exceeds the
+    /// corresponding counter of `self` (counters are monotone).
+    #[must_use]
+    pub fn delta(&self, start: &ChannelStats) -> ChannelStats {
+        ChannelStats {
+            activates: self.activates - start.activates,
+            precharges: self.precharges - start.precharges,
+            reads: self.reads - start.reads,
+            writes: self.writes - start.writes,
+            refreshes: self.refreshes - start.refreshes,
+            data_bus_busy_cycles: self.data_bus_busy_cycles - start.data_bus_busy_cycles,
+            active_standby_cycles: self.active_standby_cycles - start.active_standby_cycles,
+            precharge_standby_cycles: self.precharge_standby_cycles
+                - start.precharge_standby_cycles,
+            power_down_fast_cycles: self.power_down_fast_cycles - start.power_down_fast_cycles,
+            power_down_slow_cycles: self.power_down_slow_cycles - start.power_down_slow_cycles,
+            self_refresh_cycles: self.self_refresh_cycles - start.self_refresh_cycles,
+            power_down_entries: self.power_down_entries - start.power_down_entries,
+            self_refresh_entries: self.self_refresh_entries - start.self_refresh_entries,
+            power_wakes: self.power_wakes - start.power_wakes,
+        }
     }
 }
 
@@ -134,10 +218,34 @@ impl DramChannel {
         self.banks_per_rank
     }
 
-    /// Event counters collected so far.
+    /// Event counters collected so far (command counts only; the power-state
+    /// residency fields are zero — use [`Self::stats_at`] for those).
     #[must_use]
     pub fn stats(&self) -> &ChannelStats {
         &self.stats
+    }
+
+    /// Event counters plus power-state residency accrued up to `now`.
+    ///
+    /// Residency is read in closed form from each rank's transition history,
+    /// so the result is exact — and bit-identical between a cycle-by-cycle
+    /// run and a fast-forwarding run — at any observation cycle. The
+    /// residency fields sum to `now * rank_count`.
+    #[must_use]
+    pub fn stats_at(&self, now: DramCycles) -> ChannelStats {
+        let mut stats = self.stats;
+        for rank in &self.ranks {
+            let r = rank.residency_at(now);
+            stats.active_standby_cycles += r.active_standby;
+            stats.precharge_standby_cycles += r.precharge_standby;
+            stats.power_down_fast_cycles += r.power_down_fast;
+            stats.power_down_slow_cycles += r.power_down_slow;
+            stats.self_refresh_cycles += r.self_refresh;
+            stats.power_down_entries += rank.power_down_entries();
+            stats.self_refresh_entries += rank.self_refresh_entries();
+            stats.power_wakes += rank.power_wakes();
+        }
+        stats
     }
 
     /// Row currently open in (`rank`, `bank`), if any.
@@ -178,7 +286,10 @@ impl DramChannel {
     /// How many refresh intervals rank `rank` is behind schedule at `now`.
     #[must_use]
     pub fn refresh_backlog(&self, rank: usize, now: DramCycles) -> u64 {
-        if !self.refresh_enabled || now < self.ranks[rank].next_refresh_due() {
+        if !self.refresh_enabled
+            || self.ranks[rank].in_self_refresh()
+            || now < self.ranks[rank].next_refresh_due()
+        {
             0
         } else {
             (now - self.ranks[rank].next_refresh_due()) / self.timing.t_refi + 1
@@ -230,17 +341,84 @@ impl DramChannel {
         self.refresh_enabled
     }
 
+    /// Current CKE power state of `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    #[must_use]
+    pub fn power_state(&self, rank: usize) -> PowerState {
+        self.ranks[rank].power_state()
+    }
+
+    /// Whether `rank` may enter (or deepen into) the low-power state `mode`
+    /// at `now`: the rank quiet, all banks precharged, the `tCKE` fence
+    /// honored, and — for fast/slow power-down — no refresh overdue (the
+    /// controller would have to wake it right back up; self-refresh is exempt
+    /// because the on-die engine takes the obligation over).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    #[must_use]
+    pub fn can_enter_power_down(&self, rank: usize, mode: PowerDownMode, now: DramCycles) -> bool {
+        if self.refresh_enabled
+            && mode != PowerDownMode::SelfRefresh
+            && self.ranks[rank].refresh_due(now)
+        {
+            return false;
+        }
+        self.ranks[rank].can_enter_power_down(mode, now)
+    }
+
+    /// Earliest cycle `rank` could enter a low-power state, assuming the
+    /// device state stays frozen (quiet window plus the `tCKE` fence).
+    #[must_use]
+    pub fn earliest_power_down(&self, rank: usize) -> DramCycles {
+        self.ranks[rank].earliest_power_down()
+    }
+
+    /// Drops CKE for `rank`, entering the low-power state `mode` at `now`.
+    ///
+    /// CKE is a dedicated pin, so entry does not occupy the command bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is not legal; check
+    /// [`Self::can_enter_power_down`] first.
+    pub fn enter_power_down(&mut self, rank: usize, mode: PowerDownMode, now: DramCycles) {
+        assert!(
+            self.can_enter_power_down(rank, mode, now),
+            "illegal power-down entry of rank {rank} to {mode:?} at {now}"
+        );
+        let t = self.timing;
+        self.ranks[rank].enter_power_down(mode, now, &t);
+    }
+
+    /// Raises CKE for `rank` at `now`, beginning the exit from its low-power
+    /// state. Returns the cycle at which the rank accepts commands again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not powered down.
+    pub fn wake_rank(&mut self, rank: usize, now: DramCycles) -> DramCycles {
+        let t = self.timing;
+        self.ranks[rank].wake(now, &t)
+    }
+
     /// Earliest cycle at which `cmd` could legally issue, assuming no other
     /// command is issued in the meantime (the device state stays frozen).
     ///
     /// Returns `None` when no passage of time can make the command legal from
-    /// the current state — e.g. a column access to a row that is not open, or
-    /// a precharge of an idle bank. The one-command-per-cycle command-bus
-    /// rule is deliberately ignored: it constrains only the cycle of the most
-    /// recent issue, which the caller (the kernel's event-horizon scan) never
-    /// revisits. Under that caveat, `can_issue(cmd, t)` holds exactly for
-    /// `t >= earliest_legal(cmd)` while the state stays frozen, which is what
-    /// lets the simulation kernel jump over provably dead cycles.
+    /// the current state — e.g. a column access to a row that is not open, a
+    /// precharge of an idle bank, or any command to a powered-down rank
+    /// (which stays asleep until an explicit wake, itself a state change).
+    /// The one-command-per-cycle command-bus rule is deliberately ignored: it
+    /// constrains only the cycle of the most recent issue, which the caller
+    /// (the kernel's event-horizon scan) never revisits. Under that caveat,
+    /// `can_issue(cmd, t)` holds exactly for `t >= earliest_legal(cmd)` while
+    /// the state stays frozen, which is what lets the simulation kernel jump
+    /// over provably dead cycles.
     ///
     /// # Panics
     ///
@@ -249,6 +427,9 @@ impl DramChannel {
     pub fn earliest_legal(&self, cmd: &Command) -> Option<DramCycles> {
         self.check_location(&cmd.loc);
         let rank = &self.ranks[cmd.loc.rank];
+        if rank.powered_down() {
+            return None;
+        }
         let bank = rank.bank(cmd.loc.bank);
         let t = &self.timing;
         match cmd.kind {
@@ -276,7 +457,9 @@ impl DramChannel {
                 .open_row()
                 .is_some()
                 .then(|| bank.next_precharge_allowed()),
-            CommandKind::Refresh => (self.refresh_enabled && rank.all_banks_idle()).then_some(0),
+            CommandKind::Refresh => {
+                (self.refresh_enabled && rank.all_banks_idle()).then(|| rank.next_refresh_allowed())
+            }
         }
     }
 
@@ -292,6 +475,9 @@ impl DramChannel {
             return false;
         }
         let rank = &self.ranks[cmd.loc.rank];
+        if rank.powered_down() {
+            return false;
+        }
         let bank = rank.bank(cmd.loc.bank);
         let t = &self.timing;
         match cmd.kind {
@@ -307,7 +493,9 @@ impl DramChannel {
                     && now + t.cwl >= self.data_bus_ready(cmd.loc.rank, BusDirection::Write)
             }
             CommandKind::Precharge => bank.can_precharge(now),
-            CommandKind::Refresh => rank.all_banks_idle() && self.refresh_enabled,
+            CommandKind::Refresh => {
+                rank.all_banks_idle() && self.refresh_enabled && now >= rank.next_refresh_allowed()
+            }
         }
     }
 
@@ -331,7 +519,7 @@ impl DramChannel {
         self.last_cmd_cycle = Some(now);
         let t = self.timing;
         let rank_idx = cmd.loc.rank;
-        match cmd.kind {
+        let outcome = match cmd.kind {
             CommandKind::Activate => {
                 self.ranks[rank_idx].record_activate(now, &t);
                 self.ranks[rank_idx]
@@ -354,6 +542,10 @@ impl DramChannel {
                 self.stats.reads += 1;
                 if auto_precharge {
                     self.stats.precharges += 1;
+                    let pre_done = self.ranks[rank_idx]
+                        .bank(cmd.loc.bank)
+                        .next_activate_allowed();
+                    self.ranks[rank_idx].note_quiet_until(pre_done);
                 }
                 self.stats.data_bus_busy_cycles += t.t_burst;
                 self.bus_free_at = done;
@@ -375,6 +567,10 @@ impl DramChannel {
                 self.stats.writes += 1;
                 if auto_precharge {
                     self.stats.precharges += 1;
+                    let pre_done = self.ranks[rank_idx]
+                        .bank(cmd.loc.bank)
+                        .next_activate_allowed();
+                    self.ranks[rank_idx].note_quiet_until(pre_done);
                 }
                 self.stats.data_bus_busy_cycles += t.t_burst;
                 self.bus_free_at = done;
@@ -389,6 +585,7 @@ impl DramChannel {
                 self.ranks[rank_idx]
                     .bank_mut(cmd.loc.bank)
                     .precharge(now, &t);
+                self.ranks[rank_idx].record_precharge(now, &t);
                 self.stats.precharges += 1;
                 IssueOutcome {
                     completion_cycle: now + t.t_rp,
@@ -403,7 +600,11 @@ impl DramChannel {
                     row_hit: false,
                 }
             }
-        }
+        };
+        // Keep the rank's standby power state in sync with its row-buffer
+        // state (residency accrues in closed form at this transition point).
+        self.ranks[rank_idx].update_standby(now);
+        outcome
     }
 }
 

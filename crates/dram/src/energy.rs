@@ -1,17 +1,27 @@
-//! Simple DRAM energy accounting.
+//! DRAM energy accounting over the power-state subsystem.
 //!
-//! The paper explicitly defers energy/power analysis to future work but
-//! argues that the simplest policies would also be the cheapest. This module
-//! provides the groundwork: an event-based energy model in the style of the
-//! Micron power calculator, driven by the command counters collected in
-//! [`crate::channel::ChannelStats`].
+//! The paper defers energy/power analysis to future work while conjecturing
+//! that the simplest scheduling/page policies would also be the cheapest.
+//! This module supplies the model that lets the rest of the stack test that
+//! conjecture: a Micron-power-calculator-style decomposition into
+//!
+//! * **event energy** — one charge per ACTIVATE+PRECHARGE pair, READ burst,
+//!   WRITE burst and REFRESH, taken from the command counters in
+//!   [`crate::channel::ChannelStats`]; and
+//! * **background energy** — each rank's per-cycle draw priced by the CKE
+//!   power state it is in (active/precharge standby, fast/slow power-down,
+//!   self-refresh), taken from the state-residency counters the per-rank
+//!   power-state machine in [`crate::rank::Rank`] accrues in closed form.
+//!
+//! Residency accrues at state transitions, never per simulated cycle, so the
+//! background integral is exact under the kernel's event-horizon fast-forward
+//! and bit-identical to a cycle-by-cycle run.
 
 use crate::channel::ChannelStats;
 use crate::timing::TimingParams;
 
-/// Per-event and background energy parameters, in picojoules / milliwatts.
-///
-/// Defaults approximate a 4 Gb DDR3-1600 x8 device scaled to a 64-bit rank.
+/// Per-event and per-state background energy parameters, in picojoules and
+/// milliwatts respectively. All background powers are per rank.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyParams {
     /// Energy of one ACTIVATE+PRECHARGE pair (pJ).
@@ -24,12 +34,22 @@ pub struct EnergyParams {
     pub refresh_pj: f64,
     /// Background power while any row is open (mW).
     pub active_standby_mw: f64,
-    /// Background power while all rows are closed (mW).
+    /// Background power while all rows are closed, CKE high (mW).
     pub precharge_standby_mw: f64,
+    /// Background power in fast-exit precharge power-down (mW).
+    pub power_down_fast_mw: f64,
+    /// Background power in slow-exit (DLL-off) precharge power-down (mW).
+    pub power_down_slow_mw: f64,
+    /// Background power in self-refresh (mW). The on-die refresh engine is
+    /// included: no event energy is charged for self-refresh intervals.
+    pub self_refresh_mw: f64,
 }
 
-impl Default for EnergyParams {
-    fn default() -> Self {
+impl EnergyParams {
+    /// DDR3-1600 parameters: a 4 Gb x8 device scaled to a 64-bit rank,
+    /// matching the paper's baseline devices (Table 2).
+    #[must_use]
+    pub fn ddr3_1600() -> Self {
         Self {
             activate_precharge_pj: 2800.0,
             read_pj: 2100.0,
@@ -37,7 +57,34 @@ impl Default for EnergyParams {
             refresh_pj: 26000.0,
             active_standby_mw: 430.0,
             precharge_standby_mw: 320.0,
+            power_down_fast_mw: 180.0,
+            power_down_slow_mw: 120.0,
+            self_refresh_mw: 72.0,
         }
+    }
+
+    /// DDR4-2400 parameters: an 8 Gb x8 device scaled to a 64-bit rank.
+    /// Lower core voltage cuts the standby floor; refresh per command is
+    /// costlier because the devices are denser.
+    #[must_use]
+    pub fn ddr4_2400() -> Self {
+        Self {
+            activate_precharge_pj: 1900.0,
+            read_pj: 1700.0,
+            write_pj: 1900.0,
+            refresh_pj: 42000.0,
+            active_standby_mw: 330.0,
+            precharge_standby_mw: 240.0,
+            power_down_fast_mw: 130.0,
+            power_down_slow_mw: 85.0,
+            self_refresh_mw: 50.0,
+        }
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self::ddr3_1600()
     }
 }
 
@@ -52,8 +99,12 @@ pub struct EnergyBreakdown {
     pub write_pj: f64,
     /// Refresh energy (pJ).
     pub refresh_pj: f64,
-    /// Background (standby) energy (pJ).
+    /// Background energy over all power states (pJ).
     pub background_pj: f64,
+    /// Portion of `background_pj` spent in the CKE-low states (pJ); the
+    /// savings a power-down policy earns show up as standby energy moving
+    /// into this cheaper bucket.
+    pub powered_down_pj: f64,
 }
 
 impl EnergyBreakdown {
@@ -74,7 +125,8 @@ impl EnergyBreakdown {
     }
 }
 
-/// Event-based energy model.
+/// The channel energy model: events from command counters, background from
+/// power-state residency.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyModel {
     params: EnergyParams,
@@ -93,9 +145,51 @@ impl EnergyModel {
         &self.params
     }
 
-    /// Computes the energy breakdown for `stats` collected over
-    /// `elapsed_cycles` DRAM cycles, of which `active_cycles` had at least one
-    /// open row (the remainder is charged at precharge-standby power).
+    fn event_energy(&self, stats: &ChannelStats) -> EnergyBreakdown {
+        let p = &self.params;
+        EnergyBreakdown {
+            activation_pj: stats.activates as f64 * p.activate_precharge_pj,
+            read_pj: stats.reads as f64 * p.read_pj,
+            write_pj: stats.writes as f64 * p.write_pj,
+            refresh_pj: stats.refreshes as f64 * p.refresh_pj,
+            background_pj: 0.0,
+            powered_down_pj: 0.0,
+        }
+    }
+
+    /// Computes the energy breakdown for `stats` whose power-state residency
+    /// counters are populated (a [`crate::channel::DramChannel::stats_at`]
+    /// snapshot, or the difference of two such snapshots for a measurement
+    /// window). Each rank-cycle is priced by the state it was spent in.
+    #[must_use]
+    pub fn breakdown_from_residency(
+        &self,
+        stats: &ChannelStats,
+        timing: &TimingParams,
+    ) -> EnergyBreakdown {
+        let p = &self.params;
+        let cycle_s = timing.t_ck_ps as f64 * 1e-12;
+        // mW * s = mJ; convert to pJ (1 mJ = 1e9 pJ).
+        let mws_to_pj = |mw: f64, cycles: u64| mw * cycles as f64 * cycle_s * 1e9;
+        let powered_down_pj = mws_to_pj(p.power_down_fast_mw, stats.power_down_fast_cycles)
+            + mws_to_pj(p.power_down_slow_mw, stats.power_down_slow_cycles)
+            + mws_to_pj(p.self_refresh_mw, stats.self_refresh_cycles);
+        let background_pj = mws_to_pj(p.active_standby_mw, stats.active_standby_cycles)
+            + mws_to_pj(p.precharge_standby_mw, stats.precharge_standby_cycles)
+            + powered_down_pj;
+        EnergyBreakdown {
+            background_pj,
+            powered_down_pj,
+            ..self.event_energy(stats)
+        }
+    }
+
+    /// Coarse legacy breakdown for stats without residency counters:
+    /// `active_cycles` of the interval are charged at active-standby power
+    /// and the remainder at precharge-standby power (no power-down states).
+    ///
+    /// Prefer [`EnergyModel::breakdown_from_residency`]; this survives for
+    /// callers that only kept command counters.
     #[must_use]
     pub fn breakdown(
         &self,
@@ -108,16 +202,12 @@ impl EnergyModel {
         let active = active_cycles.min(elapsed_cycles);
         let idle = elapsed_cycles - active;
         let cycle_s = timing.t_ck_ps as f64 * 1e-12;
-        // mW * s = mJ; convert to pJ (1 mJ = 1e9 pJ).
         let background_pj = (p.active_standby_mw * active as f64 * cycle_s
             + p.precharge_standby_mw * idle as f64 * cycle_s)
             * 1e9;
         EnergyBreakdown {
-            activation_pj: stats.activates as f64 * p.activate_precharge_pj,
-            read_pj: stats.reads as f64 * p.read_pj,
-            write_pj: stats.writes as f64 * p.write_pj,
-            refresh_pj: stats.refreshes as f64 * p.refresh_pj,
             background_pj,
+            ..self.event_energy(stats)
         }
     }
 }
@@ -134,7 +224,38 @@ mod tests {
             writes: 20,
             refreshes: 2,
             data_bus_busy_cycles: 280,
+            ..ChannelStats::default()
         }
+    }
+
+    fn stats_with_residency() -> ChannelStats {
+        ChannelStats {
+            active_standby_cycles: 4_000,
+            precharge_standby_cycles: 6_000,
+            power_down_fast_cycles: 5_000,
+            power_down_slow_cycles: 3_000,
+            self_refresh_cycles: 2_000,
+            power_down_entries: 3,
+            self_refresh_entries: 1,
+            power_wakes: 4,
+            ..stats()
+        }
+    }
+
+    #[test]
+    fn presets_order_background_powers_by_depth() {
+        for p in [EnergyParams::ddr3_1600(), EnergyParams::ddr4_2400()] {
+            assert!(p.active_standby_mw > p.precharge_standby_mw);
+            assert!(p.precharge_standby_mw > p.power_down_fast_mw);
+            assert!(p.power_down_fast_mw > p.power_down_slow_mw);
+            assert!(p.power_down_slow_mw > p.self_refresh_mw);
+        }
+        assert_eq!(EnergyParams::default(), EnergyParams::ddr3_1600());
+        // DDR4 standby floor is below DDR3's.
+        assert!(
+            EnergyParams::ddr4_2400().precharge_standby_mw
+                < EnergyParams::ddr3_1600().precharge_standby_mw
+        );
     }
 
     #[test]
@@ -148,6 +269,50 @@ mod tests {
         assert!((b.refresh_pj - 2.0 * 26000.0).abs() < 1e-6);
         assert!(b.background_pj > 0.0);
         assert!(b.total_pj() > b.activation_pj);
+    }
+
+    #[test]
+    fn residency_breakdown_prices_each_state() {
+        let m = EnergyModel::default();
+        let t = TimingParams::ddr3_1600();
+        let s = stats_with_residency();
+        let b = m.breakdown_from_residency(&s, &t);
+        let cycle_s = t.t_ck_ps as f64 * 1e-12;
+        let expect = (430.0 * 4_000.0
+            + 320.0 * 6_000.0
+            + 180.0 * 5_000.0
+            + 120.0 * 3_000.0
+            + 72.0 * 2_000.0)
+            * cycle_s
+            * 1e9;
+        assert!(
+            (b.background_pj - expect).abs() < 1e-3,
+            "{}",
+            b.background_pj
+        );
+        let down = (180.0 * 5_000.0 + 120.0 * 3_000.0 + 72.0 * 2_000.0) * cycle_s * 1e9;
+        assert!((b.powered_down_pj - down).abs() < 1e-3);
+        // Event energies match the command counters.
+        assert!((b.activation_pj - 10.0 * 2800.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_down_residency_costs_less_than_standby() {
+        let m = EnergyModel::default();
+        let t = TimingParams::ddr3_1600();
+        let awake = ChannelStats {
+            precharge_standby_cycles: 20_000,
+            ..stats()
+        };
+        let asleep = ChannelStats {
+            precharge_standby_cycles: 2_000,
+            power_down_slow_cycles: 18_000,
+            ..stats()
+        };
+        let b_awake = m.breakdown_from_residency(&awake, &t);
+        let b_asleep = m.breakdown_from_residency(&asleep, &t);
+        assert!(b_asleep.background_pj < b_awake.background_pj);
+        assert_eq!(b_awake.powered_down_pj, 0.0);
     }
 
     #[test]

@@ -44,5 +44,5 @@ pub use channel::{ChannelStats, DramChannel};
 pub use command::{Command, CommandKind, IssueOutcome};
 pub use config::{DramConfig, Location};
 pub use energy::{EnergyBreakdown, EnergyModel, EnergyParams};
-pub use rank::Rank;
+pub use rank::{PowerDownMode, PowerResidency, PowerState, Rank};
 pub use timing::{DramCycles, TimingParams};

@@ -64,6 +64,17 @@ pub struct TimingParams {
     pub t_refi: DramCycles,
     /// Refresh cycle time (REF command duration).
     pub t_rfc: DramCycles,
+    /// Minimum CKE pulse width: once clock-enable toggles (power-down entry
+    /// or exit), it must hold its level for this many cycles.
+    pub t_cke: DramCycles,
+    /// Fast-exit power-down exit latency: CKE high to the next valid command.
+    pub t_xp: DramCycles,
+    /// Slow-exit (DLL-off) power-down exit latency to a command that needs
+    /// the DLL (any column access; applied to all commands by this model).
+    pub t_xpdll: DramCycles,
+    /// Self-refresh exit latency: CKE high to the next valid command
+    /// (dominated by one internal refresh cycle, roughly `tRFC + 10 ns`).
+    pub t_xs: DramCycles,
 }
 
 impl TimingParams {
@@ -88,6 +99,39 @@ impl TimingParams {
             t_rtrs: 2,
             t_refi: 6240,
             t_rfc: 208,
+            t_cke: 4,
+            t_xp: 6,
+            t_xpdll: 20,
+            t_xs: 216,
+        }
+    }
+
+    /// DDR4-2400 timings (1200 MHz command clock, CL17 speed grade, 8 Gb
+    /// devices), a faster generation for the power/energy sensitivity study.
+    #[must_use]
+    pub fn ddr4_2400() -> Self {
+        Self {
+            t_ck_ps: 833,
+            cl: 17,
+            cwl: 12,
+            t_rcd: 17,
+            t_rp: 17,
+            t_ras: 39,
+            t_rc: 56,
+            t_wr: 18,
+            t_wtr: 9,
+            t_rtp: 9,
+            t_rrd: 6,
+            t_faw: 26,
+            t_ccd: 5,
+            t_burst: 4,
+            t_rtrs: 2,
+            t_refi: 9360,
+            t_rfc: 420,
+            t_cke: 6,
+            t_xp: 8,
+            t_xpdll: 29,
+            t_xs: 432,
         }
     }
 
@@ -112,6 +156,10 @@ impl TimingParams {
             t_rtrs: 2,
             t_refi: 4160,
             t_rfc: 139,
+            t_cke: 3,
+            t_xp: 4,
+            t_xpdll: 13,
+            t_xs: 145,
         }
     }
 
@@ -181,6 +229,22 @@ impl TimingParams {
                 self.t_rfc, self.t_refi
             ));
         }
+        if self.t_cke == 0 || self.t_xp == 0 {
+            return Err("tCKE and tXP must be non-zero".to_owned());
+        }
+        if self.t_xpdll < self.t_xp {
+            return Err(format!(
+                "tXPDLL ({}) must be >= tXP ({})",
+                self.t_xpdll, self.t_xp
+            ));
+        }
+        if self.t_xs < self.t_rfc {
+            return Err(format!(
+                "tXS ({}) must be >= tRFC ({}): self-refresh exit covers one \
+                 internal refresh cycle",
+                self.t_xs, self.t_rfc
+            ));
+        }
         Ok(())
     }
 }
@@ -211,6 +275,41 @@ mod tests {
     fn presets_are_valid() {
         TimingParams::ddr3_1600().validate().unwrap();
         TimingParams::ddr3_1066().validate().unwrap();
+        TimingParams::ddr4_2400().validate().unwrap();
+    }
+
+    #[test]
+    fn ddr3_1600_power_mode_fences_are_pinned() {
+        let t = TimingParams::ddr3_1600();
+        assert_eq!((t.t_cke, t.t_xp, t.t_xpdll, t.t_xs), (4, 6, 20, 216));
+        assert!(t.t_xs >= t.t_rfc);
+    }
+
+    #[test]
+    fn ddr4_2400_preset_is_pinned() {
+        let t = TimingParams::ddr4_2400();
+        assert_eq!(t.t_ck_ps, 833);
+        assert_eq!((t.cl, t.t_rcd, t.t_rp, t.t_ras), (17, 17, 17, 39));
+        assert_eq!((t.t_rc, t.t_wr, t.t_wtr, t.t_rtp), (56, 18, 9, 9));
+        assert_eq!((t.t_rrd, t.t_faw, t.t_ccd), (6, 26, 5));
+        assert_eq!((t.t_refi, t.t_rfc), (9360, 420));
+        assert_eq!((t.t_cke, t.t_xp, t.t_xpdll, t.t_xs), (6, 8, 29, 432));
+        // Faster clock than DDR3-1600, higher peak bandwidth.
+        let gb = t.peak_bandwidth_bytes_per_sec() / 1.0e9;
+        assert!((gb - 19.2).abs() < 0.05, "got {gb}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_power_fences() {
+        let mut t = TimingParams::ddr3_1600();
+        t.t_xp = 0;
+        assert!(t.validate().is_err());
+        t = TimingParams::ddr3_1600();
+        t.t_xpdll = t.t_xp - 1;
+        assert!(t.validate().is_err());
+        t = TimingParams::ddr3_1600();
+        t.t_xs = t.t_rfc - 1;
+        assert!(t.validate().is_err());
     }
 
     #[test]

@@ -2,10 +2,13 @@
 //! scheduling algorithm, a page-management policy, write draining and
 //! refresh handling.
 
-use cloudmc_dram::{ChannelStats, Command, DramChannel, DramConfig, DramCycles, Location};
+use cloudmc_dram::{
+    ChannelStats, Command, DramChannel, DramConfig, DramCycles, Location, PowerDownMode,
+};
 
 use crate::mapping::{AddressMapping, DecodedAddress};
 use crate::page::{PagePolicy, PagePolicyKind, PolicyView};
+use crate::power::{PowerAction, PowerPolicy, PowerPolicyKind};
 use crate::queue::RequestQueue;
 use crate::request::{AccessKind, CompletedRequest, MemoryRequest, RowBufferOutcome};
 use crate::sched::{SchedContext, SchedDecision, SchedulerImpl, SchedulerKind};
@@ -14,7 +17,8 @@ use crate::stats::McStats;
 /// Configuration of a complete memory controller (all channels).
 ///
 /// Defaults reproduce the paper's baseline (Table 2): FR-FCFS scheduling,
-/// open-adaptive page policy, one channel, `RoRaBaCoCh` address mapping.
+/// open-adaptive page policy, no power management, one channel, `RoRaBaCoCh`
+/// address mapping.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct McConfig {
     /// DRAM organization and timing.
@@ -25,6 +29,8 @@ pub struct McConfig {
     pub scheduler: SchedulerKind,
     /// Page-management policy.
     pub page_policy: PagePolicyKind,
+    /// Rank power-management policy.
+    pub power_policy: PowerPolicyKind,
     /// Number of cores sharing the controller.
     pub num_cores: usize,
     /// Per-channel read queue capacity.
@@ -46,6 +52,7 @@ impl McConfig {
             mapping: AddressMapping::RoRaBaCoCh,
             scheduler: SchedulerKind::FrFcfs,
             page_policy: PagePolicyKind::OpenAdaptive,
+            power_policy: PowerPolicyKind::None,
             num_cores: 16,
             read_queue_capacity: 64,
             write_queue_capacity: 64,
@@ -106,6 +113,7 @@ struct ChannelController {
     write_q: RequestQueue,
     scheduler: SchedulerImpl,
     policy: Box<dyn PagePolicy>,
+    power_policy: Box<dyn PowerPolicy>,
     write_mode: bool,
     inflight: Vec<InFlight>,
     /// Per flat-bank flag: a conflict-induced precharge has been issued and
@@ -132,6 +140,7 @@ impl ChannelController {
             policy: cfg
                 .page_policy
                 .build(cfg.dram.ranks_per_channel, cfg.dram.banks_per_rank),
+            power_policy: cfg.power_policy.build(cfg.dram.ranks_per_channel),
             write_mode: false,
             inflight: Vec::new(),
             conflict_pending: vec![false; total_banks],
@@ -171,6 +180,14 @@ impl ChannelController {
         }
         .expect("entry just pushed");
         self.scheduler.on_enqueue(&entry);
+        // Demand arrival wakes a powered-down rank immediately: the exit
+        // latency (tXP/tXPDLL/tXS) becomes part of the request's observed
+        // latency, which is exactly the cost side of the power tradeoff.
+        self.power_policy.on_activity(location.rank, now);
+        if self.channel.power_state(location.rank).is_powered_down() {
+            self.channel.wake_rank(location.rank, now);
+            self.stats.power_wakes += 1;
+        }
         Ok(())
     }
 
@@ -224,12 +241,38 @@ impl ChannelController {
         }
     }
 
+    /// Issues a policy precharge to the open row of (`rank`, `bank`) if one
+    /// is open and the command is legal at `now`, with the row-close
+    /// bookkeeping. Returns `true` if the precharge issued.
+    fn try_precharge(&mut self, rank: usize, bank: usize, now: DramCycles) -> bool {
+        let Some(row) = self.channel.open_row(rank, bank) else {
+            return false;
+        };
+        let pre = Command::precharge(Location::new(rank, bank, row, 0));
+        if !self.channel.can_issue(&pre, now) {
+            return false;
+        }
+        let accesses = self.channel.accesses_since_activate(rank, bank);
+        self.note_row_closed(rank, bank, accesses);
+        self.channel.issue(&pre, now);
+        true
+    }
+
     /// Attempts to make progress on refresh; returns `true` if a command was
     /// issued this cycle.
     fn handle_refresh(&mut self, now: DramCycles) -> bool {
         let Some(rank) = self.channel.refresh_due(now) else {
             return false;
         };
+        // A rank that slept past its refresh deadline (fast/slow power-down;
+        // self-refresh never comes due) is woken first. CKE is a dedicated
+        // pin, so the wake does not occupy the command bus: fall through and
+        // let this cycle still issue a command (the REF itself only becomes
+        // legal once the exit latency has elapsed).
+        if self.channel.power_state(rank).is_powered_down() {
+            self.channel.wake_rank(rank, now);
+            self.stats.power_wakes += 1;
+        }
         let refresh = Command::refresh(rank);
         if self.channel.can_issue(&refresh, now) {
             self.channel.issue(&refresh, now);
@@ -239,14 +282,8 @@ impl ChannelController {
         // backlog grows to two full intervals.
         if self.channel.refresh_backlog(rank, now) >= 2 {
             for bank in 0..self.channel.banks_per_rank() {
-                if let Some(row) = self.channel.open_row(rank, bank) {
-                    let pre = Command::precharge(Location::new(rank, bank, row, 0));
-                    if self.channel.can_issue(&pre, now) {
-                        let accesses = self.channel.accesses_since_activate(rank, bank);
-                        self.note_row_closed(rank, bank, accesses);
-                        self.channel.issue(&pre, now);
-                        return true;
-                    }
+                if self.try_precharge(rank, bank, now) {
+                    return true;
                 }
             }
         }
@@ -256,6 +293,7 @@ impl ChannelController {
     /// Executes a scheduler decision. Returns `true` if a command was issued.
     fn execute(&mut self, decision: SchedDecision, now: DramCycles) -> bool {
         let loc = decision.command.loc;
+        self.power_policy.on_activity(loc.rank, now);
         match decision.request_id {
             Some(id) => {
                 // Column access completing a request: apply the page policy's
@@ -398,14 +436,46 @@ impl ChannelController {
             self.policy.propose_precharge(&view)
         };
         if let Some((rank, bank)) = proposal {
-            if let Some(row) = self.channel.open_row(rank, bank) {
-                let pre = Command::precharge(Location::new(rank, bank, row, 0));
-                if self.channel.can_issue(&pre, now) {
-                    let accesses = self.channel.accesses_since_activate(rank, bank);
-                    self.note_row_closed(rank, bank, accesses);
-                    self.channel.issue(&pre, now);
+            if self.try_precharge(rank, bank, now) {
+                return;
+            }
+        }
+
+        // 8. Last priority: let the power policy park a quiescent rank.
+        self.power_step(now);
+    }
+
+    /// Consults the power policy and applies at most one action. Runs only
+    /// on cycles where nothing else issued, mirroring the page-policy slot.
+    fn power_step(&mut self, now: DramCycles) {
+        let action = {
+            let view = PolicyView {
+                now,
+                channel: &self.channel,
+                read_q: &self.read_q,
+                write_q: &self.write_q,
+            };
+            self.power_policy.propose(&view)
+        };
+        match action {
+            // Proposals are required to be legal already; the guard keeps an
+            // ill-behaved policy from panicking the device.
+            Some(PowerAction::PowerDown { rank, mode })
+                if self.channel.can_enter_power_down(rank, mode, now) =>
+            {
+                self.channel.enter_power_down(rank, mode, now);
+                match mode {
+                    PowerDownMode::SelfRefresh => self.stats.self_refreshes += 1,
+                    PowerDownMode::Fast | PowerDownMode::Slow => self.stats.power_downs += 1,
                 }
             }
+            Some(PowerAction::Precharge { rank, bank }) => {
+                let issued = self.try_precharge(rank, bank, now);
+                if issued {
+                    self.stats.power_precharges += 1;
+                }
+            }
+            _ => {}
         }
     }
 
@@ -449,16 +519,28 @@ impl ChannelController {
         for inflight in &self.inflight {
             next = next.min(inflight.completion);
         }
-        // Refresh: issuable at its due cycle when the rank is idle; otherwise
-        // the controller force-precharges open banks once the backlog reaches
-        // two intervals.
+        // Refresh: issuable at its due cycle when the rank is idle (for a
+        // powered-down rank the due cycle is when the controller wakes it,
+        // and the REF itself is additionally fenced by the exit latency);
+        // otherwise the controller force-precharges open banks once the
+        // backlog reaches two intervals. A rank in self-refresh maintains
+        // itself and contributes no event.
         if self.channel.refresh_enabled() {
             let t_refi = self.channel.timing().t_refi;
             for r in 0..self.channel.rank_count() {
                 let rank = self.channel.rank(r);
+                if rank.in_self_refresh() {
+                    continue;
+                }
                 let due = rank.next_refresh_due();
                 if rank.all_banks_idle() {
-                    next = next.min(due);
+                    let event = if rank.powered_down() {
+                        // The wake itself happens at the due cycle.
+                        due
+                    } else {
+                        due.max(rank.next_refresh_allowed())
+                    };
+                    next = next.min(event);
                 } else {
                     let force_at = due.saturating_add(t_refi);
                     let earliest_pre = (0..self.channel.banks_per_rank())
@@ -502,6 +584,26 @@ impl ChannelController {
             }
             None => {
                 if let Some(cycle) = self.policy.next_wake(&view) {
+                    next = next.min(cycle);
+                }
+            }
+        }
+        // Power-policy actions: a standing proposal acts on the next tick
+        // (power-down entries are proposed pre-validated; a row-closing
+        // proposal waits for its precharge to become legal); otherwise ask
+        // the policy when its idle timers could first flip the answer.
+        match self.power_policy.propose(&view) {
+            Some(PowerAction::PowerDown { .. }) => next = next.min(now),
+            Some(PowerAction::Precharge { rank, bank }) => {
+                if let Some(row) = self.channel.open_row(rank, bank) {
+                    let pre = Command::precharge(Location::new(rank, bank, row, 0));
+                    if let Some(cycle) = self.channel.earliest_legal(&pre) {
+                        next = next.min(cycle);
+                    }
+                }
+            }
+            None => {
+                if let Some(cycle) = self.power_policy.next_wake(&view) {
                     next = next.min(cycle);
                 }
             }
@@ -645,6 +747,18 @@ impl MemoryController {
     #[must_use]
     pub fn channel_device_stats(&self, channel: usize) -> &ChannelStats {
         self.channels[channel].channel.stats()
+    }
+
+    /// Device-level statistics of one channel including power-state
+    /// residency accrued up to `now` (see
+    /// [`cloudmc_dram::DramChannel::stats_at`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    #[must_use]
+    pub fn channel_device_stats_at(&self, channel: usize, now: DramCycles) -> ChannelStats {
+        self.channels[channel].channel.stats_at(now)
     }
 
     /// Sum of data-bus busy cycles over all channels (bandwidth accounting).
@@ -910,6 +1024,161 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The jump-equivalence property must also hold with every power policy
+    /// driving rank power-down, wake-on-demand and wake-for-refresh.
+    #[test]
+    fn next_ready_never_skips_a_power_event() {
+        use crate::power::PowerPolicyKind;
+        for power in PowerPolicyKind::all() {
+            for policy in [PagePolicyKind::OpenAdaptive, PagePolicyKind::Open] {
+                let mut cfg = McConfig::baseline();
+                cfg.page_policy = policy;
+                cfg.power_policy = power;
+                let mut naive = MemoryController::new(cfg).unwrap();
+                let mut jumpy = MemoryController::new(cfg).unwrap();
+                // Sparse arrivals leave long gaps for power-down entries,
+                // deepening transitions and refresh wakes.
+                let submit = |mc: &mut MemoryController, at: u64, i: u64| {
+                    mc.enqueue(
+                        MemoryRequest::new(
+                            i,
+                            AccessKind::Read,
+                            (i % 3) * 0x40_0000 + i * 64,
+                            0,
+                            at,
+                        ),
+                        at,
+                    )
+                    .unwrap();
+                };
+                let horizon = cfg.dram.timing.t_refi * 4;
+                let arrivals: Vec<u64> = (0..8u64).map(|i| i * (horizon / 9)).collect();
+                let mut naive_done = Vec::new();
+                let mut next_arrival = 0usize;
+                for c in 0..horizon {
+                    while next_arrival < arrivals.len() && arrivals[next_arrival] == c {
+                        submit(&mut naive, c, next_arrival as u64);
+                        next_arrival += 1;
+                    }
+                    naive.tick(c, &mut naive_done);
+                }
+                let mut jumpy_done = Vec::new();
+                let mut next_arrival = 0usize;
+                let mut c = 0u64;
+                while c < horizon {
+                    while next_arrival < arrivals.len() && arrivals[next_arrival] == c {
+                        submit(&mut jumpy, c, next_arrival as u64);
+                        next_arrival += 1;
+                    }
+                    jumpy.tick(c, &mut jumpy_done);
+                    let mut next = jumpy.next_ready_dram_cycle(c).max(c + 1).min(horizon);
+                    if next_arrival < arrivals.len() {
+                        next = next.min(arrivals[next_arrival]);
+                    }
+                    if next > c + 1 {
+                        jumpy.skip_dram_cycles(next - c - 1);
+                    }
+                    c = next;
+                }
+                assert_eq!(
+                    naive_done.len(),
+                    jumpy_done.len(),
+                    "{power}/{policy}: completion counts diverged"
+                );
+                assert_eq!(
+                    naive.stats(),
+                    jumpy.stats(),
+                    "{power}/{policy}: stats diverged"
+                );
+                assert_eq!(
+                    naive.channel_device_stats(0),
+                    jumpy.channel_device_stats(0),
+                    "{power}/{policy}: device counters diverged"
+                );
+                if power != PowerPolicyKind::None {
+                    assert!(
+                        naive.stats().power_downs + naive.stats().self_refreshes > 0,
+                        "{power}/{policy}: power policy never acted"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn immediate_power_down_parks_idle_ranks_and_serves_demand() {
+        let mut cfg = McConfig::baseline();
+        cfg.power_policy = crate::power::PowerPolicyKind::Immediate;
+        let mut mc = MemoryController::new(cfg).unwrap();
+        let mut done = Vec::new();
+        // A long quiet stretch: both ranks should drop into power-down.
+        for c in 0..2_000 {
+            mc.tick(c, &mut done);
+        }
+        let stats = mc.stats();
+        assert!(stats.power_downs >= 2, "both ranks should have parked");
+        // A late read wakes the rank and still completes, paying the exit
+        // latency on top of the usual activate+read time.
+        mc.enqueue(
+            MemoryRequest::new(1, AccessKind::Read, 0x10_0000, 0, 2_000),
+            2_000,
+        )
+        .unwrap();
+        for c in 2_000..2_400 {
+            mc.tick(c, &mut done);
+        }
+        assert_eq!(done.len(), 1);
+        let t = cfg.dram.timing;
+        assert!(
+            done[0].latency() >= t.t_xp + t.t_rcd + t.cl + t.t_burst,
+            "latency {} must include the tXP exit fence",
+            done[0].latency()
+        );
+        assert!(mc.stats().power_wakes >= 1);
+    }
+
+    #[test]
+    fn refresh_wakes_powered_down_ranks_on_schedule() {
+        let mut cfg = McConfig::baseline();
+        cfg.power_policy = crate::power::PowerPolicyKind::Immediate;
+        let t_refi = cfg.dram.timing.t_refi;
+        let mut mc = MemoryController::new(cfg).unwrap();
+        let mut done = Vec::new();
+        for c in 0..(t_refi * 3) {
+            mc.tick(c, &mut done);
+        }
+        // Refresh kept running despite the ranks sleeping in between.
+        assert!(mc.channel_device_stats(0).refreshes >= 2);
+        assert!(mc.stats().power_wakes >= 2, "each due refresh wakes a rank");
+    }
+
+    #[test]
+    fn idle_timer_reaches_self_refresh_and_suppresses_refresh_commands() {
+        let mut cfg = McConfig::baseline();
+        cfg.power_policy = crate::power::PowerPolicyKind::IdleTimer;
+        let t_refi = cfg.dram.timing.t_refi;
+        let mut mc = MemoryController::new(cfg).unwrap();
+        let mut done = Vec::new();
+        for c in 0..(t_refi * 8) {
+            mc.tick(c, &mut done);
+        }
+        let stats = mc.stats();
+        assert!(
+            stats.self_refreshes >= 2,
+            "both ranks should reach self-refresh"
+        );
+        // Once in self-refresh, external REF commands stop.
+        let refreshes_mid = mc.channel_device_stats(0).refreshes;
+        for c in (t_refi * 8)..(t_refi * 16) {
+            mc.tick(c, &mut done);
+        }
+        assert_eq!(
+            mc.channel_device_stats(0).refreshes,
+            refreshes_mid,
+            "self-refreshing ranks must not receive external REF"
+        );
     }
 
     #[test]

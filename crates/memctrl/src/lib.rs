@@ -7,9 +7,11 @@
 //! scheduling algorithms (FCFS, FCFS-per-bank, FR-FCFS, PAR-BS, ATLAS and a
 //! reinforcement-learning scheduler), the page-management policies (open,
 //! close, open-adaptive, close-adaptive, RBPP, ABPP and an idle-timer
-//! extension), the four address interleaving schemes, multi-channel
-//! operation, write draining and refresh handling — all on top of the
-//! cycle-level DRAM device model in [`cloudmc_dram`].
+//! extension), the rank power-management policies (immediate and idle-timer
+//! power-down, plus a power-aware variant that closes idle rows on the way
+//! down), the four address interleaving schemes, multi-channel operation,
+//! write draining and refresh handling — all on top of the cycle-level DRAM
+//! device model in [`cloudmc_dram`].
 //!
 //! ## Quick example
 //!
@@ -37,6 +39,7 @@
 pub mod controller;
 pub mod mapping;
 pub mod page;
+pub mod power;
 pub mod queue;
 pub mod request;
 pub mod sched;
@@ -47,6 +50,9 @@ pub use mapping::{AddressMapping, DecodedAddress};
 pub use page::{
     Abpp, CloseAdaptive, ClosePage, OpenAdaptive, OpenPage, PagePolicy, PagePolicyKind, PolicyView,
     Rbpp, TimerPolicy,
+};
+pub use power::{
+    NoPowerManagement, PowerAction, PowerPolicy, PowerPolicyKind, PowerTimeouts, TimeoutPowerDown,
 };
 pub use queue::{QueueEntry, RequestQueue};
 pub use request::{AccessKind, CompletedRequest, MemoryRequest, RequestId, RowBufferOutcome};

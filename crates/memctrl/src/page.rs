@@ -43,6 +43,12 @@ impl PolicyView<'_> {
         self.read_q.any_other_row(rank, bank, row) || self.write_q.any_other_row(rank, bank, row)
     }
 
+    /// Whether any pending request (read or write) targets rank `rank`.
+    #[must_use]
+    pub fn pending_for_rank(&self, rank: usize) -> bool {
+        self.read_q.any_for_rank(rank) || self.write_q.any_for_rank(rank)
+    }
+
     /// Iterates over all open banks as (rank, bank, open row) triples.
     pub fn open_banks(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
         let ranks = self.channel.rank_count();

@@ -134,6 +134,12 @@ impl RequestQueue {
             .any(|e| e.location.rank == rank && e.location.bank == bank && e.location.row != row)
     }
 
+    /// Whether any pending entry targets rank `rank` (any bank or row).
+    #[must_use]
+    pub fn any_for_rank(&self, rank: usize) -> bool {
+        self.entries.iter().any(|e| e.location.rank == rank)
+    }
+
     /// Number of pending entries for `core`.
     #[must_use]
     pub fn count_for_core(&self, core: usize) -> usize {

@@ -43,6 +43,16 @@ pub struct McStats {
     pub read_latency_per_core: Vec<DramCycles>,
     /// Reads completed per core.
     pub reads_per_core: Vec<u64>,
+    /// Power-down actions taken by the power policy (fast/slow entries,
+    /// including deepening transitions).
+    pub power_downs: u64,
+    /// Self-refresh entries taken by the power policy.
+    pub self_refreshes: u64,
+    /// Rank wakes, whether triggered by demand arrival or a due refresh.
+    pub power_wakes: u64,
+    /// Precharges issued by the power policy to clear a rank for power-down
+    /// (power-aware policy only).
+    pub power_precharges: u64,
 }
 
 /// Number of buckets kept in the activation-reuse histogram.
@@ -228,6 +238,10 @@ impl McStats {
         for (i, v) in other.reads_per_core.iter().enumerate() {
             self.reads_per_core[i] += v;
         }
+        self.power_downs += other.power_downs;
+        self.self_refreshes += other.self_refreshes;
+        self.power_wakes += other.power_wakes;
+        self.power_precharges += other.power_precharges;
     }
 }
 

@@ -212,19 +212,28 @@ impl Backend {
         }
     }
 
-    /// Device-level statistics summed over every channel of every shard.
+    /// Device-level statistics summed over every channel of every shard
+    /// (command counters only; residency via [`Backend::device_totals_at`]).
     #[must_use]
     pub fn device_totals(&self) -> ChannelStats {
         let mut total = ChannelStats::default();
         for shard in &self.shards {
             for ch in 0..shard.channel_count() {
-                let s = shard.channel_device_stats(ch);
-                total.activates += s.activates;
-                total.precharges += s.precharges;
-                total.reads += s.reads;
-                total.writes += s.writes;
-                total.refreshes += s.refreshes;
-                total.data_bus_busy_cycles += s.data_bus_busy_cycles;
+                total.merge(shard.channel_device_stats(ch));
+            }
+        }
+        total
+    }
+
+    /// Device-level statistics summed over every channel of every shard,
+    /// including power-state residency accrued up to DRAM cycle `now` in
+    /// closed form (exact under fast-forward).
+    #[must_use]
+    pub fn device_totals_at(&self, now: DramCycles) -> ChannelStats {
+        let mut total = ChannelStats::default();
+        for shard in &self.shards {
+            for ch in 0..shard.channel_count() {
+                total.merge(&shard.channel_device_stats_at(ch, now));
             }
         }
         total

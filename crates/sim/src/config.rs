@@ -1,6 +1,7 @@
 //! Full-system configuration.
 
 use cloudmc_cpu::{CoreConfig, L2Config};
+use cloudmc_dram::EnergyParams;
 use cloudmc_memctrl::{McConfig, SchedulerKind};
 use cloudmc_workloads::{Workload, WorkloadSpec};
 
@@ -24,6 +25,9 @@ pub struct SystemConfig {
     pub l2: L2Config,
     /// Memory controller and DRAM configuration (per backend shard).
     pub mc: McConfig,
+    /// DRAM energy parameters (per-event charges and per-state background
+    /// powers); pick the preset matching `mc.dram.timing`.
+    pub energy: EnergyParams,
     /// Number of independent memory-controller shards in the backend.
     ///
     /// Cache blocks interleave across shards by block address, so the total
@@ -70,6 +74,7 @@ impl SystemConfig {
             core: CoreConfig::default(),
             l2: L2Config::baseline(),
             mc,
+            energy: EnergyParams::ddr3_1600(),
             num_channels: 1,
             seed: 1,
             warmup_cpu_cycles: 250_000,

@@ -5,7 +5,7 @@
 //!
 //! The model runs two clock domains: cores and caches at 2 GHz, the DRAM
 //! command bus at 800 MHz (DDR3-1600). The ratio is exactly
-//! [`DRAM_CYCLES_PER_5_CPU_CYCLES`](crate::config::DRAM_CYCLES_PER_5_CPU_CYCLES)
+//! [`crate::config::DRAM_CYCLES_PER_5_CPU_CYCLES`]
 //! DRAM cycles per 5 CPU cycles, so [`ClockCrossing`] keeps a fractional
 //! accumulator in units of fifths: every CPU step adds 2/5 of a DRAM cycle,
 //! and whenever the accumulator reaches a whole DRAM cycle the backend is

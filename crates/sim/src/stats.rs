@@ -14,6 +14,8 @@ pub struct SimStats {
     pub scheduler: String,
     /// Page policy name (e.g. "open-adaptive").
     pub page_policy: String,
+    /// Power policy name (e.g. "idle-timer").
+    pub power_policy: String,
     /// Address mapping scheme name.
     pub mapping: String,
     /// Number of memory channels.
@@ -54,9 +56,26 @@ pub struct SimStats {
     pub l2_mpki: f64,
     /// DRAM activations per kilo user instructions.
     pub activations_per_kilo_instr: f64,
-    /// Total DRAM energy estimate in millijoules (extension; the paper defers
-    /// power analysis to future work).
+    /// Total DRAM energy in millijoules over the measurement window,
+    /// computed by the event + state-residency model (the paper defers power
+    /// analysis to future work; this is the extension that tests its
+    /// conjecture).
     pub dram_energy_mj: f64,
+    /// Background (standby + power-down + self-refresh) portion of
+    /// `dram_energy_mj`.
+    pub dram_background_energy_mj: f64,
+    /// Average DRAM power over the window in milliwatts.
+    pub avg_dram_power_mw: f64,
+    /// DRAM energy per completed request in nanojoules.
+    pub energy_per_request_nj: f64,
+    /// Fraction of rank-cycles spent in any CKE-low state (0.0–1.0).
+    pub power_down_fraction: f64,
+    /// Fraction of rank-cycles spent in self-refresh (0.0–1.0).
+    pub self_refresh_fraction: f64,
+    /// Power-down entries (fast/slow) during the window.
+    pub power_down_entries: u64,
+    /// Rank wakes (demand- or refresh-triggered) during the window.
+    pub power_wakes: u64,
 }
 
 impl SimStats {
@@ -143,6 +162,9 @@ impl SimStats {
             .iter()
             .map(u64::to_string)
             .collect();
+        // Keys are strictly additive over earlier releases: existing
+        // consumers of the `BENCH_*.json` files keep parsing unchanged, the
+        // energy/power keys are appended at the end of the object.
         format!(
             concat!(
                 "{{\"workload\":\"{}\",\"scheduler\":\"{}\",\"page_policy\":\"{}\",",
@@ -152,7 +174,11 @@ impl SimStats {
                 "\"writes_completed\":{},\"avg_read_latency_dram\":{},\"avg_read_latency_ns\":{},",
                 "\"row_buffer_hit_rate\":{},\"single_access_activation_fraction\":{},",
                 "\"avg_read_queue_len\":{},\"avg_write_queue_len\":{},\"bandwidth_utilization\":{},",
-                "\"l2_mpki\":{},\"activations_per_kilo_instr\":{},\"dram_energy_mj\":{}}}"
+                "\"l2_mpki\":{},\"activations_per_kilo_instr\":{},\"dram_energy_mj\":{},",
+                "\"power_policy\":\"{}\",\"dram_background_energy_mj\":{},",
+                "\"avg_dram_power_mw\":{},\"energy_per_request_nj\":{},",
+                "\"power_down_fraction\":{},\"self_refresh_fraction\":{},",
+                "\"power_down_entries\":{},\"power_wakes\":{}}}"
             ),
             esc(&self.workload),
             esc(&self.scheduler),
@@ -178,6 +204,14 @@ impl SimStats {
             self.l2_mpki,
             self.activations_per_kilo_instr,
             self.dram_energy_mj,
+            esc(&self.power_policy),
+            self.dram_background_energy_mj,
+            self.avg_dram_power_mw,
+            self.energy_per_request_nj,
+            self.power_down_fraction,
+            self.self_refresh_fraction,
+            self.power_down_entries,
+            self.power_wakes,
         )
     }
 }
@@ -209,6 +243,7 @@ mod tests {
             workload: "DS".to_owned(),
             scheduler: "FR-FCFS".to_owned(),
             page_policy: "open-adaptive".to_owned(),
+            power_policy: "none".to_owned(),
             mapping: "RoRaBaCoCh".to_owned(),
             channels: 1,
             cores: 4,
@@ -230,6 +265,13 @@ mod tests {
             l2_mpki: 5.0,
             activations_per_kilo_instr: 3.0,
             dram_energy_mj: 1.0,
+            dram_background_energy_mj: 0.6,
+            avg_dram_power_mw: 900.0,
+            energy_per_request_nj: 7.0,
+            power_down_fraction: 0.0,
+            self_refresh_fraction: 0.0,
+            power_down_entries: 0,
+            power_wakes: 0,
         }
     }
 
@@ -273,6 +315,16 @@ mod tests {
         assert!(json.contains("\"cpu_cycles\":10"));
         assert!(json.contains("\"instructions_per_core\":[25,25,25,25]"));
         assert!(json.contains("\"row_buffer_hit_rate\":0.4"));
+        // Energy keys are additive (appended after the original key set).
+        assert!(json.contains("\"power_policy\":\"none\""));
+        assert!(json.contains("\"dram_background_energy_mj\":0.6"));
+        assert!(json.contains("\"power_down_fraction\":0"));
+        let energy_pos = json.find("\"dram_energy_mj\"").unwrap();
+        let added_pos = json.find("\"power_policy\"").unwrap();
+        assert!(
+            added_pos > energy_pos,
+            "new keys must come after the pre-existing ones"
+        );
         // Every key appears exactly once.
         assert_eq!(json.matches("\"scheduler\"").count(), 1);
     }

@@ -399,7 +399,7 @@ impl System {
             mem_reads_sent: self.mem_reads_sent,
             mem_writes_sent: self.mem_writes_sent,
             mc: Some(self.backend.stats()),
-            device: self.backend.device_totals(),
+            device: self.backend.device_totals_at(self.clock.dram_cycle()),
         }
     }
 
@@ -491,27 +491,35 @@ impl System {
         } else {
             activations as f64 * 1000.0 / user_instructions as f64
         };
-        // Energy estimate (extension): event-based model over the deltas.
-        let energy_model = cloudmc_dram::EnergyModel::default();
-        let delta_channel_stats = cloudmc_dram::ChannelStats {
-            activates: activations,
-            precharges: end.device.precharges - start.device.precharges,
-            reads: end.device.reads - start.device.reads,
-            writes: end.device.writes - start.device.writes,
-            refreshes: end.device.refreshes - start.device.refreshes,
-            data_bus_busy_cycles: bus_busy,
-        };
-        let breakdown = energy_model.breakdown(
-            &delta_channel_stats,
-            dram_cycles.max(1) * total_channels as u64,
-            bus_busy * 4,
-            &cfg.mc.dram.timing,
-        );
+        // Energy (extension): events priced from the command-count deltas,
+        // background from the power-state residency deltas — both exact and
+        // bit-identical with fast-forward on or off.
+        let energy_model = cloudmc_dram::EnergyModel::new(cfg.energy);
+        let delta_channel_stats = end.device.delta(&start.device);
         let timing = cfg.mc.dram.timing;
+        let breakdown = energy_model.breakdown_from_residency(&delta_channel_stats, &timing);
+        let rank_cycles = delta_channel_stats.state_residency_cycles();
+        let power_down_fraction = if rank_cycles == 0 {
+            0.0
+        } else {
+            delta_channel_stats.powered_down_cycles() as f64 / rank_cycles as f64
+        };
+        let self_refresh_fraction = if rank_cycles == 0 {
+            0.0
+        } else {
+            delta_channel_stats.self_refresh_cycles as f64 / rank_cycles as f64
+        };
+        let completed = reads_completed + writes_completed;
+        let energy_per_request_nj = if completed == 0 {
+            0.0
+        } else {
+            breakdown.total_pj() * 1e-3 / completed as f64
+        };
         SimStats {
             workload: cfg.workload.workload.acronym().to_owned(),
             scheduler: cfg.mc.scheduler.label().to_owned(),
             page_policy: cfg.mc.page_policy.to_string(),
+            power_policy: cfg.mc.power_policy.to_string(),
             mapping: cfg.mc.mapping.to_string(),
             channels: total_channels,
             cores: cfg.workload.cores,
@@ -533,6 +541,13 @@ impl System {
             l2_mpki,
             activations_per_kilo_instr,
             dram_energy_mj: breakdown.total_pj() * 1e-9,
+            dram_background_energy_mj: breakdown.background_pj * 1e-9,
+            avg_dram_power_mw: breakdown.average_power_mw(dram_cycles, &timing),
+            energy_per_request_nj,
+            power_down_fraction,
+            self_refresh_fraction,
+            power_down_entries: delta_channel_stats.power_down_entries,
+            power_wakes: delta_channel_stats.power_wakes,
         }
     }
 }

@@ -7,7 +7,7 @@
 //! any layer whose "next event" bound overshoots by even one cycle shows up
 //! here as a diverging field.
 
-use cloudmc::memctrl::{PagePolicyKind, SchedulerKind};
+use cloudmc::memctrl::{PagePolicyKind, PowerPolicyKind, SchedulerKind};
 use cloudmc::sim::{run_system, SimStats, SystemConfig};
 use cloudmc::workloads::Workload;
 
@@ -84,6 +84,50 @@ fn every_page_policy_is_bit_identical() {
         cfg.mc.page_policy = policy;
         assert_equivalent(cfg, &policy.to_string());
     }
+}
+
+/// The horizon must respect the power subsystem's clockwork: idle-timer
+/// power-down entries, deepening transitions, self-refresh, wake-on-demand
+/// and wake-for-refresh are all time- or event-driven, and the energy
+/// accounting (state residency in closed form) must come out bit-identical.
+/// Exercised on the idle-heavy stream where ranks actually reach the deep
+/// states, and on a denser stream for the wake-on-demand churn.
+#[test]
+fn every_power_policy_is_bit_identical() {
+    for policy in PowerPolicyKind::all() {
+        let mut cfg = small(Workload::WebSearch, 5);
+        cfg.workload = cfg.workload.with_intensity(0.02);
+        cfg.mc.power_policy = policy;
+        let stats = assert_equivalent(cfg, &format!("idle/{policy}"));
+        if policy != PowerPolicyKind::None {
+            assert!(
+                stats.power_down_fraction > 0.0,
+                "{policy}: idle-heavy run never powered down"
+            );
+        }
+
+        let mut dense = small(Workload::TpchQ6, 5);
+        dense.mc.power_policy = policy;
+        assert_equivalent(dense, &format!("dense/{policy}"));
+    }
+}
+
+/// Power management must stay bit-identical under every scheduler (their
+/// private clockwork interleaves with wake fences) and with the
+/// time-dependent timer page policy in the mix.
+#[test]
+fn power_down_is_bit_identical_across_schedulers() {
+    for scheduler in SchedulerKind::paper_set() {
+        let mut cfg = small(Workload::WebSearch, 3);
+        cfg.workload = cfg.workload.with_intensity(0.05);
+        cfg.mc.scheduler = scheduler;
+        cfg.mc.power_policy = PowerPolicyKind::IdleTimer;
+        assert_equivalent(cfg, &format!("power/{}", scheduler.label()));
+    }
+    let mut cfg = small(Workload::MediaStreaming, 7);
+    cfg.mc.page_policy = PagePolicyKind::Timer;
+    cfg.mc.power_policy = PowerPolicyKind::PowerAware;
+    assert_equivalent(cfg, "power/timer-page-policy");
 }
 
 /// Sharded backends and multi-channel controllers fast-forward identically.
