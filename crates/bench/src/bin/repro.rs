@@ -18,6 +18,9 @@
 //!   energy        DRAM energy sweep: 5 schedulers x 4 page policies x
 //!                 4 power policies on idle-heavy + dense workloads;
 //!                 writes BENCH_energy.json
+//!   qos           multi-tenant QoS sweep: 3 tenant mixes x 5 schedulers x
+//!                 3 QoS policies plus alone-run baselines; writes
+//!                 BENCH_qos.json
 //!   all           everything above
 //!
 //! options:
@@ -35,7 +38,7 @@ use std::process::ExitCode;
 use cloudmc_bench::{
     baseline_study, channel_study, config_report, energy_study, fastforward_report, figure1,
     figure10, figure11, figure12, figure13, figure14, figure2, figure3, figure4, figure5, figure6,
-    figure7, figure8, figure9, page_policy_study, scheduler_study, Scale, Table,
+    figure7, figure8, figure9, page_policy_study, qos_study, scheduler_study, Scale, Table,
 };
 
 struct Options {
@@ -99,7 +102,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const HELP: &str =
-    "usage: repro <config|fig1..fig14|table4|sched|pages|channels|fastforward|energy|all> \
+    "usage: repro <config|fig1..fig14|table4|sched|pages|channels|fastforward|energy|qos|all> \
 [--quick|--full] [--measure N] [--warmup N] [--seed N] [--threads N] [--csv DIR]";
 
 fn emit(table: &Table, csv_dir: &Option<PathBuf>) {
@@ -209,6 +212,13 @@ fn main() -> ExitCode {
         std::fs::write(path, report.to_json()).expect("write BENCH_energy.json");
         eprintln!("wrote {path}");
     }
+    if wants(&["qos", "all"]) {
+        let report = qos_study(&scale);
+        println!("{}", report.to_text());
+        let path = "BENCH_qos.json";
+        std::fs::write(path, report.to_json()).expect("write BENCH_qos.json");
+        eprintln!("wrote {path}");
+    }
     let known = [
         "config",
         "all",
@@ -218,6 +228,7 @@ fn main() -> ExitCode {
         "table4",
         "fastforward",
         "energy",
+        "qos",
         "fig1",
         "fig2",
         "fig3",

@@ -14,12 +14,14 @@
 pub mod energy;
 pub mod experiments;
 pub mod fastforward;
+pub mod qos;
 pub mod report;
 
 pub use energy::{energy_study, EnergyPoint, EnergyReport};
 pub use fastforward::{
     dense_config, fastforward_report, idle_heavy_config, FastForwardPoint, FastForwardReport,
 };
+pub use qos::{paper_mixes, qos_study, QosPoint, QosReport};
 
 pub use experiments::{
     baseline_config, baseline_study, channel_study, config_report, figure1, figure10, figure11,

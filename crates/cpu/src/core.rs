@@ -42,12 +42,19 @@ pub enum CoreOp {
     Mem(MemOp),
 }
 
+/// Identifier of the tenant a core (and thus its traffic) belongs to in a
+/// consolidated multi-tenant run. Single-tenant runs use tenant `0`.
+pub type TenantId = usize;
+
 /// A request the core sends down the hierarchy (an L1 miss refill or a dirty
 /// write-back).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CoreRequest {
     /// Issuing core.
     pub core: usize,
+    /// Tenant the issuing core is bound to; rides along through the L2 and
+    /// the MSHR path so the memory controller can attribute the miss.
+    pub tenant: TenantId,
     /// Block-aligned address.
     pub addr: u64,
     /// `true` for write-backs, `false` for refills.
@@ -119,6 +126,7 @@ enum Stall {
 #[derive(Debug)]
 pub struct InOrderCore {
     id: usize,
+    tenant: TenantId,
     l1i: Cache,
     l1d: Cache,
     mshr: Mshr,
@@ -143,6 +151,7 @@ impl InOrderCore {
         );
         Self {
             id,
+            tenant: 0,
             l1i: Cache::new(config.l1i),
             l1d: Cache::new(config.l1d),
             mshr: Mshr::new(config.max_outstanding_misses, config.l1d.block_bytes),
@@ -153,10 +162,24 @@ impl InOrderCore {
         }
     }
 
+    /// Binds the core to `tenant`; every downstream request it emits carries
+    /// the tag. Defaults to tenant 0 (single-tenant operation).
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
     /// Core index.
     #[must_use]
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// Tenant the core is bound to.
+    #[must_use]
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
 
     /// Performance counters.
@@ -218,6 +241,7 @@ impl InOrderCore {
             self.stats.l1_writebacks += 1;
             out.push(CoreRequest {
                 core: self.id,
+                tenant: self.tenant,
                 addr: victim,
                 write: true,
             });
@@ -234,6 +258,7 @@ impl InOrderCore {
                 self.stats.l1_demand_misses += 1;
                 out.push(CoreRequest {
                     core: self.id,
+                    tenant: self.tenant,
                     addr: self.block(op.addr),
                     write: false,
                 });
@@ -474,6 +499,23 @@ mod tests {
         assert_eq!(reqs.len(), 1);
         assert_eq!(reqs[0].addr, 0x3000);
         assert_eq!(core.committed(), 3);
+    }
+
+    #[test]
+    fn downstream_requests_carry_the_tenant_tag() {
+        let mut core = tiny_core().with_tenant(2);
+        assert_eq!(core.tenant(), 2);
+        let mut first = Some(CoreOp::Mem(MemOp {
+            kind: OpKind::Load,
+            addr: 0x1000,
+            overlappable: false,
+        }));
+        let mut src = move || first.take().unwrap_or(CoreOp::Compute(1));
+        let reqs = core.tick(&mut src);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].tenant, 2);
+        // The default binding is tenant 0.
+        assert_eq!(tiny_core().tenant(), 0);
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub mod core;
 pub mod hierarchy;
 pub mod mshr;
 
-pub use crate::core::{CoreConfig, CoreOp, CoreRequest, CoreStats, InOrderCore, MemOp, OpKind};
+pub use crate::core::{
+    CoreConfig, CoreOp, CoreRequest, CoreStats, InOrderCore, MemOp, OpKind, TenantId,
+};
 pub use cache::{Cache, CacheAccess, CacheConfig, CacheStats};
 pub use hierarchy::{L2Config, L2Outcome, SharedL2};
 pub use mshr::{Mshr, MshrOutcome};

@@ -9,8 +9,9 @@ use cloudmc_dram::{
 use crate::mapping::{AddressMapping, DecodedAddress};
 use crate::page::{PagePolicy, PagePolicyKind, PolicyView};
 use crate::power::{PowerAction, PowerPolicy, PowerPolicyKind};
+use crate::qos::{QosArbiter, QosConfig};
 use crate::queue::RequestQueue;
-use crate::request::{AccessKind, CompletedRequest, MemoryRequest, RowBufferOutcome};
+use crate::request::{AccessKind, CompletedRequest, MemoryRequest, RowBufferOutcome, MAX_TENANTS};
 use crate::sched::{SchedContext, SchedDecision, SchedulerImpl, SchedulerKind};
 use crate::stats::McStats;
 
@@ -31,6 +32,9 @@ pub struct McConfig {
     pub page_policy: PagePolicyKind,
     /// Rank power-management policy.
     pub power_policy: PowerPolicyKind,
+    /// Multi-tenant QoS policy and tenant metadata (tenancy disabled by
+    /// default; the simulator fills this from the workload mix).
+    pub qos: QosConfig,
     /// Number of cores sharing the controller.
     pub num_cores: usize,
     /// Per-channel read queue capacity.
@@ -53,6 +57,7 @@ impl McConfig {
             scheduler: SchedulerKind::FrFcfs,
             page_policy: PagePolicyKind::OpenAdaptive,
             power_policy: PowerPolicyKind::None,
+            qos: QosConfig::none(),
             num_cores: 16,
             read_queue_capacity: 64,
             write_queue_capacity: 64,
@@ -68,6 +73,7 @@ impl McConfig {
     /// Returns a description of the first inconsistency found.
     pub fn validate(&self) -> Result<(), String> {
         self.dram.validate()?;
+        self.qos.validate()?;
         if self.num_cores == 0 {
             return Err("num_cores must be non-zero".to_owned());
         }
@@ -114,6 +120,7 @@ struct ChannelController {
     scheduler: SchedulerImpl,
     policy: Box<dyn PagePolicy>,
     power_policy: Box<dyn PowerPolicy>,
+    qos: QosArbiter,
     write_mode: bool,
     inflight: Vec<InFlight>,
     /// Per flat-bank flag: a conflict-induced precharge has been issued and
@@ -141,6 +148,7 @@ impl ChannelController {
                 .page_policy
                 .build(cfg.dram.ranks_per_channel, cfg.dram.banks_per_rank),
             power_policy: cfg.power_policy.build(cfg.dram.ranks_per_channel),
+            qos: QosArbiter::new(cfg.qos),
             write_mode: false,
             inflight: Vec::new(),
             conflict_pending: vec![false; total_banks],
@@ -161,6 +169,23 @@ impl ChannelController {
 
     fn pending(&self) -> usize {
         self.read_q.len() + self.write_q.len() + self.inflight.len()
+    }
+
+    /// Pending requests (queued or in flight) per tenant.
+    fn pending_per_tenant(&self) -> [u64; MAX_TENANTS] {
+        let mut out = [0u64; MAX_TENANTS];
+        for (slot, (&r, &w)) in out.iter_mut().zip(
+            self.read_q
+                .tenant_lens()
+                .iter()
+                .zip(self.write_q.tenant_lens().iter()),
+        ) {
+            *slot = (r + w) as u64;
+        }
+        for inflight in &self.inflight {
+            out[inflight.done.request.tenant.min(MAX_TENANTS - 1)] += 1;
+        }
+        out
     }
 
     fn enqueue(
@@ -312,6 +337,10 @@ impl ChannelController {
                     .remove(id)
                     .or_else(|| self.write_q.remove(id))
                     .expect("scheduled request must be queued");
+                // Every data transfer is charged to its tenant, whether the
+                // scheduler or the QoS arbiter picked it — the partition
+                // accounting must see the whole delivered bandwidth.
+                self.qos.on_issue(entry.request.tenant);
                 let command = match entry.request.kind {
                     AccessKind::Read => Command::read(loc, auto_precharge),
                     AccessKind::Write => Command::write(loc, auto_precharge),
@@ -383,9 +412,12 @@ impl ChannelController {
             }
         }
 
-        // 2. Sample queue occupancies for Figures 5 and 6.
+        // 2. Sample queue occupancies for Figures 5 and 6, plus the
+        // per-tenant read-queue breakdown for the QoS analysis.
         self.stats
             .sample_queues(self.read_q.len(), self.write_q.len());
+        self.stats
+            .sample_tenant_reads_n(&self.read_q.tenant_lens(), 1);
 
         // 3. Scheduler per-cycle bookkeeping (quantum boundaries, etc.).
         {
@@ -408,7 +440,27 @@ impl ChannelController {
             return;
         }
 
-        // 6. Ask the scheduler for this cycle's command.
+        // 6. The QoS arbiter gets first claim on the command slot: it may
+        // issue for a tenant its policy privileges (work-conserving — it
+        // declines whenever those tenants have nothing ready), composing
+        // with whichever scheduling algorithm is configured.
+        let qos_decision = {
+            let ctx = SchedContext {
+                now,
+                channel: &self.channel,
+                read_q: &self.read_q,
+                write_q: &self.write_q,
+                write_mode: self.write_mode,
+                num_cores: self.num_cores,
+            };
+            self.qos.pick(&ctx)
+        };
+        if let Some(decision) = qos_decision {
+            self.execute(decision, now);
+            return;
+        }
+
+        // 7. Ask the scheduler for this cycle's command.
         let decision = {
             let ctx = SchedContext {
                 now,
@@ -425,7 +477,7 @@ impl ChannelController {
             return;
         }
 
-        // 7. Otherwise let the page policy close an idle row proactively.
+        // 8. Otherwise let the page policy close an idle row proactively.
         let proposal = {
             let view = PolicyView {
                 now,
@@ -441,7 +493,7 @@ impl ChannelController {
             }
         }
 
-        // 8. Last priority: let the power policy park a quiescent rank.
+        // 9. Last priority: let the power policy park a quiescent rank.
         self.power_step(now);
     }
 
@@ -485,6 +537,8 @@ impl ChannelController {
     fn skip_cycles(&mut self, cycles: u64) {
         self.stats
             .sample_queues_n(self.read_q.len(), self.write_q.len(), cycles);
+        self.stats
+            .sample_tenant_reads_n(&self.read_q.tenant_lens(), cycles);
     }
 
     /// Earliest cycle of its current progress command for one queued entry,
@@ -554,8 +608,9 @@ impl ChannelController {
             }
         }
         // Pending requests: earliest legal progress command over both queues
-        // (a superset of what any scheduler would consider, hence an
-        // undershooting — safe — bound for all of them).
+        // (a superset of what any scheduler — or the QoS arbiter, which only
+        // ever reorders within this same candidate set — would consider,
+        // hence an undershooting — safe — bound for all of them).
         for entry in self.read_q.iter().chain(self.write_q.iter()) {
             if let Some(cycle) = self.earliest_progress(entry) {
                 next = next.min(cycle);
@@ -677,6 +732,19 @@ impl MemoryController {
     #[must_use]
     pub fn pending(&self) -> usize {
         self.channels.iter().map(ChannelController::pending).sum()
+    }
+
+    /// Requests currently queued or in flight, broken down by tenant
+    /// (per-tenant request-conservation checks).
+    #[must_use]
+    pub fn pending_per_tenant(&self) -> [u64; MAX_TENANTS] {
+        let mut out = [0u64; MAX_TENANTS];
+        for channel in &self.channels {
+            for (slot, v) in out.iter_mut().zip(channel.pending_per_tenant()) {
+                *slot += v;
+            }
+        }
+        out
     }
 
     /// Enqueues a request at DRAM cycle `now`.
@@ -925,6 +993,169 @@ mod tests {
                     "scheduler {} with policy {} lost requests",
                     sched.label(),
                     policy
+                );
+            }
+        }
+    }
+
+    fn two_tenant_qos(policy: crate::qos::QosPolicyKind) -> QosConfig {
+        QosConfig {
+            policy,
+            tenants: 2,
+            latency_critical: [true, false, false, false],
+            share: [1, 1, 1, 1],
+            epoch: 4_096,
+        }
+    }
+
+    /// Submits a contended two-tenant pattern: tenant 0 (latency-critical)
+    /// issues one sparse read, tenant 1 floods the same channel. Returns how
+    /// many requests were accepted (the flood yields to back-pressure).
+    fn submit_two_tenants(mc: &mut MemoryController, at: DramCycles, wave: u64) -> u64 {
+        mc.enqueue(
+            MemoryRequest::new(
+                wave * 16 + 15,
+                AccessKind::Read,
+                0x80_0000 + wave * 64,
+                0,
+                at,
+            )
+            .with_tenant(0),
+            at,
+        )
+        .expect("the latency-critical tenant's sparse read must fit");
+        let mut accepted = 1;
+        for i in 0..6u64 {
+            let req = MemoryRequest::new(
+                wave * 16 + i,
+                AccessKind::Read,
+                (i % 3) * 0x2_0000 + wave * 0x100 + i * 64,
+                8,
+                at,
+            )
+            .with_tenant(1);
+            if mc.enqueue(req, at).is_ok() {
+                accepted += 1;
+            }
+        }
+        accepted
+    }
+
+    #[test]
+    fn qos_policies_compose_with_every_scheduler() {
+        use crate::qos::QosPolicyKind;
+        for sched in SchedulerKind::paper_set() {
+            for qos in QosPolicyKind::all() {
+                let mut cfg = McConfig::baseline();
+                cfg.scheduler = sched;
+                cfg.qos = two_tenant_qos(qos);
+                let mut mc = MemoryController::new(cfg).unwrap();
+                let mut submitted = 0;
+                for wave in 0..4u64 {
+                    submitted += submit_two_tenants(&mut mc, wave * 100, wave);
+                }
+                assert_eq!(submitted, 28, "ample queue space: nothing rejected");
+                let mut done = Vec::new();
+                for c in 0..6_000 {
+                    mc.tick(c, &mut done);
+                }
+                assert_eq!(
+                    done.len(),
+                    28,
+                    "{}/{qos}: requests lost under QoS arbitration",
+                    sched.label()
+                );
+                let stats = mc.stats();
+                assert_eq!(stats.reads_completed_per_tenant[0], 4);
+                assert_eq!(stats.reads_completed_per_tenant[1], 24);
+                assert_eq!(mc.pending_per_tenant(), [0; MAX_TENANTS]);
+            }
+        }
+    }
+
+    #[test]
+    fn priority_boost_protects_the_latency_critical_tenant() {
+        use crate::qos::QosPolicyKind;
+        let run = |qos: QosPolicyKind| {
+            let mut cfg = McConfig::baseline();
+            cfg.qos = two_tenant_qos(qos);
+            let mut mc = MemoryController::new(cfg).unwrap();
+            let mut done = Vec::new();
+            for wave in 0..40u64 {
+                submit_two_tenants(&mut mc, wave * 30, wave);
+                for c in (wave * 30)..((wave + 1) * 30) {
+                    mc.tick(c, &mut done);
+                }
+            }
+            for c in 1_200..8_000 {
+                mc.tick(c, &mut done);
+            }
+            assert_eq!(mc.pending(), 0);
+            mc.stats().avg_read_latency_for_tenant(0)
+        };
+        let baseline = run(QosPolicyKind::None);
+        let boosted = run(QosPolicyKind::PriorityBoost);
+        assert!(
+            boosted < baseline,
+            "boost must cut LC latency: {boosted} vs {baseline}"
+        );
+    }
+
+    /// The jump-equivalence property must hold with the QoS arbiter claiming
+    /// slots: its preemptions only ever reorder within the candidate set the
+    /// event-horizon bound already covers.
+    #[test]
+    fn next_ready_never_skips_a_qos_event() {
+        use crate::qos::QosPolicyKind;
+        for sched in SchedulerKind::paper_set() {
+            for qos in [QosPolicyKind::StaticPartition, QosPolicyKind::PriorityBoost] {
+                let mut cfg = McConfig::baseline();
+                cfg.scheduler = sched;
+                cfg.qos = two_tenant_qos(qos);
+                // A small epoch so boundaries land inside idle gaps too.
+                cfg.qos.epoch = 512;
+                let mut naive = MemoryController::new(cfg).unwrap();
+                let mut jumpy = MemoryController::new(cfg).unwrap();
+                let horizon = cfg.dram.timing.t_refi * 3;
+                let arrivals: Vec<u64> = (0..6u64).map(|i| i * (horizon / 7)).collect();
+                let mut naive_done = Vec::new();
+                let mut next_arrival = 0usize;
+                for c in 0..horizon {
+                    while next_arrival < arrivals.len() && arrivals[next_arrival] == c {
+                        submit_two_tenants(&mut naive, c, next_arrival as u64);
+                        next_arrival += 1;
+                    }
+                    naive.tick(c, &mut naive_done);
+                }
+                let mut jumpy_done = Vec::new();
+                let mut next_arrival = 0usize;
+                let mut c = 0u64;
+                while c < horizon {
+                    while next_arrival < arrivals.len() && arrivals[next_arrival] == c {
+                        submit_two_tenants(&mut jumpy, c, next_arrival as u64);
+                        next_arrival += 1;
+                    }
+                    jumpy.tick(c, &mut jumpy_done);
+                    let mut next = jumpy.next_ready_dram_cycle(c).max(c + 1).min(horizon);
+                    if next_arrival < arrivals.len() {
+                        next = next.min(arrivals[next_arrival]);
+                    }
+                    if next > c + 1 {
+                        jumpy.skip_dram_cycles(next - c - 1);
+                    }
+                    c = next;
+                }
+                assert_eq!(
+                    naive_done.len(),
+                    jumpy_done.len(),
+                    "{}/{qos}: completion counts diverged",
+                    sched.label()
+                );
+                assert_eq!(
+                    naive.stats(),
+                    jumpy.stats(),
+                    "{}/{qos}: stats diverged",
+                    sched.label()
                 );
             }
         }

@@ -9,9 +9,11 @@
 //! close, open-adaptive, close-adaptive, RBPP, ABPP and an idle-timer
 //! extension), the rank power-management policies (immediate and idle-timer
 //! power-down, plus a power-aware variant that closes idle rows on the way
-//! down), the four address interleaving schemes, multi-channel operation,
-//! write draining and refresh handling — all on top of the cycle-level DRAM
-//! device model in [`cloudmc_dram`].
+//! down), the multi-tenant QoS layer (tenant-tagged requests with static
+//! bandwidth partitioning or a latency-critical priority boost, composing
+//! with every scheduler), the four address interleaving schemes,
+//! multi-channel operation, write draining and refresh handling — all on top
+//! of the cycle-level DRAM device model in [`cloudmc_dram`].
 //!
 //! ## Quick example
 //!
@@ -40,6 +42,7 @@ pub mod controller;
 pub mod mapping;
 pub mod page;
 pub mod power;
+pub mod qos;
 pub mod queue;
 pub mod request;
 pub mod sched;
@@ -54,8 +57,11 @@ pub use page::{
 pub use power::{
     NoPowerManagement, PowerAction, PowerPolicy, PowerPolicyKind, PowerTimeouts, TimeoutPowerDown,
 };
+pub use qos::{QosArbiter, QosConfig, QosPolicyKind};
 pub use queue::{QueueEntry, RequestQueue};
-pub use request::{AccessKind, CompletedRequest, MemoryRequest, RequestId, RowBufferOutcome};
+pub use request::{
+    AccessKind, CompletedRequest, MemoryRequest, RequestId, RowBufferOutcome, TenantId, MAX_TENANTS,
+};
 pub use sched::{
     Atlas, AtlasConfig, Fcfs, FcfsBanks, FrFcfs, ParBs, ParBsConfig, RlConfig, RlScheduler,
     SchedContext, SchedDecision, Scheduler, SchedulerImpl, SchedulerKind,

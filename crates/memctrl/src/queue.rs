@@ -2,7 +2,7 @@
 
 use cloudmc_dram::{DramCycles, Location};
 
-use crate::request::{MemoryRequest, RequestId};
+use crate::request::{MemoryRequest, RequestId, TenantId, MAX_TENANTS};
 
 /// A request waiting in the controller together with its decoded coordinates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +32,9 @@ impl QueueEntry {
 pub struct RequestQueue {
     entries: Vec<QueueEntry>,
     capacity: usize,
+    /// Pending entries per tenant, maintained incrementally so per-tenant
+    /// occupancy sampling is O(tenants), not O(queue).
+    tenant_len: [usize; MAX_TENANTS],
 }
 
 impl RequestQueue {
@@ -46,6 +49,7 @@ impl RequestQueue {
         Self {
             entries: Vec::with_capacity(capacity),
             capacity,
+            tenant_len: [0; MAX_TENANTS],
         }
     }
 
@@ -87,6 +91,9 @@ impl RequestQueue {
         if self.is_full() {
             return Err(request);
         }
+        // Out-of-range ids land in the last slot, matching the clamp every
+        // other per-tenant counter applies.
+        self.tenant_len[request.tenant.min(MAX_TENANTS - 1)] += 1;
         self.entries.push(QueueEntry {
             request,
             location,
@@ -98,7 +105,9 @@ impl RequestQueue {
     /// Removes and returns the entry with id `id`, preserving order of the rest.
     pub fn remove(&mut self, id: RequestId) -> Option<QueueEntry> {
         let idx = self.entries.iter().position(|e| e.request.id == id)?;
-        Some(self.entries.remove(idx))
+        let entry = self.entries.remove(idx);
+        self.tenant_len[entry.request.tenant.min(MAX_TENANTS - 1)] -= 1;
+        Some(entry)
     }
 
     /// The oldest entry, if any.
@@ -147,6 +156,25 @@ impl RequestQueue {
             .iter()
             .filter(|e| e.request.core == core)
             .count()
+    }
+
+    /// Number of pending entries attributed to `tenant` (O(1)).
+    #[must_use]
+    pub fn len_for_tenant(&self, tenant: TenantId) -> usize {
+        self.tenant_len.get(tenant).copied().unwrap_or(0)
+    }
+
+    /// Pending entries per tenant (index = tenant id).
+    #[must_use]
+    pub fn tenant_lens(&self) -> [usize; MAX_TENANTS] {
+        self.tenant_len
+    }
+
+    /// Iterates over the entries of one tenant in arrival order.
+    pub fn iter_for_tenant(&self, tenant: TenantId) -> impl Iterator<Item = &QueueEntry> {
+        self.entries
+            .iter()
+            .filter(move |e| e.request.tenant == tenant)
     }
 
     /// Number of pending entries for (`core`, flat bank index).
@@ -230,6 +258,24 @@ mod tests {
         assert_eq!(q.count_for_core_bank(2, 0, 1), 1);
         assert_eq!(q.count_for_core_bank(2, 0, 2), 1);
         assert_eq!(q.count_for_core_bank(3, 0, 2), 0);
+    }
+
+    #[test]
+    fn per_tenant_occupancy_tracks_push_and_remove() {
+        let mut q = RequestQueue::new(8);
+        q.push(req(0, 0).with_tenant(0), loc(0, 0, 1), 0).unwrap();
+        q.push(req(1, 1).with_tenant(1), loc(0, 0, 2), 0).unwrap();
+        q.push(req(2, 2).with_tenant(1), loc(0, 1, 3), 0).unwrap();
+        assert_eq!(q.len_for_tenant(0), 1);
+        assert_eq!(q.len_for_tenant(1), 2);
+        assert_eq!(q.len_for_tenant(3), 0);
+        assert_eq!(q.tenant_lens()[..2], [1, 2]);
+        let ids: Vec<_> = q.iter_for_tenant(1).map(|e| e.request.id).collect();
+        assert_eq!(ids, vec![1, 2]);
+        q.remove(1).unwrap();
+        assert_eq!(q.len_for_tenant(1), 1);
+        // Out-of-range tenants are ignored rather than panicking.
+        assert_eq!(q.len_for_tenant(99), 0);
     }
 
     #[test]

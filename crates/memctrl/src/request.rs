@@ -22,6 +22,17 @@ impl AccessKind {
 /// Identifier of a memory request, unique within one simulation.
 pub type RequestId = u64;
 
+/// Identifier of the tenant a request is attributed to in a consolidated
+/// multi-tenant run. Single-tenant operation uses tenant `0` throughout.
+pub type TenantId = usize;
+
+/// Upper bound on tenants the controller accounts for.
+///
+/// Per-tenant counters (queue occupancy, completions, latency sums) live in
+/// flat arrays of this size so the accounting costs nothing on the hot path.
+/// Must match `cloudmc_workloads::MAX_TENANTS` (the simulator asserts it).
+pub const MAX_TENANTS: usize = 4;
+
 /// A request for one cache block of off-chip memory.
 ///
 /// # Examples
@@ -29,9 +40,10 @@ pub type RequestId = u64;
 /// ```
 /// use cloudmc_memctrl::{AccessKind, MemoryRequest};
 ///
-/// let req = MemoryRequest::new(1, AccessKind::Read, 0x1234_5678, 3, 1000);
+/// let req = MemoryRequest::new(1, AccessKind::Read, 0x1234_5678, 3, 1000).with_tenant(1);
 /// assert!(req.kind.is_read());
 /// assert_eq!(req.core, 3);
+/// assert_eq!(req.tenant, 1);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemoryRequest {
@@ -43,6 +55,8 @@ pub struct MemoryRequest {
     pub addr: u64,
     /// Index of the requesting core (or a pseudo-core for DMA engines).
     pub core: usize,
+    /// Tenant the request is attributed to (for QoS and fairness accounting).
+    pub tenant: TenantId,
     /// CPU-visible issue time, in DRAM cycles, used for latency accounting
     /// and age-based scheduling.
     pub arrival: DramCycles,
@@ -51,7 +65,7 @@ pub struct MemoryRequest {
 }
 
 impl MemoryRequest {
-    /// Creates a non-DMA request.
+    /// Creates a non-DMA request attributed to tenant 0.
     #[must_use]
     pub fn new(
         id: RequestId,
@@ -65,12 +79,13 @@ impl MemoryRequest {
             kind,
             addr,
             core,
+            tenant: 0,
             arrival,
             dma: false,
         }
     }
 
-    /// Creates a DMA/IO request attributed to pseudo-core `core`.
+    /// Creates a DMA/IO request attributed to pseudo-core `core` (tenant 0).
     #[must_use]
     pub fn dma(
         id: RequestId,
@@ -84,9 +99,19 @@ impl MemoryRequest {
             kind,
             addr,
             core,
+            tenant: 0,
             arrival,
             dma: true,
         }
+    }
+
+    /// Attributes the request to `tenant`. Ids at or above [`MAX_TENANTS`]
+    /// are clamped into the last accounting slot so every per-tenant counter
+    /// (queues, stats, conservation checks) sees the same bucket.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant.min(MAX_TENANTS - 1);
+        self
     }
 }
 
@@ -146,6 +171,14 @@ mod tests {
         let req = MemoryRequest::dma(1, AccessKind::Read, 0, 16, 0);
         assert!(req.dma);
         assert!(!MemoryRequest::new(2, AccessKind::Read, 0, 0, 0).dma);
+    }
+
+    #[test]
+    fn with_tenant_clamps_out_of_range_ids() {
+        let req = MemoryRequest::new(1, AccessKind::Read, 0, 0, 0).with_tenant(2);
+        assert_eq!(req.tenant, 2);
+        let clamped = MemoryRequest::new(2, AccessKind::Read, 0, 0, 0).with_tenant(99);
+        assert_eq!(clamped.tenant, MAX_TENANTS - 1);
     }
 
     #[test]

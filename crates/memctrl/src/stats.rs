@@ -2,7 +2,7 @@
 
 use cloudmc_dram::DramCycles;
 
-use crate::request::{CompletedRequest, RowBufferOutcome};
+use crate::request::{CompletedRequest, RowBufferOutcome, TenantId, MAX_TENANTS};
 
 /// Counters and accumulators for one memory controller (all channels).
 ///
@@ -53,6 +53,22 @@ pub struct McStats {
     /// Precharges issued by the power policy to clear a rank for power-down
     /// (power-aware policy only).
     pub power_precharges: u64,
+    /// Reads completed per tenant (multi-tenant QoS accounting; index =
+    /// tenant id, unused slots stay zero).
+    pub reads_completed_per_tenant: [u64; MAX_TENANTS],
+    /// Writes completed per tenant.
+    pub writes_completed_per_tenant: [u64; MAX_TENANTS],
+    /// Sum of read latencies per tenant, DRAM cycles.
+    pub read_latency_per_tenant: [DramCycles; MAX_TENANTS],
+    /// Row-buffer hits per tenant.
+    pub row_hits_per_tenant: [u64; MAX_TENANTS],
+    /// Row misses (bank empty) per tenant.
+    pub row_misses_per_tenant: [u64; MAX_TENANTS],
+    /// Row conflicts per tenant.
+    pub row_conflicts_per_tenant: [u64; MAX_TENANTS],
+    /// Sum of per-cycle read-queue occupancies per tenant (same sample count
+    /// as [`McStats::queue_samples`]).
+    pub read_queue_occupancy_per_tenant: [u64; MAX_TENANTS],
 }
 
 /// Number of buckets kept in the activation-reuse histogram.
@@ -74,10 +90,20 @@ impl McStats {
     /// Records a completed request.
     pub fn record_completion(&mut self, done: &CompletedRequest) {
         let latency = done.latency();
+        let tenant = done.request.tenant.min(MAX_TENANTS - 1);
         match done.outcome {
-            RowBufferOutcome::Hit => self.row_hits += 1,
-            RowBufferOutcome::Miss => self.row_misses += 1,
-            RowBufferOutcome::Conflict => self.row_conflicts += 1,
+            RowBufferOutcome::Hit => {
+                self.row_hits += 1;
+                self.row_hits_per_tenant[tenant] += 1;
+            }
+            RowBufferOutcome::Miss => {
+                self.row_misses += 1;
+                self.row_misses_per_tenant[tenant] += 1;
+            }
+            RowBufferOutcome::Conflict => {
+                self.row_conflicts += 1;
+                self.row_conflicts_per_tenant[tenant] += 1;
+            }
         }
         let core = done.request.core;
         if core < self.completed_per_core.len() {
@@ -86,6 +112,8 @@ impl McStats {
         if done.request.kind.is_read() {
             self.reads_completed += 1;
             self.total_read_latency += latency;
+            self.reads_completed_per_tenant[tenant] += 1;
+            self.read_latency_per_tenant[tenant] += latency;
             if core < self.reads_per_core.len() {
                 self.reads_per_core[core] += 1;
                 self.read_latency_per_core[core] += latency;
@@ -93,6 +121,7 @@ impl McStats {
         } else {
             self.writes_completed += 1;
             self.total_write_latency += latency;
+            self.writes_completed_per_tenant[tenant] += 1;
         }
     }
 
@@ -118,6 +147,19 @@ impl McStats {
         self.queue_samples += n;
         self.read_queue_occupancy_sum += read_len as u64 * n;
         self.write_queue_occupancy_sum += write_len as u64 * n;
+    }
+
+    /// Records `n` consecutive per-cycle samples of per-tenant read-queue
+    /// occupancy. Call alongside [`McStats::sample_queues_n`] with the same
+    /// `n` so both share [`McStats::queue_samples`].
+    pub fn sample_tenant_reads_n(&mut self, tenant_lens: &[usize; MAX_TENANTS], n: u64) {
+        for (sum, &len) in self
+            .read_queue_occupancy_per_tenant
+            .iter_mut()
+            .zip(tenant_lens.iter())
+        {
+            *sum += len as u64 * n;
+        }
     }
 
     /// Total completed requests.
@@ -201,6 +243,62 @@ impl McStats {
         }
     }
 
+    /// Total requests (reads plus writes) completed for one tenant.
+    #[must_use]
+    pub fn completed_for_tenant(&self, tenant: TenantId) -> u64 {
+        if tenant >= MAX_TENANTS {
+            return 0;
+        }
+        self.reads_completed_per_tenant[tenant] + self.writes_completed_per_tenant[tenant]
+    }
+
+    /// Average read latency observed by one tenant, in DRAM cycles.
+    #[must_use]
+    pub fn avg_read_latency_for_tenant(&self, tenant: TenantId) -> f64 {
+        if tenant >= MAX_TENANTS || self.reads_completed_per_tenant[tenant] == 0 {
+            return 0.0;
+        }
+        self.read_latency_per_tenant[tenant] as f64 / self.reads_completed_per_tenant[tenant] as f64
+    }
+
+    /// One tenant's share of the delivered data bandwidth (0.0–1.0): every
+    /// completed request transfers exactly one cache block, so the share is
+    /// the tenant's fraction of completed requests.
+    #[must_use]
+    pub fn bandwidth_share_for_tenant(&self, tenant: TenantId) -> f64 {
+        let total = self.completed();
+        if total == 0 {
+            0.0
+        } else {
+            self.completed_for_tenant(tenant) as f64 / total as f64
+        }
+    }
+
+    /// Row-buffer hit rate over one tenant's serviced requests (0.0–1.0).
+    #[must_use]
+    pub fn row_hit_rate_for_tenant(&self, tenant: TenantId) -> f64 {
+        if tenant >= MAX_TENANTS {
+            return 0.0;
+        }
+        let total = self.row_hits_per_tenant[tenant]
+            + self.row_misses_per_tenant[tenant]
+            + self.row_conflicts_per_tenant[tenant];
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits_per_tenant[tenant] as f64 / total as f64
+        }
+    }
+
+    /// Time-averaged read-queue occupancy attributable to one tenant.
+    #[must_use]
+    pub fn avg_read_queue_len_for_tenant(&self, tenant: TenantId) -> f64 {
+        if tenant >= MAX_TENANTS || self.queue_samples == 0 {
+            return 0.0;
+        }
+        self.read_queue_occupancy_per_tenant[tenant] as f64 / self.queue_samples as f64
+    }
+
     /// Merges another statistics block into this one (used to aggregate
     /// multiple channels or simulation samples).
     pub fn merge(&mut self, other: &Self) {
@@ -242,6 +340,15 @@ impl McStats {
         self.self_refreshes += other.self_refreshes;
         self.power_wakes += other.power_wakes;
         self.power_precharges += other.power_precharges;
+        for t in 0..MAX_TENANTS {
+            self.reads_completed_per_tenant[t] += other.reads_completed_per_tenant[t];
+            self.writes_completed_per_tenant[t] += other.writes_completed_per_tenant[t];
+            self.read_latency_per_tenant[t] += other.read_latency_per_tenant[t];
+            self.row_hits_per_tenant[t] += other.row_hits_per_tenant[t];
+            self.row_misses_per_tenant[t] += other.row_misses_per_tenant[t];
+            self.row_conflicts_per_tenant[t] += other.row_conflicts_per_tenant[t];
+            self.read_queue_occupancy_per_tenant[t] += other.read_queue_occupancy_per_tenant[t];
+        }
     }
 }
 
@@ -316,6 +423,41 @@ mod tests {
         assert_eq!(s.row_buffer_hit_rate(), 0.0);
         assert_eq!(s.avg_read_queue_len(), 0.0);
         assert_eq!(s.single_access_activation_fraction(), 0.0);
+    }
+
+    #[test]
+    fn per_tenant_completion_accounting() {
+        let mut s = McStats::new(4);
+        let mut hit = completed(AccessKind::Read, 0, RowBufferOutcome::Hit, 40);
+        hit.request.tenant = 0;
+        let mut conflict = completed(AccessKind::Read, 1, RowBufferOutcome::Conflict, 120);
+        conflict.request.tenant = 1;
+        let mut write = completed(AccessKind::Write, 1, RowBufferOutcome::Miss, 60);
+        write.request.tenant = 1;
+        s.record_completion(&hit);
+        s.record_completion(&conflict);
+        s.record_completion(&write);
+        assert_eq!(s.reads_completed_per_tenant[..2], [1, 1]);
+        assert_eq!(s.writes_completed_per_tenant[..2], [0, 1]);
+        assert!((s.avg_read_latency_for_tenant(0) - 40.0).abs() < 1e-9);
+        assert!((s.avg_read_latency_for_tenant(1) - 120.0).abs() < 1e-9);
+        assert!((s.row_hit_rate_for_tenant(0) - 1.0).abs() < 1e-9);
+        assert!((s.row_hit_rate_for_tenant(1) - 0.0).abs() < 1e-9);
+        assert!((s.bandwidth_share_for_tenant(1) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.completed_for_tenant(1), 2);
+        // Out-of-range tenant queries are zero, not a panic.
+        assert_eq!(s.avg_read_latency_for_tenant(99), 0.0);
+        assert_eq!(s.bandwidth_share_for_tenant(99), 0.0);
+    }
+
+    #[test]
+    fn per_tenant_queue_sampling_shares_the_sample_count() {
+        let mut s = McStats::new(1);
+        s.sample_queues_n(5, 0, 10);
+        s.sample_tenant_reads_n(&[3, 2, 0, 0], 10);
+        assert!((s.avg_read_queue_len_for_tenant(0) - 3.0).abs() < 1e-9);
+        assert!((s.avg_read_queue_len_for_tenant(1) - 2.0).abs() < 1e-9);
+        assert_eq!(s.avg_read_queue_len_for_tenant(3), 0.0);
     }
 
     #[test]

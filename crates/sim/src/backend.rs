@@ -31,7 +31,9 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use cloudmc_dram::{ChannelStats, DramCycles};
-use cloudmc_memctrl::{AccessKind, CompletedRequest, McStats, MemoryController, MemoryRequest};
+use cloudmc_memctrl::{
+    AccessKind, CompletedRequest, McStats, MemoryController, MemoryRequest, MAX_TENANTS,
+};
 
 use crate::config::SystemConfig;
 use crate::kernel::Tick;
@@ -174,6 +176,25 @@ impl Backend {
     #[must_use]
     pub fn retry_backlog(&self) -> usize {
         self.retry_len
+    }
+
+    /// Requests queued, in flight, or parked in retry buckets, per tenant
+    /// (per-tenant request-conservation checks; walks the retry buckets, so
+    /// not for the per-cycle hot path).
+    #[must_use]
+    pub fn pending_per_tenant(&self) -> [u64; MAX_TENANTS] {
+        let mut out = [0u64; MAX_TENANTS];
+        for shard in &self.shards {
+            for (slot, v) in out.iter_mut().zip(shard.pending_per_tenant()) {
+                *slot += v;
+            }
+        }
+        for queue in self.retry.values() {
+            for request in queue {
+                out[request.tenant.min(MAX_TENANTS - 1)] += 1;
+            }
+        }
+        out
     }
 
     /// Controller statistics merged across all shards.

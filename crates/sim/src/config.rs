@@ -3,7 +3,11 @@
 use cloudmc_cpu::{CoreConfig, L2Config};
 use cloudmc_dram::EnergyParams;
 use cloudmc_memctrl::{McConfig, SchedulerKind};
-use cloudmc_workloads::{Workload, WorkloadSpec};
+use cloudmc_workloads::{MixSpec, Workload, WorkloadSpec};
+
+// The controller's per-tenant accounting arrays and the workload mix must
+// agree on how many tenants can exist.
+const _: () = assert!(cloudmc_workloads::MAX_TENANTS == cloudmc_memctrl::MAX_TENANTS);
 
 /// Clock ratio of the model: the cores run at 2 GHz and the DRAM command
 /// clock at 800 MHz (DDR3-1600), i.e. 2 DRAM cycles per 5 CPU cycles.
@@ -17,8 +21,14 @@ pub const DRAM_CYCLES_PER_5_CPU_CYCLES: u64 = 2;
 /// models.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
-    /// Statistical workload model driving the cores.
+    /// Statistical workload model driving the cores (the only tenant unless
+    /// [`SystemConfig::mix`] is set, in which case this mirrors tenant 0).
     pub workload: WorkloadSpec,
+    /// Multi-tenant workload mix: heterogeneous workloads bound to core
+    /// groups, each tagged with a tenant id that rides every request into
+    /// the memory controller. `None` (the default) runs `workload` alone as
+    /// tenant 0 — the pre-tenancy behaviour.
+    pub mix: Option<MixSpec>,
     /// Per-core configuration (L1 caches, MSHRs).
     pub core: CoreConfig,
     /// Shared L2 configuration.
@@ -71,6 +81,7 @@ impl SystemConfig {
         mc.num_cores = spec.cores;
         Self {
             workload: spec,
+            mix: None,
             core: CoreConfig::default(),
             l2: L2Config::baseline(),
             mc,
@@ -82,6 +93,37 @@ impl SystemConfig {
             functional_warmup: true,
             scale_scheduler_time_constants: true,
             fast_forward: true,
+        }
+    }
+
+    /// Baseline configuration driving a multi-tenant `mix` (Table 2 system
+    /// parameters; `workload` mirrors tenant 0 for labelling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix is empty.
+    #[must_use]
+    pub fn mixed(mix: MixSpec) -> Self {
+        let mut cfg = Self::baseline(mix.tenant(0).workload.workload);
+        cfg.workload = mix.tenant(0).workload;
+        cfg.mix = Some(mix);
+        cfg.mc.num_cores = mix.total_cores();
+        cfg
+    }
+
+    /// The tenancy in effect: the explicit mix, or the single workload as a
+    /// solo tenant-0 mix.
+    #[must_use]
+    pub fn tenancy(&self) -> MixSpec {
+        self.mix.unwrap_or_else(|| MixSpec::solo(self.workload))
+    }
+
+    /// Total cores over all tenants.
+    #[must_use]
+    pub fn core_count(&self) -> usize {
+        match &self.mix {
+            Some(mix) => mix.total_cores(),
+            None => self.workload.cores,
         }
     }
 
@@ -97,12 +139,24 @@ impl SystemConfig {
         cpu_cycles * DRAM_CYCLES_PER_5_CPU_CYCLES / 5
     }
 
-    /// The effective memory-controller configuration, with scheduler time
-    /// constants scaled to the run length when requested.
+    /// The effective memory-controller configuration: scheduler time
+    /// constants scaled to the run length when requested, and the QoS
+    /// layer's tenant metadata (count, latency-criticality, bandwidth
+    /// weights defaulting to core counts) derived from the mix. Callers only
+    /// choose `mc.qos.policy`; everything else follows the tenancy.
     #[must_use]
     pub fn effective_mc(&self) -> McConfig {
         let mut mc = self.mc;
-        mc.num_cores = self.workload.cores;
+        mc.num_cores = self.core_count();
+        let tenancy = self.tenancy();
+        mc.qos.tenants = tenancy.tenant_count();
+        for (t, tenant) in tenancy.tenants().enumerate() {
+            mc.qos.latency_critical[t] = tenant.latency_critical;
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                mc.qos.share[t] = tenant.cores() as u32;
+            }
+        }
         if self.scale_scheduler_time_constants {
             if let SchedulerKind::Atlas(mut atlas) = mc.scheduler {
                 let total_dram = Self::cpu_to_dram_cycles(self.total_cpu_cycles()).max(1);
@@ -129,8 +183,13 @@ impl SystemConfig {
     /// Returns a description of the first inconsistency.
     pub fn validate(&self) -> Result<(), String> {
         self.workload.validate()?;
+        if let Some(mix) = &self.mix {
+            mix.validate()?;
+        }
         self.l2.validate()?;
-        self.mc.validate()?;
+        // Validate the controller configuration as it will actually be
+        // built, with the tenant metadata filled in from the mix.
+        self.effective_mc().validate()?;
         if self.num_channels == 0 {
             return Err("num_channels must be non-zero".to_owned());
         }
@@ -191,6 +250,44 @@ mod tests {
             SchedulerKind::Atlas(a) => assert_eq!(a.quantum, AtlasConfig::default().quantum),
             other => panic!("expected ATLAS, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn mixed_config_derives_tenancy_metadata() {
+        use cloudmc_memctrl::QosPolicyKind;
+        use cloudmc_workloads::TenantSpec;
+        let mix = MixSpec::new(TenantSpec::latency_critical(Workload::WebSearch, 8))
+            .and(TenantSpec::batch(Workload::TpchQ6, 8));
+        let mut cfg = SystemConfig::mixed(mix);
+        cfg.mc.qos.policy = QosPolicyKind::StaticPartition;
+        cfg.validate().unwrap();
+        assert_eq!(cfg.core_count(), 16);
+        assert_eq!(cfg.tenancy().tenant_count(), 2);
+        let mc = cfg.effective_mc();
+        assert_eq!(mc.num_cores, 16);
+        assert_eq!(mc.qos.tenants, 2);
+        assert_eq!(mc.qos.latency_critical[..2], [true, false]);
+        assert_eq!(mc.qos.share[..2], [8, 8]);
+        // Solo configs reduce to a one-tenant mix with QoS inert.
+        let solo = SystemConfig::baseline(Workload::WebSearch);
+        assert_eq!(solo.tenancy().tenant_count(), 1);
+        assert_eq!(solo.effective_mc().qos.tenants, 1);
+    }
+
+    #[test]
+    fn invalid_mix_fails_validation() {
+        use cloudmc_workloads::TenantSpec;
+        let mut bad = Workload::WebSearch.spec();
+        bad.cores = 4;
+        bad.burstiness = 5.0;
+        let mix = MixSpec::new(TenantSpec::batch(Workload::TpchQ6, 8)).and(TenantSpec {
+            workload: bad,
+            latency_critical: false,
+        });
+        let mut cfg = SystemConfig::baseline(Workload::TpchQ6);
+        cfg.mix = Some(mix);
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("tenant 1"), "{err}");
     }
 
     #[test]

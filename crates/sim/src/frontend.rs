@@ -17,12 +17,16 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use cloudmc_cpu::{CacheStats, CoreStats, InOrderCore, SharedL2};
-use cloudmc_workloads::WorkloadStreams;
+use cloudmc_workloads::{TenantId, WorkloadStreams};
 
 use crate::config::SystemConfig;
 use crate::kernel::Tick;
 
 /// Off-chip traffic (or an L2 hit in flight) produced by one frontend cycle.
+///
+/// Off-chip events carry the issuing tenant's id (minted by the workload
+/// mix, carried by the core) so the memory backend can attribute every
+/// request without consulting any side table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrontendEvent {
     /// A demand access that hit in the shared L2; the data must be delivered
@@ -39,6 +43,8 @@ pub enum FrontendEvent {
     Read {
         /// Requesting core.
         core: usize,
+        /// Tenant the requesting core is bound to.
+        tenant: TenantId,
         /// Block address.
         addr: u64,
     },
@@ -46,6 +52,8 @@ pub enum FrontendEvent {
     Write {
         /// Core the write is attributed to.
         core: usize,
+        /// Tenant the write is attributed to.
+        tenant: TenantId,
         /// Block address.
         addr: u64,
         /// Whether a DMA engine (not a core) produced the write.
@@ -55,6 +63,8 @@ pub enum FrontendEvent {
     DmaRead {
         /// Core the read is attributed to for fairness accounting.
         core: usize,
+        /// Tenant whose DMA engine issued the read.
+        tenant: TenantId,
         /// Block address.
         addr: u64,
     },
@@ -66,40 +76,69 @@ pub enum FrontendEvent {
 /// the kernel's fast-forward relies on (f64 addition is not associative).
 const DMA_FP_ONE: u64 = 1 << 32;
 
-/// Cores, workload streams, shared L2 and the DMA injector.
+/// One tenant's DMA/IO engine: a fixed-point rate accumulator plus the
+/// sequential buffer cursor, attributed to cores of that tenant only.
+#[derive(Debug)]
+struct DmaInjector {
+    tenant: TenantId,
+    /// First core of the owning tenant's contiguous core group.
+    core_lo: usize,
+    /// Number of cores in the group.
+    core_len: usize,
+    /// DMA events accrued per CPU cycle, in `1/DMA_FP_ONE` units.
+    rate_fp: u64,
+    /// Accrued DMA credit, in `1/DMA_FP_ONE` units (always `< DMA_FP_ONE`
+    /// right after a tick).
+    acc_fp: u64,
+    cursor: u64,
+}
+
+/// Cores, workload streams, shared L2 and the per-tenant DMA injectors.
 #[derive(Debug)]
 pub struct Frontend {
     cores: Vec<InOrderCore>,
     streams: WorkloadStreams,
     l2: SharedL2,
     rng: StdRng,
-    /// DMA events accrued per CPU cycle, in `1/DMA_FP_ONE` units.
-    dma_rate_fp: u64,
-    /// Accrued DMA credit, in `1/DMA_FP_ONE` units (always `< DMA_FP_ONE`
-    /// right after a tick).
-    dma_acc_fp: u64,
-    dma_cursor: u64,
+    /// One injector per tenant with a non-zero DMA rate, in tenant order.
+    dma: Vec<DmaInjector>,
 }
 
 impl Frontend {
-    /// Builds the frontend described by `cfg`.
+    /// Builds the frontend described by `cfg`: one core per tenant core slot
+    /// (tagged with its tenant id), the tenants' workload streams, and a DMA
+    /// injector for every tenant that drives I/O traffic.
     #[must_use]
     pub fn new(cfg: &SystemConfig) -> Self {
-        let streams = WorkloadStreams::from_spec(cfg.workload, cfg.seed);
-        let cores = (0..cfg.workload.cores)
-            .map(|i| InOrderCore::new(i, cfg.core))
+        let tenancy = cfg.tenancy();
+        let streams = WorkloadStreams::from_mix(tenancy, cfg.seed);
+        let cores = (0..tenancy.total_cores())
+            .map(|i| InOrderCore::new(i, cfg.core).with_tenant(tenancy.tenant_of_core(i)))
             .collect();
-        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
-        let dma_rate_fp =
-            (cfg.workload.dma_per_kcycle.max(0.0) / 1000.0 * DMA_FP_ONE as f64).round() as u64;
+        let dma = tenancy
+            .tenants()
+            .enumerate()
+            .filter_map(|(tenant, spec)| {
+                #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+                let rate_fp = (spec.workload.dma_per_kcycle.max(0.0) / 1000.0 * DMA_FP_ONE as f64)
+                    .round() as u64;
+                let range = tenancy.core_range(tenant);
+                (rate_fp > 0).then_some(DmaInjector {
+                    tenant,
+                    core_lo: range.start,
+                    core_len: range.len(),
+                    rate_fp,
+                    acc_fp: 0,
+                    cursor: 0,
+                })
+            })
+            .collect();
         Self {
             cores,
             streams,
             l2: SharedL2::new(cfg.l2),
             rng: StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x5851_F42D_4C95_7F2D) ^ 0xD3A),
-            dma_rate_fp,
-            dma_acc_fp: 0,
-            dma_cursor: 0,
+            dma,
         }
     }
 
@@ -185,6 +224,7 @@ impl Frontend {
     fn handle_core_request(
         &mut self,
         core: usize,
+        tenant: TenantId,
         addr: u64,
         is_writeback: bool,
         events: &mut Vec<FrontendEvent>,
@@ -193,6 +233,7 @@ impl Frontend {
         if let Some(victim) = outcome.writeback {
             events.push(FrontendEvent::Write {
                 core,
+                tenant,
                 addr: victim,
                 dma: false,
             });
@@ -209,45 +250,52 @@ impl Frontend {
                 ready_in: outcome.latency,
             });
         } else {
-            events.push(FrontendEvent::Read { core, addr });
+            events.push(FrontendEvent::Read { core, tenant, addr });
         }
     }
 
     fn inject_dma(&mut self, events: &mut Vec<FrontendEvent>) {
-        if self.dma_rate_fp == 0 {
-            return;
-        }
-        self.dma_acc_fp += self.dma_rate_fp;
-        while self.dma_acc_fp >= DMA_FP_ONE {
-            self.dma_acc_fp -= DMA_FP_ONE;
-            let core = self.rng.gen_range(0..self.cores.len());
-            // DMA engines stream sequentially through I/O buffers in the
-            // shared region: mostly the next cache block, occasionally a jump
-            // to a fresh buffer. This gives DMA traffic the high row-buffer
-            // locality the paper observes for Web Frontend's extra accesses.
-            if self.dma_cursor == 0 || self.rng.gen_bool(1.0 / 24.0) {
-                let base = 0x0400_0000u64;
-                self.dma_cursor = base + self.rng.gen_range(0..0x0100_0000u64 / 8192) * 8192;
-            } else {
-                self.dma_cursor += 64;
-            }
-            let addr = self.dma_cursor;
-            if self.rng.gen_bool(0.5) {
-                events.push(FrontendEvent::DmaRead { core, addr });
-            } else {
-                events.push(FrontendEvent::Write {
-                    core,
-                    addr,
-                    dma: true,
-                });
+        for inj in &mut self.dma {
+            inj.acc_fp += inj.rate_fp;
+            while inj.acc_fp >= DMA_FP_ONE {
+                inj.acc_fp -= DMA_FP_ONE;
+                let core = inj.core_lo + self.rng.gen_range(0..inj.core_len);
+                // DMA engines stream sequentially through I/O buffers in the
+                // shared region: mostly the next cache block, occasionally a
+                // jump to a fresh buffer. This gives DMA traffic the high
+                // row-buffer locality the paper observes for Web Frontend's
+                // extra accesses.
+                if inj.cursor == 0 || self.rng.gen_bool(1.0 / 24.0) {
+                    let base = 0x0400_0000u64;
+                    inj.cursor = base + self.rng.gen_range(0..0x0100_0000u64 / 8192) * 8192;
+                } else {
+                    inj.cursor += 64;
+                }
+                let addr = inj.cursor;
+                if self.rng.gen_bool(0.5) {
+                    events.push(FrontendEvent::DmaRead {
+                        core,
+                        tenant: inj.tenant,
+                        addr,
+                    });
+                } else {
+                    events.push(FrontendEvent::Write {
+                        core,
+                        tenant: inj.tenant,
+                        addr,
+                        dma: true,
+                    });
+                }
             }
         }
     }
+
     /// The earliest CPU cycle at or after `now` at which a frontend tick can
     /// possibly do more than bulk counter updates: a core consuming its
     /// instruction stream or retrying a structural stall, or a DMA beat
-    /// firing. `u64::MAX` means every core is blocked on memory and no DMA is
-    /// configured — the frontend is fully event-driven until a fill arrives.
+    /// firing for any tenant. `u64::MAX` means every core is blocked on
+    /// memory and no DMA is configured — the frontend is fully event-driven
+    /// until a fill arrives.
     ///
     /// `now` is the cycle about to be executed; returning `now` means "tick
     /// normally, nothing can be skipped".
@@ -262,8 +310,9 @@ impl Frontend {
             }
         }
         // The tick at `now + j` accrues `j + 1` rate increments; the first
-        // one reaching DMA_FP_ONE fires. (checked_div: no DMA means no beat.)
-        if let Some(fire_in) = (DMA_FP_ONE - self.dma_acc_fp - 1).checked_div(self.dma_rate_fp) {
+        // one reaching DMA_FP_ONE fires.
+        for inj in &self.dma {
+            let fire_in = (DMA_FP_ONE - inj.acc_fp - 1) / inj.rate_fp;
             next = next.min(now.saturating_add(fire_in));
         }
         next
@@ -277,10 +326,10 @@ impl Frontend {
         for core in &mut self.cores {
             core.skip_cycles(cycles);
         }
-        if self.dma_rate_fp > 0 {
-            self.dma_acc_fp += self.dma_rate_fp * cycles;
+        for inj in &mut self.dma {
+            inj.acc_fp += inj.rate_fp * cycles;
             debug_assert!(
-                self.dma_acc_fp < DMA_FP_ONE,
+                inj.acc_fp < DMA_FP_ONE,
                 "skip of {cycles} cycles crossed a DMA beat"
             );
         }
@@ -300,7 +349,13 @@ impl Tick for Frontend {
                 self.cores[core_idx].tick(&mut source)
             };
             for request in requests {
-                self.handle_core_request(core_idx, request.addr, request.write, events);
+                self.handle_core_request(
+                    core_idx,
+                    request.tenant,
+                    request.addr,
+                    request.write,
+                    events,
+                );
             }
         }
         self.inject_dma(events);
@@ -344,7 +399,7 @@ mod tests {
             // Feed every miss straight back so the cores keep running.
             let mut reads = 0usize;
             for e in &events {
-                if let FrontendEvent::Read { core, addr } = *e {
+                if let FrontendEvent::Read { core, addr, .. } = *e {
                     reads += 1;
                     fe.fill(core, addr);
                 }
@@ -380,7 +435,7 @@ mod tests {
             let before = ticked_events.len();
             ticked.tick(cycle, &mut ticked_events);
             for e in &ticked_events[before..] {
-                if let FrontendEvent::Read { core, addr }
+                if let FrontendEvent::Read { core, addr, .. }
                 | FrontendEvent::L2Hit { core, addr, .. } = *e
                 {
                     ticked.fill(core, addr);
@@ -400,7 +455,7 @@ mod tests {
             let before = jumped_events.len();
             jumped.tick(cycle, &mut jumped_events);
             for e in &jumped_events[before..] {
-                if let FrontendEvent::Read { core, addr }
+                if let FrontendEvent::Read { core, addr, .. }
                 | FrontendEvent::L2Hit { core, addr, .. } = *e
                 {
                     jumped.fill(core, addr);

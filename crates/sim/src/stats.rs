@@ -76,6 +76,29 @@ pub struct SimStats {
     pub power_down_entries: u64,
     /// Rank wakes (demand- or refresh-triggered) during the window.
     pub power_wakes: u64,
+    /// QoS policy name (e.g. "priority-boost"); "none" when QoS is off.
+    pub qos_policy: String,
+    /// Number of tenants in the workload mix (1 for single-tenant runs; all
+    /// `*_per_tenant` vectors have this length).
+    pub tenants: usize,
+    /// Workload acronym per tenant.
+    pub tenant_workloads: Vec<String>,
+    /// Cores allocated per tenant.
+    pub tenant_cores: Vec<usize>,
+    /// Latency-criticality flag per tenant.
+    pub tenant_latency_critical: Vec<bool>,
+    /// Committed user instructions per tenant.
+    pub instructions_per_tenant: Vec<u64>,
+    /// Reads completed by the memory controller per tenant.
+    pub reads_completed_per_tenant: Vec<u64>,
+    /// Average read latency per tenant in DRAM cycles.
+    pub avg_read_latency_per_tenant: Vec<f64>,
+    /// Each tenant's share of the delivered data bandwidth (0.0–1.0).
+    pub bandwidth_share_per_tenant: Vec<f64>,
+    /// Row-buffer hit rate per tenant (0.0–1.0).
+    pub row_hit_rate_per_tenant: Vec<f64>,
+    /// Time-averaged read-queue occupancy attributable to each tenant.
+    pub avg_read_queue_len_per_tenant: Vec<f64>,
 }
 
 impl SimStats {
@@ -117,6 +140,23 @@ impl SimStats {
         } else {
             min / max
         }
+    }
+
+    /// Aggregate IPC of one tenant's core group (committed instructions of
+    /// that tenant per CPU cycle). Slowdown and weighted-speedup metrics are
+    /// ratios of this against an alone-run baseline.
+    #[must_use]
+    pub fn tenant_ipc(&self, tenant: usize) -> f64 {
+        match self.instructions_per_tenant.get(tenant) {
+            Some(&n) if self.cpu_cycles > 0 => n as f64 / self.cpu_cycles as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Per-tenant aggregate IPC values.
+    #[must_use]
+    pub fn tenant_ipcs(&self) -> Vec<f64> {
+        (0..self.tenants).map(|t| self.tenant_ipc(t)).collect()
     }
 
     /// This run's user IPC normalized to a baseline run.
@@ -162,10 +202,18 @@ impl SimStats {
             .iter()
             .map(u64::to_string)
             .collect();
+        fn join<T: std::fmt::Display>(values: &[T]) -> String {
+            values
+                .iter()
+                .map(T::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        }
         // Keys are strictly additive over earlier releases: existing
         // consumers of the `BENCH_*.json` files keep parsing unchanged, the
-        // energy/power keys are appended at the end of the object.
-        format!(
+        // energy/power keys (and after them the tenancy/QoS keys) are
+        // appended at the end of the object.
+        let mut json = format!(
             concat!(
                 "{{\"workload\":\"{}\",\"scheduler\":\"{}\",\"page_policy\":\"{}\",",
                 "\"mapping\":\"{}\",\"channels\":{},\"cores\":{},\"cpu_cycles\":{},",
@@ -178,7 +226,7 @@ impl SimStats {
                 "\"power_policy\":\"{}\",\"dram_background_energy_mj\":{},",
                 "\"avg_dram_power_mw\":{},\"energy_per_request_nj\":{},",
                 "\"power_down_fraction\":{},\"self_refresh_fraction\":{},",
-                "\"power_down_entries\":{},\"power_wakes\":{}}}"
+                "\"power_down_entries\":{},\"power_wakes\":{}"
             ),
             esc(&self.workload),
             esc(&self.scheduler),
@@ -212,7 +260,33 @@ impl SimStats {
             self.self_refresh_fraction,
             self.power_down_entries,
             self.power_wakes,
-        )
+        );
+        let tenant_workloads: Vec<String> = self
+            .tenant_workloads
+            .iter()
+            .map(|w| format!("\"{}\"", esc(w)))
+            .collect();
+        json.push_str(&format!(
+            concat!(
+                ",\"qos_policy\":\"{}\",\"tenants\":{},\"tenant_workloads\":[{}],",
+                "\"tenant_cores\":[{}],\"tenant_latency_critical\":[{}],",
+                "\"instructions_per_tenant\":[{}],\"reads_completed_per_tenant\":[{}],",
+                "\"avg_read_latency_per_tenant\":[{}],\"bandwidth_share_per_tenant\":[{}],",
+                "\"row_hit_rate_per_tenant\":[{}],\"avg_read_queue_len_per_tenant\":[{}]}}"
+            ),
+            esc(&self.qos_policy),
+            self.tenants,
+            tenant_workloads.join(","),
+            join(&self.tenant_cores),
+            join(&self.tenant_latency_critical),
+            join(&self.instructions_per_tenant),
+            join(&self.reads_completed_per_tenant),
+            join(&self.avg_read_latency_per_tenant),
+            join(&self.bandwidth_share_per_tenant),
+            join(&self.row_hit_rate_per_tenant),
+            join(&self.avg_read_queue_len_per_tenant),
+        ));
+        json
     }
 }
 
@@ -272,6 +346,17 @@ mod tests {
             self_refresh_fraction: 0.0,
             power_down_entries: 0,
             power_wakes: 0,
+            qos_policy: "none".to_owned(),
+            tenants: 2,
+            tenant_workloads: vec!["DS".to_owned(), "TPCH-Q6".to_owned()],
+            tenant_cores: vec![2, 2],
+            tenant_latency_critical: vec![true, false],
+            instructions_per_tenant: vec![instr / 2, instr / 2],
+            reads_completed_per_tenant: vec![60, 40],
+            avg_read_latency_per_tenant: vec![70.0, 95.0],
+            bandwidth_share_per_tenant: vec![0.6, 0.4],
+            row_hit_rate_per_tenant: vec![0.5, 0.3],
+            avg_read_queue_len_per_tenant: vec![1.0, 1.0],
         }
     }
 
@@ -325,7 +410,26 @@ mod tests {
             added_pos > energy_pos,
             "new keys must come after the pre-existing ones"
         );
+        // Tenancy/QoS keys are additive too (after the energy keys).
+        let qos_pos = json.find("\"qos_policy\"").unwrap();
+        assert!(qos_pos > added_pos);
+        assert!(json.contains("\"tenants\":2"));
+        assert!(json.contains("\"tenant_workloads\":[\"DS\",\"TPCH-Q6\"]"));
+        assert!(json.contains("\"tenant_latency_critical\":[true,false]"));
+        assert!(json.contains("\"reads_completed_per_tenant\":[60,40]"));
+        assert!(json.contains("\"bandwidth_share_per_tenant\":[0.6,0.4]"));
+        assert!(json.ends_with('}'));
         // Every key appears exactly once.
         assert_eq!(json.matches("\"scheduler\"").count(), 1);
+    }
+
+    #[test]
+    fn tenant_ipc_partitions_the_aggregate() {
+        let s = stats(4000, 1000);
+        assert!((s.tenant_ipc(0) - 2.0).abs() < 1e-9);
+        assert!((s.tenant_ipc(1) - 2.0).abs() < 1e-9);
+        assert_eq!(s.tenant_ipc(7), 0.0);
+        let sum: f64 = s.tenant_ipcs().iter().sum();
+        assert!((sum - s.user_ipc()).abs() < 1e-9);
     }
 }

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use cloudmc_memctrl::{AccessKind, McStats, MemoryRequest, RequestId};
+use cloudmc_memctrl::{AccessKind, McStats, MemoryRequest, RequestId, MAX_TENANTS};
 
 use crate::backend::Backend;
 use crate::config::SystemConfig;
@@ -64,6 +64,9 @@ pub struct System {
     outstanding_reads: HashMap<RequestId, OutstandingRead>,
     mem_reads_sent: u64,
     mem_writes_sent: u64,
+    /// Off-chip requests (reads plus writes) sent per tenant, for per-tenant
+    /// request-conservation checks.
+    mem_sent_per_tenant: [u64; MAX_TENANTS],
     /// Off-chip reads broken down by address region (code, shared, hot,
     /// private); used by diagnostics and calibration tooling.
     reads_by_region: [u64; 4],
@@ -94,6 +97,7 @@ impl System {
             outstanding_reads: HashMap::new(),
             mem_reads_sent: 0,
             mem_writes_sent: 0,
+            mem_sent_per_tenant: [0; MAX_TENANTS],
             reads_by_region: [0; 4],
             frontend_events: Vec::new(),
             completions: Vec::new(),
@@ -180,11 +184,24 @@ impl System {
         self.mem_writes_sent
     }
 
+    /// Memory requests (reads plus writes) sent off-chip so far, per tenant.
+    #[must_use]
+    pub fn memory_sent_per_tenant(&self) -> [u64; MAX_TENANTS] {
+        self.mem_sent_per_tenant
+    }
+
     /// Requests sent but not yet completed by the backend, wherever they
     /// currently wait (controller queues, DRAM, or retry buckets).
     #[must_use]
     pub fn requests_in_flight(&self) -> u64 {
         (self.backend.pending() + self.backend.retry_backlog()) as u64
+    }
+
+    /// Requests sent but not yet completed, per tenant (controller queues,
+    /// DRAM in-flight, and retry buckets).
+    #[must_use]
+    pub fn requests_in_flight_per_tenant(&self) -> [u64; MAX_TENANTS] {
+        self.backend.pending_per_tenant()
     }
 
     fn alloc_request_id(&mut self) -> RequestId {
@@ -226,32 +243,42 @@ impl System {
                 self.fills
                     .push(self.clock.cpu_cycle() + ready_in, core, addr);
             }
-            FrontendEvent::Read { core, addr } => {
+            FrontendEvent::Read { core, tenant, addr } => {
                 let id = self.alloc_request_id();
                 self.mem_reads_sent += 1;
+                self.mem_sent_per_tenant[tenant.min(MAX_TENANTS - 1)] += 1;
                 self.reads_by_region[Self::region_of(addr)] += 1;
                 self.outstanding_reads
                     .insert(id, OutstandingRead { core, addr });
                 self.backend.submit(
-                    MemoryRequest::new(id, AccessKind::Read, addr, core, now_dram),
+                    MemoryRequest::new(id, AccessKind::Read, addr, core, now_dram)
+                        .with_tenant(tenant),
                     now_dram,
                 );
             }
-            FrontendEvent::Write { core, addr, dma } => {
+            FrontendEvent::Write {
+                core,
+                tenant,
+                addr,
+                dma,
+            } => {
                 let id = self.alloc_request_id();
                 self.mem_writes_sent += 1;
+                self.mem_sent_per_tenant[tenant.min(MAX_TENANTS - 1)] += 1;
                 let request = if dma {
                     MemoryRequest::dma(id, AccessKind::Write, addr, core, now_dram)
                 } else {
                     MemoryRequest::new(id, AccessKind::Write, addr, core, now_dram)
                 };
-                self.backend.submit(request, now_dram);
+                self.backend.submit(request.with_tenant(tenant), now_dram);
             }
-            FrontendEvent::DmaRead { core, addr } => {
+            FrontendEvent::DmaRead { core, tenant, addr } => {
                 let id = self.alloc_request_id();
                 self.mem_reads_sent += 1;
+                self.mem_sent_per_tenant[tenant.min(MAX_TENANTS - 1)] += 1;
                 self.backend.submit(
-                    MemoryRequest::dma(id, AccessKind::Read, addr, core, now_dram),
+                    MemoryRequest::dma(id, AccessKind::Read, addr, core, now_dram)
+                        .with_tenant(tenant),
                     now_dram,
                 );
             }
@@ -515,14 +542,54 @@ impl System {
         } else {
             breakdown.total_pj() * 1e-3 / completed as f64
         };
+        // Per-tenant breakdown (tenancy extension): instructions partition by
+        // core group, controller metrics come from the tenant-tagged deltas.
+        let tenancy = cfg.tenancy();
+        let tenants = tenancy.tenant_count();
+        let mut instructions_per_tenant = vec![0u64; tenants];
+        for (core, n) in instructions_per_core.iter().enumerate() {
+            instructions_per_tenant[tenancy.tenant_of_core(core)] += n;
+        }
+        let mut reads_completed_per_tenant = vec![0u64; tenants];
+        let mut avg_read_latency_per_tenant = vec![0.0f64; tenants];
+        let mut bandwidth_share_per_tenant = vec![0.0f64; tenants];
+        let mut row_hit_rate_per_tenant = vec![0.0f64; tenants];
+        let mut avg_read_queue_len_per_tenant = vec![0.0f64; tenants];
+        for t in 0..tenants {
+            let reads_t =
+                mc_end.reads_completed_per_tenant[t] - mc_start.reads_completed_per_tenant[t];
+            let writes_t =
+                mc_end.writes_completed_per_tenant[t] - mc_start.writes_completed_per_tenant[t];
+            let latency_t = mc_end.read_latency_per_tenant[t] - mc_start.read_latency_per_tenant[t];
+            reads_completed_per_tenant[t] = reads_t;
+            if reads_t > 0 {
+                avg_read_latency_per_tenant[t] = latency_t as f64 / reads_t as f64;
+            }
+            if completed > 0 {
+                bandwidth_share_per_tenant[t] = (reads_t + writes_t) as f64 / completed as f64;
+            }
+            let hits_t = mc_end.row_hits_per_tenant[t] - mc_start.row_hits_per_tenant[t];
+            let outcomes_t = hits_t
+                + (mc_end.row_misses_per_tenant[t] - mc_start.row_misses_per_tenant[t])
+                + (mc_end.row_conflicts_per_tenant[t] - mc_start.row_conflicts_per_tenant[t]);
+            if outcomes_t > 0 {
+                row_hit_rate_per_tenant[t] = hits_t as f64 / outcomes_t as f64;
+            }
+            if queue_samples > 0 {
+                avg_read_queue_len_per_tenant[t] = (mc_end.read_queue_occupancy_per_tenant[t]
+                    - mc_start.read_queue_occupancy_per_tenant[t])
+                    as f64
+                    / queue_samples as f64;
+            }
+        }
         SimStats {
-            workload: cfg.workload.workload.acronym().to_owned(),
+            workload: tenancy.label(),
             scheduler: cfg.mc.scheduler.label().to_owned(),
             page_policy: cfg.mc.page_policy.to_string(),
             power_policy: cfg.mc.power_policy.to_string(),
             mapping: cfg.mc.mapping.to_string(),
             channels: total_channels,
-            cores: cfg.workload.cores,
+            cores: tenancy.total_cores(),
             cpu_cycles,
             dram_cycles,
             user_instructions,
@@ -548,6 +615,19 @@ impl System {
             self_refresh_fraction,
             power_down_entries: delta_channel_stats.power_down_entries,
             power_wakes: delta_channel_stats.power_wakes,
+            qos_policy: cfg.mc.qos.policy.to_string(),
+            tenants,
+            tenant_workloads: (0..tenants)
+                .map(|t| tenancy.tenant_label(t).to_owned())
+                .collect(),
+            tenant_cores: tenancy.tenants().map(|t| t.cores()).collect(),
+            tenant_latency_critical: tenancy.tenants().map(|t| t.latency_critical).collect(),
+            instructions_per_tenant,
+            reads_completed_per_tenant,
+            avg_read_latency_per_tenant,
+            bandwidth_share_per_tenant,
+            row_hit_rate_per_tenant,
+            avg_read_queue_len_per_tenant,
         }
     }
 }
@@ -657,6 +737,40 @@ mod tests {
         let stats = run_system(small(Workload::WebFrontend)).unwrap();
         assert_eq!(stats.cores, 8);
         assert_eq!(stats.instructions_per_core.len(), 8);
+    }
+
+    #[test]
+    fn mixed_run_reports_per_tenant_stats() {
+        use cloudmc_workloads::{MixSpec, TenantSpec};
+        let mix = MixSpec::new(TenantSpec::latency_critical(Workload::WebSearch, 8))
+            .and(TenantSpec::batch(Workload::TpchQ6, 8));
+        let mut cfg = SystemConfig::mixed(mix);
+        cfg.warmup_cpu_cycles = 10_000;
+        cfg.measure_cpu_cycles = 60_000;
+        let stats = run_system(cfg).unwrap();
+        assert_eq!(stats.workload, "WS+TPCH-Q6");
+        assert_eq!(stats.cores, 16);
+        assert_eq!(stats.tenants, 2);
+        assert_eq!(stats.tenant_workloads, ["WS", "TPCH-Q6"]);
+        assert_eq!(stats.tenant_cores, [8, 8]);
+        assert_eq!(stats.tenant_latency_critical, [true, false]);
+        // Instruction counts partition exactly across tenants.
+        assert_eq!(
+            stats.instructions_per_tenant.iter().sum::<u64>(),
+            stats.user_instructions
+        );
+        // Both tenants reach memory; the bandwidth-bound scan dominates.
+        assert!(stats.reads_completed_per_tenant.iter().all(|&r| r > 0));
+        assert!(stats.bandwidth_share_per_tenant[1] > stats.bandwidth_share_per_tenant[0]);
+        let share_sum: f64 = stats.bandwidth_share_per_tenant.iter().sum();
+        assert!(
+            (share_sum - 1.0).abs() < 1e-9,
+            "shares sum to 1: {share_sum}"
+        );
+        assert!(stats
+            .avg_read_latency_per_tenant
+            .iter()
+            .all(|&l| l > 0.0 && l < 10_000.0));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use rand::{Rng, SeedableRng};
 
 use cloudmc_cpu::{CoreOp, MemOp, OpKind};
 
+use crate::mix::{MixSpec, TenantId};
 use crate::spec::{Workload, WorkloadSpec};
 
 /// Block size assumed by the generators (matches the cache/DRAM column size).
@@ -62,7 +63,16 @@ impl Layout {
 #[derive(Debug, Clone)]
 pub struct CoreStream {
     spec: WorkloadSpec,
+    /// Core index *within the owning tenant* (drives the per-core intensity
+    /// skew, which is a property of the workload, not of core placement).
     core: usize,
+    /// Global core slot in the pod; drives all address-layout decisions so
+    /// that the tenants of a mix never alias each other's memory.
+    layout_core: usize,
+    /// Byte offset of this core's code region inside the global code area
+    /// (cores are packed back to back even across tenants with different
+    /// code footprints).
+    code_offset: u64,
     rng: StdRng,
     layout: Layout,
     /// Remaining block addresses of the current row burst.
@@ -93,6 +103,26 @@ impl CoreStream {
     /// Panics if the spec does not validate or `core` is out of range.
     #[must_use]
     pub fn new(spec: WorkloadSpec, core: usize, seed: u64) -> Self {
+        let code_offset = spec.code_footprint_bytes * core as u64;
+        Self::placed(spec, core, core, code_offset, seed)
+    }
+
+    /// Creates the stream for local `core` of one tenant of a mix, placed at
+    /// global core slot `layout_core` with its code region at `code_offset`
+    /// bytes into the code area. [`CoreStream::new`] is the single-tenant
+    /// case where both indices coincide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec does not validate or `core` is out of range.
+    #[must_use]
+    pub fn placed(
+        spec: WorkloadSpec,
+        core: usize,
+        layout_core: usize,
+        code_offset: u64,
+        seed: u64,
+    ) -> Self {
         spec.validate().expect("invalid workload spec");
         assert!(
             core < spec.cores,
@@ -102,8 +132,10 @@ impl CoreStream {
         let mut stream = Self {
             spec,
             core,
+            layout_core,
+            code_offset,
             rng: StdRng::seed_from_u64(
-                seed ^ (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC10D,
+                seed ^ (layout_core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC10D,
             ),
             layout: Layout::DEFAULT,
             burst: VecDeque::new(),
@@ -141,7 +173,7 @@ impl CoreStream {
     #[must_use]
     pub fn code_region(&self) -> (u64, u64) {
         (
-            self.layout.code_base + self.core as u64 * self.spec.code_footprint_bytes,
+            self.layout.code_base + self.code_offset,
             self.spec.code_footprint_bytes,
         )
     }
@@ -151,7 +183,7 @@ impl CoreStream {
     pub fn hot_region(&self) -> (u64, u64) {
         (
             self.layout.private_base
-                + self.core as u64 * self.layout.private_stride
+                + self.layout_core as u64 * self.layout.private_stride
                 + self.layout.private_stride
                 - self.layout.hot_stride,
             self.layout.hot_stride,
@@ -256,7 +288,7 @@ impl CoreStream {
     }
 
     fn private_region(&self) -> (u64, u64) {
-        let base = self.layout.private_base + self.core as u64 * self.layout.private_stride;
+        let base = self.layout.private_base + self.layout_core as u64 * self.layout.private_stride;
         (
             base,
             self.spec.footprint_bytes.min(self.layout.private_stride),
@@ -324,7 +356,7 @@ impl CoreStream {
         // Code regions of the different cores are packed back to back so that
         // they spread over all L2 sets instead of aliasing onto the same ones
         // (the per-core stride would otherwise be a multiple of the set span).
-        let base = self.layout.code_base + self.core as u64 * self.spec.code_footprint_bytes;
+        let base = self.layout.code_base + self.code_offset;
         let blocks = (self.spec.code_footprint_bytes / BLOCK_BYTES).max(1);
         // Cyclic sequential walk through the code with very occasional jumps
         // (calls, branches): the instruction working set is touched within a
@@ -345,7 +377,7 @@ impl CoreStream {
 
     fn hot_op(&mut self) -> MemOp {
         let base = self.layout.private_base
-            + self.core as u64 * self.layout.private_stride
+            + self.layout_core as u64 * self.layout.private_stride
             + self.layout.private_stride
             - self.layout.hot_stride;
         let addr = self.random_block_in(base, self.layout.hot_stride);
@@ -405,11 +437,11 @@ impl CoreStream {
     }
 }
 
-/// The set of per-core streams making up one workload run, plus the
-/// workload-level DMA injection rate.
+/// The set of per-core streams making up one run — one stream per core over
+/// all tenants of a [`MixSpec`] — plus the per-tenant DMA injection rates.
 #[derive(Debug, Clone)]
 pub struct WorkloadStreams {
-    spec: WorkloadSpec,
+    mix: MixSpec,
     streams: Vec<CoreStream>,
 }
 
@@ -420,23 +452,69 @@ impl WorkloadStreams {
         Self::from_spec(workload.spec(), seed)
     }
 
-    /// Builds streams from an explicit (possibly customized) spec.
+    /// Builds streams from an explicit (possibly customized) single-tenant
+    /// spec.
     ///
     /// # Panics
     ///
     /// Panics if the spec does not validate.
     #[must_use]
     pub fn from_spec(spec: WorkloadSpec, seed: u64) -> Self {
-        let streams = (0..spec.cores)
-            .map(|core| CoreStream::new(spec, core, seed))
-            .collect();
-        Self { spec, streams }
+        Self::from_mix(MixSpec::solo(spec), seed)
     }
 
-    /// The spec driving these streams.
+    /// Builds the streams of every tenant of `mix`: tenants own contiguous
+    /// global core slots, and each core's *private*, hot and code regions
+    /// are placed by its global slot so tenants never alias each other's
+    /// private memory. The shared region (OS structures, shared heaps) and
+    /// the DMA buffer window are deliberately shared across tenants, as on a
+    /// real consolidated node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix does not validate.
+    #[must_use]
+    pub fn from_mix(mix: MixSpec, seed: u64) -> Self {
+        mix.validate().expect("invalid workload mix");
+        let mut streams = Vec::with_capacity(mix.total_cores());
+        let mut layout_core = 0usize;
+        let mut code_offset = 0u64;
+        for tenant in mix.tenants() {
+            for core in 0..tenant.workload.cores {
+                streams.push(CoreStream::placed(
+                    tenant.workload,
+                    core,
+                    layout_core,
+                    code_offset,
+                    seed,
+                ));
+                layout_core += 1;
+                code_offset += tenant.workload.code_footprint_bytes;
+            }
+        }
+        Self { mix, streams }
+    }
+
+    /// The mix driving these streams.
+    #[must_use]
+    pub fn mix(&self) -> &MixSpec {
+        &self.mix
+    }
+
+    /// The spec of the first tenant (the only tenant for single-tenant runs).
     #[must_use]
     pub fn spec(&self) -> &WorkloadSpec {
-        &self.spec
+        &self.mix.tenant(0).workload
+    }
+
+    /// The tenant owning global core `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn tenant_of_core(&self, core: usize) -> TenantId {
+        self.mix.tenant_of_core(core)
     }
 
     /// Number of cores (= number of streams).
@@ -464,10 +542,10 @@ impl WorkloadStreams {
         &self.streams[core]
     }
 
-    /// DMA/IO requests to inject per kilo CPU cycles.
+    /// DMA/IO requests to inject per kilo CPU cycles, summed over tenants.
     #[must_use]
     pub fn dma_per_kcycle(&self) -> f64 {
-        self.spec.dma_per_kcycle
+        self.mix.tenants().map(|t| t.workload.dma_per_kcycle).sum()
     }
 }
 
@@ -616,6 +694,36 @@ mod tests {
             assert!((streams.dma_per_kcycle() - w.spec().dma_per_kcycle).abs() < 1e-12);
             assert_eq!(streams.spec().workload, w);
         }
+    }
+
+    #[test]
+    fn mix_tenants_use_disjoint_address_regions() {
+        use crate::mix::{MixSpec, TenantSpec};
+        let mix = MixSpec::new(TenantSpec::latency_critical(Workload::WebSearch, 2))
+            .and(TenantSpec::batch(Workload::TpchQ6, 2));
+        let streams = WorkloadStreams::from_mix(mix, 9);
+        assert_eq!(streams.cores(), 4);
+        assert_eq!(streams.tenant_of_core(0), 0);
+        assert_eq!(streams.tenant_of_core(3), 1);
+        // Code regions are packed back to back across tenants.
+        let mut next_code = None;
+        for core in 0..4 {
+            let (base, size) = streams.stream(core).code_region();
+            if let Some(expected) = next_code {
+                assert_eq!(base, expected, "core {core} code region must follow");
+            }
+            next_code = Some(base + size);
+        }
+        // Private regions are placed by global slot: strictly increasing and
+        // disjoint across the tenant boundary.
+        let hot_bases: Vec<u64> = (0..4).map(|c| streams.stream(c).hot_region().0).collect();
+        for pair in hot_bases.windows(2) {
+            assert!(pair[0] < pair[1], "hot regions must not alias: {pair:?}");
+        }
+        // Same workload in a mix at a different slot produces a different
+        // stream than standalone core 0, but the same spec statistics.
+        assert_eq!(streams.stream(2).workload(), Workload::TpchQ6);
+        assert_eq!(streams.stream(2).core(), 0);
     }
 
     #[test]

@@ -22,9 +22,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod generator;
+pub mod mix;
 pub mod spec;
 pub mod trace;
 
 pub use generator::{CoreStream, WorkloadStreams, BLOCK_BYTES, ROW_BYTES};
+pub use mix::{MixSpec, TenantId, TenantSpec, MAX_TENANTS};
 pub use spec::{Category, Workload, WorkloadSpec};
 pub use trace::{TraceReader, TraceRecord, TraceWriter};

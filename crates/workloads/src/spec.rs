@@ -434,10 +434,19 @@ impl WorkloadSpec {
             Ok(())
         }
         if self.cores == 0 {
-            return Err("cores must be non-zero".to_owned());
+            return Err(format!("cores ({}) must be non-zero", self.cores));
         }
-        if self.data_mpki < 0.0 || self.ifetch_mpki < 0.0 {
-            return Err("MPKI values must be non-negative".to_owned());
+        if self.data_mpki < 0.0 {
+            return Err(format!(
+                "data_mpki ({}) must be non-negative",
+                self.data_mpki
+            ));
+        }
+        if self.ifetch_mpki < 0.0 {
+            return Err(format!(
+                "ifetch_mpki ({}) must be non-negative",
+                self.ifetch_mpki
+            ));
         }
         prob("row_burst_prob", self.row_burst_prob)?;
         prob("store_fraction", self.store_fraction)?;
@@ -456,10 +465,16 @@ impl WorkloadSpec {
             ));
         }
         if self.row_burst_len < 1.0 {
-            return Err("row_burst_len must be at least 1".to_owned());
+            return Err(format!(
+                "row_burst_len ({}) must be at least 1",
+                self.row_burst_len
+            ));
         }
         if self.footprint_bytes < 1024 * 1024 {
-            return Err("footprint must be at least 1 MiB".to_owned());
+            return Err(format!(
+                "footprint_bytes ({}) must be at least 1 MiB",
+                self.footprint_bytes
+            ));
         }
         Ok(())
     }
@@ -586,5 +601,22 @@ mod tests {
         s = Workload::DataServing.spec();
         s.footprint_bytes = 1024;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_messages_include_the_offending_value() {
+        let check = |mutate: fn(&mut WorkloadSpec), needle: &str| {
+            let mut s = Workload::DataServing.spec();
+            mutate(&mut s);
+            let err = s.validate().unwrap_err();
+            assert!(err.contains(needle), "`{err}` should contain `{needle}`");
+        };
+        check(|s| s.data_mpki = -3.5, "-3.5");
+        check(|s| s.ifetch_mpki = -1.0, "-1");
+        check(|s| s.row_burst_prob = 1.5, "1.5");
+        check(|s| s.row_burst_len = 0.25, "0.25");
+        check(|s| s.burstiness = 1.0, "1");
+        check(|s| s.core_imbalance = 7.0, "7");
+        check(|s| s.footprint_bytes = 2048, "2048");
     }
 }

@@ -1,0 +1,80 @@
+//! Multi-tenant QoS comparison on one latency-critical + batch mix.
+//!
+//! Co-locates latency-critical Web Search with a batch TPC-H Q6 sweep on one
+//! 16-core pod and compares the fairness-oriented schedulers the paper
+//! studies (FR-FCFS baseline, PAR-BS, ATLAS) with and without the
+//! controller's QoS policies. For each combination the table reports the
+//! latency-critical tenant's slowdown versus running alone, the batch
+//! tenant's slowdown, the weighted speedup and the per-tenant read latency.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example tenant_mix
+//! ```
+
+use cloudmc::memctrl::{AtlasConfig, ParBsConfig, QosPolicyKind, SchedulerKind};
+use cloudmc::sim::{run_system, SystemConfig};
+use cloudmc::workloads::{MixSpec, TenantSpec, Workload};
+
+fn main() -> Result<(), String> {
+    let mix = MixSpec::new(TenantSpec::latency_critical(Workload::WebSearch, 8))
+        .and(TenantSpec::batch(Workload::TpchQ6, 8));
+    let schedulers = [
+        SchedulerKind::FrFcfs,
+        SchedulerKind::ParBs(ParBsConfig::default()),
+        SchedulerKind::Atlas(AtlasConfig::default()),
+    ];
+    let scale = |mut cfg: SystemConfig| {
+        cfg.warmup_cpu_cycles = 40_000;
+        cfg.measure_cpu_cycles = 250_000;
+        cfg
+    };
+
+    println!(
+        "tenant mix: {} (tenant 0 = Web Search, latency-critical; tenant 1 = TPC-H Q6, batch)\n",
+        mix.label()
+    );
+    println!(
+        "{:<10} {:<18} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "scheduler", "qos policy", "LC slow", "batch slow", "w.speedup", "LC lat", "batch lat"
+    );
+
+    for scheduler in schedulers {
+        // Alone-run baselines: each tenant with the whole memory system to
+        // itself on its own core allocation.
+        let mut alone_ipc = Vec::new();
+        for tenant in mix.tenants() {
+            let mut cfg = scale(SystemConfig::baseline(tenant.workload.workload));
+            cfg.workload = tenant.workload;
+            cfg.mc.scheduler = scheduler;
+            alone_ipc.push(run_system(cfg)?.user_ipc());
+        }
+        for qos in QosPolicyKind::all() {
+            let mut cfg = scale(SystemConfig::mixed(mix));
+            cfg.mc.scheduler = scheduler;
+            cfg.mc.qos.policy = qos;
+            let stats = run_system(cfg)?;
+            let slowdown: Vec<f64> = alone_ipc
+                .iter()
+                .enumerate()
+                .map(|(t, &base)| base / stats.tenant_ipc(t).max(1e-12))
+                .collect();
+            let weighted_speedup: f64 = slowdown.iter().map(|s| 1.0 / s).sum();
+            println!(
+                "{:<10} {:<18} {:>8.3} {:>10.3} {:>10.3} {:>10.1} {:>10.1}",
+                stats.scheduler,
+                stats.qos_policy,
+                slowdown[0],
+                slowdown[1],
+                weighted_speedup,
+                stats.avg_read_latency_per_tenant[0],
+                stats.avg_read_latency_per_tenant[1],
+            );
+        }
+    }
+    println!(
+        "\nslowdown = alone-run IPC / shared IPC (1.0 = co-location is free); \
+         latencies in DRAM cycles"
+    );
+    Ok(())
+}

@@ -7,9 +7,9 @@
 //! any layer whose "next event" bound overshoots by even one cycle shows up
 //! here as a diverging field.
 
-use cloudmc::memctrl::{PagePolicyKind, PowerPolicyKind, SchedulerKind};
+use cloudmc::memctrl::{PagePolicyKind, PowerPolicyKind, QosPolicyKind, SchedulerKind};
 use cloudmc::sim::{run_system, SimStats, SystemConfig};
-use cloudmc::workloads::Workload;
+use cloudmc::workloads::{MixSpec, TenantSpec, Workload};
 
 fn small(workload: Workload, seed: u64) -> SystemConfig {
     let mut cfg = SystemConfig::baseline(workload);
@@ -128,6 +128,47 @@ fn power_down_is_bit_identical_across_schedulers() {
     cfg.mc.page_policy = PagePolicyKind::Timer;
     cfg.mc.power_policy = PowerPolicyKind::PowerAware;
     assert_equivalent(cfg, "power/timer-page-policy");
+}
+
+/// A latency-critical + batch tenant mix: every `*_per_tenant` statistic
+/// (instructions, completions, latency sums, bandwidth shares, queue
+/// occupancies — `SimStats` equality covers them all) must be bit-identical
+/// with the fast-forward on and off, under every scheduler and QoS policy.
+/// The QoS arbiter preempts the command slot and rolls its partition epochs
+/// in catch-up style, so this is where an overshooting horizon would show.
+#[test]
+fn tenant_mixes_and_qos_policies_are_bit_identical() {
+    let mix = MixSpec::new(TenantSpec::latency_critical(Workload::WebSearch, 8))
+        .and(TenantSpec::batch(Workload::TpchQ6, 8));
+    for scheduler in SchedulerKind::paper_set() {
+        for qos in QosPolicyKind::all() {
+            let mut cfg = SystemConfig::mixed(mix);
+            cfg.warmup_cpu_cycles = 10_000;
+            cfg.measure_cpu_cycles = 60_000;
+            cfg.seed = 5;
+            cfg.mc.scheduler = scheduler;
+            cfg.mc.qos.policy = qos;
+            let stats = assert_equivalent(cfg, &format!("{}/{qos}", scheduler.label()));
+            assert_eq!(stats.tenants, 2);
+            assert!(
+                stats.instructions_per_tenant.iter().all(|&n| n > 0),
+                "{}/{qos}: every tenant must make progress",
+                scheduler.label()
+            );
+        }
+    }
+    // A three-tenant mix including the DMA-driven Web Frontend, whose
+    // per-tenant injector credit must also survive bulk accrual.
+    let with_dma = MixSpec::new(TenantSpec::latency_critical(Workload::WebFrontend, 8))
+        .and(TenantSpec::batch(Workload::TpchQ6, 4))
+        .and(TenantSpec::batch(Workload::TpcC1, 4));
+    for qos in QosPolicyKind::all() {
+        let mut cfg = SystemConfig::mixed(with_dma);
+        cfg.warmup_cpu_cycles = 10_000;
+        cfg.measure_cpu_cycles = 60_000;
+        cfg.mc.qos.policy = qos;
+        assert_equivalent(cfg, &format!("dma-mix/{qos}"));
+    }
 }
 
 /// Sharded backends and multi-channel controllers fast-forward identically.
