@@ -165,7 +165,13 @@ fn bench_fast_forward(c: &mut Criterion) {
     ] {
         cfg.fast_forward = label.ends_with("fast_forward");
         group.bench_function(label, |b| {
-            b.iter(|| black_box(run_system(black_box(cfg)).unwrap().user_instructions));
+            b.iter(|| {
+                black_box(
+                    run_system(black_box(cfg.clone()))
+                        .unwrap()
+                        .user_instructions,
+                )
+            });
         });
     }
     group.finish();

@@ -7,9 +7,10 @@ use cloudmc_workloads::Workload;
 
 /// Prints cache/stall details for the FR-FCFS baseline of `workload`.
 fn cache_details(cfg: cloudmc_sim::SystemConfig) {
-    let mut system = System::new(cfg).unwrap();
-    system.run_cycles(cfg.warmup_cpu_cycles + cfg.measure_cpu_cycles);
+    let cycles_to_run = cfg.warmup_cpu_cycles + cfg.measure_cpu_cycles;
     let cores = cfg.workload.cores;
+    let mut system = System::new(cfg).unwrap();
+    system.run_cycles(cycles_to_run);
     let (mut l1i_h, mut l1i_m, mut l1d_h, mut l1d_m, mut stall, mut cycles) = (0, 0, 0, 0, 0, 0);
     for c in 0..cores {
         l1i_h += system.l1i_stats(c).hits;

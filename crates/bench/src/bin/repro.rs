@@ -21,6 +21,10 @@
 //!   qos           multi-tenant QoS sweep: 3 tenant mixes x 5 schedulers x
 //!                 3 QoS policies plus alone-run baselines; writes
 //!                 BENCH_qos.json
+//!   trace         trace capture & replay round trip: record/replay timing
+//!                 with bit-identical stats asserted, plus the golden
+//!                 mini-trace check; writes BENCH_trace.json
+//!                 (--golden-regen rewrites tests/data/golden_mix.trace)
 //!   all           everything above
 //!
 //! options:
@@ -38,13 +42,15 @@ use std::process::ExitCode;
 use cloudmc_bench::{
     baseline_study, channel_study, config_report, energy_study, fastforward_report, figure1,
     figure10, figure11, figure12, figure13, figure14, figure2, figure3, figure4, figure5, figure6,
-    figure7, figure8, figure9, page_policy_study, qos_study, scheduler_study, Scale, Table,
+    figure7, figure8, figure9, page_policy_study, qos_study, regenerate_golden_trace,
+    scheduler_study, trace_study, Scale, Table,
 };
 
 struct Options {
     experiment: String,
     scale: Scale,
     csv_dir: Option<PathBuf>,
+    golden_regen: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -52,10 +58,12 @@ fn parse_args() -> Result<Options, String> {
     let experiment = args.next().unwrap_or_else(|| "all".to_owned());
     let mut scale = Scale::standard();
     let mut csv_dir = None;
+    let mut golden_regen = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => scale = Scale::quick(),
             "--full" => scale = Scale::full(),
+            "--golden-regen" => golden_regen = true,
             "--measure" => {
                 scale.measure_cpu_cycles = args
                     .next()
@@ -98,12 +106,14 @@ fn parse_args() -> Result<Options, String> {
         experiment,
         scale,
         csv_dir,
+        golden_regen,
     })
 }
 
-const HELP: &str =
-    "usage: repro <config|fig1..fig14|table4|sched|pages|channels|fastforward|energy|qos|all> \
-[--quick|--full] [--measure N] [--warmup N] [--seed N] [--threads N] [--csv DIR]";
+const HELP: &str = "usage: repro \
+<config|fig1..fig14|table4|sched|pages|channels|fastforward|energy|qos|trace|all> \
+[--quick|--full] [--measure N] [--warmup N] [--seed N] [--threads N] [--csv DIR] \
+[--golden-regen]";
 
 fn emit(table: &Table, csv_dir: &Option<PathBuf>) {
     println!("{}", table.to_text());
@@ -219,6 +229,22 @@ fn main() -> ExitCode {
         std::fs::write(path, report.to_json()).expect("write BENCH_qos.json");
         eprintln!("wrote {path}");
     }
+    if wants(&["trace", "all"]) {
+        if opts.golden_regen {
+            match regenerate_golden_trace() {
+                Ok(path) => eprintln!("regenerated {}", path.display()),
+                Err(e) => {
+                    eprintln!("error: golden trace regeneration failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let report = trace_study(&scale);
+        println!("{}", report.to_text());
+        let path = "BENCH_trace.json";
+        std::fs::write(path, report.to_json()).expect("write BENCH_trace.json");
+        eprintln!("wrote {path}");
+    }
     let known = [
         "config",
         "all",
@@ -229,6 +255,7 @@ fn main() -> ExitCode {
         "fastforward",
         "energy",
         "qos",
+        "trace",
         "fig1",
         "fig2",
         "fig3",

@@ -51,7 +51,7 @@ pub fn energy_study(scale: &Scale) -> EnergyReport {
         for (_, scheduler) in &schedulers {
             for page in PagePolicyKind::paper_set() {
                 for power in PowerPolicyKind::all() {
-                    let mut cfg = base;
+                    let mut cfg = base.clone();
                     cfg.mc.scheduler = *scheduler;
                     cfg.mc.page_policy = page;
                     cfg.mc.power_policy = power;

@@ -73,10 +73,10 @@ pub struct FastForwardReport {
 }
 
 fn timed_run(cfg: SystemConfig) -> (SimStats, Throughput) {
+    let total = cfg.total_cpu_cycles();
     let start = Instant::now();
     let stats = run_system(cfg).expect("valid benchmark configuration");
     let wall = start.elapsed().as_secs_f64().max(1e-9);
-    let total = cfg.total_cpu_cycles();
     (
         stats,
         Throughput {
@@ -87,13 +87,13 @@ fn timed_run(cfg: SystemConfig) -> (SimStats, Throughput) {
 }
 
 fn measure_point(name: &'static str, cfg: SystemConfig) -> FastForwardPoint {
-    let mut fast_cfg = cfg;
+    let mut fast_cfg = cfg.clone();
     fast_cfg.fast_forward = true;
-    let mut naive_cfg = cfg;
+    let mut naive_cfg = cfg.clone();
     naive_cfg.fast_forward = false;
     // Warm the instruction/data caches of the *host* with one throwaway run,
     // then time each mode.
-    let _ = timed_run(fast_cfg);
+    let _ = timed_run(fast_cfg.clone());
     let (fast_stats, fast) = timed_run(fast_cfg);
     let (naive_stats, naive) = timed_run(naive_cfg);
     assert_eq!(

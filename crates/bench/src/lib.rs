@@ -16,12 +16,17 @@ pub mod experiments;
 pub mod fastforward;
 pub mod qos;
 pub mod report;
+pub mod trace;
 
 pub use energy::{energy_study, EnergyPoint, EnergyReport};
 pub use fastforward::{
     dense_config, fastforward_report, idle_heavy_config, FastForwardPoint, FastForwardReport,
 };
 pub use qos::{paper_mixes, qos_study, QosPoint, QosReport};
+pub use trace::{
+    golden_config, golden_trace_path, regenerate_golden_trace, trace_study, GoldenCheck,
+    TracePoint, TraceReport,
+};
 
 pub use experiments::{
     baseline_config, baseline_study, channel_study, config_report, figure1, figure10, figure11,

@@ -1,0 +1,287 @@
+//! Trace capture & replay round-trip tracking: wall-clock cost of recording
+//! a run, replay throughput against the synthetic generators, and the
+//! checked-in golden mini-trace that pins the generator↔trace contract.
+//!
+//! The `repro trace` experiment serializes the result as `BENCH_trace.json`
+//! so the trace subsystem's overhead is tracked alongside the paper's
+//! figures. Every point asserts the record→replay equivalence guarantee
+//! (bit-identical `SimStats`) before reporting timings.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use cloudmc_sim::{run_system, SimStats, SystemConfig, WorkloadSource};
+use cloudmc_workloads::{MixSpec, TenantSpec, Workload};
+
+use crate::experiments::{baseline_config, Scale};
+
+/// One record/replay round trip of a single configuration.
+#[derive(Debug, Clone)]
+pub struct TracePoint {
+    /// Point name (`web_search`, `ws+tpch_q6`).
+    pub name: &'static str,
+    /// Records captured over the whole run (warm-up plus measurement).
+    pub records: u64,
+    /// Size of the captured trace file in bytes.
+    pub trace_bytes: u64,
+    /// Wall-clock seconds of the plain synthetic run (no recording).
+    pub synthetic_wall_s: f64,
+    /// Wall-clock seconds of the recording run.
+    pub record_wall_s: f64,
+    /// Wall-clock seconds of the replay run.
+    pub replay_wall_s: f64,
+}
+
+impl TracePoint {
+    /// Recording overhead relative to the plain synthetic run.
+    #[must_use]
+    pub fn record_overhead(&self) -> f64 {
+        self.record_wall_s / self.synthetic_wall_s.max(1e-9)
+    }
+
+    /// Replay speed relative to the plain synthetic run (below 1.0 means
+    /// replay is faster than generating).
+    #[must_use]
+    pub fn replay_ratio(&self) -> f64 {
+        self.replay_wall_s / self.synthetic_wall_s.max(1e-9)
+    }
+}
+
+/// Result of replaying the checked-in golden mini-trace.
+#[derive(Debug, Clone)]
+pub struct GoldenCheck {
+    /// Size of the golden trace file in bytes.
+    pub trace_bytes: u64,
+    /// User instructions committed by the replay.
+    pub user_instructions: u64,
+    /// Whether the replay matched the synthetic run of the same pinned
+    /// configuration bit for bit.
+    pub bit_identical: bool,
+}
+
+/// The full report: round-trip points plus the golden-trace check.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// One point per swept configuration.
+    pub points: Vec<TracePoint>,
+    /// The golden mini-trace check.
+    pub golden: GoldenCheck,
+}
+
+/// The pinned configuration of the golden mini-trace at `tests/data/`: a
+/// small latency-critical Web Search + batch TPC-H Q6 mix, short enough to
+/// keep the checked-in file a few tens of kilobytes.
+#[must_use]
+pub fn golden_config() -> SystemConfig {
+    let mix = MixSpec::new(TenantSpec::latency_critical(Workload::WebSearch, 2))
+        .and(TenantSpec::batch(Workload::TpchQ6, 2));
+    let mut cfg = SystemConfig::mixed(mix);
+    cfg.warmup_cpu_cycles = 1_000;
+    cfg.measure_cpu_cycles = 4_000;
+    cfg.seed = 42;
+    cfg
+}
+
+/// Path of the checked-in golden mini-trace.
+#[must_use]
+pub fn golden_trace_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/data/golden_mix.trace")
+}
+
+/// Regenerates the golden mini-trace in place from [`golden_config`]. Only
+/// for deliberate generator changes: `tests/trace_replay_equivalence.rs`
+/// pins the file against the generators byte for byte.
+///
+/// # Errors
+///
+/// Returns a description of the problem if the run or the sink fails.
+pub fn regenerate_golden_trace() -> Result<PathBuf, String> {
+    let path = golden_trace_path();
+    let mut cfg = golden_config();
+    cfg.trace_record = Some(path.clone());
+    run_system(cfg)?;
+    Ok(path)
+}
+
+fn timed(cfg: SystemConfig) -> (SimStats, f64) {
+    let start = Instant::now();
+    let stats = run_system(cfg).expect("valid trace benchmark configuration");
+    (stats, start.elapsed().as_secs_f64().max(1e-9))
+}
+
+fn measure_point(name: &'static str, cfg: SystemConfig) -> TracePoint {
+    let trace = std::env::temp_dir().join(format!(
+        "cloudmc_repro_trace_{name}_{}.trace",
+        std::process::id()
+    ));
+    // Host-cache warm-up, then the plain synthetic run.
+    let _ = timed(cfg.clone());
+    let (synthetic, synthetic_wall_s) = timed(cfg.clone());
+
+    let mut record_cfg = cfg.clone();
+    record_cfg.trace_record = Some(trace.clone());
+    let (recorded, record_wall_s) = timed(record_cfg);
+    assert_eq!(synthetic, recorded, "{name}: recording perturbed the run");
+
+    let mut replay_cfg = cfg;
+    replay_cfg.source = WorkloadSource::Trace(trace.clone());
+    let (replayed, replay_wall_s) = timed(replay_cfg);
+    assert_eq!(
+        recorded, replayed,
+        "{name}: replay diverged from the recording"
+    );
+
+    let trace_bytes = std::fs::metadata(&trace).map(|m| m.len()).unwrap_or(0);
+    // Count records streaming — a standard-scale trace is tens of MB.
+    let records = std::fs::File::open(&trace)
+        .map(|f| std::io::BufRead::lines(std::io::BufReader::new(f)).count() as u64)
+        .unwrap_or(0);
+    std::fs::remove_file(&trace).ok();
+    TracePoint {
+        name,
+        records,
+        trace_bytes,
+        synthetic_wall_s,
+        record_wall_s,
+        replay_wall_s,
+    }
+}
+
+fn check_golden() -> GoldenCheck {
+    let cfg = golden_config();
+    let synthetic = run_system(cfg.clone()).expect("golden configuration");
+    let mut replay_cfg = cfg;
+    replay_cfg.source = WorkloadSource::Trace(golden_trace_path());
+    let replayed = run_system(replay_cfg).expect("golden trace replay");
+    GoldenCheck {
+        trace_bytes: std::fs::metadata(golden_trace_path())
+            .map(|m| m.len())
+            .unwrap_or(0),
+        user_instructions: replayed.user_instructions,
+        bit_identical: synthetic == replayed,
+    }
+}
+
+/// Runs the trace round-trip study at `scale`: a solo scale-out stream and
+/// a latency-critical + batch mix, plus the golden-trace check.
+///
+/// # Panics
+///
+/// Panics if any round trip breaks the record→replay equivalence guarantee.
+#[must_use]
+pub fn trace_study(scale: &Scale) -> TraceReport {
+    let mix = MixSpec::new(TenantSpec::latency_critical(Workload::WebSearch, 8))
+        .and(TenantSpec::batch(Workload::TpchQ6, 8));
+    let mut mixed = SystemConfig::mixed(mix);
+    mixed.warmup_cpu_cycles = scale.warmup_cpu_cycles;
+    mixed.measure_cpu_cycles = scale.measure_cpu_cycles;
+    mixed.seed = scale.seed;
+    let golden = check_golden();
+    assert!(
+        golden.bit_identical,
+        "golden trace replay diverged from the generators (regenerate \
+         tests/data/golden_mix.trace if the generator change is deliberate)"
+    );
+    TraceReport {
+        points: vec![
+            measure_point("web_search", baseline_config(Workload::WebSearch, scale)),
+            measure_point("ws+tpch_q6", mixed),
+        ],
+        golden,
+    }
+}
+
+impl TraceReport {
+    /// Machine-readable JSON for `BENCH_trace.json`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"benchmark\": \"trace_record_replay\",\n");
+        out.push_str("  \"unit\": \"wall_seconds\",\n  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"records\": {}, \"trace_bytes\": {}, \
+                 \"synthetic_wall_s\": {:.4}, \"record_wall_s\": {:.4}, \
+                 \"replay_wall_s\": {:.4}, \"record_overhead\": {:.3}, \
+                 \"replay_ratio\": {:.3}}}{}\n",
+                p.name,
+                p.records,
+                p.trace_bytes,
+                p.synthetic_wall_s,
+                p.record_wall_s,
+                p.replay_wall_s,
+                p.record_overhead(),
+                p.replay_ratio(),
+                if i + 1 == self.points.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"golden\": {{\"trace_bytes\": {}, \"user_instructions\": {}, \
+             \"bit_identical\": {}}}\n}}\n",
+            self.golden.trace_bytes, self.golden.user_instructions, self.golden.bit_identical
+        ));
+        out
+    }
+
+    /// Human-readable summary for the terminal.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(
+            "trace record/replay round trip (bit-identical stats asserted)\n\
+             point         records      bytes   synth(s)  record(s)  replay(s)  rec-ovh  rep-ratio\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:<12} {:>8} {:>10} {:>9.3} {:>10.3} {:>10.3} {:>8.2} {:>10.2}\n",
+                p.name,
+                p.records,
+                p.trace_bytes,
+                p.synthetic_wall_s,
+                p.record_wall_s,
+                p.replay_wall_s,
+                p.record_overhead(),
+                p.replay_ratio(),
+            ));
+        }
+        out.push_str(&format!(
+            "golden trace: {} bytes, {} user instructions, bit-identical: {}\n",
+            self.golden.trace_bytes, self.golden.user_instructions, self.golden.bit_identical
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_runs_and_serializes() {
+        let scale = Scale {
+            warmup_cpu_cycles: 2_000,
+            measure_cpu_cycles: 10_000,
+            seed: 1,
+            threads: 1,
+        };
+        let report = trace_study(&scale);
+        assert_eq!(report.points.len(), 2);
+        for p in &report.points {
+            assert!(p.records > 0);
+            assert!(p.trace_bytes > 0);
+            assert!(p.record_wall_s > 0.0 && p.replay_wall_s > 0.0);
+        }
+        assert!(report.golden.bit_identical);
+        let json = report.to_json();
+        assert!(json.contains("\"web_search\""));
+        assert!(json.contains("\"ws+tpch_q6\""));
+        assert!(json.contains("\"golden\""));
+        assert!(report.to_text().contains("golden trace"));
+    }
+
+    #[test]
+    fn golden_config_is_small_and_valid() {
+        let cfg = golden_config();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.core_count(), 4);
+        assert!(cfg.total_cpu_cycles() <= 5_000);
+    }
+}

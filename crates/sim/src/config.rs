@@ -1,9 +1,11 @@
 //! Full-system configuration.
 
+use std::path::PathBuf;
+
 use cloudmc_cpu::{CoreConfig, L2Config};
 use cloudmc_dram::EnergyParams;
 use cloudmc_memctrl::{McConfig, SchedulerKind};
-use cloudmc_workloads::{MixSpec, Workload, WorkloadSpec};
+use cloudmc_workloads::{MixSpec, Workload, WorkloadSource, WorkloadSpec};
 
 // The controller's per-tenant accounting arrays and the workload mix must
 // agree on how many tenants can exist.
@@ -19,7 +21,7 @@ pub const DRAM_CYCLES_PER_5_CPU_CYCLES: u64 = 2;
 /// with 32 KB L1s and a shared 4 MB L2, an FR-FCFS single-channel controller
 /// with the open-adaptive page policy, driven by one of the twelve workload
 /// models.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Statistical workload model driving the cores (the only tenant unless
     /// [`SystemConfig::mix`] is set, in which case this mirrors tenant 0).
@@ -29,6 +31,18 @@ pub struct SystemConfig {
     /// the memory controller. `None` (the default) runs `workload` alone as
     /// tenant 0 — the pre-tenancy behaviour.
     pub mix: Option<MixSpec>,
+    /// Where the per-core instruction streams come from: the synthetic
+    /// generators (the default), or replay of a recorded trace file. Replay
+    /// keeps the tenancy/core layout of `workload`/`mix` (which must match
+    /// the recorded run) and supports the event-horizon fast-forward;
+    /// replaying a trace recorded from a synthetic run reproduces its
+    /// statistics bit for bit (`tests/trace_replay_equivalence.rs`).
+    pub source: WorkloadSource,
+    /// Record every op the cores consume (with its core binding; the tenant
+    /// follows from the mix's core groups) to this trace file, enabling
+    /// later [`WorkloadSource::Trace`] replay. `None` (the default) records
+    /// nothing.
+    pub trace_record: Option<PathBuf>,
     /// Per-core configuration (L1 caches, MSHRs).
     pub core: CoreConfig,
     /// Shared L2 configuration.
@@ -82,6 +96,8 @@ impl SystemConfig {
         Self {
             workload: spec,
             mix: None,
+            source: WorkloadSource::Synthetic,
+            trace_record: None,
             core: CoreConfig::default(),
             l2: L2Config::baseline(),
             mc,
@@ -202,6 +218,14 @@ impl SystemConfig {
         if self.measure_cpu_cycles == 0 {
             return Err("measure_cpu_cycles must be non-zero".to_owned());
         }
+        if let (WorkloadSource::Trace(replay), Some(record)) = (&self.source, &self.trace_record) {
+            if replay == record {
+                return Err(format!(
+                    "trace_record and the replay source are the same file `{}`",
+                    replay.display()
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -295,6 +319,21 @@ mod tests {
         let mut cfg = SystemConfig::baseline(Workload::WebSearch);
         cfg.measure_cpu_cycles = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_recording_over_the_replay_source() {
+        let mut cfg = SystemConfig::baseline(Workload::WebSearch);
+        assert_eq!(cfg.source, WorkloadSource::Synthetic);
+        assert_eq!(cfg.trace_record, None);
+        cfg.source = WorkloadSource::Trace("/tmp/a.trace".into());
+        cfg.trace_record = Some("/tmp/a.trace".into());
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("same file"), "{err}");
+        cfg.trace_record = Some("/tmp/b.trace".into());
+        // Distinct paths pass config validation (the replay file is only
+        // opened when the system is built).
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -12,12 +12,23 @@
 //!
 //! Returning data to a core goes the other way: the kernel calls
 //! [`Frontend::fill`] once a block's delivery cycle arrives.
+//!
+//! The frontend is also where the trace subsystem taps the op streams: with
+//! [`SystemConfig::trace_record`] set, every op a core consumes is appended
+//! to a [`TraceWriter`]; with [`WorkloadSource::Trace`], the synthetic
+//! generators are bypassed and a streaming [`TraceStream`] supplies the
+//! recorded ops instead.
+
+use std::fs::File;
+use std::io::BufWriter;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use cloudmc_cpu::{CacheStats, CoreStats, InOrderCore, SharedL2};
-use cloudmc_workloads::{TenantId, WorkloadStreams};
+use cloudmc_workloads::{
+    TenantId, TraceRecord, TraceStream, TraceWriter, WorkloadSource, WorkloadStreams,
+};
 
 use crate::config::SystemConfig;
 use crate::kernel::Tick;
@@ -93,11 +104,39 @@ struct DmaInjector {
     cursor: u64,
 }
 
+/// Resolves `path` for aliasing checks. Falls back to canonicalizing the
+/// parent (a sink file may not exist yet) and, failing that, to the path as
+/// given.
+fn canonical_path(path: &std::path::Path) -> std::path::PathBuf {
+    path.canonicalize()
+        .unwrap_or_else(|_| match (path.parent(), path.file_name()) {
+            (Some(parent), Some(name)) if !parent.as_os_str().is_empty() => parent
+                .canonicalize()
+                .map(|p| p.join(name))
+                .unwrap_or_else(|_| path.to_path_buf()),
+            _ => path.to_path_buf(),
+        })
+}
+
 /// Cores, workload streams, shared L2 and the per-tenant DMA injectors.
 #[derive(Debug)]
 pub struct Frontend {
     cores: Vec<InOrderCore>,
     streams: WorkloadStreams,
+    /// Trace replay supply; when set, cores consume it instead of `streams`
+    /// (which is still built — the address layout it derives from the mix
+    /// drives [`Frontend::prewarm`]).
+    replay: Option<TraceStream>,
+    /// Trace capture sink; every op any core consumes is appended.
+    record: Option<TraceWriter<BufWriter<File>>>,
+    /// First error the capture sink produced; recording stops at that point
+    /// and the error surfaces from [`Frontend::finish_trace`].
+    record_error: Option<String>,
+    /// First error the replay trace produced (I/O, parse, or a core index
+    /// beyond the bound count); the affected cores idle on the exhaustion
+    /// filler from then on and the error surfaces from
+    /// [`Frontend::finish_trace`].
+    replay_error: Option<String>,
     l2: SharedL2,
     rng: StdRng,
     /// One injector per tenant with a non-zero DMA rate, in tenant order.
@@ -106,15 +145,48 @@ pub struct Frontend {
 
 impl Frontend {
     /// Builds the frontend described by `cfg`: one core per tenant core slot
-    /// (tagged with its tenant id), the tenants' workload streams, and a DMA
-    /// injector for every tenant that drives I/O traffic.
-    #[must_use]
-    pub fn new(cfg: &SystemConfig) -> Self {
+    /// (tagged with its tenant id), the tenants' workload streams (or the
+    /// replay trace of [`WorkloadSource::Trace`]), a DMA injector for every
+    /// tenant that drives I/O traffic, and the capture sink of
+    /// [`SystemConfig::trace_record`] if set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem if the replay trace cannot be
+    /// opened or the capture sink cannot be created.
+    pub fn new(cfg: &SystemConfig) -> Result<Self, String> {
         let tenancy = cfg.tenancy();
         let streams = WorkloadStreams::from_mix(tenancy, cfg.seed);
-        let cores = (0..tenancy.total_cores())
+        let cores: Vec<InOrderCore> = (0..tenancy.total_cores())
             .map(|i| InOrderCore::new(i, cfg.core).with_tenant(tenancy.tenant_of_core(i)))
             .collect();
+        let replay = match &cfg.source {
+            WorkloadSource::Synthetic => None,
+            WorkloadSource::Trace(path) => {
+                Some(TraceStream::open(path, cores.len()).map_err(|e| e.to_string())?)
+            }
+        };
+        let record = match &cfg.trace_record {
+            None => None,
+            Some(path) => {
+                // Refuse to truncate the replay input: `SystemConfig::validate`
+                // compares the two paths lexically, but aliased spellings
+                // (relative vs absolute, symlinks) only resolve on disk, and
+                // `File::create` below would destroy the trace being read.
+                if let WorkloadSource::Trace(replay_path) = &cfg.source {
+                    if canonical_path(replay_path) == canonical_path(path) {
+                        return Err(format!(
+                            "trace_record `{}` aliases the replay source `{}`",
+                            path.display(),
+                            replay_path.display()
+                        ));
+                    }
+                }
+                let file = File::create(path)
+                    .map_err(|e| format!("cannot create trace sink `{}`: {e}", path.display()))?;
+                Some(TraceWriter::new(BufWriter::new(file)))
+            }
+        };
         let dma = tenancy
             .tenants()
             .enumerate()
@@ -133,12 +205,58 @@ impl Frontend {
                 })
             })
             .collect();
-        Self {
+        Ok(Self {
             cores,
             streams,
+            replay,
+            record,
+            record_error: None,
+            replay_error: None,
             l2: SharedL2::new(cfg.l2),
             rng: StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x5851_F42D_4C95_7F2D) ^ 0xD3A),
             dma,
+        })
+    }
+
+    /// Whether the frontend replays a trace instead of generating ops.
+    #[must_use]
+    pub fn is_replaying(&self) -> bool {
+        self.replay.is_some()
+    }
+
+    /// Records read off the replay trace so far (`None` when synthetic).
+    #[must_use]
+    pub fn replay_records_read(&self) -> Option<u64> {
+        self.replay.as_ref().map(TraceStream::records_read)
+    }
+
+    /// Finishes the run's trace I/O: surfaces any replay error deferred
+    /// mid-run, then flushes the capture sink (if any) and returns the
+    /// number of records written (`Ok(None)` when the run was not
+    /// recording).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first replay read/parse error, the first capture write
+    /// error, or the final capture flush error.
+    pub fn finish_trace(&mut self) -> Result<Option<u64>, String> {
+        if let Some(e) = self.replay_error.take() {
+            self.record = None;
+            return Err(format!("trace replay failed mid-run: {e}"));
+        }
+        if let Some(e) = self.record_error.take() {
+            self.record = None;
+            return Err(format!("trace capture failed mid-run: {e}"));
+        }
+        match self.record.take() {
+            None => Ok(None),
+            Some(writer) => {
+                let records = writer.records();
+                writer
+                    .finish()
+                    .map_err(|e| format!("trace capture flush failed: {e}"))?;
+                Ok(Some(records))
+            }
         }
     }
 
@@ -341,13 +459,59 @@ impl Tick for Frontend {
 
     /// Advances every core by one CPU cycle and injects DMA traffic,
     /// reporting everything that must leave the frontend this cycle.
+    ///
+    /// Each core's op comes from the replay trace when one is attached, and
+    /// from its synthetic stream otherwise; either way the op is appended to
+    /// the capture sink if the run is recording. A failing capture sink
+    /// stops the capture; a failing replay trace (I/O error, parse error, or
+    /// a core index beyond the bound count) parks the cores on the
+    /// exhaustion filler. Both errors are deferred and surface from
+    /// [`Frontend::finish_trace`], so driving the run is infallible.
     fn tick(&mut self, _now: u64, events: &mut Vec<FrontendEvent>) {
         for core_idx in 0..self.cores.len() {
-            let requests = {
+            let (requests, record_failure, replay_failure) = {
                 let stream = self.streams.stream_mut(core_idx);
-                let mut source = || stream.next_op();
-                self.cores[core_idx].tick(&mut source)
+                let replay = &mut self.replay;
+                let record = &mut self.record;
+                let mut record_failure: Option<String> = None;
+                let mut replay_failure: Option<String> = None;
+                let mut source = || {
+                    let op = match replay.as_mut() {
+                        Some(trace) => match trace.next_op(core_idx) {
+                            Ok(op) => op,
+                            Err(e) => {
+                                replay_failure = Some(e.to_string());
+                                TraceStream::EXHAUSTED_FILLER
+                            }
+                        },
+                        None => stream.next_op(),
+                    };
+                    if let Some(writer) = record.as_mut() {
+                        let trace_record = TraceRecord { core: core_idx, op };
+                        if let Err(e) = writer.write(&trace_record) {
+                            record_failure = Some(e.to_string());
+                        }
+                    }
+                    op
+                };
+                let requests = self.cores[core_idx].tick(&mut source);
+                (requests, record_failure, replay_failure)
             };
+            if let Some(e) = replay_failure {
+                // The stream poisoned itself: every core idles out on the
+                // filler from here (never the synthetic generators — the
+                // replay stays attached). The capture sink is dropped too:
+                // a recording of a failed replay is garbage, and finish
+                // reports the replay error regardless.
+                self.replay_error.get_or_insert(e);
+                self.record = None;
+            }
+            if let Some(e) = record_failure {
+                // Keep only the first failure; later records are moot once
+                // the sink is gone.
+                self.record_error.get_or_insert(e);
+                self.record = None;
+            }
             for request in requests {
                 self.handle_core_request(
                     core_idx,
@@ -368,7 +532,7 @@ mod tests {
     use cloudmc_workloads::Workload;
 
     fn frontend(workload: Workload) -> Frontend {
-        Frontend::new(&SystemConfig::baseline(workload))
+        Frontend::new(&SystemConfig::baseline(workload)).unwrap()
     }
 
     #[test]
@@ -469,6 +633,59 @@ mod tests {
         for core in 0..ticked.core_count() {
             assert_eq!(ticked.core_stats(core), jumped.core_stats(core));
         }
+    }
+
+    /// Recording a run and replaying the trace drives the cores through the
+    /// exact same event stream — the frontend-level half of the record→replay
+    /// equivalence guarantee.
+    #[test]
+    fn record_then_replay_reproduces_the_event_stream() {
+        let path = std::env::temp_dir().join(format!(
+            "cloudmc_frontend_roundtrip_{}.trace",
+            std::process::id()
+        ));
+        let run = |fe: &mut Frontend| {
+            let mut events = Vec::new();
+            for cycle in 0..5_000 {
+                let before = events.len();
+                fe.tick(cycle, &mut events);
+                for e in &events[before..] {
+                    if let FrontendEvent::Read { core, addr, .. }
+                    | FrontendEvent::L2Hit { core, addr, .. } = *e
+                    {
+                        fe.fill(core, addr);
+                    }
+                }
+            }
+            events
+        };
+        // WebFrontend exercises the DMA injector alongside the core streams.
+        let mut cfg = SystemConfig::baseline(Workload::WebFrontend);
+        cfg.trace_record = Some(path.clone());
+        let mut recorder = Frontend::new(&cfg).unwrap();
+        assert!(!recorder.is_replaying());
+        let recorded_events = run(&mut recorder);
+        let records = recorder.finish_trace().unwrap().expect("was recording");
+        assert!(records > 0);
+
+        let mut replay_cfg = SystemConfig::baseline(Workload::WebFrontend);
+        replay_cfg.source = cloudmc_workloads::WorkloadSource::Trace(path.clone());
+        let mut replayer = Frontend::new(&replay_cfg).unwrap();
+        assert!(replayer.is_replaying());
+        let replayed_events = run(&mut replayer);
+        assert_eq!(recorded_events, replayed_events);
+        assert_eq!(replayer.replay_records_read(), Some(records));
+        assert_eq!(recorder.committed_per_core(), replayer.committed_per_core());
+        assert_eq!(replayer.finish_trace().unwrap(), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_replay_trace_is_a_clear_config_error() {
+        let mut cfg = SystemConfig::baseline(Workload::WebSearch);
+        cfg.source = cloudmc_workloads::WorkloadSource::Trace("/nonexistent/never/x.trace".into());
+        let err = Frontend::new(&cfg).unwrap_err();
+        assert!(err.contains("x.trace"), "{err}");
     }
 
     #[test]

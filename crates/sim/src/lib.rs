@@ -37,3 +37,8 @@ pub use kernel::{ClockCrossing, FillQueue, Tick};
 pub use runner::{default_threads, run_all, run_all_with_threads};
 pub use stats::{mean, SimStats};
 pub use system::{run_system, Simulator, System};
+
+// The workload-source selector is part of `SystemConfig`'s surface;
+// re-exported so simulator users don't need a direct `cloudmc-workloads`
+// dependency to pick trace replay.
+pub use cloudmc_workloads::WorkloadSource;

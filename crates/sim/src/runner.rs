@@ -38,7 +38,7 @@ pub fn run_all_with_threads(
 ) -> Vec<Result<SimStats, String>> {
     let threads = threads.max(1).min(configs.len().max(1));
     if threads <= 1 || configs.len() <= 1 {
-        return configs.iter().map(|cfg| run_system(*cfg)).collect();
+        return configs.iter().map(|cfg| run_system(cfg.clone())).collect();
     }
     // Work stealing over an atomic cursor: each worker claims the next
     // unclaimed configuration index and writes its result into the slot
@@ -51,7 +51,7 @@ pub fn run_all_with_threads(
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(cfg) = configs.get(i) else { break };
-                let result = run_system(*cfg);
+                let result = run_system(cfg.clone());
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }

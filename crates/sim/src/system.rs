@@ -84,7 +84,7 @@ impl System {
     pub fn new(cfg: SystemConfig) -> Result<Self, String> {
         cfg.validate()?;
         let backend = Backend::new(&cfg)?;
-        let mut frontend = Frontend::new(&cfg);
+        let mut frontend = Frontend::new(&cfg)?;
         if cfg.functional_warmup {
             frontend.prewarm();
         }
@@ -157,6 +157,29 @@ impl System {
     #[must_use]
     pub fn l2_stats(&self) -> cloudmc_cpu::CacheStats {
         self.frontend.l2_stats()
+    }
+
+    /// Finishes the run's trace I/O: surfaces any replay error deferred
+    /// mid-run, then flushes the capture sink of
+    /// [`SystemConfig::trace_record`] (if any) and returns the number of
+    /// records written (`Ok(None)` when the run was not recording). Must be
+    /// called before a recorded file is replayed — dropping the system
+    /// instead leaves the tail of the trace to `Drop`, which swallows write
+    /// errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first replay read/parse error, the first capture write
+    /// error, or the final capture flush error.
+    pub fn finish_trace(&mut self) -> Result<Option<u64>, String> {
+        self.frontend.finish_trace()
+    }
+
+    /// Whether the cores replay a recorded trace instead of the synthetic
+    /// generators.
+    #[must_use]
+    pub fn is_replaying(&self) -> bool {
+        self.frontend.is_replaying()
     }
 
     /// Controller statistics accumulated since reset, merged over all
@@ -652,14 +675,36 @@ impl Simulator {
     }
 
     /// Runs warm-up then measurement and returns the measured statistics.
-    #[must_use]
-    pub fn run(mut self) -> SimStats {
+    ///
+    /// If the run records a trace ([`SystemConfig::trace_record`]), the sink
+    /// is flushed before the statistics are returned, so the file is
+    /// immediately replayable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the deferred trace error if the replay trace turned out to be
+    /// unreadable or malformed mid-run, or if the capture sink failed — the
+    /// statistics of such a run would be garbage (cores idle out on the
+    /// exhaustion filler) or the trace file incomplete.
+    pub fn try_run(mut self) -> Result<SimStats, String> {
         let warmup = self.system.cfg.warmup_cpu_cycles;
         let measure = self.system.cfg.measure_cpu_cycles;
         self.system.run_cycles(warmup);
         let snapshot = self.system.snapshot();
         self.system.run_cycles(measure);
-        self.system.stats_since(&snapshot)
+        self.system.finish_trace()?;
+        Ok(self.system.stats_since(&snapshot))
+    }
+
+    /// [`Simulator::try_run`], panicking on trace I/O failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replay trace or the capture sink failed mid-run; use
+    /// [`Simulator::try_run`] (or [`run_system`]) to handle those as errors.
+    #[must_use]
+    pub fn run(self) -> SimStats {
+        self.try_run().expect("trace I/O failed")
     }
 
     /// Access to the underlying system (e.g. to inspect state mid-run).
@@ -678,9 +723,10 @@ impl Simulator {
 ///
 /// # Errors
 ///
-/// Returns a description of the problem if the configuration is invalid.
+/// Returns a description of the problem if the configuration is invalid or
+/// the run's trace I/O (replay source or capture sink) failed.
 pub fn run_system(cfg: SystemConfig) -> Result<SimStats, String> {
-    Ok(Simulator::new(cfg)?.run())
+    Simulator::new(cfg)?.try_run()
 }
 
 #[cfg(test)]
@@ -814,7 +860,7 @@ mod tests {
         for shards in [1usize, 2, 4] {
             let mut cfg = small(Workload::TpchQ6);
             cfg.num_channels = shards;
-            let stats = run_system(cfg).unwrap();
+            let stats = run_system(cfg.clone()).unwrap();
             assert_eq!(stats.channels, shards * cfg.mc.dram.channels);
             assert!(stats.user_ipc() > 0.1);
             assert!(stats.reads_completed > 0);

@@ -29,4 +29,4 @@ pub mod trace;
 pub use generator::{CoreStream, WorkloadStreams, BLOCK_BYTES, ROW_BYTES};
 pub use mix::{MixSpec, TenantId, TenantSpec, MAX_TENANTS};
 pub use spec::{Category, Workload, WorkloadSpec};
-pub use trace::{TraceReader, TraceRecord, TraceWriter};
+pub use trace::{TraceReader, TraceRecord, TraceStream, TraceWriter, WorkloadSource};

@@ -502,6 +502,36 @@ mod tests {
         assert_eq!(hot.burstiness, base.burstiness);
     }
 
+    /// The zero-rate boundary: `with_intensity(0.0)` must validate cleanly —
+    /// every rate collapses to zero (burstiness included, keeping it inside
+    /// its half-open range) and the generators tolerate the never-emitting
+    /// stream (`tests/end_to_end.rs` pins the full-system half).
+    #[test]
+    fn with_intensity_zero_validates_cleanly() {
+        for w in [Workload::WebSearch, Workload::WebFrontend, Workload::TpchQ6] {
+            let zero = w.spec().with_intensity(0.0);
+            zero.validate()
+                .unwrap_or_else(|e| panic!("{w}: zero-rate spec must validate: {e}"));
+            assert_eq!(zero.data_mpki, 0.0);
+            assert_eq!(zero.ifetch_mpki, 0.0);
+            assert_eq!(zero.dma_per_kcycle, 0.0);
+            assert_eq!(zero.hot_access_rate, 0.0);
+            assert_eq!(zero.burstiness, 0.0);
+            // A stream built from it keeps producing (compute) ops.
+            let mut stream = crate::generator::CoreStream::new(zero, 0, 1);
+            for _ in 0..50 {
+                match stream.next_op() {
+                    cloudmc_cpu::CoreOp::Compute(n) => assert!(n >= 1),
+                    cloudmc_cpu::CoreOp::Mem(_) => {}
+                }
+            }
+        }
+        // Negative factors clamp to zero rather than producing invalid specs.
+        let clamped = Workload::WebSearch.spec().with_intensity(-1.0);
+        clamped.validate().unwrap();
+        assert_eq!(clamped.data_mpki, 0.0);
+    }
+
     #[test]
     fn twelve_workloads_with_correct_categories() {
         assert_eq!(Workload::all().len(), 12);

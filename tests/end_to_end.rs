@@ -128,6 +128,37 @@ fn web_frontend_runs_with_eight_cores_and_dma_traffic() {
     );
 }
 
+/// The zero-rate boundary of `WorkloadSpec::with_intensity(0.0)`: the spec
+/// validates cleanly and the whole stack tolerates per-core streams that
+/// (essentially) never emit memory ops — the frontend keeps committing
+/// compute, the backend idles, and the run terminates normally with and
+/// without the fast-forward (its best case: the event horizon spans almost
+/// the entire run).
+#[test]
+fn zero_intensity_spec_runs_end_to_end() {
+    for fast_forward in [true, false] {
+        let mut cfg = small(Workload::WebSearch);
+        cfg.workload = cfg.workload.with_intensity(0.0);
+        cfg.fast_forward = fast_forward;
+        cfg.validate().expect("zero-rate spec must validate");
+        let stats = run(cfg);
+        // Nearly every cycle commits a compute instruction on every core:
+        // the only stalls possible come from the (rare) residual data events
+        // of the 1e-3-MPKI generator floor.
+        assert!(
+            stats.user_ipc() > 15.0,
+            "zero-rate run should be almost pure compute (IPC {})",
+            stats.user_ipc()
+        );
+        assert!(
+            stats.memory_reads_sent < 50,
+            "zero-rate run sent {} reads",
+            stats.memory_reads_sent
+        );
+        assert_eq!(stats.cpu_cycles, 80_000);
+    }
+}
+
 #[test]
 fn category_assignment_matches_table1() {
     assert_eq!(Workload::all().len(), 12);

@@ -46,7 +46,7 @@ fn energy_is_bit_identical_across_all_schedulers_and_page_policies() {
             cfg.mc.page_policy = page;
             cfg.mc.power_policy = PowerPolicyKind::IdleTimer;
             cfg.fast_forward = true;
-            let fast = run_system(cfg).unwrap();
+            let fast = run_system(cfg.clone()).unwrap();
             cfg.fast_forward = false;
             let naive = run_system(cfg).unwrap();
             assert_eq!(
@@ -71,11 +71,11 @@ fn residency_cycles_sum_to_elapsed_rank_cycles() {
     for power in PowerPolicyKind::all() {
         let mut cfg = idle_config(3);
         cfg.mc.power_policy = power;
+        let ranks = cfg.mc.dram.ranks_per_channel as u64 * cfg.mc.dram.channels as u64;
         let mut system = System::new(cfg).unwrap();
         system.run_cycles(40_000);
         let dram_cycles = SystemConfig::cpu_to_dram_cycles(40_000);
         let device = system.backend().device_totals_at(dram_cycles);
-        let ranks = cfg.mc.dram.ranks_per_channel as u64 * cfg.mc.dram.channels as u64;
         assert_eq!(
             device.state_residency_cycles(),
             dram_cycles * ranks,
@@ -96,9 +96,9 @@ fn residency_cycles_sum_to_elapsed_rank_cycles() {
 fn energy_accrues_monotonically_and_non_negative() {
     let mut cfg = idle_config(11);
     cfg.mc.power_policy = PowerPolicyKind::IdleTimer;
-    let mut system = System::new(cfg).unwrap();
     let model = EnergyModel::new(cfg.energy);
     let timing = cfg.mc.dram.timing;
+    let mut system = System::new(cfg).unwrap();
     let mut last = 0.0f64;
     for step in 1..=12u64 {
         system.run_cycles(4_000);

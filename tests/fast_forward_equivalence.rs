@@ -23,7 +23,7 @@ fn small(workload: Workload, seed: u64) -> SystemConfig {
 /// results.
 fn assert_equivalent(mut cfg: SystemConfig, label: &str) -> SimStats {
     cfg.fast_forward = true;
-    let fast = run_system(cfg).expect("valid config");
+    let fast = run_system(cfg.clone()).expect("valid config");
     cfg.fast_forward = false;
     let naive = run_system(cfg).expect("valid config");
     assert_eq!(

@@ -37,7 +37,7 @@ fn identical_seeds_produce_byte_identical_stats() {
 fn sharded_runs_are_deterministic() {
     let mut cfg = small(Workload::TpchQ6);
     cfg.num_channels = 4;
-    let a = run_system(cfg).unwrap();
+    let a = run_system(cfg.clone()).unwrap();
     let b = run_system(cfg).unwrap();
     assert_eq!(a, b);
 }
