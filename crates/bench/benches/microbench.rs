@@ -8,10 +8,10 @@ use cloudmc_bench::{dense_config, idle_heavy_config, Scale};
 use cloudmc_cpu::{Cache, CacheConfig};
 use cloudmc_dram::{Command, DramChannel, DramConfig, Location};
 use cloudmc_memctrl::{
-    AccessKind, AddressMapping, FrFcfs, McConfig, MemoryController, MemoryRequest, RequestQueue,
-    SchedContext, SchedulerImpl, SchedulerKind,
+    key_bank, key_rank, AccessKind, AddressMapping, FrFcfs, McConfig, MemoryController,
+    MemoryRequest, RequestQueue, SchedContext, SchedulerImpl, SchedulerKind,
 };
-use cloudmc_sim::{run_system, SystemConfig};
+use cloudmc_sim::{run_system, EventQueue, SystemConfig};
 use cloudmc_workloads::{CoreStream, Workload};
 
 fn bench_dram_channel(c: &mut Criterion) {
@@ -159,11 +159,14 @@ fn bench_fast_forward(c: &mut Criterion) {
     group.sample_size(10);
     for (label, mut cfg) in [
         ("idle_heavy_naive", idle_heavy_config(&scale)),
-        ("idle_heavy_fast_forward", idle_heavy_config(&scale)),
+        ("idle_heavy_horizon", idle_heavy_config(&scale)),
+        ("idle_heavy_event", idle_heavy_config(&scale)),
         ("tpch_q6_naive", dense_config(&scale)),
-        ("tpch_q6_fast_forward", dense_config(&scale)),
+        ("tpch_q6_horizon", dense_config(&scale)),
+        ("tpch_q6_event", dense_config(&scale)),
     ] {
-        cfg.fast_forward = label.ends_with("fast_forward");
+        cfg.fast_forward = !label.ends_with("naive");
+        cfg.event_driven = label.ends_with("event");
         group.bench_function(label, |b| {
             b.iter(|| {
                 black_box(
@@ -174,6 +177,108 @@ fn bench_fast_forward(c: &mut Criterion) {
             });
         });
     }
+    group.finish();
+}
+
+/// The event kernel's calendar queue under its three access patterns. Dense
+/// keeps every deadline inside the 64-cycle bucket ring (bitmask + deque
+/// ops); sparse pushes deadlines past the window into the `BTreeMap`
+/// overflow level and migrates them back as the window slides; decrease-key
+/// re-posts each event at an earlier deadline timer-wheel style, paying for
+/// the stale entry with one extra (spurious) pop.
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/event_queue");
+    group.bench_function("dense_push_pop_4k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u32> = EventQueue::new();
+            let mut popped = 0u64;
+            for i in 0..4_096u32 {
+                let now = u64::from(i);
+                q.push(now + u64::from(i % 48), i);
+                while let Some(item) = q.pop_due(now) {
+                    popped += u64::from(black_box(item));
+                }
+            }
+            while let Some(due) = q.next_due() {
+                while let Some(item) = q.pop_due(due) {
+                    popped += u64::from(black_box(item));
+                }
+            }
+            popped
+        });
+    });
+    group.bench_function("sparse_push_pop_4k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u32> = EventQueue::new();
+            for i in 0..4_096u32 {
+                q.push(u64::from(i) * 97 + 1_000, i);
+            }
+            let mut popped = 0u64;
+            while let Some(due) = q.next_due() {
+                while let Some(item) = q.pop_due(due) {
+                    popped += u64::from(black_box(item));
+                }
+            }
+            popped
+        });
+    });
+    group.bench_function("decrease_key_4k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u32> = EventQueue::new();
+            for i in 0..4_096u32 {
+                q.push(10_000 + u64::from(i % 512), i);
+                q.push(u64::from(i % 64), i);
+            }
+            let mut popped = 0u64;
+            while let Some(due) = q.next_due() {
+                while let Some(item) = q.pop_due(due) {
+                    popped += u64::from(black_box(item));
+                }
+            }
+            popped
+        });
+    });
+    group.finish();
+}
+
+/// The flat `u64` key-column scans the schedulers and page policies lean on
+/// every controller cycle: row-hit probes over a full queue, and a raw walk
+/// of the packed (rank, bank, row) column.
+fn bench_queue_scan(c: &mut Criterion) {
+    let mc = McConfig::baseline();
+    let mut queue = RequestQueue::new(64);
+    for i in 0..64u64 {
+        let addr = i * 0x1_2000 + 0x40;
+        let decoded = mc.mapping.decode(addr, &mc.dram);
+        queue
+            .push(
+                MemoryRequest::new(i, AccessKind::Read, addr, (i % 16) as usize, 0),
+                decoded.location,
+                0,
+            )
+            .unwrap();
+    }
+    let mut group = c.benchmark_group("queue/soa_scan_64_pending");
+    group.bench_function("row_hit_probe_all_banks", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for rank in 0..2usize {
+                for bank in 0..8usize {
+                    hits += usize::from(queue.any_hit(rank, bank, black_box(3)));
+                }
+            }
+            hits
+        });
+    });
+    group.bench_function("keys_column_walk", |b| {
+        b.iter(|| {
+            queue
+                .keys()
+                .iter()
+                .map(|&k| key_rank(k) + key_bank(k))
+                .sum::<usize>()
+        });
+    });
     group.finish();
 }
 
@@ -203,6 +308,8 @@ criterion_group!(
     bench_scheduler_dispatch,
     bench_system_baseline,
     bench_fast_forward,
+    bench_event_queue,
+    bench_queue_scan,
     bench_cache,
     bench_workload_generation
 );

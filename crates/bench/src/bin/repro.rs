@@ -13,8 +13,11 @@
 //!   sched         figs 1-7 in one sweep
 //!   pages         figs 9-11 in one sweep
 //!   channels      figs 12-14 + table 4 in one sweep
-//!   fastforward   simulator throughput with/without event-horizon
-//!                 fast-forward; writes BENCH_fastforward.json
+//!   fastforward   simulator throughput under each kernel drive mode
+//!                 (naive / horizon / event-driven / event-driven with
+//!                 worker threads); writes BENCH_fastforward.json and
+//!                 fails if the event kernel slows any dense stream below
+//!                 the naive loop
 //!   energy        DRAM energy sweep: 5 schedulers x 4 page policies x
 //!                 4 power policies on idle-heavy + dense workloads;
 //!                 writes BENCH_energy.json
@@ -214,6 +217,19 @@ fn main() -> ExitCode {
         let path = "BENCH_fastforward.json";
         std::fs::write(path, report.to_json()).expect("write BENCH_fastforward.json");
         eprintln!("wrote {path}");
+        // Regression gate (run as a CI smoke step): on dense streams the
+        // event kernel has no idle cycles to skip, so any speedup below 1.0
+        // means its bookkeeping is taxing the busy path.
+        for p in report.points.iter().filter(|p| p.name != "idle_heavy") {
+            if p.speedup() < 1.0 {
+                eprintln!(
+                    "error: dense stream `{}` regressed: event kernel ran at {:.2}x the naive loop",
+                    p.name,
+                    p.speedup()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if wants(&["energy", "all"]) {
         let report = energy_study(&scale);

@@ -1,10 +1,15 @@
-//! Fast-forward performance tracking: simulated-CPU-cycles-per-second with
-//! the kernel's event-horizon fast-forward on and off, on an idle-heavy
-//! stream and on a dense decision-support stream.
+//! Fast-forward performance tracking: simulated-CPU-cycles-per-second under
+//! each of the kernel's drive modes — the naive per-cycle loop, the horizon
+//! recompute-and-jump loop, the event-driven kernel, and the event-driven
+//! kernel with backend worker threads — on an idle-heavy stream, two dense
+//! streams, and a sharded dense stream (the only point where the worker pool
+//! actually engages; the single-shard points keep the threaded column as an
+//! honest overhead check).
 //!
 //! The `repro fastforward` experiment serializes the result as
 //! `BENCH_fastforward.json` so the performance trajectory of the simulator
-//! itself is tracked alongside the paper's figures.
+//! itself is tracked alongside the paper's figures; every mode is asserted
+//! bit-identical to the naive loop as a side effect of measuring it.
 
 use std::time::Instant;
 
@@ -44,24 +49,45 @@ pub struct Throughput {
     pub wall_seconds: f64,
 }
 
-/// One benchmark point: the same workload under both kernel modes.
+/// Worker threads used for the threaded column of every benchmark point.
+pub const BENCH_THREADS: usize = 2;
+
+/// One benchmark point: the same workload under every kernel drive mode.
 #[derive(Debug, Clone)]
 pub struct FastForwardPoint {
-    /// Point name (`idle_heavy`, `tpch_q6`).
+    /// Point name (`idle_heavy`, `tpch_q6`, ...).
     pub name: &'static str,
     /// Total simulated CPU cycles per run.
     pub simulated_cpu_cycles: u64,
-    /// Naive per-cycle loop.
+    /// Naive per-cycle loop (`fast_forward` off).
     pub naive: Throughput,
-    /// Event-horizon fast-forward.
-    pub fast_forward: Throughput,
+    /// Horizon recompute-and-jump loop (`fast_forward` on, `event_driven`
+    /// off).
+    pub horizon: Throughput,
+    /// Event-driven kernel, sequential backend.
+    pub event: Throughput,
+    /// Event-driven kernel with [`BENCH_THREADS`] backend worker threads
+    /// (only distinct from `event` on multi-shard points).
+    pub event_threaded: Throughput,
 }
 
 impl FastForwardPoint {
-    /// Fast-forward speedup over the naive loop.
+    /// Headline speedup: the event-driven kernel over the naive loop.
     #[must_use]
     pub fn speedup(&self) -> f64 {
-        self.fast_forward.cycles_per_sec / self.naive.cycles_per_sec
+        self.event.cycles_per_sec / self.naive.cycles_per_sec
+    }
+
+    /// The horizon loop's speedup over the naive loop (the PR-2 kernel).
+    #[must_use]
+    pub fn horizon_speedup(&self) -> f64 {
+        self.horizon.cycles_per_sec / self.naive.cycles_per_sec
+    }
+
+    /// The threaded event kernel's speedup over the naive loop.
+    #[must_use]
+    pub fn threaded_speedup(&self) -> f64 {
+        self.event_threaded.cycles_per_sec / self.naive.cycles_per_sec
     }
 }
 
@@ -87,24 +113,43 @@ fn timed_run(cfg: SystemConfig) -> (SimStats, Throughput) {
 }
 
 fn measure_point(name: &'static str, cfg: SystemConfig) -> FastForwardPoint {
-    let mut fast_cfg = cfg.clone();
-    fast_cfg.fast_forward = true;
     let mut naive_cfg = cfg.clone();
     naive_cfg.fast_forward = false;
+    let mut horizon_cfg = cfg.clone();
+    horizon_cfg.fast_forward = true;
+    horizon_cfg.event_driven = false;
+    let mut event_cfg = cfg.clone();
+    event_cfg.fast_forward = true;
+    event_cfg.event_driven = true;
+    event_cfg.threads = 1;
+    let mut threaded_cfg = event_cfg.clone();
+    threaded_cfg.threads = BENCH_THREADS;
     // Warm the instruction/data caches of the *host* with one throwaway run,
-    // then time each mode.
-    let _ = timed_run(fast_cfg.clone());
-    let (fast_stats, fast) = timed_run(fast_cfg);
+    // then time each mode, pinning every mode to the naive results.
+    let _ = timed_run(event_cfg.clone());
+    let (event_stats, event) = timed_run(event_cfg);
+    let (horizon_stats, horizon) = timed_run(horizon_cfg);
+    let (threaded_stats, event_threaded) = timed_run(threaded_cfg);
     let (naive_stats, naive) = timed_run(naive_cfg);
     assert_eq!(
-        fast_stats, naive_stats,
-        "{name}: benchmark modes must stay bit-identical"
+        event_stats, naive_stats,
+        "{name}: the event kernel must stay bit-identical to the naive loop"
+    );
+    assert_eq!(
+        horizon_stats, naive_stats,
+        "{name}: the horizon loop must stay bit-identical to the naive loop"
+    );
+    assert_eq!(
+        threaded_stats, naive_stats,
+        "{name}: worker threads must stay bit-identical to the naive loop"
     );
     FastForwardPoint {
         name,
         simulated_cpu_cycles: cfg.total_cpu_cycles(),
         naive,
-        fast_forward: fast,
+        horizon,
+        event,
+        event_threaded,
     }
 }
 
@@ -112,6 +157,15 @@ fn measure_point(name: &'static str, cfg: SystemConfig) -> FastForwardPoint {
 #[must_use]
 pub fn scale_out_config(scale: &Scale) -> SystemConfig {
     baseline_config(Workload::WebSearch, scale)
+}
+
+/// The dense scan on a four-shard backend: the one point where the threaded
+/// column exercises the worker pool (single-shard backends never fan out).
+#[must_use]
+pub fn sharded_dense_config(scale: &Scale) -> SystemConfig {
+    let mut cfg = dense_config(scale);
+    cfg.num_channels = 4;
+    cfg
 }
 
 /// Runs all benchmark points at `scale`.
@@ -122,6 +176,7 @@ pub fn fastforward_report(scale: &Scale) -> FastForwardReport {
             measure_point("idle_heavy", idle_heavy_config(scale)),
             measure_point("web_search", scale_out_config(scale)),
             measure_point("tpch_q6", dense_config(scale)),
+            measure_point("tpch_q6_4shards", sharded_dense_config(scale)),
         ],
     }
 }
@@ -130,18 +185,27 @@ impl FastForwardReport {
     /// Machine-readable JSON for `BENCH_fastforward.json`.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"benchmark\": \"event_horizon_fast_forward\",\n");
-        out.push_str("  \"unit\": \"simulated_cpu_cycles_per_second\",\n  \"points\": [\n");
+        let mut out = String::from("{\n  \"benchmark\": \"event_driven_fast_forward\",\n");
+        out.push_str("  \"unit\": \"simulated_cpu_cycles_per_second\",\n");
+        out.push_str(&format!(
+            "  \"threads\": {BENCH_THREADS},\n  \"points\": [\n"
+        ));
         for (i, p) in self.points.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"simulated_cpu_cycles\": {}, \
-                 \"naive_cycles_per_sec\": {:.0}, \"fast_forward_cycles_per_sec\": {:.0}, \
-                 \"speedup\": {:.3}}}{}\n",
+                 \"naive_cycles_per_sec\": {:.0}, \"horizon_cycles_per_sec\": {:.0}, \
+                 \"event_cycles_per_sec\": {:.0}, \"event_threads_cycles_per_sec\": {:.0}, \
+                 \"horizon_speedup\": {:.3}, \"speedup\": {:.3}, \
+                 \"threaded_speedup\": {:.3}}}{}\n",
                 p.name,
                 p.simulated_cpu_cycles,
                 p.naive.cycles_per_sec,
-                p.fast_forward.cycles_per_sec,
+                p.horizon.cycles_per_sec,
+                p.event.cycles_per_sec,
+                p.event_threaded.cycles_per_sec,
+                p.horizon_speedup(),
                 p.speedup(),
+                p.threaded_speedup(),
                 if i + 1 == self.points.len() { "" } else { "," }
             ));
         }
@@ -152,16 +216,18 @@ impl FastForwardReport {
     /// Human-readable summary for the terminal.
     #[must_use]
     pub fn to_text(&self) -> String {
-        let mut out = String::from(
-            "fast-forward throughput (simulated CPU cycles / second)\n\
-             point        naive          fast-forward   speedup\n",
+        let mut out = format!(
+            "fast-forward throughput (simulated CPU cycles / second; threaded = {BENCH_THREADS} workers)\n\
+             point             naive        horizon          event   event+threads   speedup\n",
         );
         for p in &self.points {
             out.push_str(&format!(
-                "{:<12} {:>12.0}   {:>12.0}   {:>6.2}x\n",
+                "{:<15} {:>10.0}   {:>12.0}   {:>12.0}   {:>13.0}   {:>6.2}x\n",
                 p.name,
                 p.naive.cycles_per_sec,
-                p.fast_forward.cycles_per_sec,
+                p.horizon.cycles_per_sec,
+                p.event.cycles_per_sec,
+                p.event_threaded.cycles_per_sec,
                 p.speedup()
             ));
         }
@@ -182,16 +248,20 @@ mod tests {
             threads: 1,
         };
         let report = fastforward_report(&scale);
-        assert_eq!(report.points.len(), 3);
+        assert_eq!(report.points.len(), 4);
         let json = report.to_json();
         assert!(json.contains("\"idle_heavy\""));
         assert!(json.contains("\"web_search\""));
         assert!(json.contains("\"tpch_q6\""));
+        assert!(json.contains("\"tpch_q6_4shards\""));
+        assert!(json.contains("event_threads_cycles_per_sec"));
         assert!(json.contains("speedup"));
         assert!(report.to_text().contains("speedup"));
         for p in &report.points {
             assert!(p.naive.wall_seconds > 0.0);
-            assert!(p.fast_forward.cycles_per_sec > 0.0);
+            assert!(p.horizon.cycles_per_sec > 0.0);
+            assert!(p.event.cycles_per_sec > 0.0);
+            assert!(p.event_threaded.cycles_per_sec > 0.0);
         }
     }
 }

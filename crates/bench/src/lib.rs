@@ -20,7 +20,8 @@ pub mod trace;
 
 pub use energy::{energy_study, EnergyPoint, EnergyReport};
 pub use fastforward::{
-    dense_config, fastforward_report, idle_heavy_config, FastForwardPoint, FastForwardReport,
+    dense_config, fastforward_report, idle_heavy_config, scale_out_config, sharded_dense_config,
+    FastForwardPoint, FastForwardReport, BENCH_THREADS,
 };
 pub use qos::{paper_mixes, qos_study, QosPoint, QosReport};
 pub use trace::{

@@ -7,8 +7,8 @@ use cloudmc_dram::{
 };
 
 use crate::mapping::{AddressMapping, DecodedAddress};
-use crate::page::{PagePolicy, PagePolicyKind, PolicyView};
-use crate::power::{PowerAction, PowerPolicy, PowerPolicyKind};
+use crate::page::{PagePolicyImpl, PagePolicyKind, PolicyView};
+use crate::power::{PowerAction, PowerPolicyImpl, PowerPolicyKind};
 use crate::qos::{QosArbiter, QosConfig};
 use crate::queue::RequestQueue;
 use crate::request::{AccessKind, CompletedRequest, MemoryRequest, RowBufferOutcome, MAX_TENANTS};
@@ -118,8 +118,8 @@ struct ChannelController {
     read_q: RequestQueue,
     write_q: RequestQueue,
     scheduler: SchedulerImpl,
-    policy: Box<dyn PagePolicy>,
-    power_policy: Box<dyn PowerPolicy>,
+    policy: PagePolicyImpl,
+    power_policy: PowerPolicyImpl,
     qos: QosArbiter,
     write_mode: bool,
     inflight: Vec<InFlight>,
@@ -146,8 +146,8 @@ impl ChannelController {
             scheduler: cfg.scheduler.build_impl(cfg.num_cores),
             policy: cfg
                 .page_policy
-                .build(cfg.dram.ranks_per_channel, cfg.dram.banks_per_rank),
-            power_policy: cfg.power_policy.build(cfg.dram.ranks_per_channel),
+                .build_impl(cfg.dram.ranks_per_channel, cfg.dram.banks_per_rank),
+            power_policy: cfg.power_policy.build_impl(cfg.dram.ranks_per_channel),
             qos: QosArbiter::new(cfg.qos),
             write_mode: false,
             inflight: Vec::new(),
@@ -398,8 +398,14 @@ impl ChannelController {
     /// Advances the controller by one DRAM cycle, appending the requests
     /// whose data completed this cycle to `finished` (the caller owns and
     /// reuses the buffer, keeping the per-cycle hot path allocation-free).
-    fn tick(&mut self, now: DramCycles, finished: &mut Vec<CompletedRequest>) {
+    ///
+    /// Returns `true` if the cycle did observable work (retired a transfer,
+    /// issued a command, or applied a power action) — the event kernel uses
+    /// the report to decide whether its cached readiness bound for the
+    /// channel must be recomputed or can simply advance one cycle.
+    fn tick(&mut self, now: DramCycles, finished: &mut Vec<CompletedRequest>) -> bool {
         // 1. Retire completed transfers.
+        let mut retired = false;
         let mut i = 0;
         while i < self.inflight.len() {
             if self.inflight[i].completion <= now {
@@ -407,6 +413,7 @@ impl ChannelController {
                 self.stats.record_completion(&inflight.done);
                 self.scheduler.on_complete(&inflight.done);
                 finished.push(inflight.done);
+                retired = true;
             } else {
                 i += 1;
             }
@@ -437,7 +444,7 @@ impl ChannelController {
 
         // 5. Refresh takes priority when due and issuable.
         if self.handle_refresh(now) {
-            return;
+            return true;
         }
 
         // 6. The QoS arbiter gets first claim on the command slot: it may
@@ -457,7 +464,7 @@ impl ChannelController {
         };
         if let Some(decision) = qos_decision {
             self.execute(decision, now);
-            return;
+            return true;
         }
 
         // 7. Ask the scheduler for this cycle's command.
@@ -474,7 +481,7 @@ impl ChannelController {
         };
         if let Some(decision) = decision {
             self.execute(decision, now);
-            return;
+            return true;
         }
 
         // 8. Otherwise let the page policy close an idle row proactively.
@@ -489,17 +496,18 @@ impl ChannelController {
         };
         if let Some((rank, bank)) = proposal {
             if self.try_precharge(rank, bank, now) {
-                return;
+                return true;
             }
         }
 
         // 9. Last priority: let the power policy park a quiescent rank.
-        self.power_step(now);
+        self.power_step(now) || retired
     }
 
     /// Consults the power policy and applies at most one action. Runs only
     /// on cycles where nothing else issued, mirroring the page-policy slot.
-    fn power_step(&mut self, now: DramCycles) {
+    /// Returns `true` if an action was applied.
+    fn power_step(&mut self, now: DramCycles) -> bool {
         let action = {
             let view = PolicyView {
                 now,
@@ -520,14 +528,16 @@ impl ChannelController {
                     PowerDownMode::SelfRefresh => self.stats.self_refreshes += 1,
                     PowerDownMode::Fast | PowerDownMode::Slow => self.stats.power_downs += 1,
                 }
+                true
             }
             Some(PowerAction::Precharge { rank, bank }) => {
                 let issued = self.try_precharge(rank, bank, now);
                 if issued {
                     self.stats.power_precharges += 1;
                 }
+                issued
             }
-            _ => {}
+            _ => false,
         }
     }
 
@@ -767,10 +777,16 @@ impl MemoryController {
     /// Takes the completion buffer as a parameter (matching the simulation
     /// kernel's `Tick` contract) so the caller reuses one allocation for the
     /// whole run instead of the controller returning a fresh `Vec` per cycle.
-    pub fn tick(&mut self, now: DramCycles, done: &mut Vec<CompletedRequest>) {
+    ///
+    /// Returns `true` if any channel did observable work this cycle (retired
+    /// a transfer, issued a command, or applied a power action); the event
+    /// kernel uses the report to maintain its cached readiness bound.
+    pub fn tick(&mut self, now: DramCycles, done: &mut Vec<CompletedRequest>) -> bool {
+        let mut worked = false;
         for channel in &mut self.channels {
-            channel.tick(now, done);
+            worked |= channel.tick(now, done);
         }
+        worked
     }
 
     /// The next DRAM cycle at or after `now` at which any channel can

@@ -51,14 +51,15 @@ pub mod stats;
 pub use controller::{McConfig, MemoryController};
 pub use mapping::{AddressMapping, DecodedAddress};
 pub use page::{
-    Abpp, CloseAdaptive, ClosePage, OpenAdaptive, OpenPage, PagePolicy, PagePolicyKind, PolicyView,
-    Rbpp, TimerPolicy,
+    Abpp, BankDemand, CloseAdaptive, ClosePage, OpenAdaptive, OpenPage, PagePolicy, PagePolicyImpl,
+    PagePolicyKind, PolicyView, Rbpp, TimerPolicy,
 };
 pub use power::{
-    NoPowerManagement, PowerAction, PowerPolicy, PowerPolicyKind, PowerTimeouts, TimeoutPowerDown,
+    NoPowerManagement, PowerAction, PowerPolicy, PowerPolicyImpl, PowerPolicyKind, PowerTimeouts,
+    TimeoutPowerDown,
 };
 pub use qos::{QosArbiter, QosConfig, QosPolicyKind};
-pub use queue::{QueueEntry, RequestQueue};
+pub use queue::{bank_row_key, key_bank, key_rank, QueueEntry, RequestQueue};
 pub use request::{
     AccessKind, CompletedRequest, MemoryRequest, RequestId, RowBufferOutcome, TenantId, MAX_TENANTS,
 };

@@ -15,7 +15,7 @@
 
 use cloudmc_dram::{DramChannel, DramCycles, Location};
 
-use crate::queue::RequestQueue;
+use crate::queue::{bank_row_key, key_bank, key_rank, RequestQueue};
 
 /// Read-only view of controller state handed to page policies.
 #[derive(Debug)]
@@ -55,6 +55,91 @@ impl PolicyView<'_> {
         let banks = self.channel.banks_per_rank();
         (0..ranks).flat_map(move |r| {
             (0..banks).filter_map(move |b| self.channel.open_row(r, b).map(|row| (r, b, row)))
+        })
+    }
+
+    /// Computes the per-bank demand summary in one pass over the flat key
+    /// columns of both queues, or `None` when the channel has more flat
+    /// banks than fit the bitmask representation (callers then fall back to
+    /// the per-bank scans).
+    ///
+    /// This replaces the `O(open banks x queue)` predicate evaluation of the
+    /// adaptive policies' precharge proposals with `O(banks + queue)` work
+    /// over dense `u64` lanes — the single hottest loop of a no-issue
+    /// controller tick.
+    #[must_use]
+    pub fn bank_demand(&self) -> Option<BankDemand> {
+        let banks = self.channel.banks_per_rank();
+        let ranks = self.channel.rank_count();
+        if ranks * banks > 64 {
+            return None;
+        }
+        let mut demand = BankDemand {
+            banks_per_rank: banks,
+            ..BankDemand::default()
+        };
+        let mut open_key = [0u64; 64];
+        for (r, b, row) in self.open_banks() {
+            let flat = r * banks + b;
+            demand.open |= 1 << flat;
+            open_key[flat] = bank_row_key(r, b, row);
+        }
+        for queue in [self.read_q, self.write_q] {
+            for &key in queue.keys() {
+                let flat = key_rank(key) * banks + key_bank(key);
+                let bit = 1u64 << flat;
+                if demand.open & bit != 0 {
+                    if key == open_key[flat] {
+                        demand.hit |= bit;
+                    } else {
+                        demand.other |= bit;
+                    }
+                }
+            }
+        }
+        Some(demand)
+    }
+}
+
+/// Per-bank demand bitmasks (bit index = `rank * banks_per_rank + bank`),
+/// computed by [`PolicyView::bank_demand`] in a single pass over both
+/// queues' packed key columns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BankDemand {
+    /// Banks with an open row.
+    pub open: u64,
+    /// Open banks some pending request hits (targets the open row).
+    pub hit: u64,
+    /// Open banks some pending request conflicts with (targets another row).
+    pub other: u64,
+    /// Geometry for decoding flat indices back to (rank, bank).
+    banks_per_rank: usize,
+}
+
+impl BankDemand {
+    /// Decodes the lowest set bit of `mask` into `(rank, bank)` — the first
+    /// matching bank in the rank-major order [`PolicyView::open_banks`]
+    /// yields, preserving each policy's tie-break.
+    #[must_use]
+    pub fn first(&self, mask: u64) -> Option<(usize, usize)> {
+        if mask == 0 {
+            return None;
+        }
+        let flat = mask.trailing_zeros() as usize;
+        Some((flat / self.banks_per_rank, flat % self.banks_per_rank))
+    }
+
+    /// Iterates the set bits of `mask` as `(rank, bank)` in rank-major
+    /// (ascending flat) order.
+    pub fn banks(&self, mask: u64) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let banks = self.banks_per_rank;
+        std::iter::successors((mask != 0).then_some(mask), |m| {
+            let rest = m & (m - 1);
+            (rest != 0).then_some(rest)
+        })
+        .map(move |m| {
+            let flat = m.trailing_zeros() as usize;
+            (flat / banks, flat % banks)
         })
     }
 }
@@ -150,6 +235,115 @@ impl PagePolicyKind {
             Self::Timer => Box::new(TimerPolicy::new(ranks, banks, 100)),
         }
     }
+
+    /// Instantiates the policy as a devirtualized [`PagePolicyImpl`] — the
+    /// form the controller keeps on its per-tick hot path.
+    #[must_use]
+    pub fn build_impl(self, ranks: usize, banks: usize) -> PagePolicyImpl {
+        match self {
+            Self::Open => PagePolicyImpl::Open(OpenPage),
+            Self::Close => PagePolicyImpl::Close(ClosePage),
+            Self::OpenAdaptive => PagePolicyImpl::OpenAdaptive(OpenAdaptive),
+            Self::CloseAdaptive => PagePolicyImpl::CloseAdaptive(CloseAdaptive),
+            Self::Rbpp => PagePolicyImpl::Rbpp(Rbpp::new(ranks, banks, 4)),
+            Self::Abpp => PagePolicyImpl::Abpp(Abpp::new(ranks, banks, 16)),
+            Self::Timer => PagePolicyImpl::Timer(TimerPolicy::new(ranks, banks, 100)),
+        }
+    }
+}
+
+/// Enum-dispatched page policy: every built-in policy as a concrete variant,
+/// so the controller's per-tick consultations (auto-precharge on each column
+/// command, precharge proposals on each no-issue tick, next-wake during
+/// horizon walks) compile to a jump table over inlined bodies instead of
+/// virtual calls through a `Box<dyn PagePolicy>`. The `Boxed` escape hatch
+/// keeps external `PagePolicy` implementations usable.
+#[derive(Debug)]
+pub enum PagePolicyImpl {
+    /// [`OpenPage`].
+    Open(OpenPage),
+    /// [`ClosePage`].
+    Close(ClosePage),
+    /// [`OpenAdaptive`].
+    OpenAdaptive(OpenAdaptive),
+    /// [`CloseAdaptive`].
+    CloseAdaptive(CloseAdaptive),
+    /// [`Rbpp`].
+    Rbpp(Rbpp),
+    /// [`Abpp`].
+    Abpp(Abpp),
+    /// [`TimerPolicy`].
+    Timer(TimerPolicy),
+    /// Any other [`PagePolicy`] implementation, dynamically dispatched.
+    Boxed(Box<dyn PagePolicy>),
+}
+
+/// Applies `$body` to the concrete policy in every variant.
+macro_rules! for_each_policy {
+    ($self:expr, $p:ident => $body:expr) => {
+        match $self {
+            PagePolicyImpl::Open($p) => $body,
+            PagePolicyImpl::Close($p) => $body,
+            PagePolicyImpl::OpenAdaptive($p) => $body,
+            PagePolicyImpl::CloseAdaptive($p) => $body,
+            PagePolicyImpl::Rbpp($p) => $body,
+            PagePolicyImpl::Abpp($p) => $body,
+            PagePolicyImpl::Timer($p) => $body,
+            PagePolicyImpl::Boxed($p) => $body,
+        }
+    };
+}
+
+impl PagePolicyImpl {
+    /// Short human-readable name (used in reports).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        for_each_policy!(self, p => p.name())
+    }
+
+    /// See [`PagePolicy::auto_precharge`].
+    #[inline]
+    pub fn auto_precharge(&mut self, view: &PolicyView<'_>, loc: &Location) -> bool {
+        for_each_policy!(self, p => p.auto_precharge(view, loc))
+    }
+
+    /// See [`PagePolicy::propose_precharge`].
+    #[inline]
+    #[must_use]
+    pub fn propose_precharge(&self, view: &PolicyView<'_>) -> Option<(usize, usize)> {
+        for_each_policy!(self, p => p.propose_precharge(view))
+    }
+
+    /// See [`PagePolicy::next_wake`].
+    #[inline]
+    #[must_use]
+    pub fn next_wake(&self, view: &PolicyView<'_>) -> Option<DramCycles> {
+        for_each_policy!(self, p => p.next_wake(view))
+    }
+
+    /// See [`PagePolicy::on_activate`].
+    #[inline]
+    pub fn on_activate(&mut self, rank: usize, bank: usize, row: u64, now: DramCycles) {
+        for_each_policy!(self, p => p.on_activate(rank, bank, row, now));
+    }
+
+    /// See [`PagePolicy::on_column_access`].
+    #[inline]
+    pub fn on_column_access(&mut self, rank: usize, bank: usize, row: u64, now: DramCycles) {
+        for_each_policy!(self, p => p.on_column_access(rank, bank, row, now));
+    }
+
+    /// See [`PagePolicy::on_row_closed`].
+    #[inline]
+    pub fn on_row_closed(&mut self, rank: usize, bank: usize, row: u64, accesses: u64) {
+        for_each_policy!(self, p => p.on_row_closed(rank, bank, row, accesses));
+    }
+}
+
+impl From<Box<dyn PagePolicy>> for PagePolicyImpl {
+    fn from(policy: Box<dyn PagePolicy>) -> Self {
+        Self::Boxed(policy)
+    }
 }
 
 impl std::fmt::Display for PagePolicyKind {
@@ -222,6 +416,24 @@ impl PagePolicy for ClosePage {
     }
 }
 
+/// Picks the first open bank satisfying `predicate` on the per-bank demand
+/// masks (fast path), falling back to the per-bank scans when the channel
+/// is too wide for the bitmask summary. Both paths evaluate the same
+/// predicate over the same rank-major order, so the choice is invisible.
+fn propose_by_demand(
+    view: &PolicyView<'_>,
+    fast: impl Fn(&BankDemand) -> u64,
+    slow: impl Fn(usize, usize, u64) -> bool,
+) -> Option<(usize, usize)> {
+    match view.bank_demand() {
+        Some(demand) => demand.first(fast(&demand)),
+        None => view
+            .open_banks()
+            .find(|&(r, b, row)| slow(r, b, row))
+            .map(|(r, b, _)| (r, b)),
+    }
+}
+
 /// Open-adaptive policy (`OAPM`): close a row only when no pending request
 /// would hit it *and* some pending request needs another row of the bank.
 #[derive(Debug, Clone, Copy, Default)]
@@ -238,9 +450,11 @@ impl PagePolicy for OpenAdaptive {
     }
 
     fn propose_precharge(&self, view: &PolicyView<'_>) -> Option<(usize, usize)> {
-        view.open_banks()
-            .find(|&(r, b, row)| !view.pending_hit(r, b, row) && view.pending_other_row(r, b, row))
-            .map(|(r, b, _)| (r, b))
+        propose_by_demand(
+            view,
+            |d| d.open & !d.hit & d.other,
+            |r, b, row| !view.pending_hit(r, b, row) && view.pending_other_row(r, b, row),
+        )
     }
 }
 
@@ -259,9 +473,11 @@ impl PagePolicy for CloseAdaptive {
     }
 
     fn propose_precharge(&self, view: &PolicyView<'_>) -> Option<(usize, usize)> {
-        view.open_banks()
-            .find(|&(r, b, row)| !view.pending_hit(r, b, row))
-            .map(|(r, b, _)| (r, b))
+        propose_by_demand(
+            view,
+            |d| d.open & !d.hit,
+            |r, b, row| !view.pending_hit(r, b, row),
+        )
     }
 }
 
@@ -454,11 +670,18 @@ macro_rules! impl_predictive_policy {
             }
 
             fn propose_precharge(&self, view: &PolicyView<'_>) -> Option<(usize, usize)> {
-                view.open_banks()
-                    .find(|&(r, b, row)| {
-                        !view.pending_hit(r, b, row) && self.predictor.prediction_met(r, b, false)
-                    })
-                    .map(|(r, b, _)| (r, b))
+                match view.bank_demand() {
+                    Some(d) => d
+                        .banks(d.open & !d.hit)
+                        .find(|&(r, b)| self.predictor.prediction_met(r, b, false)),
+                    None => view
+                        .open_banks()
+                        .find(|&(r, b, row)| {
+                            !view.pending_hit(r, b, row)
+                                && self.predictor.prediction_met(r, b, false)
+                        })
+                        .map(|(r, b, _)| (r, b)),
+                }
             }
 
             fn on_activate(&mut self, rank: usize, bank: usize, row: u64, _now: DramCycles) {
@@ -514,21 +737,34 @@ impl PagePolicy for TimerPolicy {
     }
 
     fn propose_precharge(&self, view: &PolicyView<'_>) -> Option<(usize, usize)> {
-        view.open_banks()
-            .find(|&(r, b, row)| {
-                !view.pending_hit(r, b, row)
-                    && view.now.saturating_sub(self.last_access[self.idx(r, b)]) >= self.timeout
-            })
-            .map(|(r, b, _)| (r, b))
+        match view.bank_demand() {
+            Some(d) => d.banks(d.open & !d.hit).find(|&(r, b)| {
+                view.now.saturating_sub(self.last_access[self.idx(r, b)]) >= self.timeout
+            }),
+            None => view
+                .open_banks()
+                .find(|&(r, b, row)| {
+                    !view.pending_hit(r, b, row)
+                        && view.now.saturating_sub(self.last_access[self.idx(r, b)]) >= self.timeout
+                })
+                .map(|(r, b, _)| (r, b)),
+        }
     }
 
     /// The proposal flips from `None` to `Some` when the first idle open
     /// bank's timeout expires; the kernel must not fast-forward past that.
     fn next_wake(&self, view: &PolicyView<'_>) -> Option<DramCycles> {
-        view.open_banks()
-            .filter(|&(r, b, row)| !view.pending_hit(r, b, row))
-            .map(|(r, b, _)| self.last_access[self.idx(r, b)] + self.timeout)
-            .min()
+        match view.bank_demand() {
+            Some(d) => d
+                .banks(d.open & !d.hit)
+                .map(|(r, b)| self.last_access[self.idx(r, b)] + self.timeout)
+                .min(),
+            None => view
+                .open_banks()
+                .filter(|&(r, b, row)| !view.pending_hit(r, b, row))
+                .map(|(r, b, _)| self.last_access[self.idx(r, b)] + self.timeout)
+                .min(),
+        }
     }
 
     fn on_activate(&mut self, rank: usize, bank: usize, _row: u64, now: DramCycles) {

@@ -103,25 +103,114 @@ impl PowerPolicyKind {
     pub fn build(self, ranks: usize) -> Box<dyn PowerPolicy> {
         match self {
             Self::None => Box::new(NoPowerManagement),
-            Self::Immediate => Box::new(TimeoutPowerDown::new(
+            other => Box::new(other.timeout_policy(ranks).expect("non-none kind")),
+        }
+    }
+
+    /// Instantiates the policy as a devirtualized [`PowerPolicyImpl`] — the
+    /// form the controller keeps on its per-tick hot path.
+    #[must_use]
+    pub fn build_impl(self, ranks: usize) -> PowerPolicyImpl {
+        match self.timeout_policy(ranks) {
+            Some(policy) => PowerPolicyImpl::Timeout(policy),
+            None => PowerPolicyImpl::None(NoPowerManagement),
+        }
+    }
+
+    fn timeout_policy(self, ranks: usize) -> Option<TimeoutPowerDown> {
+        match self {
+            Self::None => None,
+            Self::Immediate => Some(TimeoutPowerDown::new(
                 "immediate",
                 ranks,
                 PowerTimeouts::immediate(),
                 None,
             )),
-            Self::IdleTimer => Box::new(TimeoutPowerDown::new(
+            Self::IdleTimer => Some(TimeoutPowerDown::new(
                 "idle-timer",
                 ranks,
                 PowerTimeouts::idle_timer(),
                 None,
             )),
-            Self::PowerAware => Box::new(TimeoutPowerDown::new(
+            Self::PowerAware => Some(TimeoutPowerDown::new(
                 "power-aware",
                 ranks,
                 PowerTimeouts::idle_timer(),
                 Some(POWER_AWARE_PRECHARGE_AFTER),
             )),
         }
+    }
+}
+
+/// Enum-dispatched power policy: the built-in policies as concrete variants
+/// (all three timeout flavours share [`TimeoutPowerDown`]), so the
+/// controller's per-tick consultations compile to direct calls instead of
+/// virtual dispatch through a `Box<dyn PowerPolicy>`. The `Boxed` escape
+/// hatch keeps external implementations usable.
+#[derive(Debug)]
+pub enum PowerPolicyImpl {
+    /// [`NoPowerManagement`] — `propose` is a constant `None`.
+    None(NoPowerManagement),
+    /// [`TimeoutPowerDown`] (immediate / idle-timer / power-aware).
+    Timeout(TimeoutPowerDown),
+    /// Any other [`PowerPolicy`] implementation, dynamically dispatched.
+    Boxed(Box<dyn PowerPolicy>),
+}
+
+impl PowerPolicyImpl {
+    /// Short human-readable name (used in reports).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::None(p) => p.name(),
+            Self::Timeout(p) => p.name(),
+            Self::Boxed(p) => p.name(),
+        }
+    }
+
+    /// See [`PowerPolicy::propose`].
+    #[inline]
+    #[must_use]
+    pub fn propose(&self, view: &PolicyView<'_>) -> Option<PowerAction> {
+        match self {
+            Self::None(_) => None,
+            Self::Timeout(p) => p.propose(view),
+            Self::Boxed(p) => p.propose(view),
+        }
+    }
+
+    /// See [`PowerPolicy::next_wake`].
+    #[inline]
+    #[must_use]
+    pub fn next_wake(&self, view: &PolicyView<'_>) -> Option<DramCycles> {
+        match self {
+            Self::None(_) => None,
+            Self::Timeout(p) => p.next_wake(view),
+            Self::Boxed(p) => p.next_wake(view),
+        }
+    }
+
+    /// See [`PowerPolicy::on_activity`].
+    #[inline]
+    pub fn on_activity(&mut self, rank: usize, now: DramCycles) {
+        match self {
+            Self::None(_) => {}
+            Self::Timeout(p) => p.on_activity(rank, now),
+            Self::Boxed(p) => p.on_activity(rank, now),
+        }
+    }
+
+    /// Whether this policy can never propose anything (lets the controller
+    /// and the horizon walk skip the power step entirely).
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        matches!(self, Self::None(_))
+    }
+}
+
+impl From<Box<dyn PowerPolicy>> for PowerPolicyImpl {
+    fn from(policy: Box<dyn PowerPolicy>) -> Self {
+        Self::Boxed(policy)
     }
 }
 

@@ -23,14 +23,59 @@ impl QueueEntry {
     }
 }
 
+/// Bit position of the bank field in a packed [`bank_row_key`].
+const KEY_BANK_SHIFT: u32 = 48;
+/// Bit position of the rank field in a packed [`bank_row_key`].
+const KEY_RANK_SHIFT: u32 = 56;
+/// Row bits of a packed key.
+const KEY_ROW_MASK: u64 = (1 << KEY_BANK_SHIFT) - 1;
+/// Rank and bank bits of a packed key (everything above the row).
+const KEY_BANK_BITS: u64 = !KEY_ROW_MASK;
+
+/// Packs DRAM coordinates into one word: `rank` in the top byte, `bank`
+/// below it, `row` in the low 48 bits. Row-hit and row-conflict tests over a
+/// whole queue become single-word compares against a flat `u64` column (see
+/// [`RequestQueue::keys`]), instead of three field compares per pointer-wide
+/// `QueueEntry`.
+#[must_use]
+#[inline]
+pub fn bank_row_key(rank: usize, bank: usize, row: u64) -> u64 {
+    debug_assert!(rank < (1 << 8) && bank < (1 << 8) && row <= KEY_ROW_MASK);
+    ((rank as u64) << KEY_RANK_SHIFT) | ((bank as u64) << KEY_BANK_SHIFT) | row
+}
+
+/// The rank field of a packed [`bank_row_key`].
+#[must_use]
+#[inline]
+pub fn key_rank(key: u64) -> usize {
+    (key >> KEY_RANK_SHIFT) as usize
+}
+
+/// The bank field of a packed [`bank_row_key`].
+#[must_use]
+#[inline]
+pub fn key_bank(key: u64) -> usize {
+    ((key >> KEY_BANK_SHIFT) & 0xFF) as usize
+}
+
 /// A bounded FIFO-ordered pool of pending requests.
 ///
 /// Entries preserve arrival order (index 0 is the oldest), which the
 /// first-come-first-served family of schedulers relies on; other schedulers
 /// are free to pick any entry.
+///
+/// Storage is struct-of-arrays for the hot fields: alongside the full
+/// [`QueueEntry`] records lives a parallel column of packed
+/// [`bank_row_key`] words, kept index-aligned on every push and remove, so
+/// the scans the scheduler and page-policy hot paths run every DRAM tick
+/// (row hits, row conflicts, per-rank demand) touch a dense `u64` slice
+/// instead of striding over 64-byte entries.
 #[derive(Debug, Clone)]
 pub struct RequestQueue {
     entries: Vec<QueueEntry>,
+    /// Packed (rank, bank, row) of each entry; `keys[i]` describes
+    /// `entries[i]`.
+    keys: Vec<u64>,
     capacity: usize,
     /// Pending entries per tenant, maintained incrementally so per-tenant
     /// occupancy sampling is O(tenants), not O(queue).
@@ -48,6 +93,7 @@ impl RequestQueue {
         assert!(capacity > 0, "queue capacity must be non-zero");
         Self {
             entries: Vec::with_capacity(capacity),
+            keys: Vec::with_capacity(capacity),
             capacity,
             tenant_len: [0; MAX_TENANTS],
         }
@@ -94,6 +140,8 @@ impl RequestQueue {
         // Out-of-range ids land in the last slot, matching the clamp every
         // other per-tenant counter applies.
         self.tenant_len[request.tenant.min(MAX_TENANTS - 1)] += 1;
+        self.keys
+            .push(bank_row_key(location.rank, location.bank, location.row));
         self.entries.push(QueueEntry {
             request,
             location,
@@ -106,6 +154,7 @@ impl RequestQueue {
     pub fn remove(&mut self, id: RequestId) -> Option<QueueEntry> {
         let idx = self.entries.iter().position(|e| e.request.id == id)?;
         let entry = self.entries.remove(idx);
+        self.keys.remove(idx);
         self.tenant_len[entry.request.tenant.min(MAX_TENANTS - 1)] -= 1;
         Some(entry)
     }
@@ -127,26 +176,35 @@ impl RequestQueue {
         self.entries.iter().find(|e| e.request.id == id)
     }
 
+    /// The packed [`bank_row_key`] column, index-aligned with the entries:
+    /// the flat `u64` lane for single-pass demand scans.
+    #[must_use]
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
     /// Whether any pending entry targets the given open row of (`rank`, `bank`).
     #[must_use]
     pub fn any_hit(&self, rank: usize, bank: usize, row: u64) -> bool {
-        self.entries
-            .iter()
-            .any(|e| e.location.rank == rank && e.location.bank == bank && e.location.row == row)
+        let key = bank_row_key(rank, bank, row);
+        self.keys.contains(&key)
     }
 
     /// Whether any pending entry targets (`rank`, `bank`) but a different row.
     #[must_use]
     pub fn any_other_row(&self, rank: usize, bank: usize, row: u64) -> bool {
-        self.entries
+        let key = bank_row_key(rank, bank, row);
+        let bank_bits = key & KEY_BANK_BITS;
+        self.keys
             .iter()
-            .any(|e| e.location.rank == rank && e.location.bank == bank && e.location.row != row)
+            .any(|&k| (k & KEY_BANK_BITS) == bank_bits && k != key)
     }
 
     /// Whether any pending entry targets rank `rank` (any bank or row).
     #[must_use]
     pub fn any_for_rank(&self, rank: usize) -> bool {
-        self.entries.iter().any(|e| e.location.rank == rank)
+        let rank = rank as u64;
+        self.keys.iter().any(|&k| (k >> KEY_RANK_SHIFT) == rank)
     }
 
     /// Number of pending entries for `core`.

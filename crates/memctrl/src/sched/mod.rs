@@ -228,18 +228,42 @@ pub trait Scheduler: std::fmt::Debug + Send {
 /// A scheduler instance behind static-or-dynamic dispatch.
 ///
 /// The controller consults its scheduler once per DRAM cycle per channel, so
-/// dispatch sits on the hottest path of the whole simulator. The FR-FCFS
-/// baseline — the configuration every sweep runs most — is stored inline and
-/// devirtualized (the compiler can inline [`FrFcfs::pick`] straight into the
-/// controller loop); every other algorithm stays behind a `Box<dyn
-/// Scheduler>`, where a vtable call is noise next to the algorithm's own
-/// cost.
+/// dispatch sits on the hottest path of the whole simulator. Every built-in
+/// algorithm is a concrete variant — `pick`/`on_cycle`/`next_event_cycle`
+/// compile to a jump table over inlined bodies rather than virtual calls —
+/// and the `Boxed` escape hatch keeps external [`Scheduler`] implementations
+/// usable.
 #[derive(Debug)]
 pub enum SchedulerImpl {
+    /// Strict first-come-first-served, statically dispatched.
+    Fcfs(Fcfs),
+    /// Per-bank FCFS, statically dispatched.
+    FcfsBanks(FcfsBanks),
     /// The FR-FCFS baseline, statically dispatched.
     FrFcfs(FrFcfs),
+    /// Parallelism-aware batch scheduling, statically dispatched.
+    ParBs(ParBs),
+    /// Adaptive per-thread least-attained-service, statically dispatched.
+    Atlas(Atlas),
+    /// The reinforcement-learning scheduler, statically dispatched.
+    Rl(RlScheduler),
     /// Any other algorithm, dynamically dispatched.
     Boxed(Box<dyn Scheduler>),
+}
+
+/// Applies `$body` to the concrete scheduler in every variant.
+macro_rules! for_each_scheduler {
+    ($self:expr, $s:ident => $body:expr) => {
+        match $self {
+            SchedulerImpl::Fcfs($s) => $body,
+            SchedulerImpl::FcfsBanks($s) => $body,
+            SchedulerImpl::FrFcfs($s) => $body,
+            SchedulerImpl::ParBs($s) => $body,
+            SchedulerImpl::Atlas($s) => $body,
+            SchedulerImpl::Rl($s) => $body,
+            SchedulerImpl::Boxed($s) => $body,
+        }
+    };
 }
 
 impl SchedulerImpl {
@@ -247,46 +271,31 @@ impl SchedulerImpl {
     #[inline]
     #[must_use]
     pub fn name(&self) -> &'static str {
-        match self {
-            Self::FrFcfs(s) => s.name(),
-            Self::Boxed(s) => s.name(),
-        }
+        for_each_scheduler!(self, s => s.name())
     }
 
     /// Chooses the command to issue this cycle, if any.
     #[inline]
     pub fn pick(&mut self, ctx: &SchedContext<'_>) -> Option<SchedDecision> {
-        match self {
-            Self::FrFcfs(s) => s.pick(ctx),
-            Self::Boxed(s) => s.pick(ctx),
-        }
+        for_each_scheduler!(self, s => s.pick(ctx))
     }
 
     /// Observes a newly enqueued request.
     #[inline]
     pub fn on_enqueue(&mut self, entry: &QueueEntry) {
-        match self {
-            Self::FrFcfs(s) => s.on_enqueue(entry),
-            Self::Boxed(s) => s.on_enqueue(entry),
-        }
+        for_each_scheduler!(self, s => s.on_enqueue(entry));
     }
 
     /// Observes a completed request.
     #[inline]
     pub fn on_complete(&mut self, done: &CompletedRequest) {
-        match self {
-            Self::FrFcfs(s) => s.on_complete(done),
-            Self::Boxed(s) => s.on_complete(done),
-        }
+        for_each_scheduler!(self, s => s.on_complete(done));
     }
 
     /// Called once per cycle before `pick` (quantum/bookkeeping updates).
     #[inline]
     pub fn on_cycle(&mut self, ctx: &SchedContext<'_>) {
-        match self {
-            Self::FrFcfs(s) => s.on_cycle(ctx),
-            Self::Boxed(s) => s.on_cycle(ctx),
-        }
+        for_each_scheduler!(self, s => s.on_cycle(ctx));
     }
 
     /// The next cycle at which the scheduler changes state on its own, if any
@@ -294,20 +303,14 @@ impl SchedulerImpl {
     #[inline]
     #[must_use]
     pub fn next_event_cycle(&self) -> Option<DramCycles> {
-        match self {
-            Self::FrFcfs(s) => s.next_event_cycle(),
-            Self::Boxed(s) => s.next_event_cycle(),
-        }
+        for_each_scheduler!(self, s => s.next_event_cycle())
     }
 
     /// Whether the scheduler handles read/write interleaving itself.
     #[inline]
     #[must_use]
     pub fn manages_write_drain(&self) -> bool {
-        match self {
-            Self::FrFcfs(s) => s.manages_write_drain(),
-            Self::Boxed(s) => s.manages_write_drain(),
-        }
+        for_each_scheduler!(self, s => s.manages_write_drain())
     }
 }
 
@@ -343,12 +346,17 @@ impl SchedulerKind {
     }
 
     /// Instantiates the scheduler behind the dispatch wrapper the controller
-    /// uses: statically for the FR-FCFS baseline, boxed otherwise.
+    /// uses: a concrete, statically dispatched variant for every built-in
+    /// algorithm.
     #[must_use]
     pub fn build_impl(self, num_cores: usize) -> SchedulerImpl {
         match self {
+            Self::Fcfs => SchedulerImpl::Fcfs(Fcfs::new()),
+            Self::FcfsBanks => SchedulerImpl::FcfsBanks(FcfsBanks::new()),
             Self::FrFcfs => SchedulerImpl::FrFcfs(FrFcfs::new()),
-            other => SchedulerImpl::Boxed(other.build(num_cores)),
+            Self::ParBs(cfg) => SchedulerImpl::ParBs(ParBs::new(cfg, num_cores)),
+            Self::Atlas(cfg) => SchedulerImpl::Atlas(Atlas::new(cfg, num_cores)),
+            Self::Rl(cfg) => SchedulerImpl::Rl(RlScheduler::new(cfg)),
         }
     }
 

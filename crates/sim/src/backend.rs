@@ -37,6 +37,7 @@ use cloudmc_memctrl::{
 
 use crate::config::SystemConfig;
 use crate::kernel::Tick;
+use crate::pool::{ShardJob, WorkerPool};
 
 /// Retry bucket key: requests queue per shard, per channel, per direction,
 /// because controller admission is decided exactly at that granularity.
@@ -45,15 +46,27 @@ type RetryKey = (usize, usize, AccessKind);
 
 /// One or more memory-controller shards selected by block-address
 /// interleaving, plus the retry buckets for back-pressured requests.
+///
+/// The controllers live in `Option` slots so the threaded event path can
+/// check a due shard out to a `WorkerPool` worker *by value* and reinsert
+/// it when the tick's barrier completes; outside that window every slot is
+/// `Some`. `next_due` caches, per shard, a DRAM cycle before which the shard
+/// provably has nothing to do — bounds may undershoot (a stale-past bound
+/// just means "due now") but never overshoot: ticks refresh the bound from
+/// the controller's own timing walk, and `submit`/retry admission pull it
+/// back to the admission cycle.
 #[derive(Debug)]
 pub struct Backend {
-    shards: Vec<MemoryController>,
+    shards: Vec<Option<MemoryController>>,
+    next_due: Vec<DramCycles>,
+    pool: Option<WorkerPool>,
     retry: BTreeMap<RetryKey, VecDeque<MemoryRequest>>,
     retry_len: usize,
 }
 
 impl Backend {
-    /// Builds `cfg.num_channels` controller shards from `cfg.effective_mc()`.
+    /// Builds `cfg.num_channels` controller shards from `cfg.effective_mc()`,
+    /// plus a `WorkerPool` when `cfg.threads > 1`.
     ///
     /// # Errors
     ///
@@ -61,14 +74,35 @@ impl Backend {
     /// is invalid.
     pub fn new(cfg: &SystemConfig) -> Result<Self, String> {
         let mc_cfg = cfg.effective_mc();
-        let shards = (0..cfg.num_channels.max(1))
-            .map(|_| MemoryController::new(mc_cfg))
+        let num_shards = cfg.num_channels.max(1);
+        let shards = (0..num_shards)
+            .map(|_| MemoryController::new(mc_cfg).map(Some))
             .collect::<Result<Vec<_>, _>>()?;
+        // More workers than shards would never all be busy at once.
+        let pool = (cfg.threads > 1).then(|| WorkerPool::new(cfg.threads.min(num_shards)));
         Ok(Self {
             shards,
+            next_due: vec![0; num_shards],
+            pool,
             retry: BTreeMap::new(),
             retry_len: 0,
         })
+    }
+
+    /// One shard's controller. Slots are only ever empty while a threaded
+    /// tick is in flight, which never escapes a single `tick_event` call.
+    fn mc(&self, shard: usize) -> &MemoryController {
+        self.shards[shard].as_ref().expect("shard checked in")
+    }
+
+    fn mc_mut(&mut self, shard: usize) -> &mut MemoryController {
+        self.shards[shard].as_mut().expect("shard checked in")
+    }
+
+    fn shards_iter(&self) -> impl Iterator<Item = &MemoryController> {
+        self.shards
+            .iter()
+            .map(|slot| slot.as_ref().expect("shard checked in"))
     }
 
     /// Number of controller shards.
@@ -80,8 +114,7 @@ impl Backend {
     /// Total DRAM channels across all shards.
     #[must_use]
     pub fn total_channels(&self) -> usize {
-        self.shards
-            .iter()
+        self.shards_iter()
             .map(MemoryController::channel_count)
             .sum()
     }
@@ -93,7 +126,7 @@ impl Backend {
     /// Panics if `shard` is out of range.
     #[must_use]
     pub fn shard(&self, shard: usize) -> &MemoryController {
-        &self.shards[shard]
+        self.mc(shard)
     }
 
     /// The shard serving `addr`: cache blocks interleave across shards.
@@ -123,11 +156,14 @@ impl Backend {
     pub fn submit(&mut self, mut request: MemoryRequest, now: DramCycles) {
         let shard = self.route(request.addr);
         request.addr = self.localize(request.addr);
+        // New work invalidates the shard's cached readiness bound: it may now
+        // have something to do as early as this very cycle.
+        self.next_due[shard] = self.next_due[shard].min(now);
         // The bucket key needs the decoded channel, but `enqueue` decodes
         // internally anyway — so only pay for an extra decode off the fast
         // path (a backlog exists, or the controller just rejected).
         if self.retry_len > 0 {
-            let channel = self.shards[shard].decode(request.addr).channel;
+            let channel = self.mc(shard).decode(request.addr).channel;
             let key = (shard, channel, request.kind);
             // FIFO per bucket: never overtake an already-waiting request for
             // the same queue.
@@ -137,8 +173,8 @@ impl Backend {
                 return;
             }
         }
-        if let Err(rejected) = self.shards[shard].enqueue(request, now) {
-            let channel = self.shards[shard].decode(rejected.addr).channel;
+        if let Err(rejected) = self.mc_mut(shard).enqueue(request, now) {
+            let channel = self.mc(shard).decode(rejected.addr).channel;
             self.retry
                 .entry((shard, channel, rejected.kind))
                 .or_default()
@@ -152,16 +188,24 @@ impl Backend {
         if self.retry_len == 0 {
             return;
         }
-        for ((shard, _channel, kind), queue) in &mut self.retry {
+        let Self {
+            shards,
+            next_due,
+            retry,
+            retry_len,
+            ..
+        } = self;
+        for ((shard, _channel, kind), queue) in retry.iter_mut() {
+            let mc = shards[*shard].as_mut().expect("shard checked in");
             while let Some(&head) = queue.front() {
-                if !self.shards[*shard].can_accept(head.addr, *kind) {
+                if !mc.can_accept(head.addr, *kind) {
                     break;
                 }
-                self.shards[*shard]
-                    .enqueue(head, now)
-                    .expect("can_accept was just checked");
+                mc.enqueue(head, now).expect("can_accept was just checked");
+                // An admitted request invalidates the shard's cached bound.
+                next_due[*shard] = next_due[*shard].min(now);
                 queue.pop_front();
-                self.retry_len -= 1;
+                *retry_len -= 1;
             }
         }
     }
@@ -169,7 +213,7 @@ impl Backend {
     /// Requests queued or in flight inside the controllers.
     #[must_use]
     pub fn pending(&self) -> usize {
-        self.shards.iter().map(MemoryController::pending).sum()
+        self.shards_iter().map(MemoryController::pending).sum()
     }
 
     /// Requests waiting in retry buckets for controller queue space.
@@ -184,7 +228,7 @@ impl Backend {
     #[must_use]
     pub fn pending_per_tenant(&self) -> [u64; MAX_TENANTS] {
         let mut out = [0u64; MAX_TENANTS];
-        for shard in &self.shards {
+        for shard in self.shards_iter() {
             for (slot, v) in out.iter_mut().zip(shard.pending_per_tenant()) {
                 *slot += v;
             }
@@ -200,8 +244,8 @@ impl Backend {
     /// Controller statistics merged across all shards.
     #[must_use]
     pub fn stats(&self) -> McStats {
-        let mut total = McStats::new(self.shards[0].config().num_cores);
-        for shard in &self.shards {
+        let mut total = McStats::new(self.mc(0).config().num_cores);
+        for shard in self.shards_iter() {
             total.merge(&shard.stats());
         }
         total
@@ -217,19 +261,94 @@ impl Backend {
         if self.retry_len > 0 {
             return now;
         }
-        self.shards
-            .iter()
+        self.shards_iter()
             .map(|shard| shard.next_ready_dram_cycle(now))
             .min()
             .unwrap_or(DramCycles::MAX)
+    }
+
+    /// The earliest DRAM cycle at or after `now` at which any shard may have
+    /// work, read from the cached per-shard bounds — O(shards) arithmetic,
+    /// no controller timing walk. A retry backlog forces every-tick service
+    /// exactly like [`Backend::next_ready_dram_cycle`].
+    #[must_use]
+    pub fn cached_next_due(&self, now: DramCycles) -> DramCycles {
+        if self.retry_len > 0 {
+            return now;
+        }
+        self.next_due
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(DramCycles::MAX)
+            .max(now)
     }
 
     /// Accounts for `cycles` DRAM cycles the kernel has proven eventless for
     /// every shard (bulk queue-occupancy sampling; see
     /// [`MemoryController::skip_dram_cycles`]).
     pub fn skip_dram_cycles(&mut self, cycles: u64) {
-        for shard in &mut self.shards {
-            shard.skip_dram_cycles(cycles);
+        for slot in &mut self.shards {
+            slot.as_mut()
+                .expect("shard checked in")
+                .skip_dram_cycles(cycles);
+        }
+    }
+
+    /// Event-driven DRAM tick: only shards whose cached bound says they are
+    /// due run the full controller tick; the rest account the cycle as a
+    /// skip (keeping queue-occupancy sample counts identical to the naive
+    /// every-shard tick). A due shard's bound is refreshed from the tick's
+    /// outcome by `bound_after_tick`.
+    ///
+    /// With a worker pool and more than one due shard, due ticks run on the
+    /// pool and merge in shard order — completions, stats and bounds are
+    /// bit-identical to the sequential path for any thread count.
+    pub fn tick_event(&mut self, now: DramCycles, events: &mut Vec<CompletedRequest>) {
+        self.drain_retries(now);
+        let due = self.next_due.iter().filter(|&&d| d <= now).count();
+        if due > 1 && self.pool.is_some() {
+            self.tick_event_threaded(now, events);
+        } else {
+            for shard in 0..self.shards.len() {
+                if self.next_due[shard] <= now {
+                    let mc = self.shards[shard].as_mut().expect("shard checked in");
+                    let worked = mc.tick(now, events);
+                    self.next_due[shard] = bound_after_tick(mc, worked, now);
+                } else {
+                    self.mc_mut(shard).skip_dram_cycles(1);
+                }
+            }
+        }
+    }
+
+    /// The threaded half of [`Backend::tick_event`]: check due controllers
+    /// out to the pool, barrier on all results, reinsert in shard order.
+    fn tick_event_threaded(&mut self, now: DramCycles, events: &mut Vec<CompletedRequest>) {
+        let pool = self.pool.as_ref().expect("pool checked by caller");
+        let mut dispatched = 0usize;
+        for shard in 0..self.shards.len() {
+            if self.next_due[shard] <= now {
+                let mc = self.shards[shard].take().expect("shard checked in");
+                pool.dispatch(ShardJob { shard, mc, now });
+                dispatched += 1;
+            } else {
+                self.shards[shard]
+                    .as_mut()
+                    .expect("shard checked in")
+                    .skip_dram_cycles(1);
+            }
+        }
+        // Deterministic barrier: every checked-out controller must come home
+        // before the DRAM tick (and with it the 2:5 clock-crossing step)
+        // completes. Completions merge in ascending shard order — exactly
+        // the sequential service order.
+        let mut results: Vec<_> = (0..dispatched).map(|_| pool.collect()).collect();
+        results.sort_unstable_by_key(|r| r.shard);
+        for result in results {
+            self.next_due[result.shard] = result.next_due;
+            self.shards[result.shard] = Some(result.mc);
+            events.extend(result.done);
         }
     }
 
@@ -238,7 +357,7 @@ impl Backend {
     #[must_use]
     pub fn device_totals(&self) -> ChannelStats {
         let mut total = ChannelStats::default();
-        for shard in &self.shards {
+        for shard in self.shards_iter() {
             for ch in 0..shard.channel_count() {
                 total.merge(shard.channel_device_stats(ch));
             }
@@ -252,12 +371,33 @@ impl Backend {
     #[must_use]
     pub fn device_totals_at(&self, now: DramCycles) -> ChannelStats {
         let mut total = ChannelStats::default();
-        for shard in &self.shards {
+        for shard in self.shards_iter() {
             for ch in 0..shard.channel_count() {
                 total.merge(&shard.channel_device_stats_at(ch, now));
             }
         }
         total
+    }
+}
+
+/// A shard's next-due bound after an executed tick at `now`.
+///
+/// A shard with queued or in-flight requests is simply polled again next
+/// tick, like the naive loop: its fences (bus turnaround, tRCD, a transfer
+/// in flight) are a handful of DRAM cycles, and the full
+/// [`MemoryController::next_ready_dram_cycle`] walk — every inflight entry,
+/// every rank's refresh state, every queued request's earliest legal command,
+/// plus scheduler/page/power timers — costs more than the no-op ticks it
+/// would skip. Only a *drained* shard takes the walk, where the bound is a
+/// refresh or policy-timer horizon hundreds of cycles out and skipping pays.
+/// Both the sequential and the worker-pool tick path use this one function,
+/// so the tick/skip pattern (and with it every queue-occupancy sample) is
+/// identical for any thread count.
+pub(crate) fn bound_after_tick(mc: &MemoryController, worked: bool, now: DramCycles) -> DramCycles {
+    if worked || mc.pending() > 0 {
+        now + 1
+    } else {
+        mc.next_ready_dram_cycle(now + 1).max(now + 1)
     }
 }
 
@@ -268,8 +408,8 @@ impl Tick for Backend {
     /// reporting the requests whose data completed this cycle.
     fn tick(&mut self, now: u64, events: &mut Vec<CompletedRequest>) {
         self.drain_retries(now);
-        for shard in &mut self.shards {
-            shard.tick(now, events);
+        for slot in &mut self.shards {
+            slot.as_mut().expect("shard checked in").tick(now, events);
         }
     }
 }

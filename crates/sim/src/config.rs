@@ -83,6 +83,24 @@ pub struct SystemConfig {
     /// the knob exists to make that equivalence testable and to aid
     /// debugging of the horizon computation itself.
     pub fast_forward: bool,
+    /// Event-driven kernel: instead of recomputing a global event horizon
+    /// and stepping through dense stretches, every layer posts its next
+    /// actionable cycle once (core runway wakes, fill deliveries, per-shard
+    /// DRAM readiness bounds, DMA beats) and is only re-evaluated when that
+    /// cycle arrives or a dependency invalidates the bound. Bit-identical to
+    /// both the naive loop and the horizon loop (enforced by
+    /// `tests/fast_forward_equivalence.rs`); defaults to `true`. Only
+    /// consulted when [`SystemConfig::fast_forward`] is set — with
+    /// `fast_forward` off the kernel polls every cycle regardless.
+    pub event_driven: bool,
+    /// Worker threads for the backend shards. With more than one thread, the
+    /// due DRAM ticks of the block-interleaved shards (which share no state)
+    /// run on a persistent worker pool, with a deterministic barrier at the
+    /// 2:5 clock-crossing boundary and completions joined in shard order —
+    /// `SimStats` is bit-identical for any thread count. Only pays off with
+    /// several shards (`num_channels`) on several physical cores; defaults
+    /// to 1 (fully sequential, no pool).
+    pub threads: usize,
 }
 
 impl SystemConfig {
@@ -109,6 +127,8 @@ impl SystemConfig {
             functional_warmup: true,
             scale_scheduler_time_constants: true,
             fast_forward: true,
+            event_driven: true,
+            threads: 1,
         }
     }
 
@@ -217,6 +237,15 @@ impl SystemConfig {
         }
         if self.measure_cpu_cycles == 0 {
             return Err("measure_cpu_cycles must be non-zero".to_owned());
+        }
+        if self.threads == 0 {
+            return Err("threads must be non-zero".to_owned());
+        }
+        if self.threads > 64 {
+            return Err(format!(
+                "threads ({}) is unreasonably large (max 64)",
+                self.threads
+            ));
         }
         if let (WorkloadSource::Trace(replay), Some(record)) = (&self.source, &self.trace_record) {
             if replay == record {

@@ -1,13 +1,22 @@
 //! The CPU-side frontend: in-order cores, their workload streams, the shared
 //! L2 and the DMA traffic injector.
 //!
-//! The frontend owns everything clocked by the 2 GHz core clock. Each
-//! [`Tick::tick`] call advances every core by one CPU cycle, routes the L1
-//! refills and write-backs they produce through the shared L2, and injects
-//! this cycle's DMA traffic; whatever must leave the chip is reported as
-//! [`FrontendEvent`]s for the kernel to hand to the memory
-//! [`backend`](crate::backend). The frontend never sees DRAM cycles — the
-//! clock-ratio bookkeeping (`DRAM_CYCLES_PER_5_CPU_CYCLES`) lives entirely in
+//! The frontend owns everything clocked by the 2 GHz core clock and supports
+//! two drive modes. The eager mode advances every core together: each
+//! [`Tick::tick`] call moves every core by one CPU cycle (with
+//! [`Frontend::skip_cycles`] bulk-skipping provably eventless windows), routes
+//! the L1 refills and write-backs they produce through the shared L2, and
+//! injects this cycle's DMA traffic. The lazy mode lets each core fall behind
+//! the kernel clock individually: every core carries its own position and its
+//! next *action* cycle (the next cycle its tick consumes an op rather than
+//! just burning runway), [`Frontend::advance_to`] catches up exactly the due
+//! cores, and [`Frontend::fill_at`] catches a blocked core up to the fill's
+//! delivery cycle on demand. Both modes report whatever must leave the chip
+//! as [`FrontendEvent`]s for the kernel to hand to the memory
+//! [`backend`](crate::backend), and both consume ops in the same global
+//! (cycle, core) order, so they produce bit-identical streams. The frontend
+//! never sees DRAM cycles — the clock-ratio bookkeeping
+//! (`DRAM_CYCLES_PER_5_CPU_CYCLES`) lives entirely in
 //! [`kernel::ClockCrossing`](crate::kernel::ClockCrossing).
 //!
 //! Returning data to a core goes the other way: the kernel calls
@@ -141,6 +150,13 @@ pub struct Frontend {
     rng: StdRng,
     /// One injector per tenant with a non-zero DMA rate, in tenant order.
     dma: Vec<DmaInjector>,
+    /// Lazy mode: per-core next unsimulated CPU cycle.
+    positions: Vec<u64>,
+    /// Lazy mode: per-core next action cycle (`u64::MAX` = blocked on
+    /// memory, nothing to do until a fill arrives).
+    next_action: Vec<u64>,
+    /// Lazy mode: the DMA accumulators have accrued cycles `0..dma_pos`.
+    dma_pos: u64,
 }
 
 impl Frontend {
@@ -205,6 +221,7 @@ impl Frontend {
                 })
             })
             .collect();
+        let num_cores = cores.len();
         Ok(Self {
             cores,
             streams,
@@ -215,6 +232,9 @@ impl Frontend {
             l2: SharedL2::new(cfg.l2),
             rng: StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x5851_F42D_4C95_7F2D) ^ 0xD3A),
             dma,
+            positions: vec![0; num_cores],
+            next_action: vec![0; num_cores],
+            dma_pos: 0,
         })
     }
 
@@ -373,37 +393,11 @@ impl Frontend {
     }
 
     fn inject_dma(&mut self, events: &mut Vec<FrontendEvent>) {
-        for inj in &mut self.dma {
-            inj.acc_fp += inj.rate_fp;
-            while inj.acc_fp >= DMA_FP_ONE {
-                inj.acc_fp -= DMA_FP_ONE;
-                let core = inj.core_lo + self.rng.gen_range(0..inj.core_len);
-                // DMA engines stream sequentially through I/O buffers in the
-                // shared region: mostly the next cache block, occasionally a
-                // jump to a fresh buffer. This gives DMA traffic the high
-                // row-buffer locality the paper observes for Web Frontend's
-                // extra accesses.
-                if inj.cursor == 0 || self.rng.gen_bool(1.0 / 24.0) {
-                    let base = 0x0400_0000u64;
-                    inj.cursor = base + self.rng.gen_range(0..0x0100_0000u64 / 8192) * 8192;
-                } else {
-                    inj.cursor += 64;
-                }
-                let addr = inj.cursor;
-                if self.rng.gen_bool(0.5) {
-                    events.push(FrontendEvent::DmaRead {
-                        core,
-                        tenant: inj.tenant,
-                        addr,
-                    });
-                } else {
-                    events.push(FrontendEvent::Write {
-                        core,
-                        tenant: inj.tenant,
-                        addr,
-                        dma: true,
-                    });
-                }
+        for i in 0..self.dma.len() {
+            self.dma[i].acc_fp += self.dma[i].rate_fp;
+            while self.dma[i].acc_fp >= DMA_FP_ONE {
+                self.dma[i].acc_fp -= DMA_FP_ONE;
+                self.fire_dma_beat(i, events);
             }
         }
     }
@@ -452,6 +446,154 @@ impl Frontend {
             );
         }
     }
+
+    // --- Lazy per-core drive mode (the event kernel's frontend API) ---
+    //
+    // The eager mode above advances every core in lockstep. The lazy mode
+    // instead tracks, per core, the next cycle its tick would do real work
+    // (`next_action`) and how far the core has actually been simulated
+    // (`positions`); cores a fill cannot reach sleep indefinitely instead of
+    // being ticked every cycle. The two modes must not be mixed on one
+    // `Frontend`: eager calls do not maintain the lazy cursors.
+
+    /// Recomputes `next_action` for one core from its runway, anchored at
+    /// `from` (the core's position).
+    fn reschedule(&mut self, core: usize, from: u64) {
+        self.next_action[core] = match self.cores[core].runway() {
+            None => from,
+            Some(u64::MAX) => u64::MAX,
+            Some(runway) => from.saturating_add(runway),
+        };
+    }
+
+    /// Lazy mode: the earliest CPU cycle at which [`Frontend::advance_to`]
+    /// would do real work — the soonest per-core action or DMA beat.
+    /// `u64::MAX` means every core is blocked on memory and no DMA beat is
+    /// pending; the frontend sleeps until a fill arrives.
+    #[must_use]
+    pub fn next_action_cycle(&self) -> u64 {
+        let mut next = self.next_action.iter().copied().min().unwrap_or(u64::MAX);
+        for inj in &self.dma {
+            let fire_in = (DMA_FP_ONE - inj.acc_fp - 1) / inj.rate_fp;
+            next = next.min(self.dma_pos.saturating_add(fire_in));
+        }
+        next
+    }
+
+    /// Lazy mode: runs every core whose action cycle is `now` (in ascending
+    /// core order, preserving the eager mode's (cycle, core) op-consumption
+    /// order) and accrues the DMA injectors through `now`, firing due beats.
+    /// The caller must not jump past an action or beat cycle
+    /// ([`Frontend::next_action_cycle`] reports the earliest one).
+    pub fn advance_to(&mut self, now: u64, events: &mut Vec<FrontendEvent>) {
+        for core in 0..self.cores.len() {
+            while self.next_action[core] <= now {
+                let at = self.next_action[core];
+                debug_assert!(at == now, "core {core} action at {at} missed by {now}");
+                let gap = at - self.positions[core];
+                if gap > 0 {
+                    self.cores[core].skip_cycles(gap);
+                }
+                self.tick_core(core, events);
+                self.positions[core] = at + 1;
+                self.reschedule(core, at + 1);
+            }
+        }
+        self.advance_dma(now + 1, events);
+    }
+
+    /// Lazy mode: delivers a block to a core at `now` (memory fill or delayed
+    /// L2 hit), catching the core up to `now` first. The skipped window is
+    /// eventless by construction: the core has been blocked (or coasting on
+    /// runway past `now`) since its position.
+    pub fn fill_at(&mut self, core: usize, addr: u64, now: u64) {
+        debug_assert!(self.positions[core] <= now, "fill for a core past {now}");
+        let gap = now - self.positions[core];
+        if gap > 0 {
+            self.cores[core].skip_cycles(gap);
+            self.positions[core] = now;
+        }
+        self.cores[core].fill(addr);
+        self.reschedule(core, now);
+    }
+
+    /// Lazy mode: accrues DMA credit for all cycles below `upto`, firing any
+    /// beats that come due (the caller guarantees at most the current cycle's
+    /// beats do).
+    fn advance_dma(&mut self, upto: u64, events: &mut Vec<FrontendEvent>) {
+        let cycles = upto.saturating_sub(self.dma_pos);
+        if cycles == 0 {
+            return;
+        }
+        self.dma_pos = upto;
+        for i in 0..self.dma.len() {
+            let inj = &mut self.dma[i];
+            inj.acc_fp += inj.rate_fp * cycles;
+            while self.dma[i].acc_fp >= DMA_FP_ONE {
+                self.dma[i].acc_fp -= DMA_FP_ONE;
+                self.fire_dma_beat(i, events);
+            }
+        }
+    }
+
+    /// Emits one DMA beat for injector `i` (the rate-independent half of
+    /// [`Frontend::inject_dma`]'s loop body, shared with the lazy mode).
+    fn fire_dma_beat(&mut self, i: usize, events: &mut Vec<FrontendEvent>) {
+        let inj = &mut self.dma[i];
+        let core = inj.core_lo + self.rng.gen_range(0..inj.core_len);
+        // DMA engines stream sequentially through I/O buffers in the shared
+        // region: mostly the next cache block, occasionally a jump to a fresh
+        // buffer. This gives DMA traffic the high row-buffer locality the
+        // paper observes for Web Frontend's extra accesses.
+        if inj.cursor == 0 || self.rng.gen_bool(1.0 / 24.0) {
+            let base = 0x0400_0000u64;
+            inj.cursor = base + self.rng.gen_range(0..0x0100_0000u64 / 8192) * 8192;
+        } else {
+            inj.cursor += 64;
+        }
+        let addr = inj.cursor;
+        if self.rng.gen_bool(0.5) {
+            events.push(FrontendEvent::DmaRead {
+                core,
+                tenant: inj.tenant,
+                addr,
+            });
+        } else {
+            events.push(FrontendEvent::Write {
+                core,
+                tenant: inj.tenant,
+                addr,
+                dma: true,
+            });
+        }
+    }
+
+    /// Lazy mode: flushes every core and the DMA accumulators up to (but not
+    /// including) cycle `end`, so externally visible state (committed
+    /// instruction counts, stall counters) reflects the full window. Valid
+    /// only when no action or beat falls below `end` — i.e. `end` is at most
+    /// [`Frontend::next_action_cycle`].
+    pub fn sync_to(&mut self, end: u64) {
+        for core in 0..self.cores.len() {
+            debug_assert!(self.next_action[core] >= end, "sync_to skipped an action");
+            let gap = end.saturating_sub(self.positions[core]);
+            if gap > 0 {
+                self.cores[core].skip_cycles(gap);
+                self.positions[core] = end;
+            }
+        }
+        let cycles = end.saturating_sub(self.dma_pos);
+        if cycles > 0 {
+            self.dma_pos = end;
+            for inj in &mut self.dma {
+                inj.acc_fp += inj.rate_fp * cycles;
+                debug_assert!(
+                    inj.acc_fp < DMA_FP_ONE,
+                    "sync of {cycles} cycles crossed a DMA beat"
+                );
+            }
+        }
+    }
 }
 
 impl Tick for Frontend {
@@ -469,60 +611,71 @@ impl Tick for Frontend {
     /// [`Frontend::finish_trace`], so driving the run is infallible.
     fn tick(&mut self, _now: u64, events: &mut Vec<FrontendEvent>) {
         for core_idx in 0..self.cores.len() {
-            let (requests, record_failure, replay_failure) = {
-                let stream = self.streams.stream_mut(core_idx);
-                let replay = &mut self.replay;
-                let record = &mut self.record;
-                let mut record_failure: Option<String> = None;
-                let mut replay_failure: Option<String> = None;
-                let mut source = || {
-                    let op = match replay.as_mut() {
-                        Some(trace) => match trace.next_op(core_idx) {
-                            Ok(op) => op,
-                            Err(e) => {
-                                replay_failure = Some(e.to_string());
-                                TraceStream::EXHAUSTED_FILLER
-                            }
-                        },
-                        None => stream.next_op(),
-                    };
-                    if let Some(writer) = record.as_mut() {
-                        let trace_record = TraceRecord { core: core_idx, op };
-                        if let Err(e) = writer.write(&trace_record) {
-                            record_failure = Some(e.to_string());
-                        }
-                    }
-                    op
-                };
-                let requests = self.cores[core_idx].tick(&mut source);
-                (requests, record_failure, replay_failure)
-            };
-            if let Some(e) = replay_failure {
-                // The stream poisoned itself: every core idles out on the
-                // filler from here (never the synthetic generators — the
-                // replay stays attached). The capture sink is dropped too:
-                // a recording of a failed replay is garbage, and finish
-                // reports the replay error regardless.
-                self.replay_error.get_or_insert(e);
-                self.record = None;
-            }
-            if let Some(e) = record_failure {
-                // Keep only the first failure; later records are moot once
-                // the sink is gone.
-                self.record_error.get_or_insert(e);
-                self.record = None;
-            }
-            for request in requests {
-                self.handle_core_request(
-                    core_idx,
-                    request.tenant,
-                    request.addr,
-                    request.write,
-                    events,
-                );
-            }
+            self.tick_core(core_idx, events);
         }
         self.inject_dma(events);
+    }
+}
+
+impl Frontend {
+    /// Advances one core by one CPU cycle: consume its next op (from the
+    /// replay trace or its synthetic stream, tapped by the capture sink),
+    /// or burn runway / stall, and route any L1 refills and write-backs it
+    /// produces through the shared L2. The per-core body shared by the eager
+    /// [`Tick::tick`] and the lazy [`Frontend::advance_to`].
+    fn tick_core(&mut self, core_idx: usize, events: &mut Vec<FrontendEvent>) {
+        let (requests, record_failure, replay_failure) = {
+            let stream = self.streams.stream_mut(core_idx);
+            let replay = &mut self.replay;
+            let record = &mut self.record;
+            let mut record_failure: Option<String> = None;
+            let mut replay_failure: Option<String> = None;
+            let mut source = || {
+                let op = match replay.as_mut() {
+                    Some(trace) => match trace.next_op(core_idx) {
+                        Ok(op) => op,
+                        Err(e) => {
+                            replay_failure = Some(e.to_string());
+                            TraceStream::EXHAUSTED_FILLER
+                        }
+                    },
+                    None => stream.next_op(),
+                };
+                if let Some(writer) = record.as_mut() {
+                    let trace_record = TraceRecord { core: core_idx, op };
+                    if let Err(e) = writer.write(&trace_record) {
+                        record_failure = Some(e.to_string());
+                    }
+                }
+                op
+            };
+            let requests = self.cores[core_idx].tick(&mut source);
+            (requests, record_failure, replay_failure)
+        };
+        if let Some(e) = replay_failure {
+            // The stream poisoned itself: every core idles out on the
+            // filler from here (never the synthetic generators — the
+            // replay stays attached). The capture sink is dropped too:
+            // a recording of a failed replay is garbage, and finish
+            // reports the replay error regardless.
+            self.replay_error.get_or_insert(e);
+            self.record = None;
+        }
+        if let Some(e) = record_failure {
+            // Keep only the first failure; later records are moot once
+            // the sink is gone.
+            self.record_error.get_or_insert(e);
+            self.record = None;
+        }
+        for request in requests {
+            self.handle_core_request(
+                core_idx,
+                request.tenant,
+                request.addr,
+                request.write,
+                events,
+            );
+        }
     }
 }
 

@@ -12,46 +12,74 @@
 //! ticked. Over any window of 5 CPU cycles the backend therefore runs exactly
 //! 2 DRAM cycles, with no drift and no floating point.
 //!
-//! # Pending fills and retries
+//! # The time-ordered event queue
 //!
-//! Data moving *up* (memory fills and L2 hits on their way back to a core)
-//! waits in a [`FillQueue`], a min-heap ordered by due CPU cycle so that
-//! delivering the due fills each cycle costs `O(due · log n)` instead of a
-//! linear scan over everything outstanding. Requests moving *down* that were
+//! The kernel's scheduling primitive is [`EventQueue`], a calendar (bucket
+//! ring) queue: a circular array of per-cycle FIFO buckets covering a sliding
+//! window of upcoming cycles, with a `BTreeMap` overflow level for events
+//! beyond the window. Near-future events — the overwhelmingly common case:
+//! crossbar hops, L2 latencies, DRAM timing fences — cost `O(1)` to push and
+//! pop; far-future events (refresh intervals, power-down timeouts, scheduler
+//! quanta) pay one `BTreeMap` insert and migrate into the ring as the window
+//! slides over them. Events posted for the same cycle pop in insertion
+//! order, so delivery — and with it the whole simulation — is deterministic
+//! (`event_queue_ties_pop_fifo` and the model-based property test hold it to
+//! that). "Decrease-key" is done lazily, as in a timer wheel: post the new
+//! deadline and ignore the stale one when it fires, which is also how the
+//! kernel's cached layer bounds behave.
+//!
+//! [`FillQueue`] — cache blocks on their way back up to a core (L2 hits
+//! after their access latency, memory fills after the crossbar) — is a thin
+//! typed wrapper over an [`EventQueue`]. Requests moving *down* that were
 //! rejected by a full controller queue wait in per-(shard, channel, kind)
-//! retry buckets owned by the [`backend`](crate::backend); both structures
-//! replace the `O(outstanding)` per-cycle `Vec` scans of the former
-//! monolithic `System`.
+//! retry buckets owned by the [`backend`](crate::backend).
 //!
-//! # Event-horizon fast-forward
+//! # Event-driven execution
 //!
 //! A cycle-accurate model spends most of its wall-clock on cycles where
-//! nothing happens: cores burning down a compute burst or stalled on memory,
-//! controllers waiting out DRAM timing fences, whole refresh intervals of
-//! silence. The kernel therefore lets every layer report the next cycle at
-//! which it could possibly act:
+//! nothing happens — and, on dense streams, most of the remaining wall-clock
+//! *re-polling* layers that already know their next deadline. The kernel
+//! therefore runs (when `SystemConfig::event_driven` is set) a time-ordered
+//! loop in which every layer posts its next actionable cycle once and is
+//! only re-evaluated when that cycle arrives or an upstream dependency
+//! invalidates the posted bound:
 //!
-//! * the frontend, via `Frontend::next_event_cycle` — the next core that
-//!   needs its instruction stream, wakes from a stall, or the next DMA beat
-//!   (cores expose this as `InOrderCore::runway`);
-//! * the fill queue, via [`FillQueue::next_due_cycle`] — the min-heap head;
-//! * the backend, via `MemoryController::next_ready_dram_cycle` — derived
+//! * each core keeps a *runway* (`InOrderCore::runway`) — how many cycles it
+//!   can burn without new decisions — and the frontend advances cores
+//!   lazily, catching each one up in closed form only when its posted wake
+//!   cycle (or an arriving fill) makes it act;
+//! * the fill queue is consulted via [`FillQueue::next_due_cycle`] — the
+//!   head of the calendar queue;
+//! * the backend caches, per shard, the next DRAM tick at which the shard
+//!   can possibly act (`MemoryController::next_ready_dram_cycle`, derived
 //!   from bank/rank/bus timing state, pending queues, refresh schedules,
-//!   scheduler time boundaries and page-policy proposals.
+//!   scheduler time boundaries and page-policy proposals), recomputed only
+//!   after a tick that did no work and invalidated by request submission.
 //!
-//! `System::run_cycles` takes the minimum over all layers (the *event
-//! horizon*), converts DRAM-domain events to CPU cycles through
+//! `System::run_cycles` takes the minimum over these posted cycles, converts
+//! DRAM-domain deadlines to CPU cycles through
 //! [`ClockCrossing::cpu_cycle_of_dram_tick`], and jumps straight there with
 //! [`ClockCrossing::fast_forward`] — which advances both clocks and the
-//! fractional 2:5 phase accumulator exactly as per-cycle stepping would, so
-//! the jump is invisible: every layer guarantees its bound never overshoots,
-//! making the fast-forwarded run *bit-identical* to the naive loop (the
-//! `fast_forward` config knob and `tests/fast_forward_equivalence.rs` hold
+//! fractional 2:5 phase accumulator exactly as per-cycle stepping would.
+//! Every layer guarantees its bound never overshoots, so the event-driven
+//! run is *bit-identical* to the naive polling loop (the `fast_forward` /
+//! `event_driven` config knobs and `tests/fast_forward_equivalence.rs` hold
 //! it to that). Skipped cycles apply their only side effects (core cycle
-//! counters, controller queue-occupancy samples) in closed form.
+//! counters, controller queue-occupancy samples) in closed form. The older
+//! event-horizon mode (`fast_forward` without `event_driven`) keeps the
+//! PR-2 recompute-and-jump loop as a bisection aid.
+//!
+//! # Threaded backend shards
+//!
+//! Block-interleaved backend shards share no state, so with
+//! `SystemConfig::threads > 1` their due DRAM ticks run on worker threads.
+//! Determinism is preserved by construction: the barrier sits at the 2:5
+//! clock-crossing boundary (workers only run ticks the sequential loop would
+//! run before the next CPU-side interaction), and per-shard completions are
+//! joined in (tick, shard) order — exactly the order the sequential loop
+//! produces — so `SimStats` is bit-identical for any thread count.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::config::DRAM_CYCLES_PER_5_CPU_CYCLES;
 
@@ -164,34 +192,170 @@ impl ClockCrossing {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct FillEntry {
-    due_cpu_cycle: u64,
-    /// Insertion sequence number: ties on the due cycle break FIFO so that
-    /// delivery order — and with it the whole simulation — is deterministic.
-    seq: u64,
-    core: usize,
-    addr: u64,
+/// Cycles the calendar ring covers ahead of its base before events spill to
+/// the overflow map. Fixed at 64 so bucket occupancy fits one `u64` bitmask
+/// (the earliest pending cycle is a rotate plus a trailing-zero count);
+/// sized to cover the kernel's near-future traffic (crossbar hops, cache
+/// latencies, DRAM timing fences) with headroom.
+const EVENT_RING_SPAN: u64 = 64;
+
+/// A time-ordered event queue: a calendar (bucket ring) queue with a sorted
+/// overflow level.
+///
+/// A circular array of `EVENT_RING_SPAN` per-cycle FIFO buckets covers the
+/// window `[base, base + span)`; events beyond the window wait in a
+/// `BTreeMap` keyed by cycle and migrate into the ring as the window slides
+/// over their cycle. Pushes, pops and next-due queries of near-future events
+/// are `O(1)` — a one-word occupancy bitmask locates the earliest non-empty
+/// bucket without walking the ring. Events due the same cycle pop in
+/// insertion order — ties are FIFO, never arbitrary — which is what makes
+/// kernels built on this queue deterministic. Rescheduling ("decrease-key")
+/// is done lazily timer-wheel style: push the new deadline and disregard the
+/// stale event when it surfaces.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    /// Per-cycle FIFO buckets; cycle `c` lives at `c % EVENT_RING_SPAN`
+    /// while `c - base < EVENT_RING_SPAN`.
+    ring: Vec<VecDeque<T>>,
+    /// Occupancy bitmask: bit `i` set iff `ring[i]` is non-empty.
+    occupied: u64,
+    /// Start of the ring's window. Only advances on pops, so it never
+    /// outruns the caller's clock: any push at or after the current cycle
+    /// lands at its exact position.
+    base: u64,
+    /// Events in the ring.
+    ring_len: usize,
+    /// Far-future events, migrated into the ring as `base` advances.
+    /// Invariant: every key is `>= base + EVENT_RING_SPAN`.
+    overflow: BTreeMap<u64, VecDeque<T>>,
+    /// Events in the overflow map.
+    overflow_len: usize,
 }
 
-impl Ord for FillEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.due_cpu_cycle, self.seq).cmp(&(other.due_cpu_cycle, other.seq))
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
-impl PartialOrd for FillEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+impl<T> EventQueue<T> {
+    /// An empty queue with its window starting at cycle 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            ring: std::iter::repeat_with(VecDeque::new)
+                .take(EVENT_RING_SPAN as usize)
+                .collect(),
+            occupied: 0,
+            base: 0,
+            ring_len: 0,
+            overflow: BTreeMap::new(),
+            overflow_len: 0,
+        }
+    }
+
+    /// Total scheduled events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring_len + self.overflow_len
+    }
+
+    /// Whether no event is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `item` for cycle `due`. Cycles the queue has already
+    /// drained past clamp to the start of the window, so a late post fires
+    /// immediately rather than being lost.
+    pub fn push(&mut self, due: u64, item: T) {
+        let due = due.max(self.base);
+        if due - self.base < EVENT_RING_SPAN {
+            let idx = (due % EVENT_RING_SPAN) as usize;
+            self.ring[idx].push_back(item);
+            self.occupied |= 1 << idx;
+            self.ring_len += 1;
+        } else {
+            self.overflow.entry(due).or_default().push_back(item);
+            self.overflow_len += 1;
+        }
+    }
+
+    /// The earliest occupied cycle in the ring, located via the occupancy
+    /// bitmask in constant time.
+    fn first_ring_cycle(&self) -> Option<u64> {
+        if self.occupied == 0 {
+            return None;
+        }
+        let start = (self.base % EVENT_RING_SPAN) as u32;
+        let offset = u64::from(self.occupied.rotate_right(start).trailing_zeros());
+        Some(self.base + offset)
+    }
+
+    /// The cycle of the earliest scheduled event, if any. Ring events always
+    /// precede overflow events (overflow keys lie beyond the window).
+    #[must_use]
+    pub fn next_due(&self) -> Option<u64> {
+        self.first_ring_cycle()
+            .or_else(|| self.overflow.keys().next().copied())
+    }
+
+    /// Pulls every overflow bucket now inside `[base, base + span)` into the
+    /// ring. Migration happens eagerly on every `base` advance, before any
+    /// new push can target the newly covered cycle, so same-cycle FIFO order
+    /// is preserved across the overflow boundary.
+    fn migrate(&mut self) {
+        while let Some((&cycle, _)) = self.overflow.first_key_value() {
+            if cycle - self.base >= EVENT_RING_SPAN {
+                break;
+            }
+            let bucket = self.overflow.remove(&cycle).expect("first key exists");
+            self.overflow_len -= bucket.len();
+            self.ring_len += bucket.len();
+            let idx = (cycle % EVENT_RING_SPAN) as usize;
+            debug_assert!(
+                self.ring[idx].is_empty(),
+                "migrated into an occupied bucket"
+            );
+            self.ring[idx] = bucket;
+            self.occupied |= 1 << idx;
+        }
+    }
+
+    /// Removes and returns the earliest event if it is due at or before
+    /// `now`; same-cycle events come back in insertion order.
+    pub fn pop_due(&mut self, now: u64) -> Option<T> {
+        let cycle = match self.first_ring_cycle() {
+            Some(cycle) => cycle,
+            None => *self.overflow.first_key_value()?.0,
+        };
+        if cycle > now {
+            return None;
+        }
+        // Slide the window up to the event being popped (cycle <= now, so
+        // the base never outruns the caller's clock) and migrate overflow
+        // buckets the window now covers.
+        self.base = cycle;
+        self.migrate();
+        let idx = (cycle % EVENT_RING_SPAN) as usize;
+        let item = self.ring[idx]
+            .pop_front()
+            .expect("first pending bucket is non-empty");
+        self.ring_len -= 1;
+        if self.ring[idx].is_empty() {
+            self.occupied &= !(1 << idx);
+        }
+        Some(item)
     }
 }
 
 /// Cache blocks on their way back to a core (L2 hits after their access
-/// latency, memory fills after the crossbar), ordered by delivery cycle.
+/// latency, memory fills after the crossbar), ordered by delivery cycle with
+/// FIFO ties: a typed wrapper over the kernel's [`EventQueue`].
 #[derive(Debug, Default)]
 pub struct FillQueue {
-    heap: BinaryHeap<Reverse<FillEntry>>,
-    seq: u64,
+    queue: EventQueue<(usize, u64)>,
 }
 
 impl FillQueue {
@@ -203,43 +367,31 @@ impl FillQueue {
 
     /// Schedules delivery of `addr` to `core` at CPU cycle `due_cpu_cycle`.
     pub fn push(&mut self, due_cpu_cycle: u64, core: usize, addr: u64) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(FillEntry {
-            due_cpu_cycle,
-            seq,
-            core,
-            addr,
-        }));
+        self.queue.push(due_cpu_cycle, (core, addr));
     }
 
     /// The CPU cycle of the earliest pending fill, if any (the event-horizon
     /// contribution of data already on its way back to a core).
     #[must_use]
     pub fn next_due_cycle(&self) -> Option<u64> {
-        self.heap.peek().map(|Reverse(entry)| entry.due_cpu_cycle)
+        self.queue.next_due()
     }
 
     /// Removes and returns the next `(core, addr)` due at or before `now`.
     pub fn pop_due(&mut self, now: u64) -> Option<(usize, u64)> {
-        let Reverse(head) = self.heap.peek()?;
-        if head.due_cpu_cycle > now {
-            return None;
-        }
-        let Reverse(entry) = self.heap.pop().expect("peeked entry exists");
-        Some((entry.core, entry.addr))
+        self.queue.pop_due(now)
     }
 
     /// Number of undelivered fills.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.queue.len()
     }
 
     /// Whether no fill is pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.queue.is_empty()
     }
 }
 
@@ -350,5 +502,99 @@ mod tests {
         assert_eq!(q.pop_due(10), Some((0, 0xA)));
         assert_eq!(q.pop_due(10), Some((2, 0xC)));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn event_queue_ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        // Same-cycle ties must pop in insertion order, including across the
+        // ring/overflow boundary: 0..4 go to the ring, the far batch to the
+        // overflow map, and both preserve per-cycle FIFO.
+        for i in 0..4u32 {
+            q.push(7, i);
+        }
+        let far = 7 + 3 * EVENT_RING_SPAN;
+        for i in 10..14u32 {
+            q.push(far, i);
+        }
+        assert_eq!(q.len(), 8);
+        assert_eq!(q.next_due(), Some(7));
+        for i in 0..4u32 {
+            assert_eq!(q.pop_due(7), Some(i));
+        }
+        assert_eq!(q.pop_due(far - 1), None);
+        assert_eq!(q.next_due(), Some(far));
+        for i in 10..14u32 {
+            assert_eq!(q.pop_due(far), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn event_queue_clamps_late_pushes_forward() {
+        let mut q = EventQueue::new();
+        q.push(50, "a");
+        assert_eq!(q.pop_due(50), Some("a"));
+        // The window has drained past cycle 10; a late post must still fire.
+        q.push(10, "late");
+        assert_eq!(q.next_due(), Some(50));
+        assert_eq!(q.pop_due(50), Some("late"));
+    }
+
+    /// Model-based property test: against a reference `BTreeMap` of FIFO
+    /// buckets, the calendar queue must agree on every pop and every
+    /// next-due answer across a long pseudo-random mix of dense (near) and
+    /// sparse (far) schedules. Determinism of same-cycle ties falls out of
+    /// the comparison: the model pops strictly in (cycle, insertion) order.
+    #[test]
+    fn event_queue_matches_reference_model() {
+        let mut q = EventQueue::new();
+        let mut model: BTreeMap<u64, VecDeque<u32>> = BTreeMap::new();
+        let mut now = 0u64;
+        let mut rng = 0x243F_6A88_85A3_08D3u64; // deterministic xorshift
+        let mut next = |bound: u64| {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng % bound
+        };
+        for op in 0..20_000u32 {
+            match next(4) {
+                // Dense near-future push (in-ring) or sparse far push
+                // (overflow), tagged with the op index so FIFO violations
+                // are visible.
+                0 | 1 => {
+                    let horizon = if next(8) == 0 { 1000 } else { 16 };
+                    let due = now + next(horizon);
+                    q.push(due, op);
+                    model.entry(due).or_default().push_back(op);
+                }
+                2 => {
+                    now += next(32);
+                }
+                _ => {
+                    // Drain everything due; both sides must agree exactly.
+                    loop {
+                        let expect = model.first_entry().and_then(|mut e| {
+                            if *e.key() > now {
+                                return None;
+                            }
+                            let v = e.get_mut().pop_front();
+                            if e.get().is_empty() {
+                                e.remove();
+                            }
+                            v
+                        });
+                        let got = q.pop_due(now);
+                        assert_eq!(got, expect, "divergence at op {op}, now {now}");
+                        if got.is_none() {
+                            break;
+                        }
+                    }
+                    assert_eq!(q.next_due(), model.keys().next().copied());
+                }
+            }
+        }
+        assert!(q.len() == model.values().map(VecDeque::len).sum::<usize>());
     }
 }

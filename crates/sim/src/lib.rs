@@ -26,6 +26,7 @@ pub mod backend;
 pub mod config;
 pub mod frontend;
 pub mod kernel;
+pub(crate) mod pool;
 pub mod runner;
 pub mod stats;
 pub mod system;
@@ -33,7 +34,7 @@ pub mod system;
 pub use backend::Backend;
 pub use config::{SystemConfig, DRAM_CYCLES_PER_5_CPU_CYCLES};
 pub use frontend::{Frontend, FrontendEvent};
-pub use kernel::{ClockCrossing, FillQueue, Tick};
+pub use kernel::{ClockCrossing, EventQueue, FillQueue, Tick};
 pub use runner::{default_threads, run_all, run_all_with_threads};
 pub use stats::{mean, SimStats};
 pub use system::{run_system, Simulator, System};

@@ -1,0 +1,200 @@
+//! Persistent worker pool for ticking backend shards in parallel.
+//!
+//! The block-interleaved controller shards share no state, so their due DRAM
+//! ticks can run concurrently. Rather than lock-protect the controllers, the
+//! pool moves them *by value*: the backend checks a due shard's
+//! [`MemoryController`] out into a [`ShardJob`], a worker ticks it, and the
+//! controller comes home inside a [`ShardResult`] — no `Mutex`, no `unsafe`,
+//! just `std::sync::mpsc` ownership transfer.
+//!
+//! Determinism is by construction:
+//!
+//! * shard `i` is always served by worker `i % workers`, so per-shard work is
+//!   totally ordered regardless of scheduling;
+//! * the backend collects *every* dispatched result before the DRAM tick ends
+//!   (a barrier at the 2:5 clock-crossing boundary) and merges completions in
+//!   ascending shard order — exactly the order the sequential loop produces.
+//!
+//! The pool is engaged only when `SystemConfig::threads > 1`; with the
+//! channel round-trip costing far more than a shard tick, it pays off only
+//! when many shards do real work on as many physical cores.
+
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use cloudmc_dram::DramCycles;
+use cloudmc_memctrl::{CompletedRequest, MemoryController};
+
+/// One due shard tick: the controller travels to the worker by value.
+pub(crate) struct ShardJob {
+    pub shard: usize,
+    pub mc: MemoryController,
+    pub now: DramCycles,
+}
+
+/// The controller coming home after its tick, with everything the backend
+/// needs to update its cached readiness bound without touching the shard.
+pub(crate) struct ShardResult {
+    pub shard: usize,
+    pub mc: MemoryController,
+    pub done: Vec<CompletedRequest>,
+    pub next_due: DramCycles,
+}
+
+/// Fixed set of worker threads, one job channel each plus a shared result
+/// channel. Dropping the pool closes the job channels and joins the workers.
+pub(crate) struct WorkerPool {
+    senders: Vec<mpsc::Sender<ShardJob>>,
+    results: mpsc::Receiver<ShardResult>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (result_tx, results) = mpsc::channel();
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = mpsc::channel::<ShardJob>();
+            let result_tx = result_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("cloudmc-shard-{i}"))
+                .spawn(move || worker_loop(&rx, &result_tx))
+                .expect("spawn backend worker thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Self {
+            senders,
+            results,
+            handles,
+        }
+    }
+
+    /// Hands a job to its shard's fixed worker (`shard % workers`).
+    pub fn dispatch(&self, job: ShardJob) {
+        let worker = job.shard % self.senders.len();
+        self.senders[worker]
+            .send(job)
+            .expect("backend worker thread alive");
+    }
+
+    /// Receives one finished job, in whatever order workers complete. The
+    /// caller must call this exactly once per dispatched job before the tick
+    /// ends, then sort the results by shard index.
+    pub fn collect(&self) -> ShardResult {
+        self.results.recv().expect("backend worker thread alive")
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels ends each worker's recv loop.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+/// Worker body: tick the shard, compute its next readiness bound exactly as
+/// the sequential path would ([`crate::backend::bound_after_tick`]), and send
+/// everything home.
+fn worker_loop(jobs: &mpsc::Receiver<ShardJob>, results: &mpsc::Sender<ShardResult>) {
+    while let Ok(mut job) = jobs.recv() {
+        let mut done = Vec::new();
+        let worked = job.mc.tick(job.now, &mut done);
+        let next_due = crate::backend::bound_after_tick(&job.mc, worked, job.now);
+        let result = ShardResult {
+            shard: job.shard,
+            mc: job.mc,
+            done,
+            next_due,
+        };
+        if results.send(result).is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use cloudmc_memctrl::{AccessKind, MemoryRequest};
+    use cloudmc_workloads::Workload;
+
+    fn controller() -> MemoryController {
+        let cfg = SystemConfig::baseline(Workload::TpchQ6);
+        MemoryController::new(cfg.effective_mc()).unwrap()
+    }
+
+    #[test]
+    fn round_trips_a_controller_through_a_worker() {
+        let pool = WorkerPool::new(2);
+        let mut mc = controller();
+        mc.enqueue(MemoryRequest::new(0, AccessKind::Read, 0x40, 0, 0), 0)
+            .unwrap();
+        let mut now = 0;
+        let mut done = Vec::new();
+        while done.is_empty() && now < 500 {
+            pool.dispatch(ShardJob { shard: 0, mc, now });
+            let result = pool.collect();
+            assert_eq!(result.shard, 0);
+            assert!(result.next_due > now, "bound must advance past {now}");
+            mc = result.mc;
+            done.extend(result.done);
+            now += 1;
+        }
+        assert_eq!(done.len(), 1, "request must complete through the pool");
+        assert_eq!(mc.stats().reads_completed, 1);
+    }
+
+    #[test]
+    fn threaded_bounds_match_sequential_bounds() {
+        let pool = WorkerPool::new(3);
+        let mut seq = controller();
+        let mut thr = controller();
+        for i in 0..8u64 {
+            let req = MemoryRequest::new(i, AccessKind::Read, i * 0x2000, 0, 0);
+            seq.enqueue(req, 0).unwrap();
+            thr.enqueue(req, 0).unwrap();
+        }
+        let mut seq_done = Vec::new();
+        for now in 0..400u64 {
+            let worked = seq.tick(now, &mut seq_done);
+            let seq_due = crate::backend::bound_after_tick(&seq, worked, now);
+            pool.dispatch(ShardJob {
+                shard: 1,
+                mc: thr,
+                now,
+            });
+            let result = pool.collect();
+            thr = result.mc;
+            assert_eq!(result.next_due, seq_due, "bound diverged at cycle {now}");
+        }
+        assert_eq!(seq.stats().reads_completed, thr.stats().reads_completed);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let pool = WorkerPool::new(4);
+        pool.dispatch(ShardJob {
+            shard: 2,
+            mc: controller(),
+            now: 0,
+        });
+        let _ = pool.collect();
+        drop(pool); // must not hang or panic
+    }
+}

@@ -348,6 +348,89 @@ impl System {
         self.clock.complete_cpu_cycle();
     }
 
+    /// Advances the whole system by the one CPU cycle the event kernel has
+    /// proven non-empty: the event-driven counterpart of [`System::step`].
+    /// The phase order within the cycle is identical (fills, frontend,
+    /// accrued DRAM ticks) — only the *driving* differs: blocked cores are
+    /// caught up on demand ([`Frontend::fill_at`] /
+    /// [`Frontend::advance_to`]) instead of ticked, and only due backend
+    /// shards run a full controller tick ([`Backend::tick_event`]).
+    fn step_event(&mut self) {
+        let now_cpu = self.clock.cpu_cycle();
+
+        // 1. Deliver data that reached its core this cycle, catching each
+        //    receiving core up to the present.
+        while let Some((core, addr)) = self.fills.pop_due(now_cpu) {
+            self.frontend.fill_at(core, addr, now_cpu);
+        }
+
+        // 2. Run exactly the cores whose action cycle is now, plus due DMA.
+        let mut events = std::mem::take(&mut self.frontend_events);
+        events.clear();
+        self.frontend.advance_to(now_cpu, &mut events);
+        for event in events.drain(..) {
+            self.dispatch(event);
+        }
+        self.frontend_events = events;
+
+        // 3. As many backend (DRAM-domain) cycles as the clock ratio owes.
+        for _ in 0..self.clock.accrue_cpu_cycle() {
+            let now_dram = self.clock.dram_cycle();
+            let mut completions = std::mem::take(&mut self.completions);
+            completions.clear();
+            self.backend.tick_event(now_dram, &mut completions);
+            for done in completions.drain(..) {
+                if done.request.kind.is_read() {
+                    if let Some(read) = self.outstanding_reads.remove(&done.request.id) {
+                        let due = now_cpu + u64::from(self.cfg.l2.crossbar_latency as u32);
+                        self.fills.push(due, read.core, read.addr);
+                    }
+                }
+            }
+            self.completions = completions;
+            self.clock.complete_dram_tick();
+        }
+
+        self.clock.complete_cpu_cycle();
+    }
+
+    /// Runs the system to CPU cycle `end` on the event kernel: every layer's
+    /// posted next-actionable cycle (earliest fill delivery, earliest core
+    /// action or DMA beat, earliest due backend shard mapped through the
+    /// clock crossing) is consulted once per iteration, the clocks jump
+    /// straight to the soonest one, and exactly that cycle is executed.
+    /// Cores are left lazily behind the kernel clock throughout and synced
+    /// once at `end`.
+    fn run_event_driven(&mut self, end: u64) {
+        while self.clock.cpu_cycle() < end {
+            let now = self.clock.cpu_cycle();
+            let fills = self.fills.next_due_cycle().unwrap_or(u64::MAX);
+            let frontend = self.frontend.next_action_cycle();
+            let backend = self
+                .clock
+                .cpu_cycle_of_dram_tick(self.backend.cached_next_due(self.clock.dram_cycle()));
+            let target = fills.min(frontend).min(backend).min(end).max(now);
+            if target > now {
+                // Every cycle in [now, target) is provably eventless. Apply
+                // the closed-form side effects the naive loop would have
+                // produced — DRAM queue samples and both clocks; the lazy
+                // frontend needs nothing, its cores catch up on demand.
+                let cycles = target - now;
+                let dram_ticks = self.clock.dram_ticks_within(cycles);
+                if dram_ticks > 0 {
+                    self.backend.skip_dram_cycles(dram_ticks);
+                }
+                self.clock.fast_forward(cycles);
+            } else {
+                self.step_event();
+            }
+        }
+        // The loop invariant guarantees no action below `end` is pending, so
+        // aligning every core and DMA accumulator to `end` is pure counter
+        // bookkeeping.
+        self.frontend.sync_to(end);
+    }
+
     /// The earliest CPU cycle at or after the current one at which *any*
     /// layer can possibly act: a core consuming its stream or a DMA beat
     /// (frontend), a fill reaching its core (fill queue), or a DRAM-domain
@@ -403,15 +486,22 @@ impl System {
 
     /// Runs `cycles` CPU cycles.
     ///
-    /// With [`SystemConfig::fast_forward`] enabled (the default), stretches
-    /// of cycles no layer can act in are jumped over instead of ticked
-    /// through; the result is bit-identical to the naive loop either way.
+    /// With [`SystemConfig::fast_forward`] enabled (the default), the run is
+    /// driven by the event kernel ([`SystemConfig::event_driven`], the
+    /// default) or by the older horizon recompute-and-jump loop (kept as a
+    /// bisection aid); either way stretches of cycles no layer can act in
+    /// are jumped over instead of ticked through, and the result is
+    /// bit-identical to the naive per-cycle loop.
     pub fn run_cycles(&mut self, cycles: u64) {
         let end = self.clock.cpu_cycle().saturating_add(cycles);
         if !self.cfg.fast_forward {
             for _ in 0..cycles {
                 self.step();
             }
+            return;
+        }
+        if self.cfg.event_driven {
+            self.run_event_driven(end);
             return;
         }
         // Adaptive pacing of the horizon checks: a failed check costs a
@@ -432,7 +522,12 @@ impl System {
                 miss_streak = 0;
             } else {
                 self.step();
-                let backoff = 1u64 << miss_streak.min(3);
+                // A horizon of exactly `now + 1` is the dense steady state:
+                // something acts *every* cycle, so recomputing the horizon is
+                // pure overhead — let the backoff grow further (64 steps per
+                // recheck vs 8) before looking again.
+                let cap: u32 = if horizon == now + 1 { 6 } else { 3 };
+                let backoff = 1u64 << miss_streak.min(cap);
                 miss_streak = miss_streak.saturating_add(1);
                 for _ in 0..backoff.min(end - self.clock.cpu_cycle()) {
                     self.step();

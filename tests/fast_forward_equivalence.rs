@@ -1,5 +1,7 @@
-//! The event-horizon fast-forward must be invisible: running with
-//! `fast_forward` on and off must produce *bit-identical* statistics — every
+//! The accelerated kernels must be invisible: the naive per-cycle loop, the
+//! horizon recompute-and-jump loop (`fast_forward` without `event_driven`)
+//! and the event-driven kernel (the default) — the latter with any worker
+//! thread count — must all produce *bit-identical* statistics: every
 //! counter, every latency sum, every per-core vector, every float — for any
 //! workload, seed, scheduler, page policy and shard count.
 //!
@@ -19,23 +21,43 @@ fn small(workload: Workload, seed: u64) -> SystemConfig {
     cfg
 }
 
-/// Runs `cfg` with the fast-forward on and off and demands byte-identical
-/// results.
+/// Runs `cfg` under every kernel — naive polling, horizon jumping, and the
+/// event kernel (plus 2- and 4-thread worker pools when the backend has more
+/// than one shard, where the threaded path actually engages) — and demands
+/// byte-identical results from all of them.
 fn assert_equivalent(mut cfg: SystemConfig, label: &str) -> SimStats {
-    cfg.fast_forward = true;
-    let fast = run_system(cfg.clone()).expect("valid config");
     cfg.fast_forward = false;
-    let naive = run_system(cfg).expect("valid config");
+    let naive = run_system(cfg.clone()).expect("valid config");
+    cfg.fast_forward = true;
+    cfg.event_driven = false;
+    let horizon = run_system(cfg.clone()).expect("valid config");
     assert_eq!(
-        fast, naive,
-        "{label}: fast-forward diverged from the naive cycle loop"
+        horizon, naive,
+        "{label}: horizon loop diverged from the naive cycle loop"
+    );
+    cfg.event_driven = true;
+    cfg.threads = 1;
+    let event = run_system(cfg.clone()).expect("valid config");
+    assert_eq!(
+        event, naive,
+        "{label}: event kernel diverged from the naive cycle loop"
     );
     assert_eq!(
-        format!("{fast:?}"),
+        format!("{event:?}"),
         format!("{naive:?}"),
         "{label}: debug renderings must be byte-identical"
     );
-    fast
+    if cfg.num_channels > 1 {
+        for threads in [2usize, 4] {
+            cfg.threads = threads;
+            let threaded = run_system(cfg.clone()).expect("valid config");
+            assert_eq!(
+                threaded, naive,
+                "{label}: event kernel with {threads} worker threads diverged"
+            );
+        }
+    }
+    event
 }
 
 /// Acceptance criterion: identical stats on several seeded workloads under
@@ -64,6 +86,13 @@ fn every_scheduler_is_bit_identical() {
         let mut cfg = small(Workload::WebSearch, 3);
         cfg.mc.scheduler = scheduler;
         assert_equivalent(cfg, scheduler.label());
+        // Two-shard variant: `assert_equivalent` adds 2- and 4-thread runs
+        // for multi-shard backends, so this covers the threaded event path
+        // under every scheduler's private clockwork.
+        let mut sharded = small(Workload::WebSearch, 3);
+        sharded.mc.scheduler = scheduler;
+        sharded.num_channels = 2;
+        assert_equivalent(sharded, &format!("{}/2 shards", scheduler.label()));
     }
 }
 
@@ -169,6 +198,12 @@ fn tenant_mixes_and_qos_policies_are_bit_identical() {
         cfg.mc.qos.policy = qos;
         assert_equivalent(cfg, &format!("dma-mix/{qos}"));
     }
+    // A sharded tenant mix: the threaded event path under QoS accounting.
+    let mut sharded_mix = SystemConfig::mixed(mix);
+    sharded_mix.warmup_cpu_cycles = 10_000;
+    sharded_mix.measure_cpu_cycles = 60_000;
+    sharded_mix.num_channels = 2;
+    assert_equivalent(sharded_mix, "mix/2 shards");
 }
 
 /// Sharded backends and multi-channel controllers fast-forward identically.
@@ -181,6 +216,31 @@ fn sharded_and_multichannel_backends_are_bit_identical() {
     let mut multichannel = small(Workload::TpchQ6, 11);
     multichannel.mc.dram.channels = 2;
     assert_equivalent(multichannel, "2 channels");
+}
+
+/// The worker pool must be invisible: identical `SimStats` for 1, 2 and 4
+/// worker threads across seeds on a four-shard backend, where every DRAM
+/// tick fans due shards out to the pool and joins them at the clock-crossing
+/// barrier.
+#[test]
+fn thread_count_never_changes_results() {
+    for seed in [1u64, 13] {
+        let mut cfg = small(Workload::TpchQ6, seed);
+        cfg.num_channels = 4;
+        cfg.event_driven = true;
+        let mut baseline: Option<SimStats> = None;
+        for threads in [1usize, 2, 4] {
+            cfg.threads = threads;
+            let stats = run_system(cfg.clone()).expect("valid config");
+            match &baseline {
+                None => baseline = Some(stats),
+                Some(b) => assert_eq!(
+                    &stats, b,
+                    "seed {seed}: {threads} worker threads changed the results"
+                ),
+            }
+        }
+    }
 }
 
 /// Request conservation holds at arbitrary observation points mid-run, even
