@@ -24,6 +24,10 @@
 //!   qos           multi-tenant QoS sweep: 3 tenant mixes x 5 schedulers x
 //!                 3 QoS policies plus alone-run baselines; writes
 //!                 BENCH_qos.json
+//!   reliability   fault injection / ECC / patrol scrub sweep: 2 fault
+//!                 rates x 2 scrub intervals x 2 power policies on the
+//!                 flagship tenant mix, plus fault-free baselines; writes
+//!                 BENCH_reliability.json
 //!   trace         trace capture & replay round trip: record/replay timing
 //!                 with bit-identical stats asserted, plus the golden
 //!                 mini-trace check; writes BENCH_trace.json
@@ -46,7 +50,7 @@ use cloudmc_bench::{
     baseline_study, channel_study, config_report, energy_study, fastforward_report, figure1,
     figure10, figure11, figure12, figure13, figure14, figure2, figure3, figure4, figure5, figure6,
     figure7, figure8, figure9, page_policy_study, qos_study, regenerate_golden_trace,
-    scheduler_study, trace_study, Scale, Table,
+    reliability_study, scheduler_study, trace_study, Scale, Table,
 };
 
 struct Options {
@@ -58,7 +62,15 @@ struct Options {
 
 fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
-    let experiment = args.next().unwrap_or_else(|| "all".to_owned());
+    // `repro --help` (no experiment) must print usage, not run "--help".
+    let experiment = match args.next() {
+        Some(first) if first == "--help" || first == "-h" => {
+            println!("{HELP}");
+            std::process::exit(0);
+        }
+        Some(first) => first,
+        None => "all".to_owned(),
+    };
     let mut scale = Scale::standard();
     let mut csv_dir = None;
     let mut golden_regen = false;
@@ -114,7 +126,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const HELP: &str = "usage: repro \
-<config|fig1..fig14|table4|sched|pages|channels|fastforward|energy|qos|trace|all> \
+<config|fig1..fig14|table4|sched|pages|channels|fastforward|energy|qos|reliability|trace|all> \
 [--quick|--full] [--measure N] [--warmup N] [--seed N] [--threads N] [--csv DIR] \
 [--golden-regen]";
 
@@ -245,6 +257,28 @@ fn main() -> ExitCode {
         std::fs::write(path, report.to_json()).expect("write BENCH_qos.json");
         eprintln!("wrote {path}");
     }
+    if wants(&["reliability", "all"]) {
+        let report = reliability_study(&scale);
+        println!("{}", report.to_text());
+        let path = "BENCH_reliability.json";
+        std::fs::write(path, report.to_json()).expect("write BENCH_reliability.json");
+        eprintln!("wrote {path}");
+        // Regression gate (run as a CI smoke step): the fault ledger must
+        // balance on every point, and scrubbing must have produced real
+        // traffic wherever it was enabled.
+        for p in &report.points {
+            let ledger_ok = p.stats.faults_injected
+                == p.stats.faults_corrected + p.stats.faults_uncorrectable + p.stats.faults_latent;
+            if !ledger_ok {
+                eprintln!("error: fault ledger out of balance at `{}`", p.label());
+                return ExitCode::FAILURE;
+            }
+            if p.scrub_interval > 0 && p.stats.scrub_reads_completed == 0 {
+                eprintln!("error: scrubbing enabled but idle at `{}`", p.label());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if wants(&["trace", "all"]) {
         if opts.golden_regen {
             match regenerate_golden_trace() {
@@ -271,6 +305,7 @@ fn main() -> ExitCode {
         "fastforward",
         "energy",
         "qos",
+        "reliability",
         "trace",
         "fig1",
         "fig2",

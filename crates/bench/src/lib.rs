@@ -15,6 +15,7 @@ pub mod energy;
 pub mod experiments;
 pub mod fastforward;
 pub mod qos;
+pub mod reliability;
 pub mod report;
 pub mod trace;
 
@@ -24,6 +25,10 @@ pub use fastforward::{
     FastForwardPoint, FastForwardReport, BENCH_THREADS,
 };
 pub use qos::{paper_mixes, qos_study, QosPoint, QosReport};
+pub use reliability::{
+    power_policies, reliability_mix, reliability_study, sweep_fault_config, ReliabilityPoint,
+    ReliabilityReport, FAULT_RATES_PER_MILLION, SCRUB_INTERVALS,
+};
 pub use trace::{
     golden_config, golden_trace_path, regenerate_golden_trace, trace_study, GoldenCheck,
     TracePoint, TraceReport,

@@ -1,0 +1,78 @@
+//! CLI contract of the `repro` binary: bad invocations must exit non-zero
+//! and print usage, instead of silently running nothing (or everything).
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn unknown_experiment_fails_with_usage() {
+    let out = repro()
+        .arg("frobnicate")
+        .output()
+        .expect("spawn repro binary");
+    assert!(
+        !out.status.success(),
+        "unknown experiment must exit non-zero"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown experiment `frobnicate`"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("usage: repro"), "stderr: {stderr}");
+}
+
+#[test]
+fn malformed_flag_fails_with_usage() {
+    let out = repro()
+        .args(["config", "--bogus-flag"])
+        .output()
+        .expect("spawn repro binary");
+    assert!(!out.status.success(), "malformed flag must exit non-zero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown option `--bogus-flag`"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("usage: repro"), "stderr: {stderr}");
+}
+
+#[test]
+fn flag_missing_its_value_fails() {
+    let out = repro()
+        .args(["config", "--measure"])
+        .output()
+        .expect("spawn repro binary");
+    assert!(
+        !out.status.success(),
+        "dangling --measure must exit non-zero"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--measure needs a value"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn non_numeric_flag_value_fails() {
+    let out = repro()
+        .args(["config", "--seed", "banana"])
+        .output()
+        .expect("spawn repro binary");
+    assert!(!out.status.success(), "bad --seed must exit non-zero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad --seed value"), "stderr: {stderr}");
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = repro().arg("--help").output().expect("spawn repro binary");
+    assert!(out.status.success(), "--help must exit zero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage: repro"), "stdout: {stdout}");
+    assert!(stdout.contains("reliability"), "stdout: {stdout}");
+}

@@ -36,6 +36,7 @@ pub mod channel;
 pub mod command;
 pub mod config;
 pub mod energy;
+pub mod fault;
 pub mod rank;
 pub mod timing;
 
@@ -44,5 +45,6 @@ pub use channel::{ChannelStats, DramChannel};
 pub use command::{Command, CommandKind, IssueOutcome};
 pub use config::{DramConfig, Location};
 pub use energy::{EnergyBreakdown, EnergyModel, EnergyParams};
+pub use fault::{FaultConfig, FaultLedger, FaultModel, ReadFault, UncorrectablePolicy};
 pub use rank::{PowerDownMode, PowerResidency, PowerState, Rank};
 pub use timing::{DramCycles, TimingParams};

@@ -2,8 +2,11 @@
 //! scheduling algorithm, a page-management policy, write draining and
 //! refresh handling.
 
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
 use cloudmc_dram::{
-    ChannelStats, Command, DramChannel, DramConfig, DramCycles, Location, PowerDownMode,
+    ChannelStats, Command, DramChannel, DramConfig, DramCycles, FaultConfig, FaultLedger,
+    FaultModel, Location, PowerDownMode, ReadFault, UncorrectablePolicy,
 };
 
 use crate::mapping::{AddressMapping, DecodedAddress};
@@ -11,9 +14,21 @@ use crate::page::{PagePolicyImpl, PagePolicyKind, PolicyView};
 use crate::power::{PowerAction, PowerPolicyImpl, PowerPolicyKind};
 use crate::qos::{QosArbiter, QosConfig};
 use crate::queue::RequestQueue;
-use crate::request::{AccessKind, CompletedRequest, MemoryRequest, RowBufferOutcome, MAX_TENANTS};
+use crate::request::{
+    AccessKind, CompletedRequest, MemoryRequest, RequestId, RowBufferOutcome, MAX_TENANTS,
+};
 use crate::sched::{SchedContext, SchedDecision, SchedulerImpl, SchedulerKind};
 use crate::stats::McStats;
+
+/// Id bit marking controller-generated patrol-scrub reads. Demand request
+/// ids are assigned sequentially by the frontend and never reach this range.
+pub const SCRUB_ID_BIT: u64 = 1 << 63;
+
+/// Whether a request id denotes a controller-generated patrol-scrub read.
+#[must_use]
+pub fn is_scrub_id(id: RequestId) -> bool {
+    id & SCRUB_ID_BIT != 0
+}
 
 /// Configuration of a complete memory controller (all channels).
 ///
@@ -45,6 +60,11 @@ pub struct McConfig {
     pub write_drain_high: usize,
     /// Write-queue occupancy at which the controller resumes serving reads.
     pub write_drain_low: usize,
+    /// Optional DRAM reliability model: seeded fault injection, SEC-DED ECC
+    /// accounting, demand retries, patrol scrub and row retirement. `None`
+    /// (the default) leaves the controller's behavior and statistics
+    /// bit-identical to a controller built without the subsystem.
+    pub fault_model: Option<FaultConfig>,
 }
 
 impl McConfig {
@@ -63,6 +83,7 @@ impl McConfig {
             write_queue_capacity: 64,
             write_drain_high: 32,
             write_drain_low: 8,
+            fault_model: None,
         }
     }
 
@@ -92,6 +113,9 @@ impl McConfig {
                 self.write_drain_high, self.write_queue_capacity
             ));
         }
+        if let Some(fault) = &self.fault_model {
+            fault.validate(self.dram.banks_per_rank, self.dram.rows_per_bank)?;
+        }
         Ok(())
     }
 }
@@ -108,6 +132,131 @@ impl Default for McConfig {
 struct InFlight {
     completion: DramCycles,
     done: CompletedRequest,
+}
+
+/// Per-channel reliability state: the device fault model plus the
+/// controller-side ECC machinery (demand retries, patrol scrub, row
+/// retirement, line poisoning).
+///
+/// All bookkeeping uses ordered collections and closed-form decisions so the
+/// subsystem is bit-identical under fast-forward and for any worker-thread
+/// count.
+#[derive(Debug)]
+struct FaultState {
+    cfg: FaultConfig,
+    model: FaultModel,
+    /// DRAM geometry for the patrol cursor.
+    ranks: usize,
+    banks_per_rank: usize,
+    rows_per_bank: u64,
+    /// Corrected demand reads parked for a bounded-backoff retry:
+    /// due cycle -> FIFO of (request, location, next attempt number).
+    retry_pending: BTreeMap<DramCycles, VecDeque<(MemoryRequest, Location, u32)>>,
+    retry_len: usize,
+    /// Attempt number for demand reads currently re-enqueued as retries.
+    attempts: BTreeMap<RequestId, u32>,
+    /// Next cycle at which the patrol scrubber wants to emit a read
+    /// (`DramCycles::MAX` when scrubbing is disabled).
+    next_scrub_at: DramCycles,
+    /// Patrol position: next (rank, bank, row) granule to scrub.
+    scrub_cursor: (usize, usize, u64),
+    scrub_seq: u64,
+    /// Scrub reads currently occupying the read queue or in flight; excluded
+    /// from demand `pending()` accounting.
+    scrub_live: usize,
+    /// Detected error counts per row, feeding repeat-offender retirement.
+    row_errors: BTreeMap<(usize, usize, u64), u32>,
+    /// Retired rows: the remap table. Reads to retired rows are served from
+    /// the healthy spare, so they never fault again.
+    retired: BTreeSet<(usize, usize, u64)>,
+    rows_retired_per_rank: Vec<u64>,
+    /// Poisoned lines (rank, bank, row, column) under poison-and-continue.
+    poisoned: BTreeSet<(usize, usize, u64, u64)>,
+    /// First uncorrectable error seen under fail-stop; surfaced by the
+    /// simulator as a typed error once the run finishes — never a panic.
+    error: Option<String>,
+}
+
+impl FaultState {
+    fn new(cfg: FaultConfig, channel: usize, dram: &DramConfig) -> Self {
+        let model = FaultModel::new(
+            cfg,
+            channel,
+            dram.ranks_per_channel,
+            dram.banks_per_rank,
+            dram.rows_per_bank,
+        );
+        Self {
+            cfg,
+            model,
+            ranks: dram.ranks_per_channel,
+            banks_per_rank: dram.banks_per_rank,
+            rows_per_bank: dram.rows_per_bank,
+            retry_pending: BTreeMap::new(),
+            retry_len: 0,
+            attempts: BTreeMap::new(),
+            next_scrub_at: if cfg.scrub_interval > 0 {
+                cfg.scrub_interval
+            } else {
+                DramCycles::MAX
+            },
+            scrub_cursor: (0, 0, 0),
+            scrub_seq: 0,
+            scrub_live: 0,
+            row_errors: BTreeMap::new(),
+            retired: BTreeSet::new(),
+            rows_retired_per_rank: vec![0; dram.ranks_per_channel],
+            poisoned: BTreeSet::new(),
+            error: None,
+        }
+    }
+
+    /// Advances the patrol cursor one row granule, wrapping row -> bank ->
+    /// rank.
+    fn advance_scrub_cursor(&mut self) {
+        let (rank, bank, row) = self.scrub_cursor;
+        self.scrub_cursor = if row + 1 < self.rows_per_bank {
+            (rank, bank, row + 1)
+        } else if bank + 1 < self.banks_per_rank {
+            (rank, bank + 1, 0)
+        } else {
+            ((rank + 1) % self.ranks, 0, 0)
+        };
+    }
+
+    /// Records a detected error on a row and retires it once it crosses the
+    /// repeat-offender threshold. Returns `true` if the row was retired now.
+    fn note_row_error(&mut self, rank: usize, bank: usize, row: u64) -> bool {
+        let key = (rank, bank, row);
+        if self.retired.contains(&key) {
+            return false;
+        }
+        let count = self.row_errors.entry(key).or_insert(0);
+        *count += 1;
+        if *count >= self.cfg.retire_threshold {
+            self.row_errors.remove(&key);
+            self.retired.insert(key);
+            self.rows_retired_per_rank[rank] += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Classifies a read against the fault model, honoring the remap table:
+    /// retired rows are served from healthy spares and never fault.
+    fn classify(
+        &mut self,
+        id: RequestId,
+        attempt: u32,
+        loc: &Location,
+        residency: &cloudmc_dram::PowerResidency,
+    ) -> ReadFault {
+        if self.retired.contains(&(loc.rank, loc.bank, loc.row)) {
+            return ReadFault::None;
+        }
+        self.model
+            .classify_read(id, attempt, loc.rank, loc.bank, loc.row, residency)
+    }
 }
 
 /// Controller state for one memory channel.
@@ -133,6 +282,9 @@ struct ChannelController {
     write_drain_high: usize,
     write_drain_low: usize,
     num_cores: usize,
+    /// Reliability subsystem; `None` keeps the controller bit-identical to a
+    /// build without it (no extra work on any hot path).
+    fault: Option<Box<FaultState>>,
 }
 
 impl ChannelController {
@@ -157,6 +309,9 @@ impl ChannelController {
             write_drain_high: cfg.write_drain_high,
             write_drain_low: cfg.write_drain_low,
             num_cores: cfg.num_cores,
+            fault: cfg
+                .fault_model
+                .map(|fc| Box::new(FaultState::new(fc, index, &cfg.dram))),
         }
     }
 
@@ -167,11 +322,20 @@ impl ChannelController {
         }
     }
 
+    /// Demand requests queued, in flight or parked for retry. Patrol-scrub
+    /// reads physically occupy the queues but are controller-generated, so
+    /// they are excluded here: the frontend must not stall its exit condition
+    /// on background scrub traffic.
     fn pending(&self) -> usize {
-        self.read_q.len() + self.write_q.len() + self.inflight.len()
+        let base = self.read_q.len() + self.write_q.len() + self.inflight.len();
+        match &self.fault {
+            Some(f) => base + f.retry_len - f.scrub_live,
+            None => base,
+        }
     }
 
-    /// Pending requests (queued or in flight) per tenant.
+    /// Pending demand requests (queued, in flight or parked for retry) per
+    /// tenant. Scrub reads carry tenant 0 but are not demand traffic.
     fn pending_per_tenant(&self) -> [u64; MAX_TENANTS] {
         let mut out = [0u64; MAX_TENANTS];
         for (slot, (&r, &w)) in out.iter_mut().zip(
@@ -184,6 +348,14 @@ impl ChannelController {
         }
         for inflight in &self.inflight {
             out[inflight.done.request.tenant.min(MAX_TENANTS - 1)] += 1;
+        }
+        if let Some(f) = &self.fault {
+            out[0] -= f.scrub_live as u64;
+            for bucket in f.retry_pending.values() {
+                for (request, _, _) in bucket {
+                    out[request.tenant.min(MAX_TENANTS - 1)] += 1;
+                }
+            }
         }
         out
     }
@@ -404,20 +576,30 @@ impl ChannelController {
     /// the report to decide whether its cached readiness bound for the
     /// channel must be recomputed or can simply advance one cycle.
     fn tick(&mut self, now: DramCycles, finished: &mut Vec<CompletedRequest>) -> bool {
+        // 0. Reliability pre-work (no-op unless a fault model is configured):
+        // release demand retries whose backoff elapsed and emit patrol-scrub
+        // reads into the ordinary queues.
+        let fault_worked = self.fault.is_some() && self.fault_pre_tick(now);
+
         // 1. Retire completed transfers.
         let mut retired = false;
         let mut i = 0;
         while i < self.inflight.len() {
             if self.inflight[i].completion <= now {
                 let inflight = self.inflight.swap_remove(i);
-                self.stats.record_completion(&inflight.done);
-                self.scheduler.on_complete(&inflight.done);
-                finished.push(inflight.done);
+                if self.fault.is_some() {
+                    self.retire_with_ecc(inflight, now, finished);
+                } else {
+                    self.stats.record_completion(&inflight.done);
+                    self.scheduler.on_complete(&inflight.done);
+                    finished.push(inflight.done);
+                }
                 retired = true;
             } else {
                 i += 1;
             }
         }
+        let retired = retired || fault_worked;
 
         // 2. Sample queue occupancies for Figures 5 and 6, plus the
         // per-tenant read-queue breakdown for the QoS analysis.
@@ -502,6 +684,243 @@ impl ChannelController {
 
         // 9. Last priority: let the power policy park a quiescent rank.
         self.power_step(now) || retired
+    }
+
+    /// Reliability work at the head of a cycle: re-enqueue demand retries
+    /// whose backoff elapsed and emit the next patrol-scrub read when the
+    /// scrub interval has elapsed. Returns `true` if anything was enqueued.
+    ///
+    /// Both paths go through the ordinary [`Self::enqueue`]: retries and
+    /// scrub reads occupy real queue slots, wake powered-down ranks, and
+    /// contend with demand traffic in the scheduler and the QoS arbiter.
+    fn fault_pre_tick(&mut self, now: DramCycles) -> bool {
+        let mut worked = false;
+        // Release due retries, oldest deadline first, while the read queue
+        // has room. A retried request keeps its original arrival cycle, so
+        // its observed latency includes every retry round trip.
+        loop {
+            if self.read_q.is_full() {
+                break;
+            }
+            let Some(f) = self.fault.as_deref_mut() else {
+                break;
+            };
+            let Some((&due, _)) = f.retry_pending.iter().next() else {
+                break;
+            };
+            if due > now {
+                break;
+            }
+            let mut bucket = f.retry_pending.remove(&due).unwrap_or_default();
+            let Some((request, location, attempt)) = bucket.pop_front() else {
+                continue;
+            };
+            if !bucket.is_empty() {
+                f.retry_pending.insert(due, bucket);
+            }
+            f.retry_len -= 1;
+            f.attempts.insert(request.id, attempt);
+            // Queue room was checked above; `enqueue` only fails when full.
+            let _ = self.enqueue(request, location, now);
+            worked = true;
+        }
+        // Emit the next patrol-scrub read. If the read queue is full the
+        // emission stays due and is retried next cycle — deterministically,
+        // since `next_scrub_at` only advances on success.
+        let scrub = match self.fault.as_deref_mut() {
+            Some(f) if now >= f.next_scrub_at && !self.read_q.is_full() => {
+                let (rank, bank, row) = f.scrub_cursor;
+                let location = Location::new(rank, bank, row, 0);
+                // The channel index keeps scrub ids globally unique even
+                // though each channel numbers its own patrol sequence.
+                let id = SCRUB_ID_BIT | ((self.index as u64) << 40) | f.scrub_seq;
+                let request = MemoryRequest::new(id, AccessKind::Read, 0, 0, now);
+                f.scrub_seq += 1;
+                f.scrub_live += 1;
+                f.advance_scrub_cursor();
+                f.next_scrub_at = f.next_scrub_at.saturating_add(f.cfg.scrub_interval);
+                Some((request, location))
+            }
+            _ => None,
+        };
+        if let Some((request, location)) = scrub {
+            self.stats.scrub_reads_issued += 1;
+            // Room was checked while deciding to emit.
+            let _ = self.enqueue(request, location, now);
+            worked = true;
+        }
+        worked
+    }
+
+    /// Retires one completed transfer through the ECC layer: classifies
+    /// reads against the fault model, schedules demand retries for corrected
+    /// glitches, feeds repeat-offender retirement, and applies the
+    /// uncorrectable-error policy (fail-stop latches a typed error; poison
+    /// marks the line). Scrub completions are consumed internally.
+    fn retire_with_ecc(
+        &mut self,
+        inflight: InFlight,
+        now: DramCycles,
+        finished: &mut Vec<CompletedRequest>,
+    ) {
+        let done = inflight.done;
+        let req = done.request;
+        let loc = done.location;
+        let Some(f) = self.fault.as_deref_mut() else {
+            // Unreachable by construction (the caller checked); complete
+            // normally rather than panic.
+            self.stats.record_completion(&done);
+            self.scheduler.on_complete(&done);
+            finished.push(done);
+            return;
+        };
+        // Every service completion — demand, scrub, or a read about to be
+        // retried — feeds the scheduler's bookkeeping: each on_enqueue/pick
+        // pair is balanced by exactly one on_complete per service.
+        self.scheduler.on_complete(&done);
+        if is_scrub_id(req.id) {
+            f.scrub_live -= 1;
+            self.stats.scrub_reads_completed += 1;
+            let residency = self.channel.rank(loc.rank).residency_at(now);
+            match f.classify(req.id, 0, &loc, &residency) {
+                ReadFault::None => {}
+                ReadFault::Corrected => {
+                    self.stats.scrub_corrected += 1;
+                    if f.note_row_error(loc.rank, loc.bank, loc.row) {
+                        self.stats.rows_retired += 1;
+                    }
+                }
+                ReadFault::Uncorrectable { miscorrected: true } => {
+                    // Aliased to a valid codeword: the scrubber sees clean
+                    // data and learns nothing.
+                    self.stats.ecc_miscorrects += 1;
+                }
+                ReadFault::Uncorrectable {
+                    miscorrected: false,
+                } => {
+                    self.stats.scrub_uncorrectable += 1;
+                    if f.note_row_error(loc.rank, loc.bank, loc.row) {
+                        self.stats.rows_retired += 1;
+                    }
+                    match f.cfg.on_uncorrectable {
+                        UncorrectablePolicy::FailStop => {
+                            f.error.get_or_insert_with(|| {
+                                format!(
+                                    "uncorrectable memory error found by patrol scrub: \
+                                     channel {} rank {} bank {} row {} (cycle {now})",
+                                    done.channel, loc.rank, loc.bank, loc.row
+                                )
+                            });
+                        }
+                        UncorrectablePolicy::PoisonAndContinue => {
+                            if f.poisoned.insert((loc.rank, loc.bank, loc.row, loc.column)) {
+                                self.stats.lines_poisoned += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            // Scrub completions never reach the frontend: they are not
+            // pushed to `finished` and stay out of the demand statistics.
+            return;
+        }
+        if req.kind == AccessKind::Write {
+            // A write lands fresh, ECC-clean data, clearing any poison.
+            f.poisoned
+                .remove(&(loc.rank, loc.bank, loc.row, loc.column));
+            self.stats.record_completion(&done);
+            finished.push(done);
+            return;
+        }
+        // Demand read: check poison, then classify against the fault model.
+        let attempt = f.attempts.get(&req.id).copied().unwrap_or(0);
+        if f.poisoned
+            .contains(&(loc.rank, loc.bank, loc.row, loc.column))
+        {
+            // The line carries a poison marker from an earlier uncorrectable
+            // error; the read completes and the consumption is accounted.
+            self.stats.poisoned_reads += 1;
+            f.attempts.remove(&req.id);
+            self.stats.record_completion(&done);
+            finished.push(done);
+            return;
+        }
+        let residency = self.channel.rank(loc.rank).residency_at(now);
+        match f.classify(req.id, attempt, &loc, &residency) {
+            ReadFault::None => {
+                f.attempts.remove(&req.id);
+                self.stats.record_completion(&done);
+                finished.push(done);
+            }
+            ReadFault::Corrected => {
+                self.stats.ecc_corrected += 1;
+                if f.note_row_error(loc.rank, loc.bank, loc.row) {
+                    self.stats.rows_retired += 1;
+                }
+                if attempt < f.cfg.max_demand_retries {
+                    // Park the request for a bounded-backoff re-read. The
+                    // backoff doubles per attempt; the request is NOT
+                    // completed until a retry returns (or retries exhaust).
+                    self.stats.demand_retries += 1;
+                    let backoff = f
+                        .cfg
+                        .retry_backoff
+                        .checked_shl(attempt)
+                        .unwrap_or(DramCycles::MAX);
+                    let due = now.saturating_add(backoff.max(1));
+                    f.retry_pending
+                        .entry(due)
+                        .or_default()
+                        .push_back((req, loc, attempt + 1));
+                    f.retry_len += 1;
+                    f.attempts.remove(&req.id);
+                } else {
+                    // Retries exhausted: accept the corrected data.
+                    f.attempts.remove(&req.id);
+                    self.stats.record_completion(&done);
+                    finished.push(done);
+                }
+            }
+            ReadFault::Uncorrectable { miscorrected: true } => {
+                // ECC silently "corrected" to the wrong word: undetected, so
+                // the request completes normally and no retirement evidence
+                // accrues — only the counter (and the model's ledger) know.
+                self.stats.ecc_miscorrects += 1;
+                f.attempts.remove(&req.id);
+                self.stats.record_completion(&done);
+                finished.push(done);
+            }
+            ReadFault::Uncorrectable {
+                miscorrected: false,
+            } => {
+                self.stats.ecc_detected_uncorrectable += 1;
+                if f.note_row_error(loc.rank, loc.bank, loc.row) {
+                    self.stats.rows_retired += 1;
+                }
+                match f.cfg.on_uncorrectable {
+                    UncorrectablePolicy::FailStop => {
+                        f.error.get_or_insert_with(|| {
+                            format!(
+                                "uncorrectable memory error: channel {} rank {} bank {} \
+                                 row {} (request {}, cycle {now})",
+                                done.channel, loc.rank, loc.bank, loc.row, req.id
+                            )
+                        });
+                    }
+                    UncorrectablePolicy::PoisonAndContinue => {
+                        if f.poisoned.insert((loc.rank, loc.bank, loc.row, loc.column)) {
+                            self.stats.lines_poisoned += 1;
+                        }
+                    }
+                }
+                // The request still completes under both policies (fail-stop
+                // surfaces the latched error when the run finishes), so
+                // request conservation holds.
+                f.attempts.remove(&req.id);
+                self.stats.record_completion(&done);
+                finished.push(done);
+            }
+        }
     }
 
     /// Consults the power policy and applies at most one action. Runs only
@@ -671,6 +1090,17 @@ impl ChannelController {
                 if let Some(cycle) = self.power_policy.next_wake(&view) {
                     next = next.min(cycle);
                 }
+            }
+        }
+        // Reliability deadlines: the next patrol-scrub emission and the
+        // earliest parked demand retry. Queued scrub entries and re-enqueued
+        // retries are already covered by the structural walks above.
+        if let Some(f) = &self.fault {
+            if f.cfg.scrub_interval > 0 {
+                next = next.min(f.next_scrub_at);
+            }
+            if let Some((&due, _)) = f.retry_pending.iter().next() {
+                next = next.min(due);
             }
         }
         next
@@ -858,6 +1288,45 @@ impl MemoryController {
     #[must_use]
     pub fn peak_bandwidth_bytes_per_sec(&self) -> f64 {
         self.cfg.dram.timing.peak_bandwidth_bytes_per_sec() * self.cfg.dram.channels as f64
+    }
+
+    /// Conservation ledger of the fault models across all channels. All
+    /// zeros when no fault model is configured.
+    #[must_use]
+    pub fn fault_ledger(&self) -> FaultLedger {
+        let mut total = FaultLedger::default();
+        for channel in &self.channels {
+            if let Some(f) = &channel.fault {
+                total.merge(&f.model.ledger());
+            }
+        }
+        total
+    }
+
+    /// First uncorrectable-error message latched under the fail-stop policy,
+    /// if any. The controller keeps running after latching — the simulator
+    /// surfaces this as a typed error when the run finishes.
+    #[must_use]
+    pub fn fault_error(&self) -> Option<&str> {
+        self.channels
+            .iter()
+            .find_map(|c| c.fault.as_ref().and_then(|f| f.error.as_deref()))
+    }
+
+    /// Rows retired per rank, flattened channel-major (channel 0 rank 0,
+    /// channel 0 rank 1, ..., channel 1 rank 0, ...). All zeros when no
+    /// fault model is configured.
+    #[must_use]
+    pub fn rows_retired_per_rank(&self) -> Vec<u64> {
+        let ranks = self.cfg.dram.ranks_per_channel;
+        let mut out = Vec::with_capacity(self.channels.len() * ranks);
+        for channel in &self.channels {
+            match &channel.fault {
+                Some(f) => out.extend_from_slice(&f.rows_retired_per_rank),
+                None => out.extend(std::iter::repeat_n(0, ranks)),
+            }
+        }
+        out
     }
 }
 
@@ -1456,5 +1925,273 @@ mod tests {
         let stats = mc.stats();
         assert!(stats.single_access_activation_fraction() > 0.9);
         assert_eq!(stats.row_hits, 0);
+    }
+
+    /// Fault config that flips every read (certainty rate) with the given
+    /// uncorrectable share, no scrubbing.
+    fn noisy_fault(uncorrectable_permille: u32) -> FaultConfig {
+        FaultConfig {
+            transient_rate_fp: 1 << 32,
+            uncorrectable_permille,
+            miscorrect_permille: 0,
+            ..FaultConfig::baseline()
+        }
+    }
+
+    #[test]
+    fn corrected_errors_trigger_bounded_demand_retries() {
+        let mut cfg = McConfig::baseline();
+        // Every read faults as corrected: each demand read retries exactly
+        // max_demand_retries times, then accepts the corrected data.
+        cfg.fault_model = Some(noisy_fault(0));
+        let mut mc = MemoryController::new(cfg).unwrap();
+        mc.enqueue(MemoryRequest::new(1, AccessKind::Read, 0x4000, 0, 0), 0)
+            .unwrap();
+        let done = drain(&mut mc, 2_000);
+        assert_eq!(done.len(), 1, "retries must not lose the request");
+        let stats = mc.stats();
+        let retries = cfg.fault_model.unwrap().max_demand_retries as u64;
+        assert_eq!(stats.demand_retries, retries);
+        assert_eq!(stats.ecc_corrected, retries + 1);
+        assert_eq!(stats.reads_completed, 1, "one demand completion only");
+        // The retries extend the observed latency beyond a clean read's.
+        assert!(done[0].latency() > 2 * cfg.fault_model.unwrap().retry_backoff);
+        assert_eq!(mc.pending(), 0);
+        let ledger = mc.fault_ledger();
+        assert_eq!(ledger.injected, retries + 1);
+        assert_eq!(ledger.corrected, retries + 1);
+    }
+
+    #[test]
+    fn repeat_offender_rows_are_retired_and_read_clean_after() {
+        let mut cfg = McConfig::baseline();
+        let mut fault = noisy_fault(0);
+        fault.retire_threshold = 3;
+        fault.max_demand_retries = 0;
+        cfg.fault_model = Some(fault);
+        let mut mc = MemoryController::new(cfg).unwrap();
+        // Many reads of the same row: after 3 corrected errors the row
+        // retires (remapped to a spare) and later reads come back clean.
+        let mut done = Vec::new();
+        for i in 0..10u64 {
+            mc.enqueue(MemoryRequest::new(i, AccessKind::Read, 0x4000, 0, i), i)
+                .unwrap();
+        }
+        for c in 0..3_000 {
+            mc.tick(c, &mut done);
+        }
+        assert_eq!(done.len(), 10);
+        let stats = mc.stats();
+        assert_eq!(stats.rows_retired, 1);
+        assert_eq!(
+            stats.ecc_corrected, 3,
+            "only the pre-retirement reads fault"
+        );
+        let per_rank = mc.rows_retired_per_rank();
+        assert_eq!(per_rank.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn fail_stop_latches_a_typed_error_and_never_panics() {
+        let mut cfg = McConfig::baseline();
+        let mut fault = noisy_fault(1000); // every flip is uncorrectable
+        fault.on_uncorrectable = UncorrectablePolicy::FailStop;
+        cfg.fault_model = Some(fault);
+        let mut mc = MemoryController::new(cfg).unwrap();
+        mc.enqueue(MemoryRequest::new(1, AccessKind::Read, 0x4000, 0, 0), 0)
+            .unwrap();
+        let done = drain(&mut mc, 500);
+        assert_eq!(done.len(), 1, "the run completes; the error is latched");
+        let err = mc.fault_error().expect("uncorrectable error must latch");
+        assert!(err.contains("uncorrectable"), "got: {err}");
+        assert_eq!(mc.stats().ecc_detected_uncorrectable, 1);
+    }
+
+    #[test]
+    fn poison_and_continue_accounts_poisoned_lines_and_writes_clear_them() {
+        let mut cfg = McConfig::baseline();
+        let mut fault = noisy_fault(1000);
+        fault.on_uncorrectable = UncorrectablePolicy::PoisonAndContinue;
+        cfg.fault_model = Some(fault);
+        let mut mc = MemoryController::new(cfg).unwrap();
+        // First read poisons the line; the second read consumes the poison
+        // (skipping classification); a write then clears it.
+        mc.enqueue(MemoryRequest::new(1, AccessKind::Read, 0x4000, 0, 0), 0)
+            .unwrap();
+        let mut done = drain(&mut mc, 400);
+        mc.enqueue(MemoryRequest::new(2, AccessKind::Read, 0x4000, 0, 400), 400)
+            .unwrap();
+        for c in 400..800 {
+            mc.tick(c, &mut done);
+        }
+        mc.enqueue(
+            MemoryRequest::new(3, AccessKind::Write, 0x4000, 0, 800),
+            800,
+        )
+        .unwrap();
+        for c in 800..1_200 {
+            mc.tick(c, &mut done);
+        }
+        mc.enqueue(
+            MemoryRequest::new(4, AccessKind::Read, 0x4000, 0, 1_200),
+            1_200,
+        )
+        .unwrap();
+        for c in 1_200..1_600 {
+            mc.tick(c, &mut done);
+        }
+        assert_eq!(done.len(), 4);
+        let stats = mc.stats();
+        assert_eq!(stats.lines_poisoned, 2, "read 1 and read 4 each poison");
+        assert_eq!(stats.poisoned_reads, 1, "only read 2 consumed poison");
+        assert!(mc.fault_error().is_none());
+    }
+
+    #[test]
+    fn scrub_emits_real_read_traffic_without_demand_pending() {
+        let mut cfg = McConfig::baseline();
+        let mut fault = FaultConfig::baseline();
+        fault.transient_rate_fp = 0;
+        fault.scrub_interval = 100;
+        cfg.fault_model = Some(fault);
+        let mut mc = MemoryController::new(cfg).unwrap();
+        let mut done = Vec::new();
+        for c in 0..5_000 {
+            mc.tick(c, &mut done);
+            assert_eq!(mc.pending(), 0, "scrub must not count as demand");
+        }
+        assert!(done.is_empty(), "scrub completions stay internal");
+        let stats = mc.stats();
+        assert!(stats.scrub_reads_issued >= 40, "one per 100 cycles");
+        assert!(stats.scrub_reads_completed > 0);
+        assert_eq!(stats.reads_completed, 0);
+        // The scrub reads are real device traffic.
+        assert!(mc.channel_device_stats(0).reads > 0);
+        assert_eq!(mc.pending_per_tenant(), [0; MAX_TENANTS]);
+    }
+
+    #[test]
+    fn scrub_discovers_planted_rows_and_retires_them() {
+        let mut cfg = McConfig::baseline();
+        // Shrink the geometry so one patrol pass covers the device quickly.
+        cfg.dram.rows_per_bank = 16;
+        let mut fault = FaultConfig::baseline();
+        fault.transient_rate_fp = 0;
+        fault.stuck_rows_per_rank = 2;
+        fault.scrub_interval = 20;
+        fault.retire_threshold = 2;
+        cfg.fault_model = Some(fault);
+        let mut mc = MemoryController::new(cfg).unwrap();
+        let mut done = Vec::new();
+        // 2 ranks x 8 banks x 16 rows = 256 granules per pass; several
+        // passes at one read per 20 cycles.
+        for c in 0..40_000 {
+            mc.tick(c, &mut done);
+        }
+        let stats = mc.stats();
+        assert!(stats.scrub_corrected >= 4, "planted rows found repeatedly");
+        assert_eq!(stats.rows_retired, 4, "2 stuck rows x 2 ranks retire");
+        let ledger = mc.fault_ledger();
+        assert_eq!(ledger.latent, 0, "full patrol passes leave nothing latent");
+        assert_eq!(
+            ledger.injected,
+            ledger.corrected + ledger.uncorrectable + ledger.latent
+        );
+    }
+
+    /// The jump-equivalence property must hold with the reliability
+    /// subsystem active: scrub emissions and retry deadlines are part of the
+    /// readiness bound, so fast-forwarding never skips them.
+    #[test]
+    fn next_ready_never_skips_a_scrub_or_retry_event() {
+        for sched in SchedulerKind::paper_set() {
+            let mut cfg = McConfig::baseline();
+            cfg.scheduler = sched;
+            cfg.power_policy = PowerPolicyKind::IdleTimer;
+            let mut fault = noisy_fault(200);
+            fault.scrub_interval = 700;
+            fault.retry_backoff = 16;
+            cfg.fault_model = Some(fault);
+            let mut naive = MemoryController::new(cfg).unwrap();
+            let mut jumpy = MemoryController::new(cfg).unwrap();
+            let horizon = cfg.dram.timing.t_refi * 3;
+            let arrivals: Vec<u64> = (0..6u64).map(|i| i * (horizon / 7)).collect();
+            let mut naive_done = Vec::new();
+            let mut next_arrival = 0usize;
+            for c in 0..horizon {
+                while next_arrival < arrivals.len() && arrivals[next_arrival] == c {
+                    submit_two_tenants(&mut naive, c, next_arrival as u64);
+                    next_arrival += 1;
+                }
+                naive.tick(c, &mut naive_done);
+            }
+            let mut jumpy_done = Vec::new();
+            let mut next_arrival = 0usize;
+            let mut c = 0u64;
+            while c < horizon {
+                while next_arrival < arrivals.len() && arrivals[next_arrival] == c {
+                    submit_two_tenants(&mut jumpy, c, next_arrival as u64);
+                    next_arrival += 1;
+                }
+                let worked = jumpy.tick(c, &mut jumpy_done);
+                let mut next = if worked || jumpy.pending() > 0 {
+                    c + 1
+                } else {
+                    jumpy.next_ready_dram_cycle(c).max(c + 1).min(horizon)
+                };
+                if next_arrival < arrivals.len() {
+                    next = next.min(arrivals[next_arrival]);
+                }
+                if next > c + 1 {
+                    jumpy.skip_dram_cycles(next - c - 1);
+                }
+                c = next;
+            }
+            assert_eq!(
+                naive_done.len(),
+                jumpy_done.len(),
+                "{}: completion counts diverged",
+                sched.label()
+            );
+            assert_eq!(
+                naive.stats(),
+                jumpy.stats(),
+                "{}: stats diverged",
+                sched.label()
+            );
+            assert_eq!(
+                naive.fault_ledger(),
+                jumpy.fault_ledger(),
+                "{}: fault ledgers diverged",
+                sched.label()
+            );
+        }
+    }
+
+    /// `fault_model: None` must add zero work and zero counters: a run with
+    /// the field defaulted is bit-identical to the pre-subsystem controller.
+    #[test]
+    fn disabled_fault_model_keeps_all_reliability_counters_zero() {
+        let mut mc = MemoryController::new(McConfig::baseline()).unwrap();
+        for i in 0..20u64 {
+            mc.enqueue(
+                MemoryRequest::new(i, AccessKind::Read, i * 0x1_0000, 0, i),
+                i,
+            )
+            .unwrap();
+        }
+        let done = drain(&mut mc, 3_000);
+        assert_eq!(done.len(), 20);
+        let stats = mc.stats();
+        assert_eq!(stats.ecc_corrected, 0);
+        assert_eq!(stats.ecc_detected_uncorrectable, 0);
+        assert_eq!(stats.ecc_miscorrects, 0);
+        assert_eq!(stats.demand_retries, 0);
+        assert_eq!(stats.scrub_reads_issued, 0);
+        assert_eq!(stats.rows_retired, 0);
+        assert_eq!(stats.lines_poisoned, 0);
+        assert_eq!(mc.fault_ledger(), cloudmc_dram::FaultLedger::default());
+        assert!(mc.fault_error().is_none());
+        assert!(mc.rows_retired_per_rank().iter().all(|&r| r == 0));
     }
 }

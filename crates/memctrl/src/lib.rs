@@ -48,7 +48,8 @@ pub mod request;
 pub mod sched;
 pub mod stats;
 
-pub use controller::{McConfig, MemoryController};
+pub use cloudmc_dram::{FaultConfig, FaultLedger, FaultModel, ReadFault, UncorrectablePolicy};
+pub use controller::{is_scrub_id, McConfig, MemoryController, SCRUB_ID_BIT};
 pub use mapping::{AddressMapping, DecodedAddress};
 pub use page::{
     Abpp, BankDemand, CloseAdaptive, ClosePage, OpenAdaptive, OpenPage, PagePolicy, PagePolicyImpl,

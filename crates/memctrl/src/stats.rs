@@ -69,6 +69,30 @@ pub struct McStats {
     /// Sum of per-cycle read-queue occupancies per tenant (same sample count
     /// as [`McStats::queue_samples`]).
     pub read_queue_occupancy_per_tenant: [u64; MAX_TENANTS],
+    /// Demand-read errors SEC-DED corrected (reliability subsystem; all of
+    /// the following stay zero when no fault model is configured).
+    pub ecc_corrected: u64,
+    /// Demand-read errors detected but beyond correction.
+    pub ecc_detected_uncorrectable: u64,
+    /// Multi-bit errors that aliased to a valid codeword and silently
+    /// "corrected" to wrong data (demand or scrub).
+    pub ecc_miscorrects: u64,
+    /// Demand re-reads issued after a corrected error (bounded backoff).
+    pub demand_retries: u64,
+    /// Patrol-scrub reads emitted into the queues.
+    pub scrub_reads_issued: u64,
+    /// Patrol-scrub reads whose data returned.
+    pub scrub_reads_completed: u64,
+    /// Errors corrected by patrol scrub.
+    pub scrub_corrected: u64,
+    /// Detected-uncorrectable errors found by patrol scrub.
+    pub scrub_uncorrectable: u64,
+    /// Rows retired by the repeat-offender policy.
+    pub rows_retired: u64,
+    /// Lines marked poisoned under poison-and-continue.
+    pub lines_poisoned: u64,
+    /// Demand reads that consumed a poisoned line.
+    pub poisoned_reads: u64,
 }
 
 /// Number of buckets kept in the activation-reuse histogram.
@@ -349,6 +373,17 @@ impl McStats {
             self.row_conflicts_per_tenant[t] += other.row_conflicts_per_tenant[t];
             self.read_queue_occupancy_per_tenant[t] += other.read_queue_occupancy_per_tenant[t];
         }
+        self.ecc_corrected += other.ecc_corrected;
+        self.ecc_detected_uncorrectable += other.ecc_detected_uncorrectable;
+        self.ecc_miscorrects += other.ecc_miscorrects;
+        self.demand_retries += other.demand_retries;
+        self.scrub_reads_issued += other.scrub_reads_issued;
+        self.scrub_reads_completed += other.scrub_reads_completed;
+        self.scrub_corrected += other.scrub_corrected;
+        self.scrub_uncorrectable += other.scrub_uncorrectable;
+        self.rows_retired += other.rows_retired;
+        self.lines_poisoned += other.lines_poisoned;
+        self.poisoned_reads += other.poisoned_reads;
     }
 }
 
@@ -473,11 +508,25 @@ mod tests {
         ));
         b.record_activation_closed(1);
         b.sample_queues(3, 7);
+        b.ecc_corrected = 2;
+        b.ecc_detected_uncorrectable = 1;
+        b.demand_retries = 4;
+        b.scrub_reads_issued = 9;
+        b.rows_retired = 1;
+        b.lines_poisoned = 3;
+        b.poisoned_reads = 5;
         a.merge(&b);
         assert_eq!(a.reads_completed, 2);
         assert_eq!(a.row_conflicts, 1);
         assert_eq!(a.completed_per_core[1], 1);
         assert_eq!(a.queue_samples, 1);
         assert_eq!(a.activation_reuse[1], 1);
+        assert_eq!(a.ecc_corrected, 2);
+        assert_eq!(a.ecc_detected_uncorrectable, 1);
+        assert_eq!(a.demand_retries, 4);
+        assert_eq!(a.scrub_reads_issued, 9);
+        assert_eq!(a.rows_retired, 1);
+        assert_eq!(a.lines_poisoned, 3);
+        assert_eq!(a.poisoned_reads, 5);
     }
 }

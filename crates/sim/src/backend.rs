@@ -30,7 +30,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use cloudmc_dram::{ChannelStats, DramCycles};
+use cloudmc_dram::{ChannelStats, DramCycles, FaultLedger};
 use cloudmc_memctrl::{
     AccessKind, CompletedRequest, McStats, MemoryController, MemoryRequest, MAX_TENANTS,
 };
@@ -76,7 +76,21 @@ impl Backend {
         let mc_cfg = cfg.effective_mc();
         let num_shards = cfg.num_channels.max(1);
         let shards = (0..num_shards)
-            .map(|_| MemoryController::new(mc_cfg).map(Some))
+            .map(|shard| {
+                // Decorrelate the fault model across shards: with a shared
+                // seed every shard would plant stuck/hard rows at identical
+                // coordinates and flip the same transient bits, which is not
+                // how independent DIMMs fail. The per-shard offset is a pure
+                // function of the shard index, so determinism (and the
+                // threaded/sequential bit-identity) is preserved.
+                let mut shard_cfg = mc_cfg;
+                if let Some(fault) = shard_cfg.fault_model.as_mut() {
+                    fault.seed = fault
+                        .seed
+                        .wrapping_add((shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                }
+                MemoryController::new(shard_cfg).map(Some)
+            })
             .collect::<Result<Vec<_>, _>>()?;
         // More workers than shards would never all be busy at once.
         let pool = (cfg.threads > 1).then(|| WorkerPool::new(cfg.threads.min(num_shards)));
@@ -249,6 +263,35 @@ impl Backend {
             total.merge(&shard.stats());
         }
         total
+    }
+
+    /// Fault-injection conservation ledger merged across all shards. All
+    /// zeros when no fault model is configured.
+    #[must_use]
+    pub fn fault_ledger(&self) -> FaultLedger {
+        let mut total = FaultLedger::default();
+        for shard in self.shards_iter() {
+            total.merge(&shard.fault_ledger());
+        }
+        total
+    }
+
+    /// The first fail-stop uncorrectable-error description latched by any
+    /// shard, if one occurred (lowest shard index wins for determinism).
+    #[must_use]
+    pub fn fault_error(&self) -> Option<&str> {
+        self.shards_iter().find_map(MemoryController::fault_error)
+    }
+
+    /// Retired-row counts per rank, concatenated shard-major then
+    /// channel-major (all zeros when no fault model is configured).
+    #[must_use]
+    pub fn rows_retired_per_rank(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for shard in self.shards_iter() {
+            out.extend(shard.rows_retired_per_rank());
+        }
+        out
     }
 
     /// The next DRAM cycle at or after `now` at which any shard can possibly

@@ -597,4 +597,88 @@ mod tests {
         }
         assert!(q.len() == model.values().map(VecDeque::len).sum::<usize>());
     }
+
+    /// The exact ring edge: from any base, `base + EVENT_RING_SPAN - 1` is
+    /// the last in-ring cycle and `base + EVENT_RING_SPAN` is the first
+    /// overflow cycle — and both pop at their due cycles in order.
+    #[test]
+    fn event_queue_ring_edge_straddles_in_and_out_of_window() {
+        for base in [0u64, 1, 63, 64, 65, 1000] {
+            let mut q = EventQueue::new();
+            // Slide the window to `base` by popping an event there.
+            q.push(base, 0u32);
+            assert_eq!(q.pop_due(base), Some(0));
+            let last_in = base + EVENT_RING_SPAN - 1;
+            let first_out = base + EVENT_RING_SPAN;
+            q.push(first_out, 2);
+            q.push(last_in, 1);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.next_due(), Some(last_in), "base {base}");
+            assert_eq!(q.pop_due(last_in - 1), None);
+            assert_eq!(q.pop_due(last_in), Some(1), "base {base}");
+            assert_eq!(q.next_due(), Some(first_out));
+            assert_eq!(q.pop_due(first_out), Some(2), "base {base}");
+            assert!(q.is_empty());
+        }
+    }
+
+    /// Events pushed past the window land in overflow and migrate into the
+    /// ring as the base slides over them, preserving FIFO order with events
+    /// pushed directly into the ring at the same cycle *after* migration.
+    #[test]
+    fn event_queue_overflow_promotes_across_window_slides() {
+        let mut q = EventQueue::new();
+        // Far beyond the first window: multiple buckets, FIFO within each.
+        q.push(200, 1u32);
+        q.push(200, 2);
+        q.push(300, 3);
+        q.push(0, 0);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop_due(0), Some(0));
+        // Nothing due while only overflow remains.
+        assert_eq!(q.pop_due(199), None);
+        // Popping at 200 slides the window there and migrates the bucket.
+        assert_eq!(q.pop_due(250), Some(1));
+        // A ring push at the just-migrated cycle queues behind the migrated
+        // events (migration is eager on base advance, so order is total).
+        q.push(200, 9);
+        assert_eq!(q.pop_due(250), Some(2));
+        assert_eq!(q.pop_due(250), Some(9));
+        assert_eq!(q.next_due(), Some(300));
+        assert_eq!(q.pop_due(300), Some(3));
+        assert!(q.is_empty());
+    }
+
+    /// Lazy decrease-key across the ring/overflow boundary: rescheduling an
+    /// overflow event to an earlier in-ring cycle delivers the new deadline
+    /// first, and the stale overflow entry surfaces later to be discarded.
+    #[test]
+    fn event_queue_decrease_key_across_ring_overflow_boundary() {
+        let mut q = EventQueue::new();
+        // Original deadline far in the future (overflow), then the timer is
+        // "decreased" to an in-ring cycle by pushing the same token again.
+        q.push(500, 7u32);
+        q.push(10, 7);
+        assert_eq!(q.next_due(), Some(10));
+        assert_eq!(q.pop_due(10), Some(7), "new deadline fires first");
+        // The stale copy still exists at its old cycle; a consumer tracking
+        // the live deadline would disregard it on arrival.
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_due(), Some(500));
+        assert_eq!(q.pop_due(499), None);
+        assert_eq!(q.pop_due(500), Some(7));
+        assert!(q.is_empty());
+
+        // And the reverse direction: an in-ring deadline superseded by a
+        // farther one (increase-key) still pops the earlier copy first.
+        // (Fresh queue: the one above has slid its window past cycle 20,
+        // so a push there would clamp forward to the base.)
+        let mut q = EventQueue::new();
+        q.push(20, 3u32);
+        q.push(400, 3);
+        assert_eq!(q.pop_due(20), Some(3));
+        assert_eq!(q.next_due(), Some(400));
+        assert_eq!(q.pop_due(400), Some(3));
+        assert!(q.is_empty());
+    }
 }

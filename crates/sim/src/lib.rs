@@ -24,6 +24,7 @@
 
 pub mod backend;
 pub mod config;
+pub mod error;
 pub mod frontend;
 pub mod kernel;
 pub(crate) mod pool;
@@ -33,6 +34,7 @@ pub mod system;
 
 pub use backend::Backend;
 pub use config::{SystemConfig, DRAM_CYCLES_PER_5_CPU_CYCLES};
+pub use error::SimError;
 pub use frontend::{Frontend, FrontendEvent};
 pub use kernel::{ClockCrossing, EventQueue, FillQueue, Tick};
 pub use runner::{default_threads, run_all, run_all_with_threads};

@@ -99,6 +99,50 @@ pub struct SimStats {
     pub row_hit_rate_per_tenant: Vec<f64>,
     /// Time-averaged read-queue occupancy attributable to each tenant.
     pub avg_read_queue_len_per_tenant: Vec<f64>,
+    /// ECC single-bit corrections on demand reads during the window.
+    pub ecc_corrected: u64,
+    /// Detected-uncorrectable ECC events on demand reads during the window.
+    pub ecc_detected_uncorrectable: u64,
+    /// ECC miscorrections (multi-bit errors aliased to a valid codeword)
+    /// during the window. These are silent data corruptions: no retry, no
+    /// poison, no retirement evidence.
+    pub ecc_miscorrects: u64,
+    /// Demand reads re-issued by the bounded retry path during the window.
+    pub demand_retries: u64,
+    /// Patrol-scrub reads injected into the controller queues during the
+    /// window.
+    pub scrub_reads_issued: u64,
+    /// Patrol-scrub reads serviced by the devices during the window.
+    pub scrub_reads_completed: u64,
+    /// Correctable errors found by the patrol scrubber during the window.
+    pub scrub_corrected: u64,
+    /// Detected-uncorrectable errors found by the patrol scrubber during the
+    /// window.
+    pub scrub_uncorrectable: u64,
+    /// Rows retired (remapped out of service) during the window.
+    pub rows_retired: u64,
+    /// Cache lines newly poisoned under the poison-and-continue policy
+    /// during the window.
+    pub lines_poisoned: u64,
+    /// Demand reads that hit an already-poisoned line during the window.
+    pub poisoned_reads: u64,
+    /// Whole-run fault-ledger total: fault events injected (not a window
+    /// delta — the conservation invariant `injected == corrected +
+    /// uncorrectable + latent` holds over the full run).
+    pub faults_injected: u64,
+    /// Whole-run fault-ledger total: faults resolved as corrected.
+    pub faults_corrected: u64,
+    /// Whole-run fault-ledger total: faults resolved as uncorrectable
+    /// (detected or miscorrected).
+    pub faults_uncorrectable: u64,
+    /// Whole-run fault-ledger total: planted faults not yet discovered.
+    pub faults_latent: u64,
+    /// Retired-row counts per rank at the end of the run, shard-major then
+    /// channel-major. All zeros when no fault model is configured.
+    pub rows_retired_per_rank: Vec<u64>,
+    /// Memory capacity lost to row retirement by the end of the run, in
+    /// bytes (retired rows × row size).
+    pub retired_capacity_bytes: u64,
 }
 
 impl SimStats {
@@ -272,7 +316,7 @@ impl SimStats {
                 "\"tenant_cores\":[{}],\"tenant_latency_critical\":[{}],",
                 "\"instructions_per_tenant\":[{}],\"reads_completed_per_tenant\":[{}],",
                 "\"avg_read_latency_per_tenant\":[{}],\"bandwidth_share_per_tenant\":[{}],",
-                "\"row_hit_rate_per_tenant\":[{}],\"avg_read_queue_len_per_tenant\":[{}]}}"
+                "\"row_hit_rate_per_tenant\":[{}],\"avg_read_queue_len_per_tenant\":[{}]"
             ),
             esc(&self.qos_policy),
             self.tenants,
@@ -285,6 +329,37 @@ impl SimStats {
             join(&self.bandwidth_share_per_tenant),
             join(&self.row_hit_rate_per_tenant),
             join(&self.avg_read_queue_len_per_tenant),
+        ));
+        // Reliability keys (third additive block, appended after the
+        // tenancy/QoS keys).
+        json.push_str(&format!(
+            concat!(
+                ",\"ecc_corrected\":{},\"ecc_detected_uncorrectable\":{},",
+                "\"ecc_miscorrects\":{},\"demand_retries\":{},",
+                "\"scrub_reads_issued\":{},\"scrub_reads_completed\":{},",
+                "\"scrub_corrected\":{},\"scrub_uncorrectable\":{},",
+                "\"rows_retired\":{},\"lines_poisoned\":{},\"poisoned_reads\":{},",
+                "\"faults_injected\":{},\"faults_corrected\":{},",
+                "\"faults_uncorrectable\":{},\"faults_latent\":{},",
+                "\"rows_retired_per_rank\":[{}],\"retired_capacity_bytes\":{}}}"
+            ),
+            self.ecc_corrected,
+            self.ecc_detected_uncorrectable,
+            self.ecc_miscorrects,
+            self.demand_retries,
+            self.scrub_reads_issued,
+            self.scrub_reads_completed,
+            self.scrub_corrected,
+            self.scrub_uncorrectable,
+            self.rows_retired,
+            self.lines_poisoned,
+            self.poisoned_reads,
+            self.faults_injected,
+            self.faults_corrected,
+            self.faults_uncorrectable,
+            self.faults_latent,
+            join(&self.rows_retired_per_rank),
+            self.retired_capacity_bytes,
         ));
         json
     }
@@ -357,6 +432,23 @@ mod tests {
             bandwidth_share_per_tenant: vec![0.6, 0.4],
             row_hit_rate_per_tenant: vec![0.5, 0.3],
             avg_read_queue_len_per_tenant: vec![1.0, 1.0],
+            ecc_corrected: 3,
+            ecc_detected_uncorrectable: 1,
+            ecc_miscorrects: 0,
+            demand_retries: 2,
+            scrub_reads_issued: 50,
+            scrub_reads_completed: 48,
+            scrub_corrected: 4,
+            scrub_uncorrectable: 0,
+            rows_retired: 1,
+            lines_poisoned: 1,
+            poisoned_reads: 0,
+            faults_injected: 9,
+            faults_corrected: 7,
+            faults_uncorrectable: 2,
+            faults_latent: 0,
+            rows_retired_per_rank: vec![1, 0],
+            retired_capacity_bytes: 8192,
         }
     }
 
@@ -418,6 +510,15 @@ mod tests {
         assert!(json.contains("\"tenant_latency_critical\":[true,false]"));
         assert!(json.contains("\"reads_completed_per_tenant\":[60,40]"));
         assert!(json.contains("\"bandwidth_share_per_tenant\":[0.6,0.4]"));
+        // Reliability keys are additive too (after the tenancy keys).
+        let ecc_pos = json.find("\"ecc_corrected\"").unwrap();
+        assert!(ecc_pos > qos_pos);
+        assert!(json.contains("\"ecc_corrected\":3"));
+        assert!(json.contains("\"demand_retries\":2"));
+        assert!(json.contains("\"scrub_reads_issued\":50"));
+        assert!(json.contains("\"faults_injected\":9"));
+        assert!(json.contains("\"rows_retired_per_rank\":[1,0]"));
+        assert!(json.contains("\"retired_capacity_bytes\":8192"));
         assert!(json.ends_with('}'));
         // Every key appears exactly once.
         assert_eq!(json.matches("\"scheduler\"").count(), 1);

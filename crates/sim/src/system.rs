@@ -13,6 +13,7 @@ use cloudmc_memctrl::{AccessKind, McStats, MemoryRequest, RequestId, MAX_TENANTS
 
 use crate::backend::Backend;
 use crate::config::SystemConfig;
+use crate::error::SimError;
 use crate::frontend::{Frontend, FrontendEvent};
 use crate::kernel::{ClockCrossing, FillQueue, Tick};
 use crate::stats::SimStats;
@@ -700,6 +701,12 @@ impl System {
                     / queue_samples as f64;
             }
         }
+        let ledger = self.backend.fault_ledger();
+        let rows_retired_per_rank = self.backend.rows_retired_per_rank();
+        let retired_capacity_bytes = rows_retired_per_rank
+            .iter()
+            .sum::<u64>()
+            .saturating_mul(cfg.mc.dram.row_bytes);
         SimStats {
             workload: tenancy.label(),
             scheduler: cfg.mc.scheduler.label().to_owned(),
@@ -746,6 +753,28 @@ impl System {
             bandwidth_share_per_tenant,
             row_hit_rate_per_tenant,
             avg_read_queue_len_per_tenant,
+            ecc_corrected: mc_end.ecc_corrected - mc_start.ecc_corrected,
+            ecc_detected_uncorrectable: mc_end.ecc_detected_uncorrectable
+                - mc_start.ecc_detected_uncorrectable,
+            ecc_miscorrects: mc_end.ecc_miscorrects - mc_start.ecc_miscorrects,
+            demand_retries: mc_end.demand_retries - mc_start.demand_retries,
+            scrub_reads_issued: mc_end.scrub_reads_issued - mc_start.scrub_reads_issued,
+            scrub_reads_completed: mc_end.scrub_reads_completed - mc_start.scrub_reads_completed,
+            scrub_corrected: mc_end.scrub_corrected - mc_start.scrub_corrected,
+            scrub_uncorrectable: mc_end.scrub_uncorrectable - mc_start.scrub_uncorrectable,
+            rows_retired: mc_end.rows_retired - mc_start.rows_retired,
+            lines_poisoned: mc_end.lines_poisoned - mc_start.lines_poisoned,
+            poisoned_reads: mc_end.poisoned_reads - mc_start.poisoned_reads,
+            // Ledger totals are whole-run, not window deltas: `latent` moves
+            // both ways (latent → corrected/uncorrectable on discovery), so
+            // only the end-of-run ledger satisfies the conservation
+            // invariant.
+            faults_injected: ledger.injected,
+            faults_corrected: ledger.corrected,
+            faults_uncorrectable: ledger.uncorrectable,
+            faults_latent: ledger.latent,
+            rows_retired_per_rank,
+            retired_capacity_bytes,
         }
     }
 }
@@ -762,10 +791,10 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns a description of the problem if the configuration is invalid.
-    pub fn new(cfg: SystemConfig) -> Result<Self, String> {
+    /// Returns [`SimError::Config`] if the configuration is invalid.
+    pub fn new(cfg: SystemConfig) -> Result<Self, SimError> {
         Ok(Self {
-            system: System::new(cfg)?,
+            system: System::new(cfg).map_err(SimError::Config)?,
         })
     }
 
@@ -777,29 +806,42 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns the deferred trace error if the replay trace turned out to be
+    /// Returns [`SimError::Trace`] if the replay trace turned out to be
     /// unreadable or malformed mid-run, or if the capture sink failed — the
     /// statistics of such a run would be garbage (cores idle out on the
-    /// exhaustion filler) or the trace file incomplete.
-    pub fn try_run(mut self) -> Result<SimStats, String> {
+    /// exhaustion filler) or the trace file incomplete. Returns
+    /// [`SimError::Uncorrectable`] if a detected-uncorrectable memory error
+    /// was latched under the fail-stop policy: the run itself completes (the
+    /// fault ledger and counters stay consistent) but its statistics are
+    /// withheld, exactly like a machine check taking down the pod at the end
+    /// of the measurement.
+    pub fn try_run(mut self) -> Result<SimStats, SimError> {
         let warmup = self.system.cfg.warmup_cpu_cycles;
         let measure = self.system.cfg.measure_cpu_cycles;
         self.system.run_cycles(warmup);
         let snapshot = self.system.snapshot();
         self.system.run_cycles(measure);
-        self.system.finish_trace()?;
-        Ok(self.system.stats_since(&snapshot))
+        self.system.finish_trace().map_err(SimError::Trace)?;
+        let stats = self.system.stats_since(&snapshot);
+        if let Some(msg) = self.system.backend.fault_error() {
+            return Err(SimError::Uncorrectable(msg.to_owned()));
+        }
+        Ok(stats)
     }
 
-    /// [`Simulator::try_run`], panicking on trace I/O failures.
+    /// [`Simulator::try_run`], panicking on any [`SimError`].
     ///
     /// # Panics
     ///
-    /// Panics if the replay trace or the capture sink failed mid-run; use
+    /// Panics if the replay trace or the capture sink failed mid-run, or if
+    /// a fail-stop uncorrectable memory error was latched; use
     /// [`Simulator::try_run`] (or [`run_system`]) to handle those as errors.
     #[must_use]
     pub fn run(self) -> SimStats {
-        self.try_run().expect("trace I/O failed")
+        match self.try_run() {
+            Ok(stats) => stats,
+            Err(err) => panic!("simulation failed: {err}"),
+        }
     }
 
     /// Access to the underlying system (e.g. to inspect state mid-run).
@@ -816,12 +858,16 @@ impl Simulator {
 
 /// Convenience: run one workload under one controller configuration.
 ///
+/// Kept at `Result<_, String>` for existing harness callers; the typed
+/// error is available through [`Simulator::try_run`].
+///
 /// # Errors
 ///
-/// Returns a description of the problem if the configuration is invalid or
-/// the run's trace I/O (replay source or capture sink) failed.
+/// Returns a description of the problem if the configuration is invalid,
+/// the run's trace I/O (replay source or capture sink) failed, or a
+/// fail-stop uncorrectable memory error was latched.
 pub fn run_system(cfg: SystemConfig) -> Result<SimStats, String> {
-    Simulator::new(cfg)?.try_run()
+    Ok(Simulator::new(cfg)?.try_run()?)
 }
 
 #[cfg(test)]

@@ -193,10 +193,15 @@ impl<R: BufRead> TraceReader<R> {
                     .or_else(|| digits.strip_prefix("0X"))
                     .unwrap_or(digits);
                 let addr = u64::from_str_radix(digits, 16).map_err(|_| err("bad address"))?;
+                // The writer always emits the flag, so a memory record that
+                // ends before it is a trace cut off mid-record (e.g. a
+                // capture killed before `finish`) — report it instead of
+                // silently replaying a guessed value.
                 let overlappable = match parts.next() {
                     Some("1") => true,
-                    Some("0") | None => false,
+                    Some("0") => false,
                     Some(_) => return Err(err("bad overlappable flag")),
+                    None => return Err(err("truncated record: missing overlappable flag")),
                 };
                 let kind = match kind {
                     "L" => OpKind::Load,
@@ -510,7 +515,7 @@ mod tests {
 
     #[test]
     fn crlf_lines_and_prefixed_addresses_parse() {
-        let text = "# captured externally\r\n0 L 0x4f00 1\r\n1 S 0XABC0\r\n\r\n2 C 7\r\n";
+        let text = "# captured externally\r\n0 L 0x4f00 1\r\n1 S 0XABC0 0\r\n\r\n2 C 7\r\n";
         let records = TraceReader::new(text.as_bytes()).read_all().unwrap();
         assert_eq!(records.len(), 3);
         assert_eq!(
@@ -542,6 +547,8 @@ mod tests {
             "0 C ten",        // bad compute count
             "notanumber C 5", // bad core index
             "0 L 10 2",       // bad overlappable flag
+            "0 L 10",         // truncated mid-record: flag missing
+            "0 S abc0",       // truncated store, same
             "0 L 10 1 extra", // trailing fields
             "0",              // missing kind
         ];

@@ -9,7 +9,9 @@
 //! any layer whose "next event" bound overshoots by even one cycle shows up
 //! here as a diverging field.
 
-use cloudmc::memctrl::{PagePolicyKind, PowerPolicyKind, QosPolicyKind, SchedulerKind};
+use cloudmc::memctrl::{
+    FaultConfig, PagePolicyKind, PowerPolicyKind, QosPolicyKind, SchedulerKind, UncorrectablePolicy,
+};
 use cloudmc::sim::{run_system, SimStats, SystemConfig};
 use cloudmc::workloads::{MixSpec, TenantSpec, Workload};
 
@@ -241,6 +243,48 @@ fn thread_count_never_changes_results() {
             }
         }
     }
+}
+
+/// The reliability subsystem rides the same clockwork: with fault
+/// injection, patrol scrub, bounded demand retries and poison-and-continue
+/// all active, every kernel (and the threaded pool, on the sharded variant)
+/// must still produce bit-identical statistics. Scrub emission and retry
+/// release are timed events, so an overshooting `next_ready` bound in the
+/// fault layer shows up here as a diverging counter.
+#[test]
+fn fault_injection_and_scrub_are_bit_identical() {
+    let fault = |seed: u64| {
+        let mut fc = FaultConfig::baseline();
+        fc.seed = seed;
+        fc.transient_rate_fp = FaultConfig::rate_per_million_reads(20_000);
+        fc.uncorrectable_permille = 100;
+        fc.scrub_interval = 300;
+        fc.stuck_rows_per_rank = 2;
+        fc.retire_threshold = 2;
+        fc.on_uncorrectable = UncorrectablePolicy::PoisonAndContinue;
+        fc
+    };
+    for scheduler in SchedulerKind::paper_set() {
+        let mut cfg = small(Workload::TpchQ6, 3);
+        cfg.mc.scheduler = scheduler;
+        cfg.mc.fault_model = Some(fault(3));
+        let stats = assert_equivalent(cfg, &format!("fault/{}", scheduler.label()));
+        assert!(
+            stats.faults_injected > 0,
+            "{}: fault model never fired",
+            scheduler.label()
+        );
+        assert!(stats.scrub_reads_issued > 0);
+    }
+    // Sharded + power-managed variant: per-shard fault seeds, scrub across
+    // two controllers and residency-scaled fault rates under the threaded
+    // event path (`assert_equivalent` adds 2- and 4-thread runs here).
+    let mut sharded = small(Workload::WebSearch, 7);
+    sharded.num_channels = 2;
+    sharded.mc.power_policy = PowerPolicyKind::IdleTimer;
+    sharded.mc.fault_model = Some(fault(7));
+    let stats = assert_equivalent(sharded, "fault/2 shards/idle-timer");
+    assert!(stats.faults_injected > 0);
 }
 
 /// Request conservation holds at arbitrary observation points mid-run, even

@@ -1,0 +1,245 @@
+//! Invariants of the DRAM reliability subsystem at the full-system level:
+//! conservation of injected faults, seed determinism, zero cost when
+//! disabled, fail-stop as a typed error (never a panic), poison-and-continue
+//! accounting, retirement, and real scrub traffic.
+
+use cloudmc::memctrl::{FaultConfig, PowerPolicyKind, SchedulerKind, UncorrectablePolicy};
+use cloudmc::sim::{run_system, SimError, SimStats, Simulator, SystemConfig};
+use cloudmc::workloads::{MixSpec, TenantSpec, Workload};
+
+fn small(workload: Workload, seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::baseline(workload);
+    cfg.warmup_cpu_cycles = 10_000;
+    cfg.measure_cpu_cycles = 60_000;
+    cfg.seed = seed;
+    cfg
+}
+
+/// A fault model noisy enough that every path (correction, retry,
+/// uncorrectable, poison, scrub, retirement) sees traffic in a short run.
+fn noisy_fault(seed: u64) -> FaultConfig {
+    let mut fc = FaultConfig::baseline();
+    fc.seed = seed;
+    fc.transient_rate_fp = FaultConfig::rate_per_million_reads(20_000); // 2%
+    fc.uncorrectable_permille = 100;
+    fc.scrub_interval = 300;
+    fc.stuck_rows_per_rank = 2;
+    fc.retire_threshold = 2;
+    fc.on_uncorrectable = UncorrectablePolicy::PoisonAndContinue;
+    fc
+}
+
+/// The conservation ledger balances at the end of any run, and the window
+/// counters are consistent with it.
+#[test]
+fn fault_ledger_conserves_every_injected_fault() {
+    for seed in [1u64, 7] {
+        let mut cfg = small(Workload::TpchQ6, seed);
+        cfg.mc.fault_model = Some(noisy_fault(seed));
+        let stats = run_system(cfg).expect("poison-and-continue run completes");
+        assert!(stats.faults_injected > 0, "seed {seed}: nothing injected");
+        assert_eq!(
+            stats.faults_injected,
+            stats.faults_corrected + stats.faults_uncorrectable + stats.faults_latent,
+            "seed {seed}: ledger out of balance"
+        );
+        // Planted rows (2 stuck per rank) start latent; whatever the run
+        // discovered moved out of latent, never below zero (u64 underflow
+        // would wrap loudly here).
+        assert!(stats.faults_latent <= stats.faults_injected);
+    }
+}
+
+/// Fault-enabled runs are seed-deterministic: the same configuration gives
+/// byte-identical statistics on every repetition, and a different fault seed
+/// gives a genuinely different run.
+#[test]
+fn fault_injection_is_seed_deterministic() {
+    let make = |fault_seed: u64| {
+        let mut cfg = small(Workload::TpchQ6, 3);
+        cfg.mc.fault_model = Some(noisy_fault(fault_seed));
+        run_system(cfg).expect("run completes")
+    };
+    let a = make(11);
+    let b = make(11);
+    assert_eq!(a, b, "same fault seed must reproduce bit-identically");
+    let c = make(12);
+    assert_ne!(a, c, "a different fault seed must change the run");
+}
+
+/// With `fault_model: None` the subsystem is invisible: every reliability
+/// counter is zero and the statistics are bit-identical across the naive,
+/// horizon and event kernels, thread counts and schedulers — the same
+/// contract the kernels themselves are held to.
+#[test]
+fn disabled_fault_model_is_invisible_and_kernel_invariant() {
+    for scheduler in [SchedulerKind::FrFcfs, SchedulerKind::FcfsBanks] {
+        let mut cfg = small(Workload::WebSearch, 5);
+        cfg.mc.scheduler = scheduler;
+        cfg.num_channels = 2;
+        assert!(cfg.mc.fault_model.is_none());
+
+        cfg.fast_forward = false;
+        let naive = run_system(cfg.clone()).expect("valid config");
+        cfg.fast_forward = true;
+        cfg.event_driven = false;
+        let horizon = run_system(cfg.clone()).expect("valid config");
+        assert_eq!(horizon, naive, "{scheduler:?}: horizon diverged");
+        cfg.event_driven = true;
+        for threads in [1usize, 2] {
+            cfg.threads = threads;
+            let event = run_system(cfg.clone()).expect("valid config");
+            assert_eq!(event, naive, "{scheduler:?}/{threads} threads diverged");
+        }
+
+        assert_eq!(naive.ecc_corrected, 0);
+        assert_eq!(naive.ecc_detected_uncorrectable, 0);
+        assert_eq!(naive.ecc_miscorrects, 0);
+        assert_eq!(naive.demand_retries, 0);
+        assert_eq!(naive.scrub_reads_issued, 0);
+        assert_eq!(naive.scrub_reads_completed, 0);
+        assert_eq!(naive.rows_retired, 0);
+        assert_eq!(naive.lines_poisoned, 0);
+        assert_eq!(naive.poisoned_reads, 0);
+        assert_eq!(naive.faults_injected, 0);
+        assert_eq!(naive.faults_latent, 0);
+        assert!(naive.rows_retired_per_rank.iter().all(|&n| n == 0));
+        assert_eq!(naive.retired_capacity_bytes, 0);
+    }
+}
+
+/// Under the fail-stop policy an uncorrectable error surfaces as
+/// `SimError::Uncorrectable` from `try_run` — a typed error naming the
+/// failing coordinates, never a panic — and `run_system` renders it as a
+/// string for legacy callers.
+#[test]
+fn fail_stop_surfaces_a_typed_error_never_a_panic() {
+    let mut fc = noisy_fault(1);
+    fc.transient_rate_fp = 1 << 32; // certainty
+    fc.uncorrectable_permille = 1000; // every fault uncorrectable
+    fc.miscorrect_permille = 0;
+    fc.on_uncorrectable = UncorrectablePolicy::FailStop;
+    let mut cfg = small(Workload::TpchQ6, 1);
+    cfg.mc.fault_model = Some(fc);
+
+    let err = Simulator::new(cfg.clone())
+        .expect("valid config")
+        .try_run()
+        .expect_err("fail-stop must error");
+    match &err {
+        SimError::Uncorrectable(msg) => {
+            assert!(msg.contains("uncorrectable memory error"), "{msg}");
+            assert!(msg.contains("rank"), "{msg}");
+            assert!(msg.contains("row"), "{msg}");
+        }
+        other => panic!("expected Uncorrectable, got {other:?}"),
+    }
+    let message = run_system(cfg).expect_err("fail-stop must error via run_system too");
+    assert!(message.contains("fail-stop"), "{message}");
+    assert!(message.contains("uncorrectable memory error"), "{message}");
+}
+
+/// Under poison-and-continue the same error stream completes the run with
+/// full accounting: poisoned lines, detected uncorrectables, and (with a
+/// one-strike threshold) retired rows with their capacity loss.
+#[test]
+fn poison_and_continue_completes_with_accounting() {
+    let mut fc = noisy_fault(1);
+    fc.transient_rate_fp = FaultConfig::rate_per_million_reads(50_000); // 5%
+    fc.uncorrectable_permille = 300;
+    fc.retire_threshold = 1;
+    fc.on_uncorrectable = UncorrectablePolicy::PoisonAndContinue;
+    let mut cfg = small(Workload::TpchQ6, 1);
+    cfg.mc.fault_model = Some(fc);
+    let stats = run_system(cfg.clone()).expect("poison-and-continue completes");
+    assert!(stats.user_instructions > 0, "the pod must keep committing");
+    assert!(stats.ecc_detected_uncorrectable > 0);
+    assert!(stats.lines_poisoned > 0);
+    assert!(stats.rows_retired > 0, "one-strike retirement never fired");
+    assert_eq!(
+        stats.rows_retired_per_rank.iter().sum::<u64>() * cfg.mc.dram.row_bytes,
+        stats.retired_capacity_bytes
+    );
+    assert!(stats.ecc_corrected > 0);
+    assert!(stats.demand_retries > 0);
+}
+
+/// Patrol scrubbing emits real read traffic through the controller queues
+/// (visible in device read counts) and its rate follows the configured
+/// interval; fault-enabled runs stay bit-identical across kernels, threads
+/// and power policies while it runs.
+#[test]
+fn scrub_traffic_is_real_and_fault_runs_stay_kernel_invariant() {
+    let mix = MixSpec::new(TenantSpec::latency_critical(Workload::WebSearch, 8))
+        .and(TenantSpec::batch(Workload::TpchQ6, 8));
+    for power in [PowerPolicyKind::None, PowerPolicyKind::IdleTimer] {
+        let mut cfg = SystemConfig::mixed(mix);
+        cfg.warmup_cpu_cycles = 10_000;
+        cfg.measure_cpu_cycles = 60_000;
+        cfg.seed = 5;
+        cfg.num_channels = 2;
+        cfg.mc.power_policy = power;
+        cfg.mc.fault_model = Some(noisy_fault(5));
+
+        cfg.fast_forward = false;
+        let naive = run_system(cfg.clone()).expect("valid config");
+        cfg.fast_forward = true;
+        cfg.event_driven = false;
+        let horizon = run_system(cfg.clone()).expect("valid config");
+        assert_eq!(horizon, naive, "{power}: horizon diverged under faults");
+        cfg.event_driven = true;
+        for threads in [1usize, 2] {
+            cfg.threads = threads;
+            let event = run_system(cfg.clone()).expect("valid config");
+            assert_eq!(
+                event, naive,
+                "{power}: event kernel ({threads} threads) diverged under faults"
+            );
+        }
+
+        assert!(naive.scrub_reads_issued > 0, "{power}: scrubber idle");
+        assert!(naive.scrub_reads_completed > 0);
+        assert!(
+            naive.scrub_reads_completed <= naive.scrub_reads_issued,
+            "{power}: completed more scrubs than issued"
+        );
+        assert!(naive.faults_injected > 0);
+    }
+}
+
+/// A sanity cross-check that the measurement window only counts its own
+/// events: doubling the measurement window roughly doubles scrub issue
+/// (never shrinks it), since the counters are deltas, not absolutes.
+#[test]
+fn scrub_counters_are_window_deltas() {
+    let mut fc = FaultConfig::baseline();
+    fc.scrub_interval = 200;
+    let mut short = small(Workload::WebSearch, 9);
+    short.mc.fault_model = Some(fc);
+    let mut long = short.clone();
+    long.measure_cpu_cycles = short.measure_cpu_cycles * 2;
+    let short_stats = run_system(short).expect("run completes");
+    let long_stats = run_system(long).expect("run completes");
+    assert!(short_stats.scrub_reads_issued > 0);
+    assert!(
+        long_stats.scrub_reads_issued > short_stats.scrub_reads_issued,
+        "longer window must see more scrubs ({} vs {})",
+        long_stats.scrub_reads_issued,
+        short_stats.scrub_reads_issued
+    );
+}
+
+/// `SimStats` carries the reliability keys in its JSON rendering, appended
+/// after the tenancy keys so existing `BENCH_*.json` consumers keep parsing.
+#[test]
+fn reliability_keys_serialize_additively() {
+    let mut cfg = small(Workload::TpchQ6, 1);
+    cfg.mc.fault_model = Some(noisy_fault(1));
+    let stats: SimStats = run_system(cfg).expect("run completes");
+    let json = stats.to_json();
+    let qos = json.find("\"qos_policy\"").expect("tenancy block present");
+    let ecc = json.find("\"ecc_corrected\"").expect("reliability block");
+    assert!(ecc > qos, "reliability keys must come after tenancy keys");
+    assert!(json.contains(&format!("\"faults_injected\":{}", stats.faults_injected)));
+    assert!(json.contains("\"retired_capacity_bytes\""));
+}

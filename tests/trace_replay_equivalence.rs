@@ -218,6 +218,21 @@ fn malformed_trace_and_aliased_record_path_fail_as_errors() {
     std::fs::remove_file(&path).ok();
 }
 
+/// A trace cut off mid-record (e.g. a capture killed before `finish` wrote
+/// the trailing overlappable flag) fails with a line-numbered truncation
+/// error instead of silently replaying a guessed flag value.
+#[test]
+fn truncated_trace_fails_with_line_numbered_error() {
+    let path = temp_trace("truncated_mid");
+    std::fs::write(&path, "0 C 5\n0 L 4f00\n").unwrap();
+    let mut cfg = small(Workload::WebSearch, 1);
+    cfg.source = WorkloadSource::Trace(path.clone());
+    let message = run_system(cfg).expect_err("truncated trace must fail");
+    assert!(message.contains("line 2"), "{message}");
+    assert!(message.contains("truncated record"), "{message}");
+    std::fs::remove_file(&path).ok();
+}
+
 /// The checked-in golden mini-trace stays in lock-step with the generators:
 /// re-recording its pinned configuration reproduces the file byte for byte,
 /// and replaying it matches the synthetic run bit for bit. If a deliberate
