@@ -32,7 +32,12 @@
 //!                 with bit-identical stats asserted, plus the golden
 //!                 mini-trace check; writes BENCH_trace.json
 //!                 (--golden-regen rewrites tests/data/golden_mix.trace)
-//!   all           everything above
+//!   sweep         snapshot-forked experiment sweep: warm each
+//!                 (workload, scheduler) once, checkpoint it, fork the
+//!                 replicates from the image across worker threads, and
+//!                 demand bit-identity with serial + parallel cold runs;
+//!                 resumable via --resume-dir; writes BENCH_sweep.json
+//!   all           everything above except sweep
 //!
 //! options:
 //!   --quick | --full      run length preset (default: standard)
@@ -41,6 +46,14 @@
 //!   --seed <n>            workload seed (default 1)
 //!   --threads <n>         worker threads
 //!   --csv <dir>           also write each table as CSV into <dir>
+//!   --git-describe <s>    version string for the report meta block
+//!                         (or set REPRO_GIT_DESCRIBE)
+//!   --replicates <n>      sweep: measured replicates per cell (default 3)
+//!   --workloads <n>       sweep: workloads in the grid (default 4)
+//!   --schedulers <n>      sweep: schedulers in the grid (default 5)
+//!   --max-cells <n>       sweep: stop after n fresh cells (resume later)
+//!   --resume-dir <dir>    sweep: cell cache directory
+//!                         (default BENCH_sweep_cells)
 //! ```
 
 use std::path::PathBuf;
@@ -49,86 +62,10 @@ use std::process::ExitCode;
 use cloudmc_bench::{
     baseline_study, channel_study, config_report, energy_study, fastforward_report, figure1,
     figure10, figure11, figure12, figure13, figure14, figure2, figure3, figure4, figure5, figure6,
-    figure7, figure8, figure9, page_policy_study, qos_study, regenerate_golden_trace,
-    reliability_study, scheduler_study, trace_study, Scale, Table,
+    figure7, figure8, figure9, page_policy_study, parse, qos_study, regenerate_golden_trace,
+    reliability_study, run_sweep, scheduler_study, trace_study, with_meta, Options, Parsed,
+    RunMeta, SweepOutcome, Table, HELP,
 };
-
-struct Options {
-    experiment: String,
-    scale: Scale,
-    csv_dir: Option<PathBuf>,
-    golden_regen: bool,
-}
-
-fn parse_args() -> Result<Options, String> {
-    let mut args = std::env::args().skip(1);
-    // `repro --help` (no experiment) must print usage, not run "--help".
-    let experiment = match args.next() {
-        Some(first) if first == "--help" || first == "-h" => {
-            println!("{HELP}");
-            std::process::exit(0);
-        }
-        Some(first) => first,
-        None => "all".to_owned(),
-    };
-    let mut scale = Scale::standard();
-    let mut csv_dir = None;
-    let mut golden_regen = false;
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => scale = Scale::quick(),
-            "--full" => scale = Scale::full(),
-            "--golden-regen" => golden_regen = true,
-            "--measure" => {
-                scale.measure_cpu_cycles = args
-                    .next()
-                    .ok_or("--measure needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --measure value: {e}"))?;
-            }
-            "--warmup" => {
-                scale.warmup_cpu_cycles = args
-                    .next()
-                    .ok_or("--warmup needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --warmup value: {e}"))?;
-            }
-            "--seed" => {
-                scale.seed = args
-                    .next()
-                    .ok_or("--seed needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --seed value: {e}"))?;
-            }
-            "--threads" => {
-                scale.threads = args
-                    .next()
-                    .ok_or("--threads needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --threads value: {e}"))?;
-            }
-            "--csv" => {
-                csv_dir = Some(PathBuf::from(args.next().ok_or("--csv needs a directory")?));
-            }
-            "--help" | "-h" => {
-                println!("{}", HELP);
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown option `{other}` (try --help)")),
-        }
-    }
-    Ok(Options {
-        experiment,
-        scale,
-        csv_dir,
-        golden_regen,
-    })
-}
-
-const HELP: &str = "usage: repro \
-<config|fig1..fig14|table4|sched|pages|channels|fastforward|energy|qos|reliability|trace|all> \
-[--quick|--full] [--measure N] [--warmup N] [--seed N] [--threads N] [--csv DIR] \
-[--golden-regen]";
 
 fn emit(table: &Table, csv_dir: &Option<PathBuf>) {
     println!("{}", table.to_text());
@@ -147,25 +84,40 @@ fn emit(table: &Table, csv_dir: &Option<PathBuf>) {
     }
 }
 
+/// Writes a report's JSON with the provenance `meta` block spliced in.
+fn write_report(path: &str, json: &str, meta: &RunMeta) {
+    std::fs::write(path, with_meta(json, meta)).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
 fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(o) => o,
+    let opts = match parse(std::env::args().skip(1)) {
+        Ok(Parsed::Run(opts)) => opts,
+        Ok(Parsed::Help) => {
+            println!("{HELP}");
+            return ExitCode::SUCCESS;
+        }
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{HELP}");
             return ExitCode::FAILURE;
         }
     };
-    let scale = opts.scale;
+    let Options {
+        experiment,
+        scale,
+        scale_label,
+        csv_dir,
+        golden_regen,
+        git_describe,
+        sweep,
+    } = *opts;
+    let meta = RunMeta::collect(&scale_label, git_describe.as_deref());
     eprintln!(
         "# running `{}` (warmup {} + measure {} CPU cycles per point, seed {}, {} threads)",
-        opts.experiment,
-        scale.warmup_cpu_cycles,
-        scale.measure_cpu_cycles,
-        scale.seed,
-        scale.threads
+        experiment, scale.warmup_cpu_cycles, scale.measure_cpu_cycles, scale.seed, scale.threads
     );
-    let exp = opts.experiment.as_str();
+    let exp = experiment.as_str();
     let wants = |names: &[&str]| names.contains(&exp);
 
     if wants(&["config", "all"]) {
@@ -186,13 +138,13 @@ fn main() -> ExitCode {
         ];
         for (name, table) in figures {
             if wants(&[name, "sched", "all"]) {
-                emit(&table, &opts.csv_dir);
+                emit(&table, &csv_dir);
             }
         }
     }
     if wants(&["fig8", "all"]) {
         let baseline = baseline_study(&scale);
-        emit(&figure8(&baseline), &opts.csv_dir);
+        emit(&figure8(&baseline), &csv_dir);
     }
     if wants(&["pages", "all", "fig9", "fig10", "fig11"]) {
         let study = page_policy_study(&scale);
@@ -203,7 +155,7 @@ fn main() -> ExitCode {
         ];
         for (name, table) in figures {
             if wants(&[name, "pages", "all"]) {
-                emit(&table, &opts.csv_dir);
+                emit(&table, &csv_dir);
             }
         }
     }
@@ -216,7 +168,7 @@ fn main() -> ExitCode {
         ];
         for (name, table) in figures {
             if wants(&[name, "channels", "all"]) {
-                emit(&table, &opts.csv_dir);
+                emit(&table, &csv_dir);
             }
         }
         if wants(&["table4", "channels", "all"]) {
@@ -226,9 +178,7 @@ fn main() -> ExitCode {
     if wants(&["fastforward", "all"]) {
         let report = fastforward_report(&scale);
         println!("{}", report.to_text());
-        let path = "BENCH_fastforward.json";
-        std::fs::write(path, report.to_json()).expect("write BENCH_fastforward.json");
-        eprintln!("wrote {path}");
+        write_report("BENCH_fastforward.json", &report.to_json(), &meta);
         // Regression gate (run as a CI smoke step): on dense streams the
         // event kernel has no idle cycles to skip, so any speedup below 1.0
         // means its bookkeeping is taxing the busy path.
@@ -246,23 +196,17 @@ fn main() -> ExitCode {
     if wants(&["energy", "all"]) {
         let report = energy_study(&scale);
         println!("{}", report.to_text());
-        let path = "BENCH_energy.json";
-        std::fs::write(path, report.to_json()).expect("write BENCH_energy.json");
-        eprintln!("wrote {path}");
+        write_report("BENCH_energy.json", &report.to_json(), &meta);
     }
     if wants(&["qos", "all"]) {
         let report = qos_study(&scale);
         println!("{}", report.to_text());
-        let path = "BENCH_qos.json";
-        std::fs::write(path, report.to_json()).expect("write BENCH_qos.json");
-        eprintln!("wrote {path}");
+        write_report("BENCH_qos.json", &report.to_json(), &meta);
     }
     if wants(&["reliability", "all"]) {
         let report = reliability_study(&scale);
         println!("{}", report.to_text());
-        let path = "BENCH_reliability.json";
-        std::fs::write(path, report.to_json()).expect("write BENCH_reliability.json");
-        eprintln!("wrote {path}");
+        write_report("BENCH_reliability.json", &report.to_json(), &meta);
         // Regression gate (run as a CI smoke step): the fault ledger must
         // balance on every point, and scrubbing must have produced real
         // traffic wherever it was enabled.
@@ -280,7 +224,7 @@ fn main() -> ExitCode {
         }
     }
     if wants(&["trace", "all"]) {
-        if opts.golden_regen {
+        if golden_regen {
             match regenerate_golden_trace() {
                 Ok(path) => eprintln!("regenerated {}", path.display()),
                 Err(e) => {
@@ -291,41 +235,30 @@ fn main() -> ExitCode {
         }
         let report = trace_study(&scale);
         println!("{}", report.to_text());
-        let path = "BENCH_trace.json";
-        std::fs::write(path, report.to_json()).expect("write BENCH_trace.json");
-        eprintln!("wrote {path}");
+        write_report("BENCH_trace.json", &report.to_json(), &meta);
     }
-    let known = [
-        "config",
-        "all",
-        "sched",
-        "pages",
-        "channels",
-        "table4",
-        "fastforward",
-        "energy",
-        "qos",
-        "reliability",
-        "trace",
-        "fig1",
-        "fig2",
-        "fig3",
-        "fig4",
-        "fig5",
-        "fig6",
-        "fig7",
-        "fig8",
-        "fig9",
-        "fig10",
-        "fig11",
-        "fig12",
-        "fig13",
-        "fig14",
-    ];
-    if !known.contains(&exp) {
-        eprintln!("error: unknown experiment `{exp}`");
-        eprintln!("{HELP}");
-        return ExitCode::FAILURE;
+    if wants(&["sweep"]) {
+        match run_sweep(&sweep, &scale) {
+            Ok(SweepOutcome::Complete(report)) => {
+                println!("{}", report.to_text());
+                write_report("BENCH_sweep.json", &report.to_json(), &meta);
+            }
+            Ok(SweepOutcome::Stopped {
+                new_cells,
+                cached_cells,
+                remaining,
+            }) => {
+                eprintln!(
+                    "sweep stopped after {new_cells} new cells ({cached_cells} cached, \
+                     {remaining} remaining): rerun the same command to resume from {}",
+                    sweep.resume_dir.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("error: sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -11,23 +11,32 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cli;
 pub mod energy;
 pub mod experiments;
 pub mod fastforward;
+pub mod meta;
 pub mod qos;
 pub mod reliability;
 pub mod report;
+pub mod sweep;
 pub mod trace;
 
+pub use cli::{parse, Options, Parsed, EXPERIMENTS, HELP};
 pub use energy::{energy_study, EnergyPoint, EnergyReport};
 pub use fastforward::{
     dense_config, fastforward_report, idle_heavy_config, scale_out_config, sharded_dense_config,
     FastForwardPoint, FastForwardReport, BENCH_THREADS,
 };
+pub use meta::{with_meta, RunMeta, GIT_DESCRIBE_ENV};
 pub use qos::{paper_mixes, qos_study, QosPoint, QosReport};
 pub use reliability::{
     power_policies, reliability_mix, reliability_study, sweep_fault_config, ReliabilityPoint,
     ReliabilityReport, FAULT_RATES_PER_MILLION, SCRUB_INTERVALS,
+};
+pub use sweep::{
+    run_sweep, CellRecord, GroupSummary, ModeTiming, SweepOptions, SweepOutcome, SweepReport,
+    SWEEP_WORKLOADS,
 };
 pub use trace::{
     golden_config, golden_trace_path, regenerate_golden_trace, trace_study, GoldenCheck,

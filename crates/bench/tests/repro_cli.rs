@@ -75,4 +75,139 @@ fn help_prints_usage_and_succeeds() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("usage: repro"), "stdout: {stdout}");
     assert!(stdout.contains("reliability"), "stdout: {stdout}");
+    assert!(stdout.contains("sweep"), "stdout: {stdout}");
+    assert!(stdout.contains("--resume-dir"), "stdout: {stdout}");
+}
+
+#[test]
+fn zero_sweep_replicates_fail() {
+    let out = repro()
+        .args(["sweep", "--replicates", "0"])
+        .output()
+        .expect("spawn repro binary");
+    assert!(!out.status.success(), "zero replicates must exit non-zero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--replicates must be at least 1"),
+        "stderr: {stderr}"
+    );
+}
+
+/// End-to-end sweep contract: a `--max-cells`-capped run stops early without
+/// writing a report, the resumed run completes from the cached cells, and
+/// the report carries the identity gate plus the provenance `meta` block.
+#[test]
+fn mini_sweep_stops_resumes_and_stamps_meta() {
+    let dir = std::env::temp_dir().join("cloudmc_repro_cli_sweep");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create sweep scratch dir");
+    let resume = dir.join("cells");
+    let sweep_args = [
+        "sweep",
+        "--quick",
+        "--warmup",
+        "4000",
+        "--workloads",
+        "1",
+        "--schedulers",
+        "2",
+        "--replicates",
+        "2",
+        "--threads",
+        "2",
+        "--git-describe",
+        "test-run",
+        "--resume-dir",
+    ];
+
+    // First run: capped after one fresh cell — the deterministic stand-in
+    // for a sweep killed mid-flight.
+    let out = repro()
+        .current_dir(&dir)
+        .args(sweep_args)
+        .arg(&resume)
+        .args(["--max-cells", "1"])
+        .output()
+        .expect("spawn repro binary");
+    assert!(out.status.success(), "capped sweep must exit zero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("sweep stopped after 1 new cells"),
+        "stderr: {stderr}"
+    );
+    assert!(
+        !dir.join("BENCH_sweep.json").exists(),
+        "a stopped sweep must not write a report"
+    );
+    let cached = std::fs::read_dir(&resume).expect("resume dir").count();
+    assert_eq!(cached, 1, "one cell must be persisted for resume");
+
+    // Second run: resumes from the cached cell and completes.
+    let out = repro()
+        .current_dir(&dir)
+        .args(sweep_args)
+        .arg(&resume)
+        .output()
+        .expect("spawn repro binary");
+    assert!(
+        out.status.success(),
+        "resumed sweep must exit zero; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cells/minute"), "stdout: {stdout}");
+    let json = std::fs::read_to_string(dir.join("BENCH_sweep.json")).expect("BENCH_sweep.json");
+    assert!(
+        json.contains("\"modes_bit_identical\": true"),
+        "report must carry the identity gate: {json}"
+    );
+    assert!(
+        json.contains("\"forked_cells_from_cache\": 1"),
+        "report must account the resumed cell: {json}"
+    );
+    assert!(
+        json.contains("\"git_describe\": \"test-run\"") && json.contains("\"host_nproc\""),
+        "report must carry the meta block: {json}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every `BENCH_*.json` writer stamps the provenance block, not just sweep.
+/// (`trace` has no timing-sensitive regression gate, so it is safe to run at
+/// tiny scale in a debug binary.)
+#[test]
+fn trace_report_carries_meta_block() {
+    let dir = std::env::temp_dir().join("cloudmc_repro_cli_meta");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let out = repro()
+        .current_dir(&dir)
+        .args([
+            "trace",
+            "--quick",
+            "--warmup",
+            "2000",
+            "--measure",
+            "8000",
+            "--git-describe",
+            "meta-test",
+        ])
+        .output()
+        .expect("spawn repro binary");
+    assert!(
+        out.status.success(),
+        "trace must exit zero; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(dir.join("BENCH_trace.json")).expect("BENCH_trace");
+    assert!(
+        json.contains("\"meta\": {") && json.contains("\"git_describe\": \"meta-test\""),
+        "report must carry the meta block: {json}"
+    );
+    assert!(
+        json.contains("\"scale\": \"quick+overrides\""),
+        "overridden preset must be labelled: {json}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

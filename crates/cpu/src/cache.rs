@@ -237,6 +237,50 @@ impl Cache {
         }
     }
 
+    /// Serializes the cache's mutable state — every line plus the counters
+    /// and the LRU clock (checkpoint support). Geometry is config-derived
+    /// and not serialized.
+    pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        for set in &self.sets {
+            for line in set {
+                w.u64(line.tag);
+                w.bool(line.valid);
+                w.bool(line.dirty);
+                w.u64(line.last_use);
+            }
+        }
+        w.u64(self.stats.hits);
+        w.u64(self.stats.misses);
+        w.u64(self.stats.writebacks);
+        w.u64(self.tick);
+    }
+
+    /// Restores the cache's mutable state from a checkpoint. The cache must
+    /// have been built with the same geometry as the saved one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cloudmc_snap::SnapError`] on truncation or an
+    /// impossible flag byte.
+    pub fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        for set in &mut self.sets {
+            for line in set {
+                line.tag = r.u64()?;
+                line.valid = r.bool()?;
+                line.dirty = r.bool()?;
+                line.last_use = r.u64()?;
+            }
+        }
+        self.stats.hits = r.u64()?;
+        self.stats.misses = r.u64()?;
+        self.stats.writebacks = r.u64()?;
+        self.tick = r.u64()?;
+        Ok(())
+    }
+
     /// Invalidates the block containing `addr`, returning `true` if the block
     /// was present and dirty (i.e. a writeback is required).
     pub fn invalidate(&mut self, addr: u64) -> bool {

@@ -385,6 +385,89 @@ impl InOrderCore {
         self.mshr.outstanding()
     }
 
+    /// Serializes the core's mutable state: both L1s, the MSHR file, the
+    /// compute buffer, the stall condition and the counters (checkpoint
+    /// support). Identity and geometry are config-derived and not
+    /// serialized.
+    pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        w.section("core");
+        self.l1i.save_state(w);
+        self.l1d.save_state(w);
+        self.mshr.save_state(w);
+        w.u32(self.pending_compute);
+        match self.stall {
+            None => w.u8(0),
+            Some(Stall::Miss {
+                block,
+                commits_on_fill,
+            }) => {
+                w.u8(1);
+                w.u64(block);
+                w.bool(commits_on_fill);
+            }
+            Some(Stall::MshrFull(op)) => {
+                w.u8(2);
+                w.u8(match op.kind {
+                    OpKind::Load => 0,
+                    OpKind::Store => 1,
+                    OpKind::Ifetch => 2,
+                });
+                w.u64(op.addr);
+                w.bool(op.overlappable);
+            }
+        }
+        w.u64(self.stats.committed);
+        w.u64(self.stats.stall_cycles);
+        w.u64(self.stats.cycles);
+        w.u64(self.stats.l1_demand_misses);
+        w.u64(self.stats.l1_writebacks);
+    }
+
+    /// Restores the core's mutable state from a checkpoint. The core must
+    /// have been built with the same configuration as the saved one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cloudmc_snap::SnapError`] on truncation or
+    /// impossible discriminants.
+    pub fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        r.section("core")?;
+        self.l1i.load_state(r)?;
+        self.l1d.load_state(r)?;
+        self.mshr.load_state(r)?;
+        self.pending_compute = r.u32()?;
+        self.stall = match r.u8()? {
+            0 => None,
+            1 => Some(Stall::Miss {
+                block: r.u64()?,
+                commits_on_fill: r.bool()?,
+            }),
+            2 => {
+                let kind = match r.u8()? {
+                    0 => OpKind::Load,
+                    1 => OpKind::Store,
+                    2 => OpKind::Ifetch,
+                    other => return Err(r.bad_value(format!("op kind discriminant {other}"))),
+                };
+                Some(Stall::MshrFull(MemOp {
+                    kind,
+                    addr: r.u64()?,
+                    overlappable: r.bool()?,
+                }))
+            }
+            other => return Err(r.bad_value(format!("stall discriminant {other}"))),
+        };
+        self.stats.committed = r.u64()?;
+        self.stats.stall_cycles = r.u64()?;
+        self.stats.cycles = r.u64()?;
+        self.stats.l1_demand_misses = r.u64()?;
+        self.stats.l1_writebacks = r.u64()?;
+        Ok(())
+    }
+
     /// Functionally installs the block containing `addr` into the L1-I
     /// (`instruction == true`) or L1-D without modelling any timing.
     ///

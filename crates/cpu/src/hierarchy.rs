@@ -179,6 +179,32 @@ impl SharedL2 {
     pub fn bank_stats(&self, bank: usize) -> &CacheStats {
         self.banks[bank].stats()
     }
+
+    /// Serializes every bank's mutable state (checkpoint support).
+    pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        w.section("shared-l2");
+        for bank in &self.banks {
+            bank.save_state(w);
+        }
+    }
+
+    /// Restores every bank's mutable state from a checkpoint. The L2 must
+    /// have been built with the same configuration as the saved one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cloudmc_snap::SnapError`] on truncation or
+    /// impossible values.
+    pub fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        r.section("shared-l2")?;
+        for bank in &mut self.banks {
+            bank.load_state(r)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

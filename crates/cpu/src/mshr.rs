@@ -99,6 +99,42 @@ impl Mshr {
         MshrOutcome::Allocated
     }
 
+    /// Serializes the MSHR file's entries (checkpoint support). Capacity and
+    /// block size are config-derived and not serialized.
+    pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        w.usize(self.entries.len());
+        for &(block, waiters) in &self.entries {
+            w.u64(block);
+            w.u32(waiters);
+        }
+    }
+
+    /// Restores the MSHR file's entries from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cloudmc_snap::SnapError`] on truncation or an entry
+    /// count exceeding the configured capacity.
+    pub fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        let count = r.usize()?;
+        if count > self.capacity {
+            return Err(r.bad_value(format!(
+                "{count} MSHR entries exceed capacity {}",
+                self.capacity
+            )));
+        }
+        self.entries.clear();
+        for _ in 0..count {
+            let block = r.u64()?;
+            let waiters = r.u32()?;
+            self.entries.push((block, waiters));
+        }
+        Ok(())
+    }
+
     /// Completes the outstanding miss for the block containing `addr`,
     /// returning how many merged requesters were waiting on it (0 if the
     /// block was not outstanding).

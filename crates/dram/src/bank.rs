@@ -232,6 +232,47 @@ impl Bank {
         self.next_write = self.next_write.max(cycle);
         self.next_precharge = self.next_precharge.max(cycle);
     }
+
+    /// Serializes the bank's mutable state (checkpoint support).
+    pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        match self.state {
+            BankState::Idle => w.u8(0),
+            BankState::Active { row } => {
+                w.u8(1);
+                w.u64(row);
+            }
+        }
+        w.u64(self.next_activate);
+        w.u64(self.next_read);
+        w.u64(self.next_write);
+        w.u64(self.next_precharge);
+        w.u64(self.accesses_since_activate);
+        w.u64(self.activations);
+    }
+
+    /// Restores the bank's mutable state from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cloudmc_snap::SnapError`] on truncation or an
+    /// impossible state discriminant.
+    pub fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        self.state = match r.u8()? {
+            0 => BankState::Idle,
+            1 => BankState::Active { row: r.u64()? },
+            other => return Err(r.bad_value(format!("bank state discriminant {other}"))),
+        };
+        self.next_activate = r.u64()?;
+        self.next_read = r.u64()?;
+        self.next_write = r.u64()?;
+        self.next_precharge = r.u64()?;
+        self.accesses_since_activate = r.u64()?;
+        self.activations = r.u64()?;
+        Ok(())
+    }
 }
 
 impl Default for Bank {

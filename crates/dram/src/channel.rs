@@ -108,6 +108,50 @@ impl ChannelStats {
         self.power_wakes += other.power_wakes;
     }
 
+    /// Serializes every counter (checkpoint support).
+    pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        w.u64(self.activates);
+        w.u64(self.precharges);
+        w.u64(self.reads);
+        w.u64(self.writes);
+        w.u64(self.refreshes);
+        w.u64(self.data_bus_busy_cycles);
+        w.u64(self.active_standby_cycles);
+        w.u64(self.precharge_standby_cycles);
+        w.u64(self.power_down_fast_cycles);
+        w.u64(self.power_down_slow_cycles);
+        w.u64(self.self_refresh_cycles);
+        w.u64(self.power_down_entries);
+        w.u64(self.self_refresh_entries);
+        w.u64(self.power_wakes);
+    }
+
+    /// Restores every counter from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cloudmc_snap::SnapError`] on truncation.
+    pub fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        self.activates = r.u64()?;
+        self.precharges = r.u64()?;
+        self.reads = r.u64()?;
+        self.writes = r.u64()?;
+        self.refreshes = r.u64()?;
+        self.data_bus_busy_cycles = r.u64()?;
+        self.active_standby_cycles = r.u64()?;
+        self.precharge_standby_cycles = r.u64()?;
+        self.power_down_fast_cycles = r.u64()?;
+        self.power_down_slow_cycles = r.u64()?;
+        self.self_refresh_cycles = r.u64()?;
+        self.power_down_entries = r.u64()?;
+        self.self_refresh_entries = r.u64()?;
+        self.power_wakes = r.u64()?;
+        Ok(())
+    }
+
     /// Field-wise `self - start`: the counters accumulated over a
     /// measurement window whose beginning was snapshotted as `start`.
     ///
@@ -294,6 +338,79 @@ impl DramChannel {
         } else {
             (now - self.ranks[rank].next_refresh_due()) / self.timing.t_refi + 1
         }
+    }
+
+    /// Serializes the channel's mutable state: every rank, the data-bus
+    /// bookkeeping and the event counters (checkpoint support). Geometry and
+    /// timing are config-derived and not serialized.
+    pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        w.section("dram-channel");
+        for rank in &self.ranks {
+            rank.save_state(w);
+        }
+        w.u64(self.bus_free_at);
+        match self.last_burst_rank {
+            None => w.u8(0),
+            Some(rank) => {
+                w.u8(1);
+                w.usize(rank);
+            }
+        }
+        w.u8(match self.last_burst_direction {
+            None => 0,
+            Some(BusDirection::Read) => 1,
+            Some(BusDirection::Write) => 2,
+        });
+        match self.last_cmd_cycle {
+            None => w.u8(0),
+            Some(cycle) => {
+                w.u8(1);
+                w.u64(cycle);
+            }
+        }
+        self.stats.save_state(w);
+    }
+
+    /// Restores the channel's mutable state from a checkpoint. The channel
+    /// must have been built from the same configuration as the saved one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cloudmc_snap::SnapError`] on truncation or
+    /// impossible values.
+    pub fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        r.section("dram-channel")?;
+        for rank in &mut self.ranks {
+            rank.load_state(r)?;
+        }
+        self.bus_free_at = r.u64()?;
+        self.last_burst_rank = match r.u8()? {
+            0 => None,
+            1 => {
+                let rank = r.usize()?;
+                if rank >= self.ranks.len() {
+                    return Err(r.bad_value(format!("last burst rank {rank} out of range")));
+                }
+                Some(rank)
+            }
+            other => return Err(r.bad_value(format!("option tag {other}"))),
+        };
+        self.last_burst_direction = match r.u8()? {
+            0 => None,
+            1 => Some(BusDirection::Read),
+            2 => Some(BusDirection::Write),
+            other => return Err(r.bad_value(format!("bus direction discriminant {other}"))),
+        };
+        self.last_cmd_cycle = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            other => return Err(r.bad_value(format!("option tag {other}"))),
+        };
+        self.stats.load_state(r)?;
+        Ok(())
     }
 
     fn check_location(&self, loc: &Location) {

@@ -420,6 +420,54 @@ impl FaultModel {
     pub fn latent_sites(&self) -> u64 {
         self.ledger.latent
     }
+
+    /// Serializes the model's mutable state: the discovered-site set and the
+    /// conservation ledger (checkpoint support). The planted stuck/hard sets
+    /// are a pure function of the configuration and are rebuilt by
+    /// [`FaultModel::new`], not serialized.
+    pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        w.section("fault-model");
+        w.usize(self.discovered.len());
+        for &(rank, bank, row) in &self.discovered {
+            w.usize(rank);
+            w.usize(bank);
+            w.u64(row);
+        }
+        w.u64(self.ledger.injected);
+        w.u64(self.ledger.corrected);
+        w.u64(self.ledger.uncorrectable);
+        w.u64(self.ledger.latent);
+    }
+
+    /// Restores the model's mutable state from a checkpoint. The model must
+    /// have been built with the same configuration as the saved one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cloudmc_snap::SnapError`] on truncation or a
+    /// discovered site that is not planted in this configuration.
+    pub fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        r.section("fault-model")?;
+        let count = r.bounded_len(24)?;
+        self.discovered.clear();
+        for _ in 0..count {
+            let key = (r.usize()?, r.usize()?, r.u64()?);
+            if !self.stuck.contains(&key) && !self.hard.contains(&key) {
+                return Err(r.bad_value(format!(
+                    "discovered site {key:?} is not planted in this configuration"
+                )));
+            }
+            self.discovered.insert(key);
+        }
+        self.ledger.injected = r.u64()?;
+        self.ledger.corrected = r.u64()?;
+        self.ledger.uncorrectable = r.u64()?;
+        self.ledger.latent = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

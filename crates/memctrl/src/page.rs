@@ -338,6 +338,52 @@ impl PagePolicyImpl {
     pub fn on_row_closed(&mut self, rank: usize, bank: usize, row: u64, accesses: u64) {
         for_each_policy!(self, p => p.on_row_closed(rank, bank, row, accesses));
     }
+
+    /// Whether this policy's state can be checkpointed. External
+    /// [`PagePolicyImpl::Boxed`] implementations are opaque to the snapshot
+    /// machinery; callers must gate on this before saving.
+    #[must_use]
+    pub fn snapshot_supported(&self) -> bool {
+        !matches!(self, Self::Boxed(_))
+    }
+
+    /// Serializes the policy's mutable state (checkpoint support). The
+    /// static policies are stateless and contribute no bytes; `Boxed`
+    /// policies must be gated out via [`Self::snapshot_supported`].
+    pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        match self {
+            Self::Open(_)
+            | Self::Close(_)
+            | Self::OpenAdaptive(_)
+            | Self::CloseAdaptive(_)
+            | Self::Boxed(_) => {}
+            Self::Rbpp(p) => p.predictor.save_state(w),
+            Self::Abpp(p) => p.predictor.save_state(w),
+            Self::Timer(p) => p.save_state(w),
+        }
+    }
+
+    /// Restores the policy's mutable state from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cloudmc_snap::SnapError`] on truncation or state
+    /// inconsistent with the configured geometry.
+    pub fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        match self {
+            Self::Open(_)
+            | Self::Close(_)
+            | Self::OpenAdaptive(_)
+            | Self::CloseAdaptive(_)
+            | Self::Boxed(_) => Ok(()),
+            Self::Rbpp(p) => p.predictor.load_state(r),
+            Self::Abpp(p) => p.predictor.load_state(r),
+            Self::Timer(p) => p.load_state(r),
+        }
+    }
 }
 
 impl From<Box<dyn PagePolicy>> for PagePolicyImpl {
@@ -619,6 +665,82 @@ impl HistoryPredictor {
         let hits = accesses.saturating_sub(1);
         self.record(rank, bank, row, hits);
     }
+
+    /// Serializes the predictor's mutable state (checkpoint support).
+    fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        w.u64(self.stamp);
+        w.usize(self.current.len());
+        for cur in &self.current {
+            w.u64(cur.row);
+            w.bool(cur.open);
+            w.u64(cur.accesses);
+            match cur.predicted {
+                None => w.u8(0),
+                Some(target) => {
+                    w.u8(1);
+                    w.u64(target);
+                }
+            }
+        }
+        w.usize(self.tables.len());
+        for table in &self.tables {
+            w.usize(table.len());
+            for e in table {
+                w.u64(e.row);
+                w.u64(e.hits);
+                w.u64(e.stamp);
+            }
+        }
+    }
+
+    /// Restores the predictor's mutable state from a checkpoint.
+    fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        self.stamp = r.u64()?;
+        let count = r.bounded_len(18)?;
+        if count != self.current.len() {
+            return Err(r.bad_value(format!(
+                "{count} activation trackers, expected {}",
+                self.current.len()
+            )));
+        }
+        for cur in &mut self.current {
+            cur.row = r.u64()?;
+            cur.open = r.bool()?;
+            cur.accesses = r.u64()?;
+            cur.predicted = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                t => return Err(r.bad_value(format!("prediction tag {t}"))),
+            };
+        }
+        let count = r.bounded_len(8)?;
+        if count != self.tables.len() {
+            return Err(r.bad_value(format!(
+                "{count} history tables, expected {}",
+                self.tables.len()
+            )));
+        }
+        for table in &mut self.tables {
+            let len = r.bounded_len(24)?;
+            if len > self.entries_per_bank {
+                return Err(r.bad_value(format!(
+                    "{len} history entries exceed per-bank capacity {}",
+                    self.entries_per_bank
+                )));
+            }
+            table.clear();
+            for _ in 0..len {
+                let row = r.u64()?;
+                let hits = r.u64()?;
+                let stamp = r.u64()?;
+                table.push(RowHistory { row, hits, stamp });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Row-Based Page Policy (RBPP): a few most-accessed-row registers per bank,
@@ -724,6 +846,29 @@ impl TimerPolicy {
 
     fn idx(&self, rank: usize, bank: usize) -> usize {
         rank * self.banks_per_rank + bank
+    }
+
+    /// Serializes the per-bank idle timers (checkpoint support).
+    fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        w.u64_slice(&self.last_access);
+    }
+
+    /// Restores the per-bank idle timers from a checkpoint.
+    fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        let count = r.bounded_len(8)?;
+        if count != self.last_access.len() {
+            return Err(r.bad_value(format!(
+                "{count} idle timers, expected {}",
+                self.last_access.len()
+            )));
+        }
+        for slot in &mut self.last_access {
+            *slot = r.u64()?;
+        }
+        Ok(())
     }
 }
 

@@ -206,6 +206,50 @@ impl PowerPolicyImpl {
     pub fn is_inert(&self) -> bool {
         matches!(self, Self::None(_))
     }
+
+    /// Whether this policy's state can be checkpointed. External
+    /// [`PowerPolicyImpl::Boxed`] implementations are opaque to the snapshot
+    /// machinery; callers must gate on this before saving.
+    #[must_use]
+    pub fn snapshot_supported(&self) -> bool {
+        !matches!(self, Self::Boxed(_))
+    }
+
+    /// Serializes the policy's mutable state (checkpoint support).
+    pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        match self {
+            Self::None(_) | Self::Boxed(_) => {}
+            Self::Timeout(p) => w.u64_slice(&p.last_activity),
+        }
+    }
+
+    /// Restores the policy's mutable state from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cloudmc_snap::SnapError`] on truncation or a timer
+    /// vector that does not match the configured rank count.
+    pub fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        match self {
+            Self::None(_) | Self::Boxed(_) => Ok(()),
+            Self::Timeout(p) => {
+                let count = r.bounded_len(8)?;
+                if count != p.last_activity.len() {
+                    return Err(r.bad_value(format!(
+                        "{count} activity timers, expected {}",
+                        p.last_activity.len()
+                    )));
+                }
+                for slot in &mut p.last_activity {
+                    *slot = r.u64()?;
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
 impl From<Box<dyn PowerPolicy>> for PowerPolicyImpl {

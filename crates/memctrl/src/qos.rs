@@ -187,6 +187,42 @@ impl QosArbiter {
         &self.cfg
     }
 
+    /// Serializes the arbiter's mutable accounting state (checkpoint
+    /// support). The configuration is config-derived and not serialized.
+    pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        w.u64_slice(&self.served);
+        w.u64(self.total_served);
+        w.u64(self.epoch_start);
+    }
+
+    /// Restores the arbiter's mutable accounting state from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cloudmc_snap::SnapError`] on truncation or a served
+    /// array inconsistent with its cached sum.
+    pub fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        let count = r.bounded_len(8)?;
+        if count != MAX_TENANTS {
+            return Err(r.bad_value(format!("{count} tenant slots, expected {MAX_TENANTS}")));
+        }
+        let mut served = [0u64; MAX_TENANTS];
+        for slot in &mut served {
+            *slot = r.u64()?;
+        }
+        let total_served = r.u64()?;
+        if served.iter().sum::<u64>() != total_served {
+            return Err(r.bad_value("served totals do not sum to total_served"));
+        }
+        self.served = served;
+        self.total_served = total_served;
+        self.epoch_start = r.u64()?;
+        Ok(())
+    }
+
     /// Whether the arbiter can ever claim the slot.
     fn active(&self) -> bool {
         self.cfg.policy != QosPolicyKind::None && self.cfg.tenants > 1

@@ -150,6 +150,49 @@ impl RequestQueue {
         Ok(())
     }
 
+    /// Serializes the pending entries in arrival order (checkpoint support).
+    /// The capacity is config-derived and not serialized; the packed key
+    /// column and per-tenant lengths are rebuilt on load.
+    pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        w.usize(self.entries.len());
+        for entry in &self.entries {
+            crate::snapio::write_request(w, &entry.request);
+            crate::snapio::write_location(w, entry.location);
+            w.u64(entry.enqueued_at);
+        }
+    }
+
+    /// Restores the pending entries from a checkpoint, rebuilding the derived
+    /// key column and tenant occupancy counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cloudmc_snap::SnapError`] on truncation, an invalid
+    /// entry, or an entry count exceeding the configured capacity.
+    pub fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        let count = r.bounded_len(42)?;
+        if count > self.capacity {
+            return Err(r.bad_value(format!(
+                "{count} queued entries exceed capacity {}",
+                self.capacity
+            )));
+        }
+        self.entries.clear();
+        self.keys.clear();
+        self.tenant_len = [0; MAX_TENANTS];
+        for _ in 0..count {
+            let request = crate::snapio::read_request(r)?;
+            let location = crate::snapio::read_location(r)?;
+            let enqueued_at = r.u64()?;
+            // Cannot fail: `count` was checked against the capacity above.
+            let _ = self.push(request, location, enqueued_at);
+        }
+        Ok(())
+    }
+
     /// Removes and returns the entry with id `id`, preserving order of the rest.
     pub fn remove(&mut self, id: RequestId) -> Option<QueueEntry> {
         let idx = self.entries.iter().position(|e| e.request.id == id)?;

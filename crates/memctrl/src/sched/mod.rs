@@ -312,6 +312,44 @@ impl SchedulerImpl {
     pub fn manages_write_drain(&self) -> bool {
         for_each_scheduler!(self, s => s.manages_write_drain())
     }
+
+    /// Whether this scheduler's state can be checkpointed. External
+    /// [`SchedulerImpl::Boxed`] implementations are opaque to the snapshot
+    /// machinery; callers must gate on this before saving.
+    #[must_use]
+    pub fn snapshot_supported(&self) -> bool {
+        !matches!(self, Self::Boxed(_))
+    }
+
+    /// Serializes the scheduler's mutable state (checkpoint support). The
+    /// FCFS family is stateless and contributes no bytes; `Boxed` schedulers
+    /// must be gated out via [`Self::snapshot_supported`] beforehand.
+    pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        match self {
+            Self::Fcfs(_) | Self::FcfsBanks(_) | Self::FrFcfs(_) | Self::Boxed(_) => {}
+            Self::ParBs(s) => s.save_state(w),
+            Self::Atlas(s) => s.save_state(w),
+            Self::Rl(s) => s.save_state(w),
+        }
+    }
+
+    /// Restores the scheduler's mutable state from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cloudmc_snap::SnapError`] on truncation or state
+    /// inconsistent with the configuration.
+    pub fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        match self {
+            Self::Fcfs(_) | Self::FcfsBanks(_) | Self::FrFcfs(_) | Self::Boxed(_) => Ok(()),
+            Self::ParBs(s) => s.load_state(r),
+            Self::Atlas(s) => s.load_state(r),
+            Self::Rl(s) => s.load_state(r),
+        }
+    }
 }
 
 /// Identifier for constructing schedulers by name, with the per-algorithm

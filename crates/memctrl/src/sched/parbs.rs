@@ -58,6 +58,56 @@ impl ParBs {
         self.marked.contains(&id)
     }
 
+    /// Serializes the scheduler's mutable state (checkpoint support). The
+    /// marked set is dumped in sorted order so identical states produce
+    /// byte-identical snapshots.
+    pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        let mut marked: Vec<RequestId> = self.marked.iter().copied().collect();
+        marked.sort_unstable();
+        w.u64_slice(&marked);
+        w.usize(self.core_rank.len());
+        for &rank in &self.core_rank {
+            w.usize(rank);
+        }
+        w.u64(self.batches_formed);
+    }
+
+    /// Restores the scheduler's mutable state from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cloudmc_snap::SnapError`] on truncation or a rank
+    /// vector that does not match the configured core count.
+    pub fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        let count = r.bounded_len(8)?;
+        self.marked.clear();
+        for _ in 0..count {
+            self.marked.insert(r.u64()?);
+        }
+        let count = r.bounded_len(8)?;
+        if count != self.core_rank.len() {
+            return Err(r.bad_value(format!(
+                "{count} core ranks, expected {}",
+                self.core_rank.len()
+            )));
+        }
+        for slot in &mut self.core_rank {
+            let rank = r.usize()?;
+            if rank >= self.num_cores {
+                return Err(r.bad_value(format!(
+                    "core rank {rank} out of range for {} cores",
+                    self.num_cores
+                )));
+            }
+            *slot = rank;
+        }
+        self.batches_formed = r.u64()?;
+        Ok(())
+    }
+
     fn rank_of(&self, core: usize) -> usize {
         self.core_rank.get(core).copied().unwrap_or(usize::MAX)
     }

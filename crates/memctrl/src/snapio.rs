@@ -1,0 +1,109 @@
+//! Checkpoint encoding helpers shared across the controller's modules.
+//!
+//! Requests, DRAM locations, and completion records appear in several
+//! serialized structures (pending queues, in-flight transfers, parked
+//! retries); these helpers keep their wire encoding in one place.
+
+use cloudmc_dram::Location;
+use cloudmc_snap::{SnapError, SnapReader, SnapWriter};
+
+use crate::request::{AccessKind, CompletedRequest, MemoryRequest, RowBufferOutcome, MAX_TENANTS};
+
+/// Serializes one memory request.
+pub(crate) fn write_request(w: &mut SnapWriter, req: &MemoryRequest) {
+    w.u64(req.id);
+    w.u8(match req.kind {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+    });
+    w.u64(req.addr);
+    w.usize(req.core);
+    w.usize(req.tenant);
+    w.u64(req.arrival);
+    w.bool(req.dma);
+}
+
+/// Deserializes one memory request, validating the kind discriminant and the
+/// tenant clamp invariant.
+pub(crate) fn read_request(r: &mut SnapReader<'_>) -> Result<MemoryRequest, SnapError> {
+    let id = r.u64()?;
+    let kind = match r.u8()? {
+        0 => AccessKind::Read,
+        1 => AccessKind::Write,
+        k => return Err(r.bad_value(format!("access kind discriminant {k}"))),
+    };
+    let addr = r.u64()?;
+    let core = r.usize()?;
+    let tenant = r.usize()?;
+    if tenant >= MAX_TENANTS {
+        return Err(r.bad_value(format!("tenant {tenant} >= MAX_TENANTS {MAX_TENANTS}")));
+    }
+    let arrival = r.u64()?;
+    let dma = r.bool()?;
+    Ok(MemoryRequest {
+        id,
+        kind,
+        addr,
+        core,
+        tenant,
+        arrival,
+        dma,
+    })
+}
+
+/// Serializes one DRAM location.
+pub(crate) fn write_location(w: &mut SnapWriter, loc: Location) {
+    w.usize(loc.rank);
+    w.usize(loc.bank);
+    w.u64(loc.row);
+    w.u64(loc.column);
+}
+
+/// Deserializes one DRAM location. Geometry bounds are validated by the
+/// caller where the channel shape is known.
+pub(crate) fn read_location(r: &mut SnapReader<'_>) -> Result<Location, SnapError> {
+    let rank = r.usize()?;
+    let bank = r.usize()?;
+    let row = r.u64()?;
+    let column = r.u64()?;
+    Ok(Location {
+        rank,
+        bank,
+        row,
+        column,
+    })
+}
+
+/// Serializes one completion record.
+pub(crate) fn write_completed(w: &mut SnapWriter, done: &CompletedRequest) {
+    write_request(w, &done.request);
+    w.usize(done.channel);
+    write_location(w, done.location);
+    w.u64(done.completion);
+    w.u8(match done.outcome {
+        RowBufferOutcome::Hit => 0,
+        RowBufferOutcome::Miss => 1,
+        RowBufferOutcome::Conflict => 2,
+    });
+}
+
+/// Deserializes one completion record.
+pub(crate) fn read_completed(r: &mut SnapReader<'_>) -> Result<CompletedRequest, SnapError> {
+    let request = read_request(r)?;
+    let channel = r.usize()?;
+    let location = read_location(r)?;
+    let completion = r.u64()?;
+    let outcome = match r.u8()? {
+        0 => RowBufferOutcome::Hit,
+        1 => RowBufferOutcome::Miss,
+        2 => RowBufferOutcome::Conflict,
+        o => return Err(r.bad_value(format!("row-buffer outcome discriminant {o}"))),
+    };
+    Ok(CompletedRequest {
+        request,
+        channel,
+        location,
+        completion,
+        outcome,
+    })
+}

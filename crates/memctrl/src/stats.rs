@@ -111,6 +111,122 @@ impl McStats {
         }
     }
 
+    /// Serializes every counter in declaration order (checkpoint support).
+    pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        w.u64(self.reads_completed);
+        w.u64(self.writes_completed);
+        w.u64(self.total_read_latency);
+        w.u64(self.total_write_latency);
+        w.u64(self.row_hits);
+        w.u64(self.row_misses);
+        w.u64(self.row_conflicts);
+        w.u64_slice(&self.activation_reuse);
+        w.u64(self.queue_samples);
+        w.u64(self.read_queue_occupancy_sum);
+        w.u64(self.write_queue_occupancy_sum);
+        w.u64_slice(&self.completed_per_core);
+        w.u64_slice(&self.read_latency_per_core);
+        w.u64_slice(&self.reads_per_core);
+        w.u64(self.power_downs);
+        w.u64(self.self_refreshes);
+        w.u64(self.power_wakes);
+        w.u64(self.power_precharges);
+        w.u64_slice(&self.reads_completed_per_tenant);
+        w.u64_slice(&self.writes_completed_per_tenant);
+        w.u64_slice(&self.read_latency_per_tenant);
+        w.u64_slice(&self.row_hits_per_tenant);
+        w.u64_slice(&self.row_misses_per_tenant);
+        w.u64_slice(&self.row_conflicts_per_tenant);
+        w.u64_slice(&self.read_queue_occupancy_per_tenant);
+        w.u64(self.ecc_corrected);
+        w.u64(self.ecc_detected_uncorrectable);
+        w.u64(self.ecc_miscorrects);
+        w.u64(self.demand_retries);
+        w.u64(self.scrub_reads_issued);
+        w.u64(self.scrub_reads_completed);
+        w.u64(self.scrub_corrected);
+        w.u64(self.scrub_uncorrectable);
+        w.u64(self.rows_retired);
+        w.u64(self.lines_poisoned);
+        w.u64(self.poisoned_reads);
+    }
+
+    /// Restores every counter from a checkpoint written by
+    /// [`McStats::save_state`]; vector lengths must match the current shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cloudmc_snap::SnapError`] on truncation or a length
+    /// mismatch against the configured core count or bucket count.
+    pub fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        fn read_vec(
+            r: &mut cloudmc_snap::SnapReader<'_>,
+            name: &str,
+            vec: &mut [u64],
+        ) -> Result<(), cloudmc_snap::SnapError> {
+            let count = r.bounded_len(8)?;
+            if count != vec.len() {
+                return Err(r.bad_value(format!("{count} {name} entries, expected {}", vec.len())));
+            }
+            for slot in vec.iter_mut() {
+                *slot = r.u64()?;
+            }
+            Ok(())
+        }
+        self.reads_completed = r.u64()?;
+        self.writes_completed = r.u64()?;
+        self.total_read_latency = r.u64()?;
+        self.total_write_latency = r.u64()?;
+        self.row_hits = r.u64()?;
+        self.row_misses = r.u64()?;
+        self.row_conflicts = r.u64()?;
+        read_vec(r, "activation-reuse", &mut self.activation_reuse)?;
+        self.queue_samples = r.u64()?;
+        self.read_queue_occupancy_sum = r.u64()?;
+        self.write_queue_occupancy_sum = r.u64()?;
+        read_vec(r, "completed-per-core", &mut self.completed_per_core)?;
+        read_vec(r, "read-latency-per-core", &mut self.read_latency_per_core)?;
+        read_vec(r, "reads-per-core", &mut self.reads_per_core)?;
+        self.power_downs = r.u64()?;
+        self.self_refreshes = r.u64()?;
+        self.power_wakes = r.u64()?;
+        self.power_precharges = r.u64()?;
+        read_vec(r, "reads-per-tenant", &mut self.reads_completed_per_tenant)?;
+        read_vec(
+            r,
+            "writes-per-tenant",
+            &mut self.writes_completed_per_tenant,
+        )?;
+        read_vec(r, "latency-per-tenant", &mut self.read_latency_per_tenant)?;
+        read_vec(r, "hits-per-tenant", &mut self.row_hits_per_tenant)?;
+        read_vec(r, "misses-per-tenant", &mut self.row_misses_per_tenant)?;
+        read_vec(
+            r,
+            "conflicts-per-tenant",
+            &mut self.row_conflicts_per_tenant,
+        )?;
+        read_vec(
+            r,
+            "occupancy-per-tenant",
+            &mut self.read_queue_occupancy_per_tenant,
+        )?;
+        self.ecc_corrected = r.u64()?;
+        self.ecc_detected_uncorrectable = r.u64()?;
+        self.ecc_miscorrects = r.u64()?;
+        self.demand_retries = r.u64()?;
+        self.scrub_reads_issued = r.u64()?;
+        self.scrub_reads_completed = r.u64()?;
+        self.scrub_corrected = r.u64()?;
+        self.scrub_uncorrectable = r.u64()?;
+        self.rows_retired = r.u64()?;
+        self.lines_poisoned = r.u64()?;
+        self.poisoned_reads = r.u64()?;
+        Ok(())
+    }
+
     /// Records a completed request.
     pub fn record_completion(&mut self, done: &CompletedRequest) {
         let latency = done.latency();

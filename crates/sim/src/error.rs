@@ -22,6 +22,12 @@ pub enum SimError {
     ///
     /// [`UncorrectablePolicy::FailStop`]: cloudmc_memctrl::UncorrectablePolicy::FailStop
     Uncorrectable(String),
+    /// A checkpoint could not be taken or restored: the bytes were truncated
+    /// or corrupted (the message names the failing section and byte offset),
+    /// the snapshot was taken under a different configuration (fingerprint
+    /// mismatch), or the system holds state the format cannot capture (trace
+    /// taps, boxed plugins).
+    Snapshot(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -30,6 +36,7 @@ impl std::fmt::Display for SimError {
             Self::Config(msg) => write!(f, "invalid configuration: {msg}"),
             Self::Trace(msg) => write!(f, "trace I/O failed: {msg}"),
             Self::Uncorrectable(msg) => write!(f, "fail-stop: {msg}"),
+            Self::Snapshot(msg) => write!(f, "snapshot: {msg}"),
         }
     }
 }
@@ -59,6 +66,10 @@ mod tests {
         assert!(SimError::Uncorrectable("rank 1".to_owned())
             .to_string()
             .starts_with("fail-stop: "));
+        assert_eq!(
+            SimError::Snapshot("bad magic".to_owned()).to_string(),
+            "snapshot: bad magic"
+        );
     }
 
     #[test]

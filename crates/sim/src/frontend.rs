@@ -358,6 +358,109 @@ impl Frontend {
         self.l2.stats()
     }
 
+    /// Why this frontend cannot be checkpointed, if it cannot: attached
+    /// trace streams hold open file handles and cursors the snapshot format
+    /// does not capture. `None` means snapshotting is supported.
+    #[must_use]
+    pub fn snapshot_unsupported_reason(&self) -> Option<&'static str> {
+        if self.replay.is_some() {
+            return Some("trace replay source");
+        }
+        if self.record.is_some() {
+            return Some("trace capture sink");
+        }
+        None
+    }
+
+    /// Serializes the frontend's mutable state: cores, workload streams,
+    /// shared L2, RNG stream, DMA injectors and the lazy-mode cursors
+    /// (checkpoint support). Callers must gate on
+    /// [`Frontend::snapshot_unsupported_reason`] first.
+    pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        w.section("frontend");
+        w.usize(self.cores.len());
+        for core in &self.cores {
+            core.save_state(w);
+        }
+        self.streams.save_state(w);
+        self.l2.save_state(w);
+        w.u64_slice(&self.rng.state());
+        w.usize(self.dma.len());
+        for inj in &self.dma {
+            w.u64(inj.acc_fp);
+            w.u64(inj.cursor);
+        }
+        w.u64_slice(&self.positions);
+        w.u64_slice(&self.next_action);
+        w.u64(self.dma_pos);
+    }
+
+    /// Restores the frontend's mutable state from a checkpoint. The frontend
+    /// must have been built from the same configuration as the saved one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cloudmc_snap::SnapError`] on truncation, impossible
+    /// values, or shapes that do not match the configuration.
+    pub fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        r.section("frontend")?;
+        let count = r.usize()?;
+        if count != self.cores.len() {
+            return Err(r.bad_value(format!("{count} cores, expected {}", self.cores.len())));
+        }
+        for core in &mut self.cores {
+            core.load_state(r)?;
+        }
+        self.streams.load_state(r)?;
+        self.l2.load_state(r)?;
+        let words = r.bounded_len(8)?;
+        if words != 4 {
+            return Err(r.bad_value(format!("{words} RNG state words, expected 4")));
+        }
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.u64()?;
+        }
+        self.rng.set_state(state);
+        let count = r.bounded_len(16)?;
+        if count != self.dma.len() {
+            return Err(r.bad_value(format!(
+                "{count} DMA injectors, expected {}",
+                self.dma.len()
+            )));
+        }
+        for inj in &mut self.dma {
+            inj.acc_fp = r.u64()?;
+            inj.cursor = r.u64()?;
+        }
+        for (name, vec) in [
+            ("core positions", &mut self.positions),
+            ("core action cycles", &mut self.next_action),
+        ] {
+            let count = r.bounded_len(8)?;
+            if count != vec.len() {
+                return Err(r.bad_value(format!("{count} {name}, expected {}", vec.len())));
+            }
+            for slot in vec.iter_mut() {
+                *slot = r.u64()?;
+            }
+        }
+        self.dma_pos = r.u64()?;
+        Ok(())
+    }
+
+    /// Re-seeds the frontend's stochastic inputs — every core's workload
+    /// stream and the DMA address/core selection RNG — as if the frontend had
+    /// been constructed with `seed`, without touching any architectural
+    /// state. Used by sweep replicates forked from one warm snapshot.
+    pub fn reseed(&mut self, seed: u64) {
+        self.streams.reseed(seed);
+        self.rng = StdRng::seed_from_u64(seed.wrapping_mul(0x5851_F42D_4C95_7F2D) ^ 0xD3A);
+    }
+
     /// Routes one L1-level request (refill or write-back) through the L2.
     fn handle_core_request(
         &mut self,

@@ -167,6 +167,36 @@ impl ClockCrossing {
         self.cpu_cycle += cpu_cycles;
     }
 
+    /// Serializes both clocks and the fractional phase accumulator
+    /// (checkpoint support).
+    pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        w.section("clock");
+        w.u64(self.cpu_cycle);
+        w.u64(self.dram_cycle);
+        w.u64(self.acc);
+    }
+
+    /// Restores both clocks and the phase accumulator from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cloudmc_snap::SnapError`] on truncation or an
+    /// accumulator outside the 2:5 phase range.
+    pub fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        r.section("clock")?;
+        self.cpu_cycle = r.u64()?;
+        self.dram_cycle = r.u64()?;
+        let acc = r.u64()?;
+        if acc >= 5 {
+            return Err(r.bad_value(format!("phase accumulator {acc} outside 0..5")));
+        }
+        self.acc = acc;
+        Ok(())
+    }
+
     /// The CPU cycle during which DRAM tick number `dram_tick` runs (the
     /// tick that observes `now == dram_tick`), given the current phase.
     ///
@@ -392,6 +422,64 @@ impl FillQueue {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.queue.is_empty()
+    }
+
+    /// Serializes the queue structurally — window base plus every pending
+    /// fill as `(cycle, core, addr)` in pop order (checkpoint support). The
+    /// restored queue clamps and migrates identically because the base is
+    /// preserved and pushes replay in the saved order.
+    pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        w.section("fill-queue");
+        w.u64(self.queue.base);
+        w.usize(self.queue.len());
+        // Ring buckets in cycle order from the base, then overflow buckets
+        // (whose keys all lie beyond the ring window) in key order — exactly
+        // the order the queue would pop them.
+        for offset in 0..EVENT_RING_SPAN {
+            let cycle = self.queue.base + offset;
+            let idx = (cycle % EVENT_RING_SPAN) as usize;
+            for &(core, addr) in &self.queue.ring[idx] {
+                w.u64(cycle);
+                w.usize(core);
+                w.u64(addr);
+            }
+        }
+        for (&cycle, bucket) in &self.queue.overflow {
+            for &(core, addr) in bucket {
+                w.u64(cycle);
+                w.usize(core);
+                w.u64(addr);
+            }
+        }
+    }
+
+    /// Restores the queue from a checkpoint written by
+    /// [`FillQueue::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cloudmc_snap::SnapError`] on truncation or an event
+    /// scheduled before the window base.
+    pub fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        r.section("fill-queue")?;
+        let base = r.u64()?;
+        let count = r.bounded_len(24)?;
+        let mut queue = EventQueue::new();
+        queue.base = base;
+        for _ in 0..count {
+            let cycle = r.u64()?;
+            if cycle < base {
+                return Err(r.bad_value(format!("fill at cycle {cycle} before base {base}")));
+            }
+            let core = r.usize()?;
+            let addr = r.u64()?;
+            queue.push(cycle, (core, addr));
+        }
+        self.queue = queue;
+        Ok(())
     }
 }
 

@@ -29,6 +29,7 @@ pub mod frontend;
 pub mod kernel;
 pub(crate) mod pool;
 pub mod runner;
+pub mod snapshot;
 pub mod stats;
 pub mod system;
 
@@ -38,6 +39,7 @@ pub use error::SimError;
 pub use frontend::{Frontend, FrontendEvent};
 pub use kernel::{ClockCrossing, EventQueue, FillQueue, Tick};
 pub use runner::{default_threads, run_all, run_all_with_threads};
+pub use snapshot::{config_fingerprint, Snapshot};
 pub use stats::{mean, SimStats};
 pub use system::{run_system, Simulator, System};
 

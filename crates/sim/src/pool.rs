@@ -19,6 +19,7 @@
 //! channel round-trip costing far more than a shard tick, it pays off only
 //! when many shards do real work on as many physical cores.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::thread::JoinHandle;
 
@@ -41,17 +42,41 @@ pub(crate) struct ShardResult {
     pub next_due: DramCycles,
 }
 
+/// What a worker sends home for one job: the finished result, or the panic
+/// message of a tick that blew up. Capturing the panic in the worker and
+/// re-raising it in [`WorkerPool::collect`] turns what would otherwise be a
+/// coordinator deadlock (a result that never arrives) into an immediate,
+/// attributed failure of the owning run — e.g. one errored sweep cell —
+/// while the rest of the pool keeps serving.
+// The large variant IS the common case (every healthy job); boxing it would
+// buy a smaller rare-panic variant at the cost of an allocation per tick.
+#[allow(clippy::large_enum_variant)]
+enum ShardOutcome {
+    Done(ShardResult),
+    Panicked { shard: usize, message: String },
+}
+
 /// Fixed set of worker threads, one job channel each plus a shared result
 /// channel. Dropping the pool closes the job channels and joins the workers.
 pub(crate) struct WorkerPool {
     senders: Vec<mpsc::Sender<ShardJob>>,
-    results: mpsc::Receiver<ShardResult>,
+    results: mpsc::Receiver<ShardOutcome>,
     handles: Vec<JoinHandle<()>>,
 }
 
 impl WorkerPool {
-    /// Spawns `workers` threads (at least one).
+    /// Spawns `workers` threads (at least one) running the real shard tick.
     pub fn new(workers: usize) -> Self {
+        Self::with_runner(workers, run_job)
+    }
+
+    /// Spawns `workers` threads running `run` per job. Split out from
+    /// [`WorkerPool::new`] so tests can inject a job body that panics on
+    /// demand.
+    fn with_runner<F>(workers: usize, run: F) -> Self
+    where
+        F: Fn(ShardJob) -> ShardResult + Clone + Send + 'static,
+    {
         let workers = workers.max(1);
         let (result_tx, results) = mpsc::channel();
         let mut senders = Vec::with_capacity(workers);
@@ -59,9 +84,10 @@ impl WorkerPool {
         for i in 0..workers {
             let (tx, rx) = mpsc::channel::<ShardJob>();
             let result_tx = result_tx.clone();
+            let run = run.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("cloudmc-shard-{i}"))
-                .spawn(move || worker_loop(&rx, &result_tx))
+                .spawn(move || worker_loop(&rx, &result_tx, &run))
                 .expect("spawn backend worker thread");
             senders.push(tx);
             handles.push(handle);
@@ -84,8 +110,20 @@ impl WorkerPool {
     /// Receives one finished job, in whatever order workers complete. The
     /// caller must call this exactly once per dispatched job before the tick
     /// ends, then sort the results by shard index.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises, with the shard attributed, the panic of a worker whose job
+    /// blew up — the job's controller is lost with the unwound stack, so the
+    /// owning run cannot continue; the remaining workers are unaffected.
     pub fn collect(&self) -> ShardResult {
-        self.results.recv().expect("backend worker thread alive")
+        match self.results.recv() {
+            Ok(ShardOutcome::Done(result)) => result,
+            Ok(ShardOutcome::Panicked { shard, message }) => {
+                panic!("backend worker panicked ticking shard {shard}: {message}")
+            }
+            Err(_) => panic!("backend worker thread alive"),
+        }
     }
 }
 
@@ -107,23 +145,53 @@ impl std::fmt::Debug for WorkerPool {
     }
 }
 
-/// Worker body: tick the shard, compute its next readiness bound exactly as
-/// the sequential path would ([`crate::backend::bound_after_tick`]), and send
-/// everything home.
-fn worker_loop(jobs: &mpsc::Receiver<ShardJob>, results: &mpsc::Sender<ShardResult>) {
-    while let Ok(mut job) = jobs.recv() {
-        let mut done = Vec::new();
-        let worked = job.mc.tick(job.now, &mut done);
-        let next_due = crate::backend::bound_after_tick(&job.mc, worked, job.now);
-        let result = ShardResult {
-            shard: job.shard,
-            mc: job.mc,
-            done,
-            next_due,
+/// One job, sequential semantics: tick the shard and compute its next
+/// readiness bound exactly as the sequential path would
+/// ([`crate::backend::bound_after_tick`]).
+fn run_job(mut job: ShardJob) -> ShardResult {
+    let mut done = Vec::new();
+    let worked = job.mc.tick(job.now, &mut done);
+    let next_due = crate::backend::bound_after_tick(&job.mc, worked, job.now);
+    ShardResult {
+        shard: job.shard,
+        mc: job.mc,
+        done,
+        next_due,
+    }
+}
+
+/// Worker body: run each job with the panic boundary around it, send the
+/// outcome home, and retire after reporting a panic (the controller that
+/// job owned is gone, so this worker's shards cannot be served again).
+fn worker_loop<F>(jobs: &mpsc::Receiver<ShardJob>, results: &mpsc::Sender<ShardOutcome>, run: &F)
+where
+    F: Fn(ShardJob) -> ShardResult,
+{
+    while let Ok(job) = jobs.recv() {
+        let shard = job.shard;
+        let outcome = match catch_unwind(AssertUnwindSafe(|| run(job))) {
+            Ok(result) => ShardOutcome::Done(result),
+            Err(payload) => ShardOutcome::Panicked {
+                shard,
+                message: panic_message(payload.as_ref()),
+            },
         };
-        if results.send(result).is_err() {
+        let retire = matches!(outcome, ShardOutcome::Panicked { .. });
+        if results.send(outcome).is_err() || retire {
             break;
         }
+    }
+}
+
+/// Best-effort rendering of a panic payload (panics carry `&str` or `String`
+/// in practice; anything else is reported opaquely).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -196,5 +264,51 @@ mod tests {
         });
         let _ = pool.collect();
         drop(pool); // must not hang or panic
+    }
+
+    /// A pool whose runner panics whenever the job's cycle is the poison
+    /// value, standing in for a shard tick blowing up mid-run.
+    fn poisoned_pool(workers: usize) -> WorkerPool {
+        WorkerPool::with_runner(workers, |job| {
+            assert_ne!(job.now, 13, "poisoned cycle reached shard {}", job.shard);
+            run_job(job)
+        })
+    }
+
+    #[test]
+    #[should_panic(expected = "backend worker panicked ticking shard 1")]
+    fn worker_panic_propagates_to_collect() {
+        let pool = poisoned_pool(2);
+        pool.dispatch(ShardJob {
+            shard: 1,
+            mc: controller(),
+            now: 13,
+        });
+        // The panic must surface here, attributed to the shard, instead of
+        // deadlocking on a result that will never arrive.
+        let _ = pool.collect();
+    }
+
+    #[test]
+    fn pool_survives_one_worker_panicking_and_shuts_down_cleanly() {
+        let pool = poisoned_pool(2);
+        pool.dispatch(ShardJob {
+            shard: 1,
+            mc: controller(),
+            now: 13,
+        });
+        let propagated = catch_unwind(AssertUnwindSafe(|| pool.collect()));
+        assert!(
+            propagated.is_err(),
+            "collect must re-raise the worker panic"
+        );
+        // The other worker is unaffected: shard 0 still round-trips.
+        pool.dispatch(ShardJob {
+            shard: 0,
+            mc: controller(),
+            now: 0,
+        });
+        assert_eq!(pool.collect().shard, 0);
+        drop(pool); // the dead worker's join must not hang the teardown
     }
 }

@@ -16,6 +16,7 @@ use crate::config::SystemConfig;
 use crate::error::SimError;
 use crate::frontend::{Frontend, FrontendEvent};
 use crate::kernel::{ClockCrossing, FillQueue, Tick};
+use crate::snapshot::{config_fingerprint, Snapshot};
 use crate::stats::SimStats;
 
 /// A read that left the chip and has not returned yet.
@@ -25,10 +26,12 @@ struct OutstandingRead {
     addr: u64,
 }
 
-/// Snapshot of all monotonically increasing counters, used to compute
-/// measurement-window deltas after warm-up.
+/// Baseline of all monotonically increasing counters, used to compute
+/// measurement-window deltas after warm-up. (Distinct from the public
+/// [`Snapshot`](crate::Snapshot) checkpoint image: this captures *derived
+/// aggregates* for subtraction, not restorable state.)
 #[derive(Debug, Clone, Default)]
-struct Snapshot {
+struct CounterBaseline {
     cpu_cycles: u64,
     dram_cycles: u64,
     committed: Vec<u64>,
@@ -537,8 +540,152 @@ impl System {
         }
     }
 
-    fn snapshot(&self) -> Snapshot {
-        Snapshot {
+    /// Why this system cannot be checkpointed right now, if it cannot:
+    /// attached trace taps or dynamically dispatched (boxed) plugins hold
+    /// state the snapshot format cannot capture. `None` means
+    /// [`System::snapshot`] will succeed.
+    #[must_use]
+    pub fn snapshot_unsupported_reason(&self) -> Option<&'static str> {
+        self.frontend
+            .snapshot_unsupported_reason()
+            .or_else(|| self.backend.snapshot_unsupported_reason())
+    }
+
+    /// Captures the system's complete mutable state as an opaque,
+    /// self-validating [`Snapshot`] image. Restoring it with
+    /// [`System::restore`] under the same configuration yields a system that
+    /// continues bit-identically to this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Snapshot`] if the system holds state the format
+    /// cannot capture: a trace replay source or capture sink, or a boxed
+    /// scheduler/page/power plugin.
+    pub fn snapshot(&self) -> Result<Snapshot, SimError> {
+        if let Some(reason) = self.snapshot_unsupported_reason() {
+            return Err(SimError::Snapshot(format!(
+                "cannot snapshot a system with {reason}"
+            )));
+        }
+        let mut w = cloudmc_snap::SnapWriter::new(config_fingerprint(&self.cfg));
+        w.section("system");
+        self.clock.save_state(&mut w);
+        self.fills.save_state(&mut w);
+        w.u64(self.next_request_id);
+        let mut reads: Vec<(RequestId, OutstandingRead)> = self
+            .outstanding_reads
+            .iter()
+            .map(|(&id, &read)| (id, read))
+            .collect();
+        // The map is hash-ordered; dump sorted by request id so identical
+        // states always produce identical bytes.
+        reads.sort_unstable_by_key(|&(id, _)| id);
+        w.usize(reads.len());
+        for (id, read) in reads {
+            w.u64(id);
+            w.usize(read.core);
+            w.u64(read.addr);
+        }
+        w.u64(self.mem_reads_sent);
+        w.u64(self.mem_writes_sent);
+        w.u64_slice(&self.mem_sent_per_tenant);
+        w.u64_slice(&self.reads_by_region);
+        self.frontend.save_state(&mut w);
+        self.backend.save_state(&mut w);
+        Ok(Snapshot::from_bytes(w.finish()))
+    }
+
+    /// Builds a fresh system from `cfg` and overlays the mutable state saved
+    /// in `snapshot`. The restored system continues bit-identically to the
+    /// one that produced the image — same statistics, same event order — on
+    /// any kernel and thread count permitted by `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if `cfg` fails validation, and
+    /// [`SimError::Snapshot`] if the image was produced under a different
+    /// configuration (fingerprint mismatch), is truncated or corrupted
+    /// (checksum or per-field validation failure naming the section and byte
+    /// offset), or `cfg` requires unsupported snapshot features.
+    pub fn restore(cfg: SystemConfig, snapshot: &Snapshot) -> Result<Self, SimError> {
+        let fingerprint = config_fingerprint(&cfg);
+        let mut system = Self::new(cfg).map_err(SimError::Config)?;
+        if let Some(reason) = system.snapshot_unsupported_reason() {
+            return Err(SimError::Snapshot(format!(
+                "cannot restore a system with {reason}"
+            )));
+        }
+        system
+            .load_snapshot(snapshot.as_bytes(), fingerprint)
+            .map_err(|e| SimError::Snapshot(e.to_string()))?;
+        Ok(system)
+    }
+
+    /// The body of [`System::restore`]: parses the image and overlays every
+    /// section onto `self`, keeping the typed `SnapError` for the caller to
+    /// wrap.
+    fn load_snapshot(
+        &mut self,
+        bytes: &[u8],
+        fingerprint: u64,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        let mut r = cloudmc_snap::SnapReader::new(bytes, fingerprint)?;
+        r.section("system")?;
+        self.clock.load_state(&mut r)?;
+        self.fills.load_state(&mut r)?;
+        self.next_request_id = r.u64()?;
+        let count = r.bounded_len(24)?;
+        self.outstanding_reads.clear();
+        for _ in 0..count {
+            let id = r.u64()?;
+            let core = r.usize()?;
+            let addr = r.u64()?;
+            if id >= self.next_request_id {
+                return Err(r.bad_value(format!(
+                    "outstanding read id {id} not below next request id {}",
+                    self.next_request_id
+                )));
+            }
+            if self
+                .outstanding_reads
+                .insert(id, OutstandingRead { core, addr })
+                .is_some()
+            {
+                return Err(r.bad_value(format!("duplicate outstanding read id {id}")));
+            }
+        }
+        self.mem_reads_sent = r.u64()?;
+        self.mem_writes_sent = r.u64()?;
+        for (name, slice) in [
+            (
+                "per-tenant send counters",
+                &mut self.mem_sent_per_tenant[..],
+            ),
+            ("region read counters", &mut self.reads_by_region[..]),
+        ] {
+            let len = r.bounded_len(8)?;
+            if len != slice.len() {
+                return Err(r.bad_value(format!("{len} {name}, expected {}", slice.len())));
+            }
+            for slot in slice.iter_mut() {
+                *slot = r.u64()?;
+            }
+        }
+        self.frontend.load_state(&mut r)?;
+        self.backend.load_state(&mut r)?;
+        r.finish()
+    }
+
+    /// Re-seeds the stochastic inputs (workload streams and DMA RNG) as if
+    /// the system had been built with `seed`, leaving all architectural
+    /// state untouched. Sweep replicates fork one warm snapshot and diverge
+    /// through this.
+    pub fn reseed(&mut self, seed: u64) {
+        self.frontend.reseed(seed);
+    }
+
+    fn counter_baseline(&self) -> CounterBaseline {
+        CounterBaseline {
             cpu_cycles: self.clock.cpu_cycle(),
             dram_cycles: self.clock.dram_cycle(),
             committed: self.committed_per_core(),
@@ -549,10 +696,10 @@ impl System {
         }
     }
 
-    fn stats_since(&self, start: &Snapshot) -> SimStats {
+    fn stats_since(&self, start: &CounterBaseline) -> SimStats {
         let cfg = &self.cfg;
         let total_channels = self.backend.total_channels();
-        let end = self.snapshot();
+        let end = self.counter_baseline();
         let mc_end = end.mc.clone().unwrap_or_default();
         let mc_start = start.mc.clone().unwrap_or_default();
         let cpu_cycles = end.cpu_cycles - start.cpu_cycles;
@@ -816,17 +963,50 @@ impl Simulator {
     /// withheld, exactly like a machine check taking down the pod at the end
     /// of the measurement.
     pub fn try_run(mut self) -> Result<SimStats, SimError> {
+        self.run_warmup();
+        self.run_measurement()
+    }
+
+    /// Runs just the warm-up window ([`SystemConfig::warmup_cpu_cycles`]).
+    /// Sweep harnesses call this once, snapshot the warm system, and fork
+    /// measured replicates from the image instead of re-warming per cell.
+    pub fn run_warmup(&mut self) {
         let warmup = self.system.cfg.warmup_cpu_cycles;
-        let measure = self.system.cfg.measure_cpu_cycles;
         self.system.run_cycles(warmup);
-        let snapshot = self.system.snapshot();
+    }
+
+    /// Runs just the measurement window ([`SystemConfig::measure_cpu_cycles`])
+    /// from the system's current state and returns the window's statistics.
+    /// Equivalent to the second half of [`Simulator::try_run`]; see there for
+    /// the error conditions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Trace`] or [`SimError::Uncorrectable`] exactly as
+    /// [`Simulator::try_run`] does.
+    pub fn run_measurement(&mut self) -> Result<SimStats, SimError> {
+        let measure = self.system.cfg.measure_cpu_cycles;
+        let baseline = self.system.counter_baseline();
         self.system.run_cycles(measure);
         self.system.finish_trace().map_err(SimError::Trace)?;
-        let stats = self.system.stats_since(&snapshot);
+        let stats = self.system.stats_since(&baseline);
         if let Some(msg) = self.system.backend.fault_error() {
             return Err(SimError::Uncorrectable(msg.to_owned()));
         }
         Ok(stats)
+    }
+
+    /// Builds a simulator whose system is restored from `snapshot` (taken
+    /// under the same `cfg`, typically right after warm-up). See
+    /// [`System::restore`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`System::restore`].
+    pub fn from_snapshot(cfg: SystemConfig, snapshot: &Snapshot) -> Result<Self, SimError> {
+        Ok(Self {
+            system: System::restore(cfg, snapshot)?,
+        })
     }
 
     /// [`Simulator::try_run`], panicking on any [`SimError`].

@@ -1,0 +1,673 @@
+//! # cloudmc-snap
+//!
+//! Hand-rolled, versioned binary snapshot codec for the `cloudmc` workspace
+//! (the build environment is offline, so no serde). A snapshot is one
+//! contiguous byte buffer:
+//!
+//! ```text
+//! +---------------------+----------------------------------------------+
+//! | magic               | 8 bytes, b"CMCSNAP1"                         |
+//! | format version      | u32 LE                                       |
+//! | config fingerprint  | u64 LE (FNV-1a over the source config)       |
+//! | body                | section markers + little-endian primitives   |
+//! | checksum            | u64 LE, FNV-1a over all preceding bytes      |
+//! +---------------------+----------------------------------------------+
+//! ```
+//!
+//! The body is a flat stream of fixed-width little-endian primitives
+//! interleaved with *section markers* — length-prefixed ASCII names written
+//! by [`SnapWriter::section`] and validated by [`SnapReader::section`]. A
+//! reader that drifts out of phase with the writer (version skew, a buggy
+//! `load_state`) fails on the next marker with a typed
+//! [`SnapError::SectionMismatch`] naming the byte offset, instead of
+//! silently misparsing unrelated state.
+//!
+//! Corruption anywhere in the file is caught up front: [`SnapReader::new`]
+//! verifies length, magic, version, trailing checksum and fingerprint before
+//! a single body byte is interpreted, so every failure mode maps to a typed
+//! [`SnapError`] — never a panic.
+//!
+//! Simulator components implement inherent `save_state(&self, &mut
+//! SnapWriter)` / `load_state(&mut self, &mut SnapReader)` pairs in their own
+//! crates, so private fields stay private and this crate stays dependency-free.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+
+/// Leading magic bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"CMCSNAP1";
+
+/// Current snapshot format version. Bump on any layout change.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Byte tag that introduces a section marker in the body stream.
+const SECTION_TAG: u8 = 0xA5;
+
+/// Minimum plausible snapshot size: magic + version + fingerprint + checksum.
+const ENVELOPE_BYTES: usize = 8 + 4 + 8 + 8;
+
+/// Typed decode failure. Every variant names enough context (section and
+/// byte offset where applicable) to localize the damage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The buffer does not start with [`MAGIC`] (or is shorter than it).
+    BadMagic,
+    /// The format version is not one this build can decode.
+    UnsupportedVersion(u32),
+    /// The snapshot was taken under a different configuration.
+    FingerprintMismatch {
+        /// Fingerprint of the configuration the restore was attempted with.
+        expected: u64,
+        /// Fingerprint recorded in the snapshot.
+        found: u64,
+    },
+    /// The trailing FNV-1a checksum does not match the file contents
+    /// (bit-flip or splice anywhere in the envelope or body).
+    ChecksumMismatch {
+        /// Checksum recomputed over the file contents.
+        computed: u64,
+        /// Checksum stored in the trailer.
+        stored: u64,
+    },
+    /// The buffer ends before the value being read (truncated file).
+    Truncated {
+        /// Section being decoded when the buffer ran out.
+        section: String,
+        /// Byte offset at which more data was needed.
+        offset: usize,
+    },
+    /// A decoded value is structurally impossible (e.g. a bool that is
+    /// neither 0 nor 1, an enum discriminant out of range).
+    BadValue {
+        /// Section being decoded.
+        section: String,
+        /// Byte offset of the offending value.
+        offset: usize,
+        /// Human-readable description of the impossibility.
+        what: String,
+    },
+    /// The next section marker names a different section than the decoder
+    /// expected — reader and writer are out of phase.
+    SectionMismatch {
+        /// Section the decoder expected to find.
+        expected: String,
+        /// Section name (or its absence) actually found.
+        found: String,
+        /// Byte offset of the marker.
+        offset: usize,
+    },
+    /// Decoding finished but body bytes remain before the checksum trailer.
+    TrailingBytes {
+        /// Offset of the first unconsumed byte.
+        offset: usize,
+        /// Number of unconsumed body bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "bad magic (not a cloudmc snapshot)"),
+            Self::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported format version {v} (expected {FORMAT_VERSION})"
+                )
+            }
+            Self::FingerprintMismatch { expected, found } => write!(
+                f,
+                "config fingerprint mismatch (snapshot {found:#018x}, config {expected:#018x})"
+            ),
+            Self::ChecksumMismatch { computed, stored } => write!(
+                f,
+                "checksum mismatch (computed {computed:#018x}, stored {stored:#018x})"
+            ),
+            Self::Truncated { section, offset } => {
+                write!(f, "truncated in section `{section}` at offset {offset}")
+            }
+            Self::BadValue {
+                section,
+                offset,
+                what,
+            } => write!(
+                f,
+                "bad value in section `{section}` at offset {offset}: {what}"
+            ),
+            Self::SectionMismatch {
+                expected,
+                found,
+                offset,
+            } => write!(
+                f,
+                "expected section `{expected}` at offset {offset}, found {found}"
+            ),
+            Self::TrailingBytes { offset, remaining } => write!(
+                f,
+                "{remaining} trailing body byte(s) left unread at offset {offset}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// FNV-1a 64-bit hash — the fingerprint and checksum function.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Serializer: accumulates the envelope and body, then seals the buffer with
+/// the trailing checksum in [`SnapWriter::finish`].
+#[derive(Debug)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// Starts a snapshot: writes magic, format version and the config
+    /// fingerprint.
+    #[must_use]
+    pub fn new(fingerprint: u64) -> Self {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&fingerprint.to_le_bytes());
+        Self { buf }
+    }
+
+    /// Writes a section marker. Pair every call with
+    /// [`SnapReader::section`] on the decode side.
+    pub fn section(&mut self, name: &str) {
+        debug_assert!(name.len() <= u8::MAX as usize && name.is_ascii());
+        self.buf.push(SECTION_TAG);
+        self.buf.push(name.len() as u8);
+        self.buf.extend_from_slice(name.as_bytes());
+    }
+
+    /// Writes one `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes one `u32` (little-endian).
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes one `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes one `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes one `bool` as a single byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Writes one `f64` bit-exactly via [`f64::to_bits`].
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes a length-prefixed slice of `u64`s.
+    pub fn u64_slice(&mut self, values: &[u64]) {
+        self.usize(values.len());
+        for &v in values {
+            self.u64(v);
+        }
+    }
+
+    /// Writes a length-prefixed slice of `f64`s (bit-exact).
+    pub fn f64_slice(&mut self, values: &[f64]) {
+        self.usize(values.len());
+        for &v in values {
+            self.f64(v);
+        }
+    }
+
+    /// Body bytes written so far (diagnostics / size accounting).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written (never true: the envelope is written
+    /// by [`SnapWriter::new`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Seals the snapshot: appends the FNV-1a checksum over every byte
+    /// written so far and returns the finished buffer.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<u8> {
+        let checksum = fnv1a(&self.buf);
+        self.buf.extend_from_slice(&checksum.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Deserializer over a sealed snapshot buffer.
+///
+/// [`SnapReader::new`] validates the whole envelope (magic, version,
+/// checksum, fingerprint) before any body byte is interpreted; the cursor
+/// methods then decode the body and fail typed on truncation, impossible
+/// values, or out-of-phase section markers.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    data: &'a [u8],
+    /// Exclusive end of the body (start of the checksum trailer).
+    body_end: usize,
+    pos: usize,
+    section: String,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Validates the envelope and positions the cursor at the first body
+    /// byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::BadMagic`], [`SnapError::UnsupportedVersion`],
+    /// [`SnapError::ChecksumMismatch`] or [`SnapError::FingerprintMismatch`]
+    /// when the respective envelope field does not check out;
+    /// [`SnapError::Truncated`] when the buffer is shorter than the minimum
+    /// envelope.
+    pub fn new(data: &'a [u8], expected_fingerprint: u64) -> Result<Self, SnapError> {
+        if data.len() < ENVELOPE_BYTES {
+            if data.len() < MAGIC.len() || data[..MAGIC.len()] != MAGIC {
+                return Err(SnapError::BadMagic);
+            }
+            return Err(SnapError::Truncated {
+                section: "envelope".to_owned(),
+                offset: data.len(),
+            });
+        }
+        if data[..8] != MAGIC {
+            return Err(SnapError::BadMagic);
+        }
+        let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(SnapError::UnsupportedVersion(version));
+        }
+        let body_end = data.len() - 8;
+        let stored = u64::from_le_bytes(data[body_end..].try_into().expect("8 bytes"));
+        let computed = fnv1a(&data[..body_end]);
+        if stored != computed {
+            return Err(SnapError::ChecksumMismatch { computed, stored });
+        }
+        let found = u64::from_le_bytes(data[12..20].try_into().expect("8 bytes"));
+        if found != expected_fingerprint {
+            return Err(SnapError::FingerprintMismatch {
+                expected: expected_fingerprint,
+                found,
+            });
+        }
+        Ok(Self {
+            data,
+            body_end,
+            pos: 20,
+            section: "envelope".to_owned(),
+        })
+    }
+
+    /// Current byte offset of the cursor (diagnostics).
+    #[must_use]
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.pos + n > self.body_end {
+            return Err(SnapError::Truncated {
+                section: self.section.clone(),
+                offset: self.pos,
+            });
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Consumes a section marker, failing typed if the next bytes are not a
+    /// marker for exactly `name`. Also becomes the section reported by
+    /// subsequent truncation/value errors.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::SectionMismatch`] when the marker is absent or names a
+    /// different section; [`SnapError::Truncated`] when the buffer ends
+    /// inside the marker.
+    pub fn section(&mut self, name: &str) -> Result<(), SnapError> {
+        let offset = self.pos;
+        let mismatch = |found: String| SnapError::SectionMismatch {
+            expected: name.to_owned(),
+            found,
+            offset,
+        };
+        let tag = self.take(1)?[0];
+        if tag != SECTION_TAG {
+            return Err(mismatch(format!("non-marker byte {tag:#04x}")));
+        }
+        let len = self.take(1)?[0] as usize;
+        let bytes = self.take(len)?;
+        if bytes != name.as_bytes() {
+            return Err(mismatch(format!("`{}`", String::from_utf8_lossy(bytes))));
+        }
+        self.section = name.to_owned();
+        Ok(())
+    }
+
+    /// Reads one `u8`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when the body ends first.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads one `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when the body ends first.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Reads one `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when the body ends first.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Reads one `usize` (stored as `u64`).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when the body ends first;
+    /// [`SnapError::BadValue`] when the value overflows `usize`.
+    pub fn usize(&mut self) -> Result<usize, SnapError> {
+        let offset = self.pos;
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| SnapError::BadValue {
+            section: self.section.clone(),
+            offset,
+            what: format!("{v} overflows usize"),
+        })
+    }
+
+    /// Reads one `bool`, rejecting any byte other than 0 or 1.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when the body ends first;
+    /// [`SnapError::BadValue`] for a byte that is neither 0 nor 1.
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        let offset = self.pos;
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SnapError::BadValue {
+                section: self.section.clone(),
+                offset,
+                what: format!("bool byte {other:#04x}"),
+            }),
+        }
+    }
+
+    /// Reads one `f64` bit-exactly via [`f64::from_bits`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when the body ends first.
+    pub fn f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when the body ends first;
+    /// [`SnapError::BadValue`] for invalid UTF-8.
+    pub fn str(&mut self) -> Result<String, SnapError> {
+        let len = self.bounded_len(1)?;
+        let offset = self.pos;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapError::BadValue {
+            section: self.section.clone(),
+            offset,
+            what: "invalid UTF-8".to_owned(),
+        })
+    }
+
+    /// Reads a sequence length written by the writer's length prefix,
+    /// rejecting lengths that cannot fit in the remaining body (`min_elem`
+    /// is the smallest possible encoded element size in bytes). Guards Vec
+    /// pre-allocation against absurd lengths.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when the body ends first;
+    /// [`SnapError::BadValue`] for an impossible length.
+    pub fn bounded_len(&mut self, min_elem: usize) -> Result<usize, SnapError> {
+        let offset = self.pos;
+        let len = self.usize()?;
+        let remaining = self.body_end - self.pos;
+        if len
+            .checked_mul(min_elem.max(1))
+            .is_none_or(|b| b > remaining)
+        {
+            return Err(SnapError::BadValue {
+                section: self.section.clone(),
+                offset,
+                what: format!("sequence length {len} exceeds remaining body {remaining}"),
+            });
+        }
+        Ok(len)
+    }
+
+    /// Reads a length-prefixed `Vec<u64>`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] / [`SnapError::BadValue`] as for the
+    /// underlying primitives.
+    pub fn u64_vec(&mut self) -> Result<Vec<u64>, SnapError> {
+        let len = self.bounded_len(8)?;
+        (0..len).map(|_| self.u64()).collect()
+    }
+
+    /// Reads a length-prefixed `Vec<f64>` (bit-exact).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] / [`SnapError::BadValue`] as for the
+    /// underlying primitives.
+    pub fn f64_vec(&mut self) -> Result<Vec<f64>, SnapError> {
+        let len = self.bounded_len(8)?;
+        (0..len).map(|_| self.f64()).collect()
+    }
+
+    /// Builds a [`SnapError::BadValue`] at the current cursor position —
+    /// for `load_state` implementations rejecting impossible decoded values
+    /// (enum discriminants out of range, inconsistent lengths).
+    #[must_use]
+    pub fn bad_value(&self, what: impl Into<String>) -> SnapError {
+        SnapError::BadValue {
+            section: self.section.clone(),
+            offset: self.pos,
+            what: what.into(),
+        }
+    }
+
+    /// Declares decoding complete: the cursor must sit exactly at the
+    /// checksum trailer.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::TrailingBytes`] when body bytes remain unread.
+    pub fn finish(self) -> Result<(), SnapError> {
+        if self.pos != self.body_end {
+            return Err(SnapError::TrailingBytes {
+                offset: self.pos,
+                remaining: self.body_end - self.pos,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sealed() -> Vec<u8> {
+        let mut w = SnapWriter::new(0xDEAD_BEEF);
+        w.section("alpha");
+        w.u64(42);
+        w.f64(1.5);
+        w.bool(true);
+        w.section("beta");
+        w.str("hello");
+        w.u64_slice(&[7, 8, 9]);
+        w.finish()
+    }
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let buf = sealed();
+        let mut r = SnapReader::new(&buf, 0xDEAD_BEEF).unwrap();
+        r.section("alpha").unwrap();
+        assert_eq!(r.u64().unwrap(), 42);
+        assert_eq!(r.f64().unwrap(), 1.5);
+        assert!(r.bool().unwrap());
+        r.section("beta").unwrap();
+        assert_eq!(r.str().unwrap(), "hello");
+        assert_eq!(r.u64_vec().unwrap(), vec![7, 8, 9]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut buf = sealed();
+        buf[0] ^= 0xFF;
+        assert_eq!(
+            SnapReader::new(&buf, 0xDEAD_BEEF).unwrap_err(),
+            SnapError::BadMagic
+        );
+    }
+
+    #[test]
+    fn version_skew_is_typed() {
+        let mut buf = sealed();
+        buf[8] = 99;
+        // Re-seal so the checksum stays valid and the version check fires.
+        let body_end = buf.len() - 8;
+        let sum = fnv1a(&buf[..body_end]).to_le_bytes();
+        buf[body_end..].copy_from_slice(&sum);
+        assert_eq!(
+            SnapReader::new(&buf, 0xDEAD_BEEF).unwrap_err(),
+            SnapError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_typed() {
+        let buf = sealed();
+        assert!(matches!(
+            SnapReader::new(&buf, 0x1234).unwrap_err(),
+            SnapError::FingerprintMismatch {
+                expected: 0x1234,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_caught() {
+        let buf = sealed();
+        for byte in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[byte] ^= 1;
+            assert!(
+                SnapReader::new(&bad, 0xDEAD_BEEF).is_err(),
+                "flip at byte {byte} must not validate"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_caught() {
+        let buf = sealed();
+        for len in 0..buf.len() {
+            assert!(
+                SnapReader::new(&buf[..len], 0xDEAD_BEEF).is_err(),
+                "truncation to {len} bytes must not validate"
+            );
+        }
+    }
+
+    #[test]
+    fn section_mismatch_names_offset() {
+        let buf = sealed();
+        let mut r = SnapReader::new(&buf, 0xDEAD_BEEF).unwrap();
+        let err = r.section("omega").unwrap_err();
+        match err {
+            SnapError::SectionMismatch {
+                expected, offset, ..
+            } => {
+                assert_eq!(expected, "omega");
+                assert_eq!(offset, 20);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let buf = sealed();
+        let mut r = SnapReader::new(&buf, 0xDEAD_BEEF).unwrap();
+        r.section("alpha").unwrap();
+        assert!(matches!(
+            r.finish().unwrap_err(),
+            SnapError::TrailingBytes { .. }
+        ));
+    }
+
+    #[test]
+    fn display_names_section_and_offset() {
+        let err = SnapError::Truncated {
+            section: "rank".to_owned(),
+            offset: 123,
+        };
+        let text = err.to_string();
+        assert!(text.contains("rank") && text.contains("123"), "{text}");
+    }
+}

@@ -393,6 +393,73 @@ impl CoreStream {
         }
     }
 
+    /// Serializes the stream's mutable state — RNG, pending burst, phase
+    /// machine and event countdowns (checkpoint support). The spec, core
+    /// placement and layout are config-derived and not serialized.
+    pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        w.usize(self.burst.len());
+        for &addr in &self.burst {
+            w.u64(addr);
+        }
+        w.u64(self.ifetch_cursor);
+        w.bool(self.phase_hot);
+        w.u64(self.until_data);
+        w.u64(self.until_ifetch);
+        w.u64(self.until_hot);
+        w.u64(self.instructions_planned);
+        w.u64(self.data_events);
+        w.u64(self.data_accesses);
+    }
+
+    /// Restores the stream's mutable state from a checkpoint. The stream must
+    /// have been built with the same spec and placement as the saved one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cloudmc_snap::SnapError`] on truncation or an
+    /// impossible burst length.
+    pub fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.u64()?;
+        }
+        self.rng.set_state(state);
+        let burst_len = r.bounded_len(8)?;
+        // A row burst never exceeds one DRAM row's worth of blocks.
+        if burst_len as u64 > ROW_BYTES / BLOCK_BYTES {
+            return Err(r.bad_value(format!("burst length {burst_len} exceeds one row")));
+        }
+        self.burst.clear();
+        for _ in 0..burst_len {
+            self.burst.push_back(r.u64()?);
+        }
+        self.ifetch_cursor = r.u64()?;
+        self.phase_hot = r.bool()?;
+        self.until_data = r.u64()?;
+        self.until_ifetch = r.u64()?;
+        self.until_hot = r.u64()?;
+        self.instructions_planned = r.u64()?;
+        self.data_events = r.u64()?;
+        self.data_accesses = r.u64()?;
+        Ok(())
+    }
+
+    /// Re-seeds the stream's RNG mid-run (per-replicate divergence when a
+    /// sweep forks measured cells off a shared warm checkpoint). Placement,
+    /// phase machine and counters are untouched — only future random draws
+    /// change.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(
+            seed ^ (self.layout_core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC10D,
+        );
+    }
+
     /// Produces the next instruction-stream slot.
     pub fn next_op(&mut self) -> CoreOp {
         // Burst continuation: back-to-back accesses within the open row.
@@ -546,6 +613,40 @@ impl WorkloadStreams {
     #[must_use]
     pub fn dma_per_kcycle(&self) -> f64 {
         self.mix.tenants().map(|t| t.workload.dma_per_kcycle).sum()
+    }
+
+    /// Serializes every core stream's mutable state (checkpoint support).
+    pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
+        w.section("workload-streams");
+        for stream in &self.streams {
+            stream.save_state(w);
+        }
+    }
+
+    /// Restores every core stream's mutable state from a checkpoint. The
+    /// streams must have been built from the same mix as the saved ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cloudmc_snap::SnapError`] on truncation or
+    /// impossible values.
+    pub fn load_state(
+        &mut self,
+        r: &mut cloudmc_snap::SnapReader<'_>,
+    ) -> Result<(), cloudmc_snap::SnapError> {
+        r.section("workload-streams")?;
+        for stream in &mut self.streams {
+            stream.load_state(r)?;
+        }
+        Ok(())
+    }
+
+    /// Re-seeds every core stream's RNG mid-run (per-replicate divergence
+    /// when a sweep forks measured cells off a shared warm checkpoint).
+    pub fn reseed(&mut self, seed: u64) {
+        for stream in &mut self.streams {
+            stream.reseed(seed);
+        }
     }
 }
 

@@ -1,0 +1,133 @@
+//! Damaged snapshot images must always fail with a typed
+//! [`SimError::Snapshot`] naming what went wrong — never a panic, never a
+//! silent misparse into a subtly wrong system.
+//!
+//! The corpus is generated systematically from one valid image:
+//!
+//! - every truncation length (strided for large images, exhaustive near the
+//!   header and the tail, where the envelope checks live);
+//! - single-bit flips at strided positions (the trailing FNV-1a checksum
+//!   must catch every one of them);
+//! - *checksum-consistent* single-bit flips — flip a body byte, then
+//!   recompute the trailing checksum — which drive the per-field validation
+//!   paths: these must either restore cleanly (a flipped counter bit is
+//!   undetectable and harmless) or fail typed, but never panic and never
+//!   hang.
+
+use cloudmc::sim::{SimError, Simulator, Snapshot, SystemConfig};
+use cloudmc::snap::fnv1a;
+use cloudmc::workloads::Workload;
+
+fn small() -> SystemConfig {
+    let mut cfg = SystemConfig::baseline(Workload::WebSearch);
+    cfg.warmup_cpu_cycles = 2_000;
+    cfg.measure_cpu_cycles = 10_000;
+    cfg
+}
+
+/// One valid snapshot image of a warm system under `small()`.
+fn valid_image() -> Vec<u8> {
+    let mut sim = Simulator::new(small()).expect("valid config");
+    sim.system_mut().run_cycles(2_000);
+    sim.system()
+        .snapshot()
+        .expect("snapshot supported")
+        .into_bytes()
+}
+
+/// Restores `bytes` under the matching config, demanding a typed snapshot
+/// error (the `expect_failure` corpus) or tolerating success (the
+/// checksum-consistent corpus). Panics and non-snapshot errors always fail.
+fn restore_outcome(bytes: Vec<u8>, what: &str, expect_failure: bool) {
+    match Simulator::from_snapshot(small(), &Snapshot::from_bytes(bytes)) {
+        Ok(_) => assert!(!expect_failure, "{what}: corrupted image restored cleanly"),
+        Err(SimError::Snapshot(msg)) => {
+            assert!(!msg.is_empty(), "{what}: empty error message");
+        }
+        Err(other) => panic!("{what}: expected SimError::Snapshot, got {other}"),
+    }
+}
+
+/// Every truncation of the image fails typed. Exhaustive over the first 64
+/// lengths (magic, version, fingerprint, first sections) and the last 64
+/// (checksum tail), strided through the middle.
+#[test]
+fn every_truncation_fails_typed() {
+    let image = valid_image();
+    let len = image.len();
+    let mut lengths: Vec<usize> = (0..64.min(len)).collect();
+    lengths.extend((len.saturating_sub(64)..len).filter(|&l| l >= 64));
+    lengths.extend((64..len.saturating_sub(64)).step_by((len / 97).max(1)));
+    lengths.sort_unstable();
+    lengths.dedup();
+    for cut in lengths {
+        restore_outcome(image[..cut].to_vec(), &format!("truncated to {cut}"), true);
+    }
+}
+
+/// Every strided single-bit flip fails typed: the header checks catch the
+/// envelope bytes, the trailing checksum catches everything else.
+#[test]
+fn every_bit_flip_fails_typed() {
+    let image = valid_image();
+    let stride = (image.len() / 197).max(1);
+    // The envelope (magic, version, fingerprint) exhaustively, the body
+    // strided, every byte of the trailing checksum.
+    let mut positions: Vec<usize> = (0..20.min(image.len())).collect();
+    positions.extend((20..image.len()).step_by(stride));
+    positions.extend(image.len().saturating_sub(8)..image.len());
+    positions.sort_unstable();
+    positions.dedup();
+    for pos in positions {
+        for bit in [0u8, 3, 7] {
+            let mut bytes = image.clone();
+            bytes[pos] ^= 1 << bit;
+            restore_outcome(bytes, &format!("bit {bit} of byte {pos} flipped"), true);
+        }
+    }
+}
+
+/// Checksum-consistent flips — corruption the envelope *cannot* catch — must
+/// drive the per-field validation to a typed error or an accepted parse,
+/// never a panic. This is the corpus that exercises the `Truncated`,
+/// `BadValue` and `SectionMismatch` paths inside the body.
+#[test]
+fn checksum_consistent_flips_never_panic() {
+    let image = valid_image();
+    let body_end = image.len() - 8;
+    let stride = (body_end / 211).max(1);
+    let mut positions: Vec<usize> = (0..24.min(body_end)).collect();
+    positions.extend((24..body_end).step_by(stride));
+    positions.sort_unstable();
+    positions.dedup();
+    for pos in positions {
+        for bit in [0u8, 5] {
+            let mut bytes = image.clone();
+            bytes[pos] ^= 1 << bit;
+            let checksum = fnv1a(&bytes[..body_end]);
+            bytes[body_end..].copy_from_slice(&checksum.to_le_bytes());
+            // Flips inside the envelope change magic/version/fingerprint and
+            // must fail; body flips may parse (a counter changed) or fail
+            // typed — either way, no panic.
+            restore_outcome(
+                bytes,
+                &format!("consistent flip, bit {bit} of byte {pos}"),
+                pos < 20,
+            );
+        }
+    }
+}
+
+/// The degenerate images: empty, too short for the envelope, and foreign
+/// bytes.
+#[test]
+fn degenerate_images_fail_typed() {
+    restore_outcome(Vec::new(), "empty image", true);
+    restore_outcome(vec![0u8; 27], "27 bytes (below envelope minimum)", true);
+    restore_outcome(
+        b"CMCSNAP1 but not really a snapshot".to_vec(),
+        "prose",
+        true,
+    );
+    restore_outcome(vec![0xFF; 4096], "4 KiB of 0xFF", true);
+}

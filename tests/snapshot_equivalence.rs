@@ -1,0 +1,196 @@
+//! The checkpoint layer must be invisible: snapshot a system at cycle `C`,
+//! restore the image onto a freshly built system, run to the end of the
+//! measurement — and every statistic must be *bit-identical* to the
+//! uninterrupted run. Exercised across all three kernels (naive polling,
+//! horizon jumping, event-driven), worker thread counts, a mixed
+//! latency-critical/batch tenancy, and a fault-injection configuration with
+//! patrol scrub and row retirement active.
+//!
+//! These tests are the contract that lets the sweep orchestrator warm up
+//! once and fork every measured replicate from the warm image: any mutable
+//! field missing from the snapshot shows up here as a diverging counter.
+
+use cloudmc::memctrl::{FaultConfig, SchedulerKind, UncorrectablePolicy};
+use cloudmc::sim::{SimError, SimStats, Simulator, SystemConfig};
+use cloudmc::workloads::{MixSpec, TenantSpec, Workload};
+
+fn small(workload: Workload, seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::baseline(workload);
+    cfg.warmup_cpu_cycles = 10_000;
+    cfg.measure_cpu_cycles = 40_000;
+    cfg.seed = seed;
+    cfg
+}
+
+/// The uninterrupted reference run for `cfg`.
+fn uninterrupted(cfg: &SystemConfig) -> SimStats {
+    let mut sim = Simulator::new(cfg.clone()).expect("valid config");
+    sim.run_warmup();
+    sim.run_measurement().expect("reference run")
+}
+
+/// Runs `cfg` to CPU cycle `at`, snapshots, restores onto a fresh system,
+/// finishes the warm-up there and returns the measured statistics — which
+/// the caller compares against the uninterrupted run.
+fn interrupted_at(cfg: &SystemConfig, at: u64) -> SimStats {
+    assert!(at <= cfg.warmup_cpu_cycles);
+    let mut first = Simulator::new(cfg.clone()).expect("valid config");
+    first.system_mut().run_cycles(at);
+    let image = first.system().snapshot().expect("snapshot supported");
+    drop(first);
+    let mut second = Simulator::from_snapshot(cfg.clone(), &image).expect("restore");
+    assert_eq!(
+        second.system().cpu_cycle(),
+        at,
+        "restored clock must resume at the snapshot cycle"
+    );
+    // A snapshot of the restored-but-untouched system must reproduce the
+    // image byte for byte: serialization is a pure function of state.
+    let again = second.system().snapshot().expect("re-snapshot");
+    assert_eq!(image, again, "restore → snapshot must be the identity");
+    second.system_mut().run_cycles(cfg.warmup_cpu_cycles - at);
+    second.run_measurement().expect("resumed run")
+}
+
+/// Snapshot/restore at the warm-up boundary and mid-warm-up, for one config.
+fn assert_restartable(cfg: SystemConfig, label: &str) -> SimStats {
+    let reference = uninterrupted(&cfg);
+    for at in [cfg.warmup_cpu_cycles / 2, cfg.warmup_cpu_cycles] {
+        let resumed = interrupted_at(&cfg, at);
+        assert_eq!(
+            resumed, reference,
+            "{label}: run resumed from a cycle-{at} snapshot diverged"
+        );
+        assert_eq!(
+            format!("{resumed:?}"),
+            format!("{reference:?}"),
+            "{label}: debug renderings must be byte-identical"
+        );
+    }
+    reference
+}
+
+/// Acceptance criterion: bit-identity across all three kernels.
+#[test]
+fn every_kernel_resumes_bit_identically() {
+    for (fast_forward, event_driven, kernel) in [
+        (false, false, "naive"),
+        (true, false, "horizon"),
+        (true, true, "event"),
+    ] {
+        let mut cfg = small(Workload::DataServing, 7);
+        cfg.fast_forward = fast_forward;
+        cfg.event_driven = event_driven;
+        let stats = assert_restartable(cfg, kernel);
+        assert!(stats.user_instructions > 0, "{kernel} must commit work");
+    }
+}
+
+/// Acceptance criterion: bit-identity for 1, 2 and 4 worker threads on a
+/// sharded backend, where the threaded event path actually engages.
+#[test]
+fn every_thread_count_resumes_bit_identically() {
+    let mut baseline: Option<SimStats> = None;
+    for threads in [1usize, 2, 4] {
+        let mut cfg = small(Workload::TpchQ6, 11);
+        cfg.num_channels = 4;
+        cfg.threads = threads;
+        let stats = assert_restartable(cfg, &format!("{threads} threads"));
+        match &baseline {
+            None => baseline = Some(stats),
+            Some(b) => assert_eq!(&stats, b, "{threads} threads changed the results"),
+        }
+    }
+}
+
+/// Acceptance criterion: a latency-critical + batch tenant mix (with the
+/// DMA-driven web frontend so injector credit is in the image) resumes
+/// bit-identically, including every per-tenant statistic.
+#[test]
+fn tenant_mix_resumes_bit_identically() {
+    let mix = MixSpec::new(TenantSpec::latency_critical(Workload::WebFrontend, 8))
+        .and(TenantSpec::batch(Workload::TpchQ6, 8));
+    let mut cfg = SystemConfig::mixed(mix);
+    cfg.warmup_cpu_cycles = 10_000;
+    cfg.measure_cpu_cycles = 40_000;
+    cfg.seed = 5;
+    let stats = assert_restartable(cfg, "tenant mix");
+    assert_eq!(stats.tenants, 2);
+    assert!(stats.instructions_per_tenant.iter().all(|&n| n > 0));
+}
+
+/// Acceptance criterion: a fault-enabled configuration — transient injection,
+/// stuck rows, patrol scrub, demand retries, row retirement and poisoning all
+/// active — resumes bit-identically, ledger and all.
+#[test]
+fn fault_injection_resumes_bit_identically() {
+    let mut fc = FaultConfig::baseline();
+    fc.seed = 3;
+    fc.transient_rate_fp = FaultConfig::rate_per_million_reads(20_000);
+    fc.uncorrectable_permille = 100;
+    fc.scrub_interval = 300;
+    fc.stuck_rows_per_rank = 2;
+    fc.retire_threshold = 2;
+    fc.on_uncorrectable = UncorrectablePolicy::PoisonAndContinue;
+    let mut cfg = small(Workload::TpchQ6, 3);
+    cfg.mc.fault_model = Some(fc);
+    let stats = assert_restartable(cfg, "fault model");
+    assert!(stats.faults_injected > 0, "fault model never fired");
+    assert!(stats.scrub_reads_issued > 0);
+}
+
+/// Stateful schedulers carry private clockwork (ATLAS quanta, PAR-BS
+/// batches, the RL learner's tables and exploration RNG) that must survive
+/// the round trip.
+#[test]
+fn stateful_schedulers_resume_bit_identically() {
+    for scheduler in SchedulerKind::paper_set() {
+        let mut cfg = small(Workload::WebSearch, 3);
+        cfg.mc.scheduler = scheduler;
+        assert_restartable(cfg, scheduler.label());
+    }
+}
+
+/// Restoring under any differing configuration is a typed error, not a
+/// silent misparse: the fingerprint covers every field.
+#[test]
+fn mismatched_config_fingerprint_is_a_typed_error() {
+    let cfg = small(Workload::DataServing, 7);
+    let mut sim = Simulator::new(cfg.clone()).expect("valid config");
+    sim.system_mut().run_cycles(1_000);
+    let image = sim.system().snapshot().expect("snapshot supported");
+    let mut other = cfg.clone();
+    other.seed = 8;
+    match Simulator::from_snapshot(other, &image) {
+        Err(SimError::Snapshot(msg)) => {
+            assert!(
+                msg.contains("fingerprint"),
+                "error must name the fingerprint mismatch: {msg}"
+            );
+        }
+        Err(other) => panic!("expected SimError::Snapshot, got {other}"),
+        Ok(_) => panic!("restore under a different seed must fail"),
+    }
+    // The exact configuration still restores fine.
+    Simulator::from_snapshot(cfg, &image).expect("same config restores");
+}
+
+/// Systems with trace taps cannot be snapshotted — typed error, not silent
+/// state loss.
+#[test]
+fn trace_recording_system_refuses_to_snapshot() {
+    let dir = std::env::temp_dir().join("cloudmc_snapshot_refuse_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("capture.trace");
+    let mut cfg = small(Workload::WebSearch, 2);
+    cfg.trace_record = Some(path);
+    let mut sim = Simulator::new(cfg).expect("valid config");
+    sim.system_mut().run_cycles(100);
+    match sim.system().snapshot() {
+        Err(SimError::Snapshot(msg)) => {
+            assert!(msg.contains("trace capture"), "unexpected reason: {msg}")
+        }
+        other => panic!("expected SimError::Snapshot, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

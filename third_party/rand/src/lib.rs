@@ -20,6 +20,26 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// The raw xoshiro256** state words (checkpoint/restore support;
+        /// not part of the upstream `rand` API).
+        #[inline]
+        #[must_use]
+        pub fn state(&self) -> [u64; 4] {
+            self.state
+        }
+
+        /// Overwrites the generator state with previously captured words
+        /// (checkpoint/restore support; not part of the upstream `rand`
+        /// API). The all-zero state is degenerate for xoshiro and is mapped
+        /// to the `seed_from_u64(0)` state instead.
+        pub fn set_state(&mut self, state: [u64; 4]) {
+            if state == [0; 4] {
+                *self = crate::SeedableRng::seed_from_u64(0);
+            } else {
+                self.state = state;
+            }
+        }
+
         #[inline]
         pub(crate) fn next_u64_impl(&mut self) -> u64 {
             let s = &mut self.state;
