@@ -32,6 +32,12 @@
 //!                 with bit-identical stats asserted, plus the golden
 //!                 mini-trace check; writes BENCH_trace.json
 //!                 (--golden-regen rewrites tests/data/golden_mix.trace)
+//!   telemetry     observability overhead study: wall-clock cost of the
+//!                 interval time series, span tracing, and kernel
+//!                 self-profiler layers vs telemetry off on the dense
+//!                 TPC-H Q6 stream; writes BENCH_telemetry.json and, at
+//!                 standard scale and above, fails if the disabled hooks
+//!                 cost more than 2%
 //!   sweep         snapshot-forked experiment sweep: warm each
 //!                 (workload, scheduler) once, checkpoint it, fork the
 //!                 replicates from the image across worker threads, and
@@ -63,8 +69,8 @@ use cloudmc_bench::{
     baseline_study, channel_study, config_report, energy_study, fastforward_report, figure1,
     figure10, figure11, figure12, figure13, figure14, figure2, figure3, figure4, figure5, figure6,
     figure7, figure8, figure9, page_policy_study, parse, qos_study, regenerate_golden_trace,
-    reliability_study, run_sweep, scheduler_study, trace_study, with_meta, Options, Parsed,
-    RunMeta, SweepOutcome, Table, HELP,
+    reliability_study, run_sweep, scheduler_study, telemetry_study, trace_study, with_meta,
+    Options, Parsed, RunMeta, Scale, SweepOutcome, Table, HELP,
 };
 
 fn emit(table: &Table, csv_dir: &Option<PathBuf>) {
@@ -85,9 +91,22 @@ fn emit(table: &Table, csv_dir: &Option<PathBuf>) {
 }
 
 /// Writes a report's JSON with the provenance `meta` block spliced in.
-fn write_report(path: &str, json: &str, meta: &RunMeta) {
-    std::fs::write(path, with_meta(json, meta)).unwrap_or_else(|e| panic!("write {path}: {e}"));
-    eprintln!("wrote {path}");
+///
+/// Returns `false` (after printing the contract diagnostic) when the path is
+/// unwritable, so the caller can exit with a failure code instead of
+/// panicking; the computed report was already printed to stdout either way.
+#[must_use]
+fn write_report(path: &str, json: &str, meta: &RunMeta) -> bool {
+    match std::fs::write(path, with_meta(json, meta)) {
+        Ok(()) => {
+            eprintln!("wrote {path}");
+            true
+        }
+        Err(e) => {
+            eprintln!("error: cannot write {path}: {e}");
+            false
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -178,7 +197,9 @@ fn main() -> ExitCode {
     if wants(&["fastforward", "all"]) {
         let report = fastforward_report(&scale);
         println!("{}", report.to_text());
-        write_report("BENCH_fastforward.json", &report.to_json(), &meta);
+        if !write_report("BENCH_fastforward.json", &report.to_json(), &meta) {
+            return ExitCode::FAILURE;
+        }
         // Regression gate (run as a CI smoke step): on dense streams the
         // event kernel has no idle cycles to skip, so any speedup below 1.0
         // means its bookkeeping is taxing the busy path.
@@ -196,17 +217,23 @@ fn main() -> ExitCode {
     if wants(&["energy", "all"]) {
         let report = energy_study(&scale);
         println!("{}", report.to_text());
-        write_report("BENCH_energy.json", &report.to_json(), &meta);
+        if !write_report("BENCH_energy.json", &report.to_json(), &meta) {
+            return ExitCode::FAILURE;
+        }
     }
     if wants(&["qos", "all"]) {
         let report = qos_study(&scale);
         println!("{}", report.to_text());
-        write_report("BENCH_qos.json", &report.to_json(), &meta);
+        if !write_report("BENCH_qos.json", &report.to_json(), &meta) {
+            return ExitCode::FAILURE;
+        }
     }
     if wants(&["reliability", "all"]) {
         let report = reliability_study(&scale);
         println!("{}", report.to_text());
-        write_report("BENCH_reliability.json", &report.to_json(), &meta);
+        if !write_report("BENCH_reliability.json", &report.to_json(), &meta) {
+            return ExitCode::FAILURE;
+        }
         // Regression gate (run as a CI smoke step): the fault ledger must
         // balance on every point, and scrubbing must have produced real
         // traffic wherever it was enabled.
@@ -235,13 +262,38 @@ fn main() -> ExitCode {
         }
         let report = trace_study(&scale);
         println!("{}", report.to_text());
-        write_report("BENCH_trace.json", &report.to_json(), &meta);
+        if !write_report("BENCH_trace.json", &report.to_json(), &meta) {
+            return ExitCode::FAILURE;
+        }
+    }
+    if wants(&["telemetry", "all"]) {
+        let report = telemetry_study(&scale);
+        println!("{}", report.to_text());
+        if !write_report("BENCH_telemetry.json", &report.to_json(), &meta) {
+            return ExitCode::FAILURE;
+        }
+        // Regression gate (run as a CI smoke step): with everything off the
+        // telemetry hooks must be invisible. Only enforced at standard scale
+        // and above — quick runs are too short to measure 2% reliably.
+        if scale.measure_cpu_cycles >= Scale::standard().measure_cpu_cycles {
+            if let Some(off) = report.point("off") {
+                if off.overhead_vs_off > 0.02 {
+                    eprintln!(
+                        "error: telemetry-off overhead {:.2}% exceeds the 2% budget",
+                        off.overhead_vs_off * 100.0
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
     }
     if wants(&["sweep"]) {
         match run_sweep(&sweep, &scale) {
             Ok(SweepOutcome::Complete(report)) => {
                 println!("{}", report.to_text());
-                write_report("BENCH_sweep.json", &report.to_json(), &meta);
+                if !write_report("BENCH_sweep.json", &report.to_json(), &meta) {
+                    return ExitCode::FAILURE;
+                }
             }
             Ok(SweepOutcome::Stopped {
                 new_cells,

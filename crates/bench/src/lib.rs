@@ -20,6 +20,7 @@ pub mod qos;
 pub mod reliability;
 pub mod report;
 pub mod sweep;
+pub mod telemetry;
 pub mod trace;
 
 pub use cli::{parse, Options, Parsed, EXPERIMENTS, HELP};
@@ -37,6 +38,10 @@ pub use reliability::{
 pub use sweep::{
     run_sweep, CellRecord, GroupSummary, ModeTiming, SweepOptions, SweepOutcome, SweepReport,
     SWEEP_WORKLOADS,
+};
+pub use telemetry::{
+    telemetry_config, telemetry_layers, telemetry_study, TelemetryPoint, TelemetryReport,
+    TELEMETRY_REPEATS,
 };
 pub use trace::{
     golden_config, golden_trace_path, regenerate_golden_trace, trace_study, GoldenCheck,

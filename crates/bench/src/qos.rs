@@ -294,25 +294,31 @@ impl QosReport {
         for p in &self.points {
             if p.mix != last_mix {
                 out.push_str(&format!(
-                    "\n{}\n{:<12} {:<18} {:>8} {:>8} {:>9} {:>9}\n",
+                    "\n{}\n{:<12} {:<18} {:>8} {:>8} {:>9} {:>9} {:>8} {:>8} {:>8}\n",
                     p.mix,
                     "scheduler",
                     "qos policy",
                     "LC slow",
                     "max slow",
                     "w.speedup",
-                    "fairness"
+                    "fairness",
+                    "p50 lat",
+                    "p95 lat",
+                    "p99 lat"
                 ));
                 last_mix = p.mix;
             }
             out.push_str(&format!(
-                "{:<12} {:<18} {:>8.3} {:>8.3} {:>9.3} {:>9.3}\n",
+                "{:<12} {:<18} {:>8.3} {:>8.3} {:>9.3} {:>9.3} {:>8.1} {:>8.1} {:>8.1}\n",
                 p.scheduler,
                 p.qos_policy,
                 p.lc_slowdown(),
                 p.max_slowdown(),
                 p.weighted_speedup(),
                 p.fairness(),
+                p.stats.read_latency_p50_dram,
+                p.stats.read_latency_p95_dram,
+                p.stats.read_latency_p99_dram,
             ));
         }
         out

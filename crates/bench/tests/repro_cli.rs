@@ -75,6 +75,7 @@ fn help_prints_usage_and_succeeds() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("usage: repro"), "stdout: {stdout}");
     assert!(stdout.contains("reliability"), "stdout: {stdout}");
+    assert!(stdout.contains("telemetry"), "stdout: {stdout}");
     assert!(stdout.contains("sweep"), "stdout: {stdout}");
     assert!(stdout.contains("--resume-dir"), "stdout: {stdout}");
 }
@@ -170,6 +171,36 @@ fn mini_sweep_stops_resumes_and_stamps_meta() {
         "report must carry the meta block: {json}"
     );
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An unwritable `BENCH_*.json` path must produce the typed diagnostic and a
+/// failure exit code, not a panic — the experiment's stdout output still
+/// prints first. A directory squatting on the report filename forces the
+/// `std::fs::write` error deterministically.
+#[test]
+fn unwritable_report_path_fails_cleanly() {
+    let dir = std::env::temp_dir().join("cloudmc_repro_cli_unwritable");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("BENCH_trace.json")).expect("create blocking directory");
+    let out = repro()
+        .current_dir(&dir)
+        .args(["trace", "--quick", "--warmup", "2000", "--measure", "8000"])
+        .output()
+        .expect("spawn repro binary");
+    assert!(
+        !out.status.success(),
+        "unwritable report path must exit non-zero"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("error: cannot write BENCH_trace.json"),
+        "stderr: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "must fail via the typed diagnostic, not a panic: {stderr}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

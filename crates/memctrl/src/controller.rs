@@ -780,8 +780,10 @@ impl ChannelController {
                         request: entry.request,
                         channel: self.index,
                         location: loc,
+                        issue: now,
                         completion: issue.completion_cycle,
                         outcome,
+                        retries: 0,
                     },
                 });
                 true
@@ -1009,7 +1011,7 @@ impl ChannelController {
         now: DramCycles,
         finished: &mut Vec<CompletedRequest>,
     ) {
-        let done = inflight.done;
+        let mut done = inflight.done;
         let req = done.request;
         let loc = done.location;
         let Some(f) = self.fault.as_deref_mut() else {
@@ -1080,6 +1082,9 @@ impl ChannelController {
         }
         // Demand read: check poison, then classify against the fault model.
         let attempt = f.attempts.get(&req.id).copied().unwrap_or(0);
+        // Tag the completion with the retries that preceded it, for span
+        // traces and any other lifecycle consumer downstream.
+        done.retries = attempt;
         if f.poisoned
             .contains(&(loc.rank, loc.bank, loc.row, loc.column))
         {

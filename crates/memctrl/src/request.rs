@@ -135,10 +135,18 @@ pub struct CompletedRequest {
     pub channel: usize,
     /// Bank-level location.
     pub location: Location,
+    /// Cycle at which the completing service's column command issued (DRAM
+    /// cycles). For reads that needed ECC retries this belongs to the final
+    /// successful attempt; [`CompletedRequest::retries`] counts the earlier
+    /// ones.
+    pub issue: DramCycles,
     /// Cycle at which the data transfer finished (DRAM cycles).
     pub completion: DramCycles,
     /// Row-buffer outcome.
     pub outcome: RowBufferOutcome,
+    /// ECC retry attempts that preceded the completing service (0 for clean
+    /// reads and all writes).
+    pub retries: u32,
 }
 
 impl CompletedRequest {
@@ -146,6 +154,12 @@ impl CompletedRequest {
     #[must_use]
     pub fn latency(&self) -> DramCycles {
         self.completion.saturating_sub(self.request.arrival)
+    }
+
+    /// Cycles spent queued before the completing service issued.
+    #[must_use]
+    pub fn queue_delay(&self) -> DramCycles {
+        self.issue.saturating_sub(self.request.arrival)
     }
 }
 
@@ -160,10 +174,13 @@ mod tests {
             request: req,
             channel: 0,
             location: Location::new(0, 0, 0, 0),
+            issue: 160,
             completion: 180,
             outcome: RowBufferOutcome::Conflict,
+            retries: 0,
         };
         assert_eq!(done.latency(), 80);
+        assert_eq!(done.queue_delay(), 60);
     }
 
     #[test]

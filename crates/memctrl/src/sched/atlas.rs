@@ -277,8 +277,10 @@ mod tests {
             request: MemoryRequest::new(999, AccessKind::Read, 0, core, 0),
             channel: 0,
             location: Location::new(0, 0, 0, 0),
+            issue: 80,
             completion: 100,
             outcome,
+            retries: 0,
         }
     }
 

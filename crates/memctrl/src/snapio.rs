@@ -79,7 +79,9 @@ pub(crate) fn write_completed(w: &mut SnapWriter, done: &CompletedRequest) {
     write_request(w, &done.request);
     w.usize(done.channel);
     write_location(w, done.location);
+    w.u64(done.issue);
     w.u64(done.completion);
+    w.u32(done.retries);
     w.u8(match done.outcome {
         RowBufferOutcome::Hit => 0,
         RowBufferOutcome::Miss => 1,
@@ -92,7 +94,9 @@ pub(crate) fn read_completed(r: &mut SnapReader<'_>) -> Result<CompletedRequest,
     let request = read_request(r)?;
     let channel = r.usize()?;
     let location = read_location(r)?;
+    let issue = r.u64()?;
     let completion = r.u64()?;
+    let retries = r.u32()?;
     let outcome = match r.u8()? {
         0 => RowBufferOutcome::Hit,
         1 => RowBufferOutcome::Miss,
@@ -103,7 +107,9 @@ pub(crate) fn read_completed(r: &mut SnapReader<'_>) -> Result<CompletedRequest,
         request,
         channel,
         location,
+        issue,
         completion,
         outcome,
+        retries,
     })
 }

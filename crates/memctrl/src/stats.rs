@@ -1,6 +1,7 @@
 //! Statistics collected by the memory controller.
 
 use cloudmc_dram::DramCycles;
+use cloudmc_telemetry::{LatencyHistogram, HIST_BUCKETS};
 
 use crate::request::{CompletedRequest, RowBufferOutcome, TenantId, MAX_TENANTS};
 
@@ -93,6 +94,20 @@ pub struct McStats {
     pub lines_poisoned: u64,
     /// Demand reads that consumed a poisoned line.
     pub poisoned_reads: u64,
+    /// Log2-bucket histogram of demand-read latencies (arrival to data
+    /// return, DRAM cycles) across every channel this block covers.
+    pub read_latency_hist: LatencyHistogram,
+    /// Per-tenant demand-read latency histograms (index = tenant id; unused
+    /// slots stay empty).
+    pub read_latency_hist_per_tenant: [LatencyHistogram; MAX_TENANTS],
+    /// Per-channel read-latency histograms, populated only on *aggregated*
+    /// blocks: a single channel's block keeps this empty, and
+    /// [`McStats::merge`] appends each merged leaf's overall histogram in
+    /// merge order. Channels merge in index order within a controller and
+    /// controllers merge in shard order, so the global vector is ordered
+    /// shard-major, channel-minor — the same deterministic convention as
+    /// the reliability subsystem's per-rank vectors.
+    pub read_latency_hist_per_channel: Vec<LatencyHistogram>,
 }
 
 /// Number of buckets kept in the activation-reuse histogram.
@@ -149,6 +164,14 @@ impl McStats {
         w.u64(self.rows_retired);
         w.u64(self.lines_poisoned);
         w.u64(self.poisoned_reads);
+        save_hist(w, &self.read_latency_hist);
+        for h in &self.read_latency_hist_per_tenant {
+            save_hist(w, h);
+        }
+        w.usize(self.read_latency_hist_per_channel.len());
+        for h in &self.read_latency_hist_per_channel {
+            save_hist(w, h);
+        }
     }
 
     /// Restores every counter from a checkpoint written by
@@ -224,6 +247,16 @@ impl McStats {
         self.rows_retired = r.u64()?;
         self.lines_poisoned = r.u64()?;
         self.poisoned_reads = r.u64()?;
+        self.read_latency_hist = load_hist(r, "read-latency")?;
+        for h in self.read_latency_hist_per_tenant.iter_mut() {
+            *h = load_hist(r, "tenant-read-latency")?;
+        }
+        let channels = r.bounded_len(8 * (HIST_BUCKETS + 3))?;
+        self.read_latency_hist_per_channel.clear();
+        for _ in 0..channels {
+            self.read_latency_hist_per_channel
+                .push(load_hist(r, "channel-read-latency")?);
+        }
         Ok(())
     }
 
@@ -252,8 +285,10 @@ impl McStats {
         if done.request.kind.is_read() {
             self.reads_completed += 1;
             self.total_read_latency += latency;
+            self.read_latency_hist.record(latency);
             self.reads_completed_per_tenant[tenant] += 1;
             self.read_latency_per_tenant[tenant] += latency;
+            self.read_latency_hist_per_tenant[tenant].record(latency);
             if core < self.reads_per_core.len() {
                 self.reads_per_core[core] += 1;
                 self.read_latency_per_core[core] += latency;
@@ -500,6 +535,59 @@ impl McStats {
         self.rows_retired += other.rows_retired;
         self.lines_poisoned += other.lines_poisoned;
         self.poisoned_reads += other.poisoned_reads;
+        self.read_latency_hist.merge(&other.read_latency_hist);
+        for (mine, theirs) in self
+            .read_latency_hist_per_tenant
+            .iter_mut()
+            .zip(other.read_latency_hist_per_tenant.iter())
+        {
+            mine.merge(theirs);
+        }
+        // Per-channel resolution is assembled at merge time: a leaf block
+        // (one channel, empty per-channel vector) contributes its overall
+        // histogram as one entry; an already-aggregated block contributes
+        // its entries in order. Merging channels in index order and shards
+        // in shard order thus yields the global shard-major ordering.
+        if other.read_latency_hist_per_channel.is_empty() {
+            self.read_latency_hist_per_channel
+                .push(other.read_latency_hist.clone());
+        } else {
+            self.read_latency_hist_per_channel
+                .extend(other.read_latency_hist_per_channel.iter().cloned());
+        }
+    }
+}
+
+/// Serializes one histogram (bucket counts, count, sum, raw max).
+fn save_hist(w: &mut cloudmc_snap::SnapWriter, h: &LatencyHistogram) {
+    w.u64_slice(h.bucket_counts());
+    w.u64(h.count());
+    w.u64(h.sum());
+    w.u64(h.max().unwrap_or(0));
+}
+
+/// Restores one histogram written by [`save_hist`], rejecting shape or
+/// consistency violations as typed snapshot errors.
+fn load_hist(
+    r: &mut cloudmc_snap::SnapReader<'_>,
+    name: &str,
+) -> Result<LatencyHistogram, cloudmc_snap::SnapError> {
+    let len = r.bounded_len(8)?;
+    if len != HIST_BUCKETS {
+        return Err(r.bad_value(format!(
+            "{len} {name} histogram buckets, expected {HIST_BUCKETS}"
+        )));
+    }
+    let mut counts = [0u64; HIST_BUCKETS];
+    for slot in counts.iter_mut() {
+        *slot = r.u64()?;
+    }
+    let count = r.u64()?;
+    let sum = r.u64()?;
+    let max = r.u64()?;
+    match LatencyHistogram::from_parts(counts, count, sum, max) {
+        Some(h) => Ok(h),
+        None => Err(r.bad_value(format!("inconsistent {name} histogram counts"))),
     }
 }
 
@@ -519,8 +607,10 @@ mod tests {
             request: MemoryRequest::new(1, kind, 0, core, 100),
             channel: 0,
             location: Location::new(0, 0, 0, 0),
+            issue: 100 + latency.saturating_sub(10),
             completion: 100 + latency,
             outcome,
+            retries: 0,
         }
     }
 
@@ -609,6 +699,58 @@ mod tests {
         assert!((s.avg_read_queue_len_for_tenant(0) - 3.0).abs() < 1e-9);
         assert!((s.avg_read_queue_len_for_tenant(1) - 2.0).abs() < 1e-9);
         assert_eq!(s.avg_read_queue_len_for_tenant(3), 0.0);
+    }
+
+    #[test]
+    fn read_latencies_feed_the_histograms() {
+        let mut s = McStats::new(4);
+        let mut read = completed(AccessKind::Read, 0, RowBufferOutcome::Hit, 30);
+        read.request.tenant = 1;
+        s.record_completion(&read);
+        s.record_completion(&completed(AccessKind::Write, 0, RowBufferOutcome::Miss, 60));
+        // Only reads are recorded; writes leave every histogram untouched.
+        assert_eq!(s.read_latency_hist.count(), 1);
+        assert_eq!(s.read_latency_hist.max(), Some(30));
+        assert_eq!(s.read_latency_hist_per_tenant[1].count(), 1);
+        assert!(s.read_latency_hist_per_tenant[0].is_empty());
+        // A leaf block never populates the per-channel vector itself.
+        assert!(s.read_latency_hist_per_channel.is_empty());
+    }
+
+    #[test]
+    fn merge_concatenates_per_channel_histograms_in_merge_order() {
+        let mut ch0 = McStats::new(1);
+        ch0.record_completion(&completed(AccessKind::Read, 0, RowBufferOutcome::Hit, 10));
+        let mut ch1 = McStats::new(1);
+        ch1.record_completion(&completed(AccessKind::Read, 0, RowBufferOutcome::Hit, 500));
+        let mut shard_a = McStats::new(1);
+        shard_a.merge(&ch0);
+        shard_a.merge(&ch1);
+        assert_eq!(shard_a.read_latency_hist_per_channel.len(), 2);
+        assert_eq!(shard_a.read_latency_hist_per_channel[0].max(), Some(10));
+        assert_eq!(shard_a.read_latency_hist_per_channel[1].max(), Some(500));
+
+        // Merging an aggregated block concatenates its entries after ours:
+        // shard-order merging yields shard-major, channel-minor ordering.
+        let mut ch2 = McStats::new(1);
+        ch2.record_completion(&completed(
+            AccessKind::Read,
+            0,
+            RowBufferOutcome::Miss,
+            9000,
+        ));
+        let mut shard_b = McStats::new(1);
+        shard_b.merge(&ch2);
+        let mut global = McStats::new(1);
+        global.merge(&shard_a);
+        global.merge(&shard_b);
+        let maxes: Vec<_> = global
+            .read_latency_hist_per_channel
+            .iter()
+            .map(|h| h.max())
+            .collect();
+        assert_eq!(maxes, vec![Some(10), Some(500), Some(9000)]);
+        assert_eq!(global.read_latency_hist.count(), 3);
     }
 
     #[test]

@@ -62,6 +62,11 @@ pub struct Backend {
     pool: Option<WorkerPool>,
     retry: BTreeMap<RetryKey, VecDeque<MemoryRequest>>,
     retry_len: usize,
+    /// Kernel self-profiler flag: when set, wall-clock time spent blocked on
+    /// the worker-pool barrier is accumulated in `barrier_nanos`. Off by
+    /// default so the threaded tick path takes no `Instant::now` calls.
+    profile: bool,
+    barrier_nanos: u64,
 }
 
 impl Backend {
@@ -100,6 +105,8 @@ impl Backend {
             pool,
             retry: BTreeMap::new(),
             retry_len: 0,
+            profile: cfg.telemetry.profile_kernel,
+            barrier_nanos: 0,
         })
     }
 
@@ -386,13 +393,24 @@ impl Backend {
         // before the DRAM tick (and with it the 2:5 clock-crossing step)
         // completes. Completions merge in ascending shard order — exactly
         // the sequential service order.
+        let barrier_start = self.profile.then(std::time::Instant::now);
         let mut results: Vec<_> = (0..dispatched).map(|_| pool.collect()).collect();
+        if let Some(start) = barrier_start {
+            self.barrier_nanos += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        }
         results.sort_unstable_by_key(|r| r.shard);
         for result in results {
             self.next_due[result.shard] = result.next_due;
             self.shards[result.shard] = Some(result.mc);
             events.extend(result.done);
         }
+    }
+
+    /// Wall-clock nanoseconds spent blocked on the worker-pool barrier since
+    /// the last call, resetting the accumulator. Always 0 unless the kernel
+    /// self-profiler is enabled in the telemetry configuration.
+    pub(crate) fn take_barrier_nanos(&mut self) -> u64 {
+        std::mem::take(&mut self.barrier_nanos)
     }
 
     /// Why this backend cannot be checkpointed, if it cannot: any shard

@@ -5,6 +5,7 @@ use std::path::PathBuf;
 use cloudmc_cpu::{CoreConfig, L2Config};
 use cloudmc_dram::EnergyParams;
 use cloudmc_memctrl::{McConfig, SchedulerKind};
+use cloudmc_telemetry::TelemetryConfig;
 use cloudmc_workloads::{MixSpec, Workload, WorkloadSource, WorkloadSpec};
 
 // The controller's per-tenant accounting arrays and the workload mix must
@@ -101,6 +102,12 @@ pub struct SystemConfig {
     /// several shards (`num_channels`) on several physical cores; defaults
     /// to 1 (fully sequential, no pool).
     pub threads: usize,
+    /// Telemetry layers for this run: interval time-series sampling, span
+    /// tracing, and the kernel self-profiler. Defaults to everything off,
+    /// which is guaranteed free on the tick path and leaves `SimStats`
+    /// bit-identical (`tests/telemetry_equivalence.rs`). Systems with any
+    /// layer active refuse to snapshot (`SimError::Snapshot`).
+    pub telemetry: TelemetryConfig,
 }
 
 impl SystemConfig {
@@ -129,6 +136,7 @@ impl SystemConfig {
             fast_forward: true,
             event_driven: true,
             threads: 1,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -247,6 +255,7 @@ impl SystemConfig {
                 self.threads
             ));
         }
+        self.telemetry.validate()?;
         if let (WorkloadSource::Trace(replay), Some(record)) = (&self.source, &self.trace_record) {
             if replay == record {
                 return Err(format!(

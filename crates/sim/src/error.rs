@@ -26,8 +26,12 @@ pub enum SimError {
     /// or corrupted (the message names the failing section and byte offset),
     /// the snapshot was taken under a different configuration (fingerprint
     /// mismatch), or the system holds state the format cannot capture (trace
-    /// taps, boxed plugins).
+    /// taps, boxed plugins, an active telemetry sink).
     Snapshot(String),
+    /// Writing a telemetry output file (time series or span trace) failed;
+    /// the in-memory series and spans are still intact but the on-disk
+    /// artifact is incomplete.
+    Telemetry(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -37,6 +41,7 @@ impl std::fmt::Display for SimError {
             Self::Trace(msg) => write!(f, "trace I/O failed: {msg}"),
             Self::Uncorrectable(msg) => write!(f, "fail-stop: {msg}"),
             Self::Snapshot(msg) => write!(f, "snapshot: {msg}"),
+            Self::Telemetry(msg) => write!(f, "telemetry I/O failed: {msg}"),
         }
     }
 }
@@ -69,6 +74,10 @@ mod tests {
         assert_eq!(
             SimError::Snapshot("bad magic".to_owned()).to_string(),
             "snapshot: bad magic"
+        );
+        assert_eq!(
+            SimError::Telemetry("disk full".to_owned()).to_string(),
+            "telemetry I/O failed: disk full"
         );
     }
 

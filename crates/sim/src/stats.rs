@@ -143,6 +143,20 @@ pub struct SimStats {
     /// Memory capacity lost to row retirement by the end of the run, in
     /// bytes (retired rows × row size).
     pub retired_capacity_bytes: u64,
+    /// Median read latency over the measurement window in DRAM cycles, from
+    /// the controller's log2-bucket latency histogram (linearly interpolated
+    /// within a bucket; 0.0 when no reads completed).
+    pub read_latency_p50_dram: f64,
+    /// 95th-percentile read latency in DRAM cycles (same histogram
+    /// estimate; 0.0 when no reads completed).
+    pub read_latency_p95_dram: f64,
+    /// 99th-percentile read latency in DRAM cycles (same histogram
+    /// estimate; 0.0 when no reads completed).
+    pub read_latency_p99_dram: f64,
+    /// Largest read latency observed in the window, in DRAM cycles. Window
+    /// deltas bound this at bucket resolution (the upper edge of the highest
+    /// bucket the window touched); 0 when no reads completed.
+    pub read_latency_max_dram: u64,
 }
 
 impl SimStats {
@@ -341,7 +355,7 @@ impl SimStats {
                 "\"rows_retired\":{},\"lines_poisoned\":{},\"poisoned_reads\":{},",
                 "\"faults_injected\":{},\"faults_corrected\":{},",
                 "\"faults_uncorrectable\":{},\"faults_latent\":{},",
-                "\"rows_retired_per_rank\":[{}],\"retired_capacity_bytes\":{}}}"
+                "\"rows_retired_per_rank\":[{}],\"retired_capacity_bytes\":{}"
             ),
             self.ecc_corrected,
             self.ecc_detected_uncorrectable,
@@ -360,6 +374,18 @@ impl SimStats {
             self.faults_latent,
             join(&self.rows_retired_per_rank),
             self.retired_capacity_bytes,
+        ));
+        // Latency-percentile keys (fourth additive block, appended after the
+        // reliability keys).
+        json.push_str(&format!(
+            concat!(
+                ",\"read_latency_p50_dram\":{},\"read_latency_p95_dram\":{},",
+                "\"read_latency_p99_dram\":{},\"read_latency_max_dram\":{}}}"
+            ),
+            self.read_latency_p50_dram,
+            self.read_latency_p95_dram,
+            self.read_latency_p99_dram,
+            self.read_latency_max_dram,
         ));
         json
     }
@@ -449,6 +475,10 @@ mod tests {
             faults_latent: 0,
             rows_retired_per_rank: vec![1, 0],
             retired_capacity_bytes: 8192,
+            read_latency_p50_dram: 72.0,
+            read_latency_p95_dram: 180.0,
+            read_latency_p99_dram: 240.0,
+            read_latency_max_dram: 255,
         }
     }
 
@@ -519,6 +549,14 @@ mod tests {
         assert!(json.contains("\"faults_injected\":9"));
         assert!(json.contains("\"rows_retired_per_rank\":[1,0]"));
         assert!(json.contains("\"retired_capacity_bytes\":8192"));
+        // Latency-percentile keys are additive too (after the reliability
+        // keys).
+        let p50_pos = json.find("\"read_latency_p50_dram\"").unwrap();
+        assert!(p50_pos > ecc_pos);
+        assert!(json.contains("\"read_latency_p50_dram\":72"));
+        assert!(json.contains("\"read_latency_p95_dram\":180"));
+        assert!(json.contains("\"read_latency_p99_dram\":240"));
+        assert!(json.contains("\"read_latency_max_dram\":255"));
         assert!(json.ends_with('}'));
         // Every key appears exactly once.
         assert_eq!(json.matches("\"scheduler\"").count(), 1);

@@ -8,8 +8,15 @@
 //! caches, workload streams, DMA) and the backend (controller shards, DRAM).
 
 use std::collections::HashMap;
+use std::time::Instant;
 
-use cloudmc_memctrl::{AccessKind, McStats, MemoryRequest, RequestId, MAX_TENANTS};
+use cloudmc_memctrl::{
+    AccessKind, CompletedRequest, McStats, MemoryRequest, RequestId, RowBufferOutcome, MAX_TENANTS,
+};
+use cloudmc_telemetry::{
+    KernelPhase, KernelProfile, KernelProfiler, SpanAccess, SpanOutcome, SpanRecord,
+    TelemetrySample,
+};
 
 use crate::backend::Backend;
 use crate::config::SystemConfig;
@@ -39,6 +46,49 @@ struct CounterBaseline {
     mem_writes_sent: u64,
     mc: Option<McStats>,
     device: cloudmc_dram::ChannelStats,
+}
+
+/// All mutable telemetry state, boxed behind one `Option` so a run with
+/// telemetry off carries a single `None` pointer and the tick path never
+/// allocates or branches into this block.
+#[derive(Debug)]
+struct TelemetryState {
+    /// Time-series sample period (CPU cycles); 0 when the series is off.
+    interval: u64,
+    /// The next CPU cycle at which a time-series sample is due; `u64::MAX`
+    /// when the series is off.
+    next_sample: u64,
+    /// Counter values at the previous sample boundary (or system build),
+    /// subtracted from the current values to produce windowed deltas.
+    last: CounterBaseline,
+    series: Vec<TelemetrySample>,
+    /// Span-trace sampling period (request ids); 0 when tracing is off.
+    span_every: u64,
+    /// Backend shard of each sampled request still in flight, keyed by
+    /// request id (the shard index is erased by address localization, so it
+    /// is captured at dispatch).
+    pending_spans: HashMap<RequestId, usize>,
+    spans: Vec<SpanRecord>,
+    profiler: Option<KernelProfiler>,
+}
+
+impl TelemetryState {
+    fn new(cfg: &cloudmc_telemetry::TelemetryConfig, last: CounterBaseline) -> Self {
+        Self {
+            interval: cfg.sample_interval,
+            next_sample: if cfg.sample_interval > 0 {
+                cfg.sample_interval
+            } else {
+                u64::MAX
+            },
+            last,
+            series: Vec::new(),
+            span_every: cfg.span_sample_every,
+            pending_spans: HashMap::new(),
+            spans: Vec::new(),
+            profiler: cfg.profile_kernel.then(KernelProfiler::default),
+        }
+    }
 }
 
 /// The simulated 16-core pod with its memory system.
@@ -77,6 +127,12 @@ pub struct System {
     /// Reusable event buffers (one per clock domain).
     frontend_events: Vec<FrontendEvent>,
     completions: Vec<cloudmc_memctrl::CompletedRequest>,
+    /// Telemetry state; `None` when every layer is off, in which case the
+    /// per-step telemetry checks reduce to one pointer-is-null branch.
+    telemetry: Option<Box<TelemetryState>>,
+    /// Cached `cfg.telemetry.profile_kernel` so the hot loops can skip
+    /// `Instant::now` without chasing the telemetry pointer.
+    profile: bool,
 }
 
 impl System {
@@ -92,7 +148,7 @@ impl System {
         if cfg.functional_warmup {
             frontend.prewarm();
         }
-        Ok(Self {
+        let mut system = Self {
             frontend,
             backend,
             clock: ClockCrossing::new(),
@@ -105,8 +161,18 @@ impl System {
             reads_by_region: [0; 4],
             frontend_events: Vec::new(),
             completions: Vec::new(),
+            telemetry: None,
+            profile: cfg.telemetry.profile_kernel,
             cfg,
-        })
+        };
+        if system.cfg.telemetry.is_active() {
+            let baseline = system.counter_baseline();
+            system.telemetry = Some(Box::new(TelemetryState::new(
+                &system.cfg.telemetry,
+                baseline,
+            )));
+        }
+        Ok(system)
     }
 
     /// The configuration in effect.
@@ -277,6 +343,7 @@ impl System {
                 self.reads_by_region[Self::region_of(addr)] += 1;
                 self.outstanding_reads
                     .insert(id, OutstandingRead { core, addr });
+                self.note_span_start(id, addr);
                 self.backend.submit(
                     MemoryRequest::new(id, AccessKind::Read, addr, core, now_dram)
                         .with_tenant(tenant),
@@ -297,12 +364,14 @@ impl System {
                 } else {
                     MemoryRequest::new(id, AccessKind::Write, addr, core, now_dram)
                 };
+                self.note_span_start(id, addr);
                 self.backend.submit(request.with_tenant(tenant), now_dram);
             }
             FrontendEvent::DmaRead { core, tenant, addr } => {
                 let id = self.alloc_request_id();
                 self.mem_reads_sent += 1;
                 self.mem_sent_per_tenant[tenant.min(MAX_TENANTS - 1)] += 1;
+                self.note_span_start(id, addr);
                 self.backend.submit(
                     MemoryRequest::dma(id, AccessKind::Read, addr, core, now_dram)
                         .with_tenant(tenant),
@@ -315,6 +384,7 @@ impl System {
     /// Advances the whole system by one CPU cycle.
     pub fn step(&mut self) {
         let now_cpu = self.clock.cpu_cycle();
+        let t0 = self.prof_start();
 
         // 1. Deliver data that reached its core this cycle.
         while let Some((core, addr)) = self.fills.pop_due(now_cpu) {
@@ -329,6 +399,8 @@ impl System {
             self.dispatch(event);
         }
         self.frontend_events = events;
+        self.prof_add(KernelPhase::Frontend, t0);
+        let t0 = self.prof_start();
 
         // 3. As many backend (DRAM-domain) cycles as the clock ratio owes.
         for _ in 0..self.clock.accrue_cpu_cycle() {
@@ -344,10 +416,13 @@ impl System {
                         self.fills.push(due, read.core, read.addr);
                     }
                 }
+                self.note_span_completion(&done);
             }
             self.completions = completions;
             self.clock.complete_dram_tick();
         }
+        self.prof_add(KernelPhase::Backend, t0);
+        self.prof_cycles(1, 0);
 
         self.clock.complete_cpu_cycle();
     }
@@ -361,6 +436,7 @@ impl System {
     /// shards run a full controller tick ([`Backend::tick_event`]).
     fn step_event(&mut self) {
         let now_cpu = self.clock.cpu_cycle();
+        let t0 = self.prof_start();
 
         // 1. Deliver data that reached its core this cycle, catching each
         //    receiving core up to the present.
@@ -376,6 +452,8 @@ impl System {
             self.dispatch(event);
         }
         self.frontend_events = events;
+        self.prof_add(KernelPhase::Frontend, t0);
+        let t0 = self.prof_start();
 
         // 3. As many backend (DRAM-domain) cycles as the clock ratio owes.
         for _ in 0..self.clock.accrue_cpu_cycle() {
@@ -390,10 +468,13 @@ impl System {
                         self.fills.push(due, read.core, read.addr);
                     }
                 }
+                self.note_span_completion(&done);
             }
             self.completions = completions;
             self.clock.complete_dram_tick();
         }
+        self.prof_add(KernelPhase::Backend, t0);
+        self.prof_cycles(1, 0);
 
         self.clock.complete_cpu_cycle();
     }
@@ -408,12 +489,28 @@ impl System {
     fn run_event_driven(&mut self, end: u64) {
         while self.clock.cpu_cycle() < end {
             let now = self.clock.cpu_cycle();
+            if now == self.next_sample_boundary() {
+                // Every cycle below the boundary is executed (loop
+                // invariant), so aligning the lazy cores here is pure
+                // counter bookkeeping and the sampled counters read exactly
+                // as the per-cycle kernels' would at this cycle.
+                self.frontend.sync_to(now);
+                self.take_sample();
+                continue;
+            }
+            let t0 = self.prof_start();
             let fills = self.fills.next_due_cycle().unwrap_or(u64::MAX);
             let frontend = self.frontend.next_action_cycle();
             let backend = self
                 .clock
                 .cpu_cycle_of_dram_tick(self.backend.cached_next_due(self.clock.dram_cycle()));
-            let target = fills.min(frontend).min(backend).min(end).max(now);
+            let target = fills
+                .min(frontend)
+                .min(backend)
+                .min(end)
+                .min(self.next_sample_boundary())
+                .max(now);
+            self.prof_add(KernelPhase::EventQueue, t0);
             if target > now {
                 // Every cycle in [now, target) is provably eventless. Apply
                 // the closed-form side effects the naive loop would have
@@ -425,6 +522,7 @@ impl System {
                     self.backend.skip_dram_cycles(dram_ticks);
                 }
                 self.clock.fast_forward(cycles);
+                self.prof_cycles(0, cycles);
             } else {
                 self.step_event();
             }
@@ -433,6 +531,9 @@ impl System {
         // aligning every core and DMA accumulator to `end` is pure counter
         // bookkeeping.
         self.frontend.sync_to(end);
+        // A boundary landing exactly on `end` samples here, after the final
+        // sync — the same cycle the per-step kernels sample it on.
+        self.maybe_sample();
     }
 
     /// The earliest CPU cycle at or after the current one at which *any*
@@ -486,6 +587,7 @@ impl System {
             self.backend.skip_dram_cycles(dram_ticks);
         }
         self.clock.fast_forward(cycles);
+        self.prof_cycles(0, cycles);
     }
 
     /// Runs `cycles` CPU cycles.
@@ -497,10 +599,34 @@ impl System {
     /// are jumped over instead of ticked through, and the result is
     /// bit-identical to the naive per-cycle loop.
     pub fn run_cycles(&mut self, cycles: u64) {
+        let t0 = self.prof_start();
+        self.run_cycles_inner(cycles);
+        if let Some(start) = t0 {
+            let barrier = self.backend.take_barrier_nanos();
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if let Some(p) = self.profiler_mut() {
+                p.record_total(nanos);
+                if barrier > 0 {
+                    p.record(KernelPhase::Barrier, barrier);
+                }
+            }
+        }
+    }
+
+    /// The body of [`System::run_cycles`], separated so the profiler can
+    /// wrap the whole run in one wall-clock measurement.
+    fn run_cycles_inner(&mut self, cycles: u64) {
         let end = self.clock.cpu_cycle().saturating_add(cycles);
         if !self.cfg.fast_forward {
-            for _ in 0..cycles {
-                self.step();
+            if self.telemetry.is_some() {
+                for _ in 0..cycles {
+                    self.step();
+                    self.maybe_sample();
+                }
+            } else {
+                for _ in 0..cycles {
+                    self.step();
+                }
             }
             return;
         }
@@ -519,13 +645,23 @@ impl System {
         let mut miss_streak: u32 = 0;
         while self.clock.cpu_cycle() < end {
             let now = self.clock.cpu_cycle();
-            let horizon = self.next_event_cycle().min(end);
+            let t0 = self.prof_start();
+            // Clamping the horizon to the next sample boundary keeps jumps
+            // from overshooting it; the post-step/post-jump checks then see
+            // the boundary on its exact cycle.
+            let horizon = self
+                .next_event_cycle()
+                .min(end)
+                .min(self.next_sample_boundary());
+            self.prof_add(KernelPhase::EventQueue, t0);
             let remaining = end - now;
             if horizon - now >= MIN_PROFITABLE_SKIP.min(remaining) && horizon > now {
                 self.fast_forward(horizon - now);
+                self.maybe_sample();
                 miss_streak = 0;
             } else {
                 self.step();
+                self.maybe_sample();
                 // A horizon of exactly `now + 1` is the dense steady state:
                 // something acts *every* cycle, so recomputing the horizon is
                 // pure overhead — let the backoff grow further (64 steps per
@@ -535,17 +671,24 @@ impl System {
                 miss_streak = miss_streak.saturating_add(1);
                 for _ in 0..backoff.min(end - self.clock.cpu_cycle()) {
                     self.step();
+                    self.maybe_sample();
                 }
             }
         }
     }
 
     /// Why this system cannot be checkpointed right now, if it cannot:
-    /// attached trace taps or dynamically dispatched (boxed) plugins hold
-    /// state the snapshot format cannot capture. `None` means
-    /// [`System::snapshot`] will succeed.
+    /// attached trace taps, dynamically dispatched (boxed) plugins, or an
+    /// active telemetry sink hold state the snapshot format cannot capture.
+    /// `None` means [`System::snapshot`] will succeed.
     #[must_use]
     pub fn snapshot_unsupported_reason(&self) -> Option<&'static str> {
+        if self.telemetry.is_some() {
+            // Sample cursors, pending spans and profiler accumulators are
+            // deliberately outside the snapshot format; a restored replica
+            // would silently produce a truncated series otherwise.
+            return Some("an active telemetry sink");
+        }
         self.frontend
             .snapshot_unsupported_reason()
             .or_else(|| self.backend.snapshot_unsupported_reason())
@@ -682,6 +825,256 @@ impl System {
     /// through this.
     pub fn reseed(&mut self, seed: u64) {
         self.frontend.reseed(seed);
+    }
+
+    /// The next CPU cycle at which a time-series sample is due; `u64::MAX`
+    /// when the series layer is off.
+    fn next_sample_boundary(&self) -> u64 {
+        self.telemetry
+            .as_deref()
+            .map_or(u64::MAX, |t| t.next_sample)
+    }
+
+    /// Takes any samples whose boundary the clock has reached. With the
+    /// series off this is one null-pointer branch.
+    fn maybe_sample(&mut self) {
+        while self.clock.cpu_cycle() >= self.next_sample_boundary() {
+            self.take_sample();
+        }
+    }
+
+    /// Records one time-series sample of the window since the previous
+    /// boundary. The caller guarantees the system sits exactly at the
+    /// boundary cycle with every layer caught up (the event kernel syncs its
+    /// lazy frontend first), so the windowed counters read identically under
+    /// every kernel and thread count.
+    fn take_sample(&mut self) {
+        let cur = self.counter_baseline();
+        // Per the `TelemetrySample` contract the share vector is empty in
+        // single-tenant runs (the lone tenant's share is always 1).
+        let tenants = match self.cfg.tenancy().tenant_count() {
+            0 | 1 => 0,
+            n => n,
+        };
+        let Some(t) = self.telemetry.as_deref_mut() else {
+            return;
+        };
+        let mc_end = cur.mc.clone().unwrap_or_default();
+        let mc_start = t.last.mc.clone().unwrap_or_default();
+        let cpu_cycles = cur.cpu_cycles - t.last.cpu_cycles;
+        let committed = cur.committed.iter().sum::<u64>() - t.last.committed.iter().sum::<u64>();
+        let ipc = if cpu_cycles == 0 {
+            0.0
+        } else {
+            committed as f64 / cpu_cycles as f64
+        };
+        let reads_completed = mc_end.reads_completed - mc_start.reads_completed;
+        let writes_completed = mc_end.writes_completed - mc_start.writes_completed;
+        let avg_read_latency = if reads_completed == 0 {
+            0.0
+        } else {
+            (mc_end.total_read_latency - mc_start.total_read_latency) as f64
+                / reads_completed as f64
+        };
+        let hits = mc_end.row_hits - mc_start.row_hits;
+        let outcomes = hits
+            + (mc_end.row_misses - mc_start.row_misses)
+            + (mc_end.row_conflicts - mc_start.row_conflicts);
+        let row_hit_rate = if outcomes == 0 {
+            0.0
+        } else {
+            hits as f64 / outcomes as f64
+        };
+        let queue_samples = mc_end.queue_samples - mc_start.queue_samples;
+        let avg_read_queue = if queue_samples == 0 {
+            0.0
+        } else {
+            (mc_end.read_queue_occupancy_sum - mc_start.read_queue_occupancy_sum) as f64
+                / queue_samples as f64
+        };
+        let completed = reads_completed + writes_completed;
+        let bandwidth_share = (0..tenants)
+            .map(|tn| {
+                if completed == 0 {
+                    0.0
+                } else {
+                    ((mc_end.reads_completed_per_tenant[tn]
+                        - mc_start.reads_completed_per_tenant[tn])
+                        + (mc_end.writes_completed_per_tenant[tn]
+                            - mc_start.writes_completed_per_tenant[tn])) as f64
+                        / completed as f64
+                }
+            })
+            .collect();
+        let device = cur.device.delta(&t.last.device);
+        let rank_cycles = device.state_residency_cycles();
+        let power_down_fraction = if rank_cycles == 0 {
+            0.0
+        } else {
+            device.powered_down_cycles() as f64 / rank_cycles as f64
+        };
+        let reliability_events = (mc_end.ecc_corrected - mc_start.ecc_corrected)
+            + (mc_end.ecc_detected_uncorrectable - mc_start.ecc_detected_uncorrectable)
+            + (mc_end.ecc_miscorrects - mc_start.ecc_miscorrects)
+            + (mc_end.scrub_corrected - mc_start.scrub_corrected)
+            + (mc_end.scrub_uncorrectable - mc_start.scrub_uncorrectable)
+            + (mc_end.rows_retired - mc_start.rows_retired)
+            + (mc_end.lines_poisoned - mc_start.lines_poisoned);
+        t.series.push(TelemetrySample {
+            cycle: cur.cpu_cycles,
+            ipc,
+            reads_completed,
+            writes_completed,
+            avg_read_latency,
+            row_hit_rate,
+            avg_read_queue,
+            bandwidth_share,
+            power_down_fraction,
+            reliability_events,
+        });
+        t.last = cur;
+        t.next_sample = t.next_sample.saturating_add(t.interval.max(1));
+    }
+
+    /// Starts a sampled request span at dispatch, remembering the backend
+    /// shard (address localization erases it, so the completion record alone
+    /// cannot name the global channel).
+    fn note_span_start(&mut self, id: RequestId, addr: u64) {
+        if self.telemetry.is_none() {
+            return;
+        }
+        let shard = self.backend.route(addr);
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            if t.span_every > 0 && id.is_multiple_of(t.span_every) {
+                t.pending_spans.insert(id, shard);
+            }
+        }
+    }
+
+    /// Completes a sampled request span from its backend completion record.
+    fn note_span_completion(&mut self, done: &CompletedRequest) {
+        let channels_per_shard = self.cfg.mc.dram.channels;
+        let Some(t) = self.telemetry.as_deref_mut() else {
+            return;
+        };
+        let Some(shard) = t.pending_spans.remove(&done.request.id) else {
+            return;
+        };
+        t.spans.push(SpanRecord {
+            id: done.request.id,
+            access: if done.request.kind.is_read() {
+                SpanAccess::Read
+            } else {
+                SpanAccess::Write
+            },
+            core: done.request.core,
+            tenant: done.request.tenant,
+            channel: shard * channels_per_shard + done.channel,
+            enqueue: done.request.arrival,
+            issue: done.issue,
+            completion: done.completion,
+            outcome: match done.outcome {
+                RowBufferOutcome::Hit => SpanOutcome::Hit,
+                RowBufferOutcome::Miss => SpanOutcome::Miss,
+                RowBufferOutcome::Conflict => SpanOutcome::Conflict,
+            },
+            retries: done.retries,
+        });
+    }
+
+    /// Starts a wall-clock phase measurement; `None` when profiling is off,
+    /// so hot loops pay a single boolean test.
+    fn prof_start(&self) -> Option<Instant> {
+        self.profile.then(Instant::now)
+    }
+
+    /// Folds a finished phase measurement into the profiler.
+    fn prof_add(&mut self, phase: KernelPhase, start: Option<Instant>) {
+        if let Some(start) = start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if let Some(p) = self.profiler_mut() {
+                p.record(phase, nanos);
+            }
+        }
+    }
+
+    fn profiler_mut(&mut self) -> Option<&mut KernelProfiler> {
+        self.telemetry
+            .as_deref_mut()
+            .and_then(|t| t.profiler.as_mut())
+    }
+
+    /// Accounts simulated CPU cycles to the profiler's stepped/jumped split.
+    fn prof_cycles(&mut self, stepped: u64, jumped: u64) {
+        if !self.profile {
+            return;
+        }
+        if let Some(p) = self.profiler_mut() {
+            p.record_stepped_cycles(stepped);
+            p.record_jumped_cycles(jumped);
+        }
+    }
+
+    /// Interval time-series samples collected so far (empty when the series
+    /// layer is off).
+    #[must_use]
+    pub fn telemetry_series(&self) -> &[TelemetrySample] {
+        self.telemetry.as_deref().map_or(&[], |t| &t.series)
+    }
+
+    /// Sampled request spans completed so far (empty when span tracing is
+    /// off).
+    #[must_use]
+    pub fn telemetry_spans(&self) -> &[SpanRecord] {
+        self.telemetry.as_deref().map_or(&[], |t| &t.spans)
+    }
+
+    /// The finished kernel self-profile up to the current cycle, or `None`
+    /// when the profiler layer is off. Folds in worker-pool barrier time the
+    /// backend accumulated since the last call.
+    pub fn kernel_profile(&mut self) -> Option<KernelProfile> {
+        let barrier = self.backend.take_barrier_nanos();
+        let cpu = self.clock.cpu_cycle();
+        let dram = self.clock.dram_cycle();
+        let p = self.profiler_mut()?;
+        if barrier > 0 {
+            p.record(KernelPhase::Barrier, barrier);
+        }
+        Some(p.finish(cpu, dram))
+    }
+
+    /// Writes the configured telemetry output files (time series and span
+    /// trace, both JSON lines). No-op when no output path is configured;
+    /// call once at the end of a run — [`Simulator::run_measurement`] does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Telemetry`] naming the file on any write failure.
+    pub fn finish_telemetry(&self) -> Result<(), SimError> {
+        let Some(t) = self.telemetry.as_deref() else {
+            return Ok(());
+        };
+        if let Some(path) = &self.cfg.telemetry.series_path {
+            let mut out = String::new();
+            for sample in &t.series {
+                out.push_str(&sample.to_jsonl());
+                out.push('\n');
+            }
+            std::fs::write(path, out).map_err(|e| {
+                SimError::Telemetry(format!("writing time series to {}: {e}", path.display()))
+            })?;
+        }
+        if let Some(path) = &self.cfg.telemetry.span_path {
+            let mut out = String::new();
+            for span in &t.spans {
+                out.push_str(&span.to_jsonl());
+                out.push('\n');
+            }
+            std::fs::write(path, out).map_err(|e| {
+                SimError::Telemetry(format!("writing span trace to {}: {e}", path.display()))
+            })?;
+        }
+        Ok(())
     }
 
     fn counter_baseline(&self) -> CounterBaseline {
@@ -848,6 +1241,14 @@ impl System {
                     / queue_samples as f64;
             }
         }
+        // Latency percentiles from the window's histogram delta: the log2
+        // buckets subtract exactly, so this is the distribution of only the
+        // reads completed inside the window.
+        let hist = mc_end.read_latency_hist.delta(&mc_start.read_latency_hist);
+        let read_latency_p50_dram = hist.p50().unwrap_or(0.0);
+        let read_latency_p95_dram = hist.p95().unwrap_or(0.0);
+        let read_latency_p99_dram = hist.p99().unwrap_or(0.0);
+        let read_latency_max_dram = hist.max().unwrap_or(0);
         let ledger = self.backend.fault_ledger();
         let rows_retired_per_rank = self.backend.rows_retired_per_rank();
         let retired_capacity_bytes = rows_retired_per_rank
@@ -922,6 +1323,10 @@ impl System {
             faults_latent: ledger.latent,
             rows_retired_per_rank,
             retired_capacity_bytes,
+            read_latency_p50_dram,
+            read_latency_p95_dram,
+            read_latency_p99_dram,
+            read_latency_max_dram,
         }
     }
 }
@@ -983,12 +1388,14 @@ impl Simulator {
     /// # Errors
     ///
     /// Returns [`SimError::Trace`] or [`SimError::Uncorrectable`] exactly as
-    /// [`Simulator::try_run`] does.
+    /// [`Simulator::try_run`] does, and [`SimError::Telemetry`] if a
+    /// configured telemetry output file could not be written.
     pub fn run_measurement(&mut self) -> Result<SimStats, SimError> {
         let measure = self.system.cfg.measure_cpu_cycles;
         let baseline = self.system.counter_baseline();
         self.system.run_cycles(measure);
         self.system.finish_trace().map_err(SimError::Trace)?;
+        self.system.finish_telemetry()?;
         let stats = self.system.stats_since(&baseline);
         if let Some(msg) = self.system.backend.fault_error() {
             return Err(SimError::Uncorrectable(msg.to_owned()));

@@ -40,7 +40,7 @@ use std::fmt;
 pub const MAGIC: [u8; 8] = *b"CMCSNAP1";
 
 /// Current snapshot format version. Bump on any layout change.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Byte tag that introduces a section marker in the body stream.
 const SECTION_TAG: u8 = 0xA5;

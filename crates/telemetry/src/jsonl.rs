@@ -1,0 +1,80 @@
+//! Minimal hand-rolled JSON-lines helpers (the workspace has no serde).
+//!
+//! Writers emit objects with a fixed key order; the readers here only need
+//! to handle that same flat shape (scalars, strings, and arrays of numbers),
+//! which keeps the dashboard example dependency-free.
+
+/// Returns the raw text of `key`'s value inside a flat JSON object line.
+pub(crate) fn raw_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pattern = format!("\"{key}\":");
+    let start = line.find(&pattern)? + pattern.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('[') {
+        let end = stripped.find(']')?;
+        return Some(&stripped[..end]);
+    }
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim())
+}
+
+/// Parses `key` as a `u64`.
+pub(crate) fn field_u64(line: &str, key: &str) -> Option<u64> {
+    raw_field(line, key)?.parse().ok()
+}
+
+/// Parses `key` as an `f64`.
+pub(crate) fn field_f64(line: &str, key: &str) -> Option<f64> {
+    raw_field(line, key)?.parse().ok()
+}
+
+/// Parses `key` as an array of `f64`s (empty array allowed).
+pub(crate) fn field_f64_array(line: &str, key: &str) -> Option<Vec<f64>> {
+    let raw = raw_field(line, key)?;
+    if raw.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    raw.split(',').map(|s| s.trim().parse().ok()).collect()
+}
+
+/// Parses `key` as a quoted string.
+pub(crate) fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let raw = raw_field(line, key)?;
+    raw.strip_prefix('"')?.strip_suffix('"')
+}
+
+/// Formats an `f64` array as a JSON array literal.
+pub(crate) fn f64_array(values: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{v}"));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_fields_parse_back() {
+        let line = r#"{"cycle":42,"ipc":0.5,"share":[0.25,0.75],"kind":"read","tail":7}"#;
+        assert_eq!(field_u64(line, "cycle"), Some(42));
+        assert_eq!(field_f64(line, "ipc"), Some(0.5));
+        assert_eq!(field_f64_array(line, "share"), Some(vec![0.25, 0.75]));
+        assert_eq!(field_str(line, "kind"), Some("read"));
+        assert_eq!(field_u64(line, "tail"), Some(7));
+        assert_eq!(field_u64(line, "missing"), None);
+    }
+
+    #[test]
+    fn empty_array_and_roundtrip() {
+        assert_eq!(f64_array(&[]), "[]");
+        assert_eq!(f64_array(&[1.5, 2.0]), "[1.5,2]");
+        let line = r#"{"share":[]}"#;
+        assert_eq!(field_f64_array(line, "share"), Some(vec![]));
+    }
+}

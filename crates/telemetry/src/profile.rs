@@ -1,0 +1,222 @@
+//! Kernel self-profiler: where host time goes inside a simulation kernel.
+
+/// A kernel phase the profiler attributes host time to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelPhase {
+    /// CPU-core frontend work: instruction-stream ticks, lazy-frontend
+    /// advances, and fill delivery.
+    Frontend,
+    /// Memory-controller backend work: DRAM-clock ticks across all shards
+    /// (includes the clock-crossing barrier, reported separately too).
+    Backend,
+    /// Event-queue / horizon maintenance: computing the next event bound
+    /// and applying bulk jumps.
+    EventQueue,
+    /// Time the backend spent waiting on the sharded worker-pool
+    /// clock-crossing barrier (a subset of [`Backend`](Self::Backend)
+    /// time; zero in single-threaded runs).
+    Barrier,
+}
+
+/// Accumulating side of the kernel self-profiler.
+///
+/// The simulator owns one of these (when `TelemetryConfig::profile_kernel`
+/// is set) and feeds it wall-clock nanoseconds per phase plus simulated
+/// cycle counts; [`finish`](Self::finish) freezes it into a
+/// [`KernelProfile`] report. Wall-clock numbers are host measurements and
+/// therefore *not* deterministic — only the simulated-cycle fields are
+/// comparable across runs.
+#[derive(Clone, Debug, Default)]
+pub struct KernelProfiler {
+    frontend_nanos: u64,
+    backend_nanos: u64,
+    event_queue_nanos: u64,
+    barrier_nanos: u64,
+    total_nanos: u64,
+    stepped_cpu_cycles: u64,
+    jumped_cpu_cycles: u64,
+}
+
+impl KernelProfiler {
+    /// Creates an empty profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `nanos` of host time to `phase`.
+    pub fn record(&mut self, phase: KernelPhase, nanos: u64) {
+        match phase {
+            KernelPhase::Frontend => self.frontend_nanos += nanos,
+            KernelPhase::Backend => self.backend_nanos += nanos,
+            KernelPhase::EventQueue => self.event_queue_nanos += nanos,
+            KernelPhase::Barrier => self.barrier_nanos += nanos,
+        }
+    }
+
+    /// Adds `nanos` of host time to the run total (covers phase time plus
+    /// unattributed glue).
+    pub fn record_total(&mut self, nanos: u64) {
+        self.total_nanos += nanos;
+    }
+
+    /// Accounts CPU cycles simulated by stepping individual cycles.
+    pub fn record_stepped_cycles(&mut self, cycles: u64) {
+        self.stepped_cpu_cycles += cycles;
+    }
+
+    /// Accounts CPU cycles skipped in bulk by a horizon or event-queue jump.
+    pub fn record_jumped_cycles(&mut self, cycles: u64) {
+        self.jumped_cpu_cycles += cycles;
+    }
+
+    /// Freezes the accumulated accounting into a report.
+    ///
+    /// `cpu_cycles` and `dram_cycles` are the run's final simulated clock
+    /// readings; `barrier_nanos` measured outside this profiler (e.g. by
+    /// the backend worker pool) can be folded in beforehand via
+    /// [`record`](Self::record).
+    #[must_use]
+    pub fn finish(&self, cpu_cycles: u64, dram_cycles: u64) -> KernelProfile {
+        KernelProfile {
+            frontend_nanos: self.frontend_nanos,
+            backend_nanos: self.backend_nanos,
+            event_queue_nanos: self.event_queue_nanos,
+            barrier_nanos: self.barrier_nanos,
+            total_nanos: self.total_nanos,
+            stepped_cpu_cycles: self.stepped_cpu_cycles,
+            jumped_cpu_cycles: self.jumped_cpu_cycles,
+            cpu_cycles,
+            dram_cycles,
+        }
+    }
+}
+
+/// Finished kernel-profile report: host nanoseconds per phase and the
+/// simulated-cycle totals they covered.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KernelProfile {
+    /// Host time in the CPU frontend phase.
+    pub frontend_nanos: u64,
+    /// Host time in the memory-controller backend phase.
+    pub backend_nanos: u64,
+    /// Host time computing event bounds and applying jumps.
+    pub event_queue_nanos: u64,
+    /// Host time waiting on the worker-pool clock-crossing barrier (subset
+    /// of `backend_nanos`).
+    pub barrier_nanos: u64,
+    /// Host time for the whole run loop (phases plus glue).
+    pub total_nanos: u64,
+    /// CPU cycles simulated by stepping individual cycles.
+    pub stepped_cpu_cycles: u64,
+    /// CPU cycles advanced in bulk by horizon/event jumps.
+    pub jumped_cpu_cycles: u64,
+    /// Final simulated CPU-clock reading.
+    pub cpu_cycles: u64,
+    /// Final simulated DRAM-clock reading.
+    pub dram_cycles: u64,
+}
+
+impl KernelProfile {
+    /// Fraction of total host time spent in `phase` (0 when no time was
+    /// recorded).
+    #[must_use]
+    pub fn fraction(&self, phase: KernelPhase) -> f64 {
+        if self.total_nanos == 0 {
+            return 0.0;
+        }
+        let nanos = match phase {
+            KernelPhase::Frontend => self.frontend_nanos,
+            KernelPhase::Backend => self.backend_nanos,
+            KernelPhase::EventQueue => self.event_queue_nanos,
+            KernelPhase::Barrier => self.barrier_nanos,
+        };
+        nanos as f64 / self.total_nanos as f64
+    }
+
+    /// Simulated CPU cycles per host microsecond (0 when no time was
+    /// recorded).
+    #[must_use]
+    pub fn cycles_per_host_micro(&self) -> f64 {
+        if self.total_nanos == 0 {
+            return 0.0;
+        }
+        self.cpu_cycles as f64 * 1000.0 / self.total_nanos as f64
+    }
+
+    /// Encodes the profile as a JSON object (stable key order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"frontend_nanos\":{},\"backend_nanos\":{},",
+                "\"event_queue_nanos\":{},\"barrier_nanos\":{},",
+                "\"total_nanos\":{},\"stepped_cpu_cycles\":{},",
+                "\"jumped_cpu_cycles\":{},\"cpu_cycles\":{},",
+                "\"dram_cycles\":{}}}"
+            ),
+            self.frontend_nanos,
+            self.backend_nanos,
+            self.event_queue_nanos,
+            self.barrier_nanos,
+            self.total_nanos,
+            self.stepped_cpu_cycles,
+            self.jumped_cpu_cycles,
+            self.cpu_cycles,
+            self.dram_cycles,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_and_freeze() {
+        let mut p = KernelProfiler::new();
+        p.record(KernelPhase::Frontend, 100);
+        p.record(KernelPhase::Frontend, 50);
+        p.record(KernelPhase::Backend, 200);
+        p.record(KernelPhase::EventQueue, 25);
+        p.record(KernelPhase::Barrier, 10);
+        p.record_total(400);
+        p.record_stepped_cycles(800);
+        p.record_jumped_cycles(200);
+        let profile = p.finish(1000, 400);
+        assert_eq!(profile.frontend_nanos, 150);
+        assert_eq!(profile.backend_nanos, 200);
+        assert_eq!(profile.event_queue_nanos, 25);
+        assert_eq!(profile.barrier_nanos, 10);
+        assert_eq!(profile.stepped_cpu_cycles + profile.jumped_cpu_cycles, 1000);
+        assert_eq!(profile.cpu_cycles, 1000);
+        assert_eq!(profile.dram_cycles, 400);
+        assert!((profile.fraction(KernelPhase::Backend) - 0.5).abs() < 1e-12);
+        assert!((profile.cycles_per_host_micro() - 2500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_profile_reports_zero_fractions() {
+        let profile = KernelProfiler::new().finish(0, 0);
+        assert_eq!(profile.fraction(KernelPhase::Frontend), 0.0);
+        assert_eq!(profile.cycles_per_host_micro(), 0.0);
+    }
+
+    #[test]
+    fn json_has_stable_keys() {
+        let json = KernelProfiler::new().finish(5, 2).to_json();
+        for key in [
+            "frontend_nanos",
+            "backend_nanos",
+            "event_queue_nanos",
+            "barrier_nanos",
+            "total_nanos",
+            "stepped_cpu_cycles",
+            "jumped_cpu_cycles",
+            "cpu_cycles",
+            "dram_cycles",
+        ] {
+            assert!(json.contains(&format!("\"{key}\":")), "{json}");
+        }
+    }
+}

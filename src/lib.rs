@@ -4,4 +4,5 @@ pub use cloudmc_dram as dram;
 pub use cloudmc_memctrl as memctrl;
 pub use cloudmc_sim as sim;
 pub use cloudmc_snap as snap;
+pub use cloudmc_telemetry as telemetry;
 pub use cloudmc_workloads as workloads;

@@ -194,3 +194,56 @@ fn trace_recording_system_refuses_to_snapshot() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Systems with an active telemetry sink cannot be snapshotted or restored:
+/// sample cursors, pending spans and profiler accumulators live outside the
+/// snapshot format, so a restored replica would silently truncate its
+/// series. Both directions are typed errors, and any single layer (time
+/// series, span tracing, or the profiler alone) triggers the refusal.
+#[test]
+fn telemetry_system_refuses_snapshot_and_restore() {
+    use cloudmc::telemetry::TelemetryConfig;
+    let layers = [
+        TelemetryConfig {
+            sample_interval: 5_000,
+            ..TelemetryConfig::default()
+        },
+        TelemetryConfig {
+            span_sample_every: 16,
+            ..TelemetryConfig::default()
+        },
+        TelemetryConfig {
+            profile_kernel: true,
+            ..TelemetryConfig::default()
+        },
+    ];
+    for telemetry in layers {
+        let mut cfg = small(Workload::WebSearch, 2);
+        cfg.telemetry = telemetry;
+        let mut sim = Simulator::new(cfg.clone()).expect("valid config");
+        sim.system_mut().run_cycles(100);
+        match sim.system().snapshot() {
+            Err(SimError::Snapshot(msg)) => assert!(
+                msg.contains("an active telemetry sink"),
+                "unexpected reason: {msg}"
+            ),
+            other => panic!("expected SimError::Snapshot, got {other:?}"),
+        }
+
+        // The restore direction refuses symmetrically: an image captured
+        // with telemetry off cannot be revived into a telemetry-on config
+        // (the fingerprint also differs, but the refusal fires first).
+        let mut plain = cfg.clone();
+        plain.telemetry = TelemetryConfig::off();
+        let mut donor = Simulator::new(plain).expect("valid config");
+        donor.system_mut().run_cycles(100);
+        let image = donor.system().snapshot().expect("plain system snapshots");
+        match Simulator::from_snapshot(cfg, &image) {
+            Err(SimError::Snapshot(msg)) => assert!(
+                msg.contains("an active telemetry sink"),
+                "unexpected reason: {msg}"
+            ),
+            other => panic!("expected SimError::Snapshot, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Observability must be invisible and deterministic — the two invariants
+//! the telemetry subsystem is built on:
+//!
+//! 1. **Off ⇒ free.** With every telemetry layer disabled, `SimStats` is
+//!    bit-identical to a run that never heard of telemetry, and enabling any
+//!    layer still leaves `SimStats` bit-identical (observation must not
+//!    perturb the simulation).
+//! 2. **On ⇒ reproducible.** The interval time series and the sampled span
+//!    trace are element-for-element identical across all three kernels
+//!    (naive polling, horizon jumping, event-driven) and worker thread
+//!    counts, for any seed — because samples land on exact cycle boundaries
+//!    and span ids are minted in arrival order.
+
+use cloudmc::memctrl::SchedulerKind;
+use cloudmc::sim::{SimStats, Simulator, SystemConfig};
+use cloudmc::telemetry::{SpanRecord, TelemetryConfig, TelemetrySample};
+use cloudmc::workloads::{MixSpec, TenantSpec, Workload};
+
+const INTERVAL: u64 = 7_000; // deliberately not a divisor of the run length
+const SPAN_EVERY: u64 = 16;
+
+fn small(workload: Workload, seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::baseline(workload);
+    cfg.warmup_cpu_cycles = 10_000;
+    cfg.measure_cpu_cycles = 60_000;
+    cfg.seed = seed;
+    cfg
+}
+
+fn with_telemetry(mut cfg: SystemConfig) -> SystemConfig {
+    cfg.telemetry = TelemetryConfig {
+        sample_interval: INTERVAL,
+        span_sample_every: SPAN_EVERY,
+        ..TelemetryConfig::default()
+    };
+    cfg
+}
+
+/// Runs `cfg` to completion and returns the stats plus collected telemetry.
+fn run_telemetry(cfg: &SystemConfig) -> (SimStats, Vec<TelemetrySample>, Vec<SpanRecord>) {
+    let mut sim = Simulator::new(cfg.clone()).expect("valid config");
+    sim.run_warmup();
+    let stats = sim.run_measurement().expect("measurement");
+    (
+        stats,
+        sim.system().telemetry_series().to_vec(),
+        sim.system().telemetry_spans().to_vec(),
+    )
+}
+
+/// Runs `cfg` under every kernel — naive, horizon, and the event kernel with
+/// 1, 2 and 4 worker threads — and demands identical stats, series and spans.
+fn assert_telemetry_equivalent(
+    mut cfg: SystemConfig,
+    label: &str,
+) -> (SimStats, Vec<TelemetrySample>, Vec<SpanRecord>) {
+    cfg.fast_forward = false;
+    let naive = run_telemetry(&cfg);
+    cfg.fast_forward = true;
+    cfg.event_driven = false;
+    let horizon = run_telemetry(&cfg);
+    assert_eq!(
+        horizon, naive,
+        "{label}: horizon kernel diverged from the naive loop"
+    );
+    cfg.event_driven = true;
+    for threads in [1usize, 2, 4] {
+        cfg.threads = threads;
+        let event = run_telemetry(&cfg);
+        assert_eq!(
+            event, naive,
+            "{label}: event kernel with {threads} worker threads diverged"
+        );
+    }
+    naive
+}
+
+/// Invariant 1, both directions: the default config and an explicit
+/// telemetry-off config are the same run, and turning every layer on leaves
+/// `SimStats` bit-identical to both.
+#[test]
+fn telemetry_never_perturbs_stats() {
+    for seed in [1u64, 7] {
+        let plain = small(Workload::TpchQ6, seed);
+        let (reference, series, spans) = run_telemetry(&plain);
+        assert!(
+            series.is_empty() && spans.is_empty(),
+            "off must collect nothing"
+        );
+
+        let mut off = plain.clone();
+        off.telemetry = TelemetryConfig::off();
+        let (off_stats, _, _) = run_telemetry(&off);
+        assert_eq!(off_stats, reference, "explicit off must equal the default");
+
+        let mut all = with_telemetry(plain.clone());
+        all.telemetry.profile_kernel = true;
+        let (on_stats, on_series, on_spans) = run_telemetry(&all);
+        assert_eq!(
+            on_stats, reference,
+            "seed {seed}: enabling telemetry changed SimStats"
+        );
+        assert!(!on_series.is_empty() && !on_spans.is_empty());
+
+        // Profiler-only: telemetry is "active" (snapshots refuse) yet collects
+        // no series or spans, and still must not perturb the run.
+        let mut profiled = plain.clone();
+        profiled.telemetry.profile_kernel = true;
+        let (prof_stats, prof_series, prof_spans) = run_telemetry(&profiled);
+        assert_eq!(prof_stats, reference);
+        assert!(prof_series.is_empty() && prof_spans.is_empty());
+    }
+}
+
+/// Invariant 2 on single-tenant streams: identical series and spans across
+/// kernels, thread counts and seeds, with exact-cycle sample boundaries.
+#[test]
+fn series_and_spans_are_identical_across_kernels_and_threads() {
+    for workload in [Workload::TpchQ6, Workload::WebFrontend] {
+        for seed in [1u64, 13] {
+            let cfg = with_telemetry(small(workload, seed));
+            let total = cfg.warmup_cpu_cycles + cfg.measure_cpu_cycles;
+            let (stats, series, spans) =
+                assert_telemetry_equivalent(cfg, &format!("{workload:?} seed {seed}"));
+            assert!(stats.user_instructions > 0);
+            assert_eq!(
+                series.len() as u64,
+                total / INTERVAL,
+                "one sample per full interval"
+            );
+            for (i, s) in series.iter().enumerate() {
+                assert_eq!(
+                    s.cycle,
+                    (i as u64 + 1) * INTERVAL,
+                    "samples must land on exact interval boundaries"
+                );
+                assert!(s.bandwidth_share.is_empty(), "single-tenant share is empty");
+            }
+            assert!(!spans.is_empty(), "span trace must sample something");
+            for s in &spans {
+                assert_eq!(s.id % SPAN_EVERY, 0, "span sampling is id-deterministic");
+                assert!(s.enqueue <= s.issue && s.issue <= s.completion);
+            }
+        }
+    }
+}
+
+/// Invariant 2 where it is hardest: a sharded backend (the worker pool
+/// actually engages at 2 and 4 threads), a latency-critical/batch tenant
+/// mix, and a non-FCFS scheduler. Per-tenant bandwidth shares must agree
+/// across every kernel too.
+#[test]
+fn sharded_tenant_mix_series_are_identical() {
+    let mix = MixSpec::new(TenantSpec::latency_critical(Workload::WebSearch, 8))
+        .and(TenantSpec::batch(Workload::TpchQ6, 8));
+    let mut cfg = SystemConfig::mixed(mix);
+    cfg.warmup_cpu_cycles = 10_000;
+    cfg.measure_cpu_cycles = 60_000;
+    cfg.seed = 5;
+    cfg.num_channels = 2;
+    cfg.mc.scheduler = SchedulerKind::paper_set()[1];
+    let cfg = with_telemetry(cfg);
+    let (stats, series, spans) = assert_telemetry_equivalent(cfg, "sharded mix");
+    assert_eq!(stats.tenants, 2);
+    assert!(!spans.is_empty());
+    let mut saw_traffic = false;
+    for s in &series {
+        assert_eq!(s.bandwidth_share.len(), 2, "one share per tenant");
+        let total: f64 = s.bandwidth_share.iter().sum();
+        if s.reads_completed + s.writes_completed > 0 {
+            saw_traffic = true;
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "shares must sum to 1 when traffic completed, got {total}"
+            );
+        }
+    }
+    assert!(saw_traffic, "mix must complete requests in some window");
+}
+
+/// The JSON-lines sinks round-trip: every series sample and span written at
+/// the end of the measurement parses back to the in-memory record.
+#[test]
+fn jsonl_sinks_round_trip() {
+    let dir = std::env::temp_dir().join("cloudmc_telemetry_equivalence");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let series_path = dir.join("series.jsonl");
+    let span_path = dir.join("spans.jsonl");
+    let mut cfg = with_telemetry(small(Workload::TpchQ6, 3));
+    cfg.telemetry.series_path = Some(series_path.clone());
+    cfg.telemetry.span_path = Some(span_path.clone());
+    let (_, series, spans) = run_telemetry(&cfg);
+
+    let series_file = std::fs::read_to_string(&series_path).expect("series file");
+    let parsed: Vec<TelemetrySample> = series_file
+        .lines()
+        .map(|l| TelemetrySample::from_jsonl(l).expect("well-formed series line"))
+        .collect();
+    assert_eq!(parsed, series);
+
+    let span_file = std::fs::read_to_string(&span_path).expect("span file");
+    let parsed: Vec<SpanRecord> = span_file
+        .lines()
+        .map(|l| SpanRecord::from_jsonl(l).expect("well-formed span line"))
+        .collect();
+    assert_eq!(parsed, spans);
+    let _ = std::fs::remove_dir_all(&dir);
+}
