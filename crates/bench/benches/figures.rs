@@ -6,6 +6,9 @@
 //! timed, and they document how to regenerate each figure (the full-scale
 //! version is `repro <figN>`).
 
+// Criterion's group macros expand to undocumented functions.
+#![allow(missing_docs)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use cloudmc_bench::{baseline_config, Scale};

@@ -2,6 +2,9 @@
 //! address decoding, scheduler decision making, cache accesses and workload
 //! generation.
 
+// Criterion's group macros expand to undocumented functions.
+#![allow(missing_docs)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use cloudmc_bench::{dense_config, idle_heavy_config, Scale};

@@ -8,8 +8,7 @@
 //! per figure/table; the `repro` binary drives them from the command line and
 //! the Criterion benches in `benches/` exercise reduced-scale versions.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod cli;
 pub mod energy;

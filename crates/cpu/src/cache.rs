@@ -129,6 +129,7 @@ struct Line {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cache {
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     config: CacheConfig,
     sets: Vec<Vec<Line>>,
     stats: CacheStats,
@@ -143,6 +144,7 @@ impl Cache {
     /// Panics if the configuration does not validate.
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
+        // simlint: allow(panic) documented constructor contract: config must validate
         config.validate().expect("invalid cache configuration");
         let sets = config.sets() as usize;
         Self {
@@ -216,6 +218,7 @@ impl Cache {
                 .enumerate()
                 .min_by_key(|(_, l)| l.last_use)
                 .map(|(i, _)| i)
+                // simlint: allow(panic) CacheConfig::validate rejects zero associativity
                 .expect("associativity is non-zero")
         });
         let victim = lines[victim_idx];

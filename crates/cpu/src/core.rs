@@ -125,11 +125,14 @@ enum Stall {
 /// [`InOrderCore::fill`].
 #[derive(Debug)]
 pub struct InOrderCore {
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     id: usize,
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     tenant: TenantId,
     l1i: Cache,
     l1d: Cache,
     mshr: Mshr,
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     block_bytes: u64,
     pending_compute: u32,
     stall: Option<Stall>,

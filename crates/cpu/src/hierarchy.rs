@@ -92,6 +92,7 @@ pub struct L2Outcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SharedL2 {
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     config: L2Config,
     banks: Vec<Cache>,
 }
@@ -104,6 +105,7 @@ impl SharedL2 {
     /// Panics if the configuration does not validate.
     #[must_use]
     pub fn new(config: L2Config) -> Self {
+        // simlint: allow(panic) documented constructor contract: config must validate
         config.validate().expect("invalid L2 configuration");
         Self {
             config,

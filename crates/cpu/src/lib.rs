@@ -22,8 +22,7 @@
 //! assert_eq!(core.committed(), 1);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod cache;
 pub mod core;

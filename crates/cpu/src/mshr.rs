@@ -29,7 +29,9 @@ pub enum MshrOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Mshr {
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     capacity: usize,
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     block_bytes: u64,
     /// (block address, merged requester count)
     entries: Vec<(u64, u32)>,

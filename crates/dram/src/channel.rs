@@ -201,10 +201,15 @@ impl ChannelStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DramChannel {
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     timing: TimingParams,
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     banks_per_rank: usize,
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     rows_per_bank: u64,
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     columns_per_row: u64,
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     refresh_enabled: bool,
     ranks: Vec<Rank>,
     /// Cycle at which the data bus becomes free after the last burst.
@@ -226,6 +231,7 @@ impl DramChannel {
     pub fn new(config: &DramConfig) -> Self {
         config
             .validate()
+            // simlint: allow(panic) documented constructor contract: config must validate
             .expect("invalid DRAM configuration passed to DramChannel::new");
         Self {
             timing: config.timing,

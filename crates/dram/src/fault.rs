@@ -226,10 +226,13 @@ type RowKey = (usize, usize, u64);
 /// [`FaultModel::classify_read`] and reacts to the returned [`ReadFault`].
 #[derive(Debug, Clone)]
 pub struct FaultModel {
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     cfg: FaultConfig,
     /// Planted always-correctable (stuck-at single bit) rows.
+    // simlint: allow(snapshot-coverage) deterministically re-planted from the seeded fault config
     stuck: BTreeSet<RowKey>,
     /// Planted always-uncorrectable (multi-bit hard) rows.
+    // simlint: allow(snapshot-coverage) deterministically re-planted from the seeded fault config
     hard: BTreeSet<RowKey>,
     /// Planted rows already surfaced by at least one read.
     discovered: BTreeSet<RowKey>,
@@ -330,6 +333,7 @@ impl FaultModel {
             + u128::from(residency.power_down_slow) * u128::from(self.cfg.weight_pd_slow)
             + u128::from(residency.self_refresh) * u128::from(self.cfg.weight_self_refresh);
         let fp = u128::from(self.cfg.transient_rate_fp) * weighted / u128::from(total);
+        // simlint: allow(panic) value clamped to u64::MAX on the previous line
         u64::try_from(fp.min(u128::from(u64::MAX))).expect("clamped above")
     }
 

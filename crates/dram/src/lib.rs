@@ -28,8 +28,7 @@
 //! assert_eq!(outcome.completion_cycle, rd_cycle + cfg.timing.cl + cfg.timing.t_burst);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod bank;
 pub mod channel;

@@ -509,6 +509,7 @@ impl Rank {
             PowerState::PowerDownSlow => t.t_xpdll,
             PowerState::SelfRefresh => t.t_xs,
             PowerState::ActiveStandby | PowerState::PrechargeStandby => {
+                // simlint: allow(panic) controller state machine never wakes an awake rank
                 panic!("wake at {now} on a rank that is not powered down")
             }
         };

@@ -1,0 +1,149 @@
+//! `simlint` — the cloudmc workspace static analyzer.
+//!
+//! ```text
+//! simlint [--root PATH] [--list] [--json] [--deny RULE|all] [--allow RULE|all]
+//!         [--update-schema]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cloudmc_lint::{analyze, report_to_json, update_schema, Config, RULES};
+
+const HELP: &str = "simlint - cloudmc workspace static analyzer
+
+USAGE:
+    simlint [OPTIONS]
+
+OPTIONS:
+    --root PATH        workspace root (default: nearest ancestor with a
+                       [workspace] Cargo.toml)
+    --list             list every rule with its description and exit
+    --json             emit the report as JSON on stdout
+    --deny RULE|all    enable a rule (applied in order; default: all denied)
+    --allow RULE|all   disable a rule (applied in order)
+    --update-schema    regenerate stats_schema.txt from crates/sim/src/stats.rs
+    -h, --help         show this help
+
+EXIT CODES:
+    0  no violations
+    1  violations found
+    2  usage or I/O error
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut list = false;
+    let mut json = false;
+    let mut do_update = false;
+    // (deny?, rule) in command-line order; default is deny-all.
+    let mut toggles: Vec<(bool, String)> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--list" => list = true,
+            "--json" => json = true,
+            "--update-schema" => do_update = true,
+            "--deny" => match args.next() {
+                Some(r) => toggles.push((true, r)),
+                None => return usage_error("--deny needs a rule name or `all`"),
+            },
+            "--allow" => match args.next() {
+                Some(r) => toggles.push((false, r)),
+                None => return usage_error("--allow needs a rule name or `all`"),
+            },
+            "-h" | "--help" => {
+                print!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list {
+        for (id, desc) in RULES {
+            println!("{id:18} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        cloudmc_lint::find_workspace_root(&cwd)
+    }) {
+        Some(r) => r,
+        None => return usage_error("no workspace root found; pass --root"),
+    };
+
+    if do_update {
+        return match update_schema(&root) {
+            Ok(n) => {
+                println!("stats_schema.txt updated: {n} keys");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("simlint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    // Resolve rule toggles: default deny-all, then apply in order.
+    let all: BTreeSet<String> = RULES.iter().map(|(id, _)| (*id).to_owned()).collect();
+    let mut enabled = all.clone();
+    for (deny, rule) in &toggles {
+        if rule == "all" {
+            enabled = if *deny { all.clone() } else { BTreeSet::new() };
+        } else if all.contains(rule.as_str()) {
+            if *deny {
+                enabled.insert(rule.clone());
+            } else {
+                enabled.remove(rule.as_str());
+            }
+        } else {
+            return usage_error(&format!("unknown rule `{rule}` (see `simlint --list`)"));
+        }
+    }
+
+    let config = Config { root, enabled };
+    let report = match analyze(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report_to_json(&report));
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "simlint: {} file(s) scanned, {} violation(s), {} suppressed",
+            report.files_scanned,
+            report.diagnostics.len(),
+            report.suppressed
+        );
+    }
+
+    if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("simlint: {msg}\n\n{HELP}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,521 @@
+//! A minimal Rust lexer: just enough structure for token-level lint rules.
+//!
+//! The build environment is offline, so `syn`/`proc-macro2` are unavailable;
+//! instead every rule works over this scanner's output. It understands the
+//! pieces that matter for *not lying* at the token level:
+//!
+//! * line (`//`) and nested block (`/* */`) comments are skipped, but
+//!   `// simlint: allow(rule) reason` suppression comments are collected
+//!   per line;
+//! * string literals (plain, raw with any `#` depth, byte, C), char literals
+//!   and lifetimes are consumed as single tokens so their *contents* can
+//!   never match a rule pattern;
+//! * every token records its 1-based source line for diagnostics;
+//! * `#[cfg(test)]` regions are marked so rules can ignore test-only code.
+
+use std::collections::BTreeMap;
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Any punctuation or operator character (one char per token).
+    Punct,
+    /// Numeric literal.
+    Number,
+    /// String/char/lifetime literal. `text` carries the raw source text
+    /// (escapes unprocessed) so the schema rule can read key literals, but
+    /// the kind keeps identifier-matching rules from ever matching inside.
+    Literal,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text of the token (one char for punctuation).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Whether the token sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One `// simlint: allow(rule) reason` suppression comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule id inside the parentheses.
+    pub rule: String,
+    /// Justification text after the closing parenthesis (may be empty —
+    /// the engine rejects empty reasons as violations of the annotation
+    /// contract).
+    pub reason: String,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+}
+
+/// A fully lexed source file.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// Tokens in source order (comments and whitespace removed).
+    pub tokens: Vec<Tok>,
+    /// Suppression comments keyed by the line they appear on.
+    pub suppressions: BTreeMap<u32, Vec<Suppression>>,
+}
+
+impl LexedFile {
+    /// Suppressions that cover `line`: one on the same line or on the
+    /// directly preceding line.
+    pub fn suppressions_covering(&self, line: u32) -> impl Iterator<Item = &Suppression> {
+        let prev = line.saturating_sub(1);
+        self.suppressions
+            .get(&line)
+            .into_iter()
+            .chain(self.suppressions.get(&prev))
+            .flatten()
+    }
+}
+
+/// Marker comment prefix recognized as a lint suppression.
+const ALLOW_PREFIX: &str = "simlint: allow(";
+
+/// Lexes one file's source text.
+#[must_use]
+pub fn lex(source: &str) -> LexedFile {
+    let mut lx = Lexer {
+        chars: source.char_indices().peekable(),
+        src: source,
+        line: 1,
+        tokens: Vec::new(),
+        suppressions: BTreeMap::new(),
+    };
+    lx.run();
+    mark_test_regions(&mut lx.tokens);
+    LexedFile {
+        tokens: lx.tokens,
+        suppressions: lx.suppressions,
+    }
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    src: &'a str,
+    line: u32,
+    tokens: Vec<Tok>,
+    suppressions: BTreeMap<u32, Vec<Suppression>>,
+}
+
+impl Lexer<'_> {
+    fn bump(&mut self) -> Option<(usize, char)> {
+        let next = self.chars.next();
+        if let Some((_, '\n')) = next {
+            self.line += 1;
+        }
+        next
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    fn peek2(&mut self) -> Option<char> {
+        let mut clone = self.chars.clone();
+        clone.next();
+        clone.next().map(|(_, c)| c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: &str, line: u32) {
+        self.tokens.push(Tok {
+            kind,
+            text: text.to_owned(),
+            line,
+            in_test: false,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some((i, c)) = self.bump() {
+            let line = if c == '\n' { self.line - 1 } else { self.line };
+            match c {
+                c if c.is_whitespace() => {}
+                '/' if self.peek() == Some('/') => self.line_comment(i),
+                '/' if self.peek() == Some('*') => self.block_comment(),
+                '"' => self.string_literal(i, line),
+                'r' | 'b' | 'c'
+                    if self.peek() == Some('"')
+                        || (self.peek() == Some('#') && self.raw_follows())
+                        || (c == 'b' && self.peek() == Some('\'')) =>
+                {
+                    // r"...", r#"..."#, b"...", br#"..."# etc. — consume the
+                    // prefix then the raw/plain string or byte-char body.
+                    self.prefixed_literal(i, c, line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if c == '_' || c.is_alphabetic() => self.ident(i, line),
+                c if c.is_ascii_digit() => self.number(i, line),
+                c => {
+                    let mut buf = [0u8; 4];
+                    self.push(TokKind::Punct, c.encode_utf8(&mut buf), line);
+                }
+            }
+        }
+    }
+
+    /// Whether the `#...` run after an `r`/`b` prefix introduces a raw string.
+    fn raw_follows(&mut self) -> bool {
+        let clone = self.chars.clone();
+        for (_, c) in clone {
+            match c {
+                '#' => continue,
+                '"' => return true,
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    fn line_comment(&mut self, start: usize) {
+        let line = self.line;
+        let mut end = self.src.len();
+        while let Some((i, c)) = self.bump() {
+            if c == '\n' {
+                end = i;
+                break;
+            }
+        }
+        let text = &self.src[start..end];
+        if let Some(rest) = text
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim_start()
+            .strip_prefix(ALLOW_PREFIX)
+        {
+            if let Some(close) = rest.find(')') {
+                let rule = rest[..close].trim().to_owned();
+                let reason = rest[close + 1..].trim().to_owned();
+                self.suppressions
+                    .entry(line)
+                    .or_default()
+                    .push(Suppression { rule, reason, line });
+            }
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump(); // consume '*'
+        let mut depth = 1u32;
+        while depth > 0 {
+            match self.bump() {
+                Some((_, '/')) if self.peek() == Some('*') => {
+                    self.bump();
+                    depth += 1;
+                }
+                Some((_, '*')) if self.peek() == Some('/') => {
+                    self.bump();
+                    depth -= 1;
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+
+    fn string_literal(&mut self, start: usize, line: u32) {
+        let mut end = self.src.len();
+        while let Some((i, c)) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => {
+                    end = i + 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        self.push(TokKind::Literal, &self.src[start..end], line);
+    }
+
+    fn raw_string(&mut self, start: usize, line: u32) {
+        // At entry the upcoming chars are `#*"` (hashes then the quote).
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        let mut end = self.src.len();
+        'outer: while let Some((i, c)) = self.bump() {
+            if c == '"' {
+                let mut clone = self.chars.clone();
+                for _ in 0..hashes {
+                    if clone.next().map(|(_, c)| c) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                end = i + 1 + hashes;
+                break;
+            }
+        }
+        self.push(TokKind::Literal, &self.src[start..end], line);
+    }
+
+    fn prefixed_literal(&mut self, start: usize, prefix: char, line: u32) {
+        match self.peek() {
+            // `r"..."`: no escape processing inside.
+            Some('"') if prefix == 'r' => self.raw_string(start, line),
+            Some('"') => {
+                self.bump();
+                self.string_literal(start, line);
+            }
+            Some('#') => self.raw_string(start, line),
+            Some('\'') => {
+                // b'x' byte literal.
+                self.bump();
+                while let Some((_, c)) = self.bump() {
+                    match c {
+                        '\\' => {
+                            self.bump();
+                        }
+                        '\'' => break,
+                        _ => {}
+                    }
+                }
+                self.push(TokKind::Literal, "b'.'", line);
+            }
+            _ => {
+                // Plain identifier starting with r/b/c after all.
+                self.push(TokKind::Ident, &prefix.to_string(), line);
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // Distinguish `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+        match (self.peek(), self.peek2()) {
+            (Some('\\'), _) => {
+                // Escaped char literal.
+                self.bump();
+                self.bump();
+                while let Some((_, c)) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Literal, "'.'", line);
+            }
+            (Some(_), Some('\'')) => {
+                self.bump();
+                self.bump();
+                self.push(TokKind::Literal, "'.'", line);
+            }
+            _ => {
+                // Lifetime: consume the identifier part.
+                while let Some(c) = self.peek() {
+                    if c == '_' || c.is_alphanumeric() {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Literal, "'_", line);
+            }
+        }
+    }
+
+    fn ident(&mut self, start: usize, line: u32) {
+        let mut end = start + self.src[start..].chars().next().map_or(1, char::len_utf8);
+        while let Some(&(i, c)) = self.chars.peek() {
+            if c == '_' || c.is_alphanumeric() {
+                self.bump();
+                end = i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        let text = self.src[start..end].to_owned();
+        self.tokens.push(Tok {
+            kind: TokKind::Ident,
+            text,
+            line,
+            in_test: false,
+        });
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        let mut end = start + 1;
+        while let Some(&(i, c)) = self.chars.peek() {
+            // Good enough for rule purposes: digits, underscores, type
+            // suffixes, hex letters, exponent signs and the decimal point.
+            if c == '_' || c == '.' || c.is_alphanumeric() {
+                // A `..` range after a number is punctuation, not part of it.
+                if c == '.' && self.peek2() == Some('.') {
+                    break;
+                }
+                self.bump();
+                end = i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Number, &self.src[start..end], line);
+    }
+}
+
+/// Marks every token inside a `#[cfg(test)]` item as test code.
+///
+/// On seeing the attribute sequence `# [ cfg ( test ) ]` (or
+/// `#[cfg(any(test, ...))]` etc. — any attribute whose argument list contains
+/// the `test` identifier), the next braced block is treated as the item body
+/// and all tokens through its matching close brace are marked.
+fn mark_test_regions(tokens: &mut [Tok]) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+            && tokens.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+        {
+            // Scan the attribute's argument tokens up to the closing `]`.
+            let mut j = i + 3;
+            let mut is_test_attr = false;
+            let mut negated = false;
+            let mut bracket_depth = 1u32;
+            while j < tokens.len() && bracket_depth > 0 {
+                let t = &tokens[j];
+                if t.is_punct('[') {
+                    bracket_depth += 1;
+                } else if t.is_punct(']') {
+                    bracket_depth -= 1;
+                } else if t.is_ident("test") {
+                    is_test_attr = true;
+                } else if t.is_ident("not") {
+                    // `#[cfg(not(test))]` guards *live* code — never treat
+                    // anything under a negation as test-only.
+                    negated = true;
+                }
+                j += 1;
+            }
+            let is_test_attr = is_test_attr && !negated;
+            if is_test_attr {
+                // Mark everything from the attribute to the end of the next
+                // braced block (the annotated item's body).
+                let mut depth = 0u32;
+                let mut k = j;
+                let mut opened = false;
+                while k < tokens.len() {
+                    if tokens[k].is_punct('{') {
+                        depth += 1;
+                        opened = true;
+                    } else if tokens[k].is_punct('}') {
+                        depth = depth.saturating_sub(1);
+                        if opened && depth == 0 {
+                            break;
+                        }
+                    } else if !opened && tokens[k].is_punct(';') {
+                        // `#[cfg(test)] use ...;` — item without a body.
+                        break;
+                    }
+                    k += 1;
+                }
+                let last = k.min(tokens.len().saturating_sub(1));
+                for t in &mut tokens[i..=last] {
+                    t.in_test = true;
+                }
+                i = k + 1;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let lexed = lex(r##"
+            // HashMap::iter in a comment
+            /* unsafe in /* nested */ block */
+            let s = "panic! inside a string";
+            let r = r#"raw with "quotes" and unwrap()"#;
+            let c = 'x';
+        "##);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unsafe")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("let")));
+        // Literal contents survive verbatim for the schema rule.
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text.contains("panic! inside")));
+    }
+
+    #[test]
+    fn suppressions_are_collected_with_reasons() {
+        let lexed = lex("let x = 1; // simlint: allow(panic) startup invariant\n");
+        let sup = &lexed.suppressions[&1][0];
+        assert_eq!(sup.rule, "panic");
+        assert_eq!(sup.reason, "startup invariant");
+        assert!(lexed.suppressions_covering(2).next().is_some());
+        assert!(lexed.suppressions_covering(1).next().is_some());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "
+            fn live() { work(); }
+            #[cfg(test)]
+            mod tests {
+                fn inner() { probe(); }
+            }
+            fn also_live() { more(); }
+        ";
+        let lexed = lex(src);
+        let probe = lexed.tokens.iter().find(|t| t.is_ident("probe")).unwrap();
+        assert!(probe.in_test);
+        let work = lexed.tokens.iter().find(|t| t.is_ident("work")).unwrap();
+        assert!(!work.in_test);
+        let more = lexed.tokens.iter().find(|t| t.is_ident("more")).unwrap();
+        assert!(!more.in_test, "marking must end at the mod's close brace");
+    }
+
+    #[test]
+    fn lifetimes_do_not_swallow_code() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn raw_identifier_prefix_chars_stay_identifiers() {
+        let lexed = lex("let radius = r * b + c;");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("radius")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("r")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("b")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("c")));
+    }
+}

@@ -1,0 +1,406 @@
+//! The token-level rules: everything that can be decided from one file's
+//! token stream plus its crate name.
+
+use crate::lexer::{LexedFile, Tok, TokKind};
+use crate::Candidate;
+
+/// Crates whose non-test code must stay deterministic (rule `hash-iter`),
+/// I/O-free (rule `io-access`) and free of unordered float merges.
+pub const SIM_CRATES: &[&str] = &["sim", "memctrl", "dram", "cpu"];
+
+/// Library crates where panicking on reachable paths is forbidden
+/// (rule `panic`). `bench` is the CLI/orchestration crate and exempt.
+pub const LIBRARY_CRATES: &[&str] = &[
+    "snap",
+    "telemetry",
+    "cpu",
+    "dram",
+    "memctrl",
+    "workloads",
+    "sim",
+    "cloudmc",
+];
+
+/// Crates allowed to read the wall clock (rule `wall-clock`): telemetry
+/// owns the profiling sinks, bench measures host time by design.
+pub const WALL_CLOCK_CRATES: &[&str] = &["telemetry", "bench"];
+
+/// Crates covered by the `float-merge` rule (telemetry owns the histogram
+/// merge helpers, so it is checked too).
+pub const FLOAT_MERGE_CRATES: &[&str] = &["sim", "memctrl", "dram", "cpu", "telemetry"];
+
+/// The designated sorted-iteration helper module: the one place hash-map
+/// iteration is legal in the determinism-critical crates.
+pub const SORTED_ITER_HELPER: &str = "det.rs";
+
+/// Iteration-inducing methods on hash containers.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "retain",
+];
+
+/// rule `hash-iter`: no `HashMap`/`HashSet` iteration in the simulation
+/// crates' non-test code — hash order is nondeterministic across runs and
+/// platforms, so any iteration that feeds stats, snapshots or event order
+/// must go through `cloudmc_snap::det`.
+pub fn hash_iter(crate_name: &str, file_name: &str, lexed: &LexedFile, out: &mut Vec<Candidate>) {
+    if !SIM_CRATES.contains(&crate_name) || file_name == SORTED_ITER_HELPER {
+        return;
+    }
+    let toks = &lexed.tokens;
+    let hash_idents = declared_hash_idents(toks);
+    if hash_idents.is_empty() {
+        return;
+    }
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test || t.kind != TokKind::Ident || !hash_idents.contains(&t.text) {
+            continue;
+        }
+        // `ident.iter()`-style calls.
+        if toks.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| ITER_METHODS.iter().any(|m| n.is_ident(m)))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(Candidate::new(
+                "hash-iter",
+                toks[i + 2].line,
+                format!(
+                    "iteration over hash container `{}` via `.{}()`; use the \
+                     sorted helpers in `cloudmc_snap::det` for deterministic order",
+                    t.text,
+                    toks[i + 2].text
+                ),
+            ));
+        }
+        // `for x in &map` / `for x in map` loops.
+        if i >= 1
+            && (toks[i - 1].is_ident("in")
+                || (toks[i - 1].is_punct('&') && i >= 2 && toks[i - 2].is_ident("in")))
+        {
+            out.push(Candidate::new(
+                "hash-iter",
+                t.line,
+                format!(
+                    "`for` loop over hash container `{}`; hash order is \
+                     nondeterministic — use `cloudmc_snap::det`",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Identifiers declared in this file with a `HashMap`/`HashSet` type:
+/// `name: HashMap<..>` field/param declarations and
+/// `let name = HashMap::new()` style bindings.
+fn declared_hash_idents(toks: &[Tok]) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("HashMap") || toks[i].is_ident("HashSet")) {
+            continue;
+        }
+        // Walk backwards over a path prefix (`std::collections::`).
+        let mut j = i;
+        while j >= 2 && toks[j - 1].is_punct(':') && toks[j - 2].is_punct(':') {
+            j -= 3; // the path segment ident before `::`
+        }
+        if j == 0 {
+            continue;
+        }
+        let before = &toks[j - 1];
+        let name = if before.is_punct(':') && j >= 2 {
+            // `name: HashMap<..>`
+            Some(&toks[j - 2])
+        } else if before.is_punct('=') && j >= 2 {
+            // `let [mut] name = HashMap::new()`
+            let mut k = j - 2;
+            if toks[k].kind != TokKind::Ident {
+                None
+            } else {
+                if toks[k].is_ident("mut") && k >= 1 {
+                    k -= 1;
+                }
+                Some(&toks[k])
+            }
+        } else {
+            None
+        };
+        if let Some(name) = name {
+            if name.kind == TokKind::Ident && !out.contains(&name.text) {
+                out.push(name.text.clone());
+            }
+        }
+    }
+    out
+}
+
+/// rule `wall-clock`: `Instant::now`/`SystemTime` must never leak into
+/// simulated state — wall-clock reads live in `telemetry` and `bench` only,
+/// plus explicitly annotated profile-gated sites.
+pub fn wall_clock(crate_name: &str, lexed: &LexedFile, out: &mut Vec<Candidate>) {
+    if WALL_CLOCK_CRATES.contains(&crate_name) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if toks[i].in_test {
+            continue;
+        }
+        if toks[i].is_ident("Instant")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            out.push(Candidate::new(
+                "wall-clock",
+                toks[i].line,
+                "`Instant::now` outside telemetry/bench: wall-clock time must \
+                 not influence simulated state"
+                    .to_owned(),
+            ));
+        }
+        if toks[i].is_ident("SystemTime") {
+            out.push(Candidate::new(
+                "wall-clock",
+                toks[i].line,
+                "`SystemTime` outside telemetry/bench: wall-clock time must \
+                 not influence simulated state"
+                    .to_owned(),
+            ));
+        }
+    }
+}
+
+/// rule `panic`: library-crate non-test code must return typed errors, not
+/// panic. `.unwrap()`, `.expect(..)`, `panic!`, `unimplemented!` and `todo!`
+/// need an explicit `// simlint: allow(panic) <reason>` annotation.
+pub fn panic_paths(crate_name: &str, lexed: &LexedFile, out: &mut Vec<Candidate>) {
+    if !LIBRARY_CRATES.contains(&crate_name) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        let preceded_by_dot = i >= 1 && toks[i - 1].is_punct('.');
+        if preceded_by_dot
+            && t.text == "unwrap"
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(')'))
+        {
+            out.push(Candidate::new(
+                "panic",
+                t.line,
+                "`.unwrap()` on a library path: return a typed error or \
+                 annotate the invariant"
+                    .to_owned(),
+            ));
+        }
+        if preceded_by_dot && t.text == "expect" && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(Candidate::new(
+                "panic",
+                t.line,
+                "`.expect(..)` on a library path: return a typed error or \
+                 annotate the invariant"
+                    .to_owned(),
+            ));
+        }
+        if matches!(t.text.as_str(), "panic" | "unimplemented" | "todo")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && !preceded_by_dot
+        {
+            out.push(Candidate::new(
+                "panic",
+                t.line,
+                format!(
+                    "`{}!` on a library path: return a typed error or annotate \
+                     the invariant",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// rule `no-unsafe`: the workspace is 100% safe Rust; `unsafe` is rejected
+/// everywhere, test code included, with no annotation escape.
+pub fn no_unsafe(lexed: &LexedFile, out: &mut Vec<Candidate>) {
+    for t in &lexed.tokens {
+        if t.is_ident("unsafe") {
+            out.push(Candidate::new(
+                "no-unsafe",
+                t.line,
+                "`unsafe` is forbidden throughout the workspace".to_owned(),
+            ));
+        }
+    }
+}
+
+/// rule `float-merge`: thread-merged statistics must accumulate in integers
+/// (exact, order-independent); any `f32`/`f64` inside a `merge*` function in
+/// the simulation/telemetry crates breaks bit-identical stats across thread
+/// counts.
+pub fn float_merge(crate_name: &str, lexed: &LexedFile, out: &mut Vec<Candidate>) {
+    if !FLOAT_MERGE_CRATES.contains(&crate_name) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for f in crate::items::functions(toks) {
+        if !f.name.starts_with("merge") {
+            continue;
+        }
+        for t in &toks[f.body] {
+            if t.in_test {
+                continue;
+            }
+            if t.is_ident("f32") || t.is_ident("f64") {
+                out.push(Candidate::new(
+                    "float-merge",
+                    t.line,
+                    format!(
+                        "`{}` inside `fn {}`: thread-merged stats must \
+                         accumulate in integers for order-independent results",
+                        t.text, f.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// rule `io-access`: the simulation crates never touch the filesystem or
+/// process environment — I/O lives in `bench` and the `telemetry` sinks.
+pub fn io_access(crate_name: &str, lexed: &LexedFile, out: &mut Vec<Candidate>) {
+    if !SIM_CRATES.contains(&crate_name) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if toks[i].in_test {
+            continue;
+        }
+        if toks[i].is_ident("std")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks
+                .get(i + 3)
+                .is_some_and(|t| t.is_ident("fs") || t.is_ident("env"))
+        {
+            out.push(Candidate::new(
+                "io-access",
+                toks[i].line,
+                format!(
+                    "`std::{}` in a simulation crate: file/environment access \
+                     belongs in bench or the telemetry sinks",
+                    toks[i + 3].text
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(rule: &str, crate_name: &str, src: &str) -> Vec<Candidate> {
+        let lexed = lex(src);
+        let mut out = Vec::new();
+        match rule {
+            "hash-iter" => hash_iter(crate_name, "x.rs", &lexed, &mut out),
+            "wall-clock" => wall_clock(crate_name, &lexed, &mut out),
+            "panic" => panic_paths(crate_name, &lexed, &mut out),
+            "no-unsafe" => no_unsafe(&lexed, &mut out),
+            "float-merge" => float_merge(crate_name, &lexed, &mut out),
+            "io-access" => io_access(crate_name, &lexed, &mut out),
+            _ => unreachable!(),
+        }
+        out
+    }
+
+    #[test]
+    fn hash_iteration_is_flagged_only_in_sim_crates() {
+        let src = "struct S { m: HashMap<u64, u64> }\n\
+                   fn f(s: &S) { for v in s.m.values() { use_it(v); } }";
+        assert!(!run("hash-iter", "sim", src).is_empty());
+        assert!(run("hash-iter", "bench", src).is_empty());
+    }
+
+    #[test]
+    fn hash_lookup_is_not_iteration() {
+        let src = "struct S { m: HashMap<u64, u64> }\n\
+                   fn f(s: &mut S) { s.m.insert(1, 2); s.m.remove(&1); s.m.get(&1); s.m.clear(); }";
+        assert!(run("hash-iter", "sim", src).is_empty());
+    }
+
+    #[test]
+    fn for_loop_over_hash_set_is_flagged() {
+        let src = "fn f() { let mut marked = HashSet::new(); for x in &marked { go(x); } }";
+        assert!(!run("hash-iter", "memctrl", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_is_flagged_outside_telemetry() {
+        let src = "fn f() -> Instant { Instant::now() }";
+        assert!(!run("wall-clock", "sim", src).is_empty());
+        assert!(run("wall-clock", "telemetry", src).is_empty());
+        assert!(run("wall-clock", "bench", src).is_empty());
+    }
+
+    #[test]
+    fn panics_are_flagged_in_library_code_but_not_tests() {
+        let src = "fn f(x: Option<u64>) -> u64 { x.unwrap() }\n\
+                   #[cfg(test)] mod tests { fn g(x: Option<u64>) -> u64 { x.unwrap() } }";
+        let hits = run("panic", "sim", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 1);
+        assert!(run("panic", "bench", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let src = "fn f(x: Option<u64>) -> u64 { x.unwrap_or(3).max(x.unwrap_or_default()) }";
+        assert!(run("panic", "sim", src).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_are_flagged() {
+        let src = "fn f() { panic!(\"boom\"); unimplemented!(); todo!(); }";
+        assert_eq!(run("panic", "workloads", src).len(), 3);
+    }
+
+    #[test]
+    fn unsafe_is_flagged_everywhere() {
+        let src = "fn f() { unsafe { core::hint::unreachable_unchecked() } }";
+        assert!(!run("no-unsafe", "bench", src).is_empty());
+    }
+
+    #[test]
+    fn float_in_merge_fn_is_flagged() {
+        let src = "impl S { fn merge(&mut self, o: &S) { self.x += o.x as f64; } }";
+        assert!(!run("float-merge", "memctrl", src).is_empty());
+        let ok = "impl S { fn merge(&mut self, o: &S) { self.x += o.x; }\n\
+                  fn avg(&self) -> f64 { self.x as f64 } }";
+        assert!(run("float-merge", "memctrl", ok).is_empty());
+    }
+
+    #[test]
+    fn io_is_flagged_in_sim_crates_only() {
+        let src = "fn f() { std::fs::write(\"x\", \"y\").ok(); let h = std::env::var(\"HOME\"); }";
+        assert_eq!(run("io-access", "sim", src).len(), 2);
+        assert!(run("io-access", "bench", src).is_empty());
+    }
+}

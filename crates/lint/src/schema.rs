@@ -1,0 +1,180 @@
+//! rule `stats-schema`: the `SimStats` JSON export is an additive-only
+//! contract. Every `\"key\":` literal in `crates/sim/src/stats.rs` must be
+//! present in the checked-in `stats_schema.txt`, and every schema key must
+//! still exist in the source — removals and renames are violations.
+//!
+//! `simlint --update-schema` regenerates the file (for *additions*; a
+//! removal still has to be argued past review by deleting the line by hand).
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{LexedFile, TokKind};
+use crate::Candidate;
+
+/// Path (relative to the workspace root) of the file whose string literals
+/// define the stats schema.
+pub const STATS_SOURCE: &str = "crates/sim/src/stats.rs";
+
+/// Default schema file name at the workspace root.
+pub const SCHEMA_FILE: &str = "stats_schema.txt";
+
+/// Extracts every JSON key emitted by the stats source: occurrences of
+/// `\"<ident>\":` inside string literals (the hand-written JSON writer
+/// escapes its quotes, so keys appear exactly in that shape in the source).
+/// Returns `key -> first line` in sorted order.
+#[must_use]
+pub fn extract_keys(lexed: &LexedFile) -> BTreeMap<String, u32> {
+    let mut keys = BTreeMap::new();
+    for t in &lexed.tokens {
+        if t.kind != TokKind::Literal || t.in_test {
+            continue;
+        }
+        let bytes = t.text.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            if bytes[i] == b'\\' && bytes[i + 1] == b'"' {
+                let mut j = i + 2;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                if j > i + 2
+                    && bytes.get(j) == Some(&b'\\')
+                    && bytes.get(j + 1) == Some(&b'"')
+                    && bytes.get(j + 2) == Some(&b':')
+                {
+                    let key = String::from_utf8_lossy(&bytes[i + 2..j]).into_owned();
+                    keys.entry(key).or_insert(t.line);
+                    i = j + 3;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    keys
+}
+
+/// Parses a schema file: one key per line, `#` comments and blanks ignored.
+#[must_use]
+pub fn parse_schema(contents: &str) -> Vec<String> {
+    contents
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Renders the schema file contents for `--update-schema`.
+#[must_use]
+pub fn render_schema(keys: &BTreeMap<String, u32>) -> String {
+    let mut out = String::from(
+        "# SimStats JSON schema — additive-only contract.\n\
+         # One key per line; regenerate with `simlint --update-schema`.\n\
+         # Removing or renaming a key here (or in crates/sim/src/stats.rs)\n\
+         # is a breaking change and fails `simlint`.\n",
+    );
+    for key in keys.keys() {
+        out.push_str(key);
+        out.push('\n');
+    }
+    out
+}
+
+/// Diffs source keys against the schema. `schema` is `None` when the schema
+/// file is missing entirely.
+#[must_use]
+pub fn check(source_keys: &BTreeMap<String, u32>, schema: Option<&str>) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    let Some(schema) = schema else {
+        out.push(Candidate::new(
+            "stats-schema",
+            1,
+            format!("schema file `{SCHEMA_FILE}` is missing; run `simlint --update-schema`"),
+        ));
+        return out;
+    };
+    let schema_keys = parse_schema(schema);
+    for key in &schema_keys {
+        if !source_keys.contains_key(key) {
+            out.push(Candidate::new(
+                "stats-schema",
+                1,
+                format!(
+                    "stats key `{key}` is in `{SCHEMA_FILE}` but no longer emitted \
+                     by the source: removals/renames break the additive-only contract"
+                ),
+            ));
+        }
+    }
+    for (key, line) in source_keys {
+        if !schema_keys.iter().any(|k| k == key) {
+            out.push(Candidate::new(
+                "stats-schema",
+                *line,
+                format!(
+                    "new stats key `{key}` is not in `{SCHEMA_FILE}`; run \
+                     `simlint --update-schema` and commit the result"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const SRC: &str = r#"
+        fn to_json(&self) -> String {
+            let mut s = String::from("{");
+            s.push_str(concat!("\"workload\":\"", "\",\"channels\":"));
+            s.push_str(&format!("\"cpu_cycles\":{}", self.cpu_cycles));
+            s
+        }
+    "#;
+
+    #[test]
+    fn keys_are_extracted_from_escaped_literals() {
+        let keys = extract_keys(&lex(SRC));
+        let names: Vec<_> = keys.keys().map(String::as_str).collect();
+        assert_eq!(names, vec!["channels", "cpu_cycles", "workload"]);
+    }
+
+    #[test]
+    fn matching_schema_is_clean() {
+        let keys = extract_keys(&lex(SRC));
+        let schema = render_schema(&keys);
+        assert!(check(&keys, Some(&schema)).is_empty());
+    }
+
+    #[test]
+    fn removed_key_is_a_violation() {
+        let keys = extract_keys(&lex(SRC));
+        let schema = "workload\nchannels\ncpu_cycles\nretired_key\n";
+        let hits = check(&keys, Some(schema));
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("retired_key"));
+        assert!(hits[0].message.contains("no longer emitted"));
+    }
+
+    #[test]
+    fn unlisted_new_key_asks_for_update() {
+        let keys = extract_keys(&lex(SRC));
+        let schema = "workload\nchannels\n";
+        let hits = check(&keys, Some(schema));
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("cpu_cycles"));
+        assert!(hits[0].message.contains("--update-schema"));
+    }
+
+    #[test]
+    fn missing_schema_file_is_a_violation() {
+        let keys = extract_keys(&lex(SRC));
+        let hits = check(&keys, None);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("missing"));
+    }
+}

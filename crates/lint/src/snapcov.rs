@@ -1,0 +1,428 @@
+//! rule `snapshot-coverage`: every field a serialized struct declares must
+//! be written *and* read by its snapshot code.
+//!
+//! Two shapes are recognised:
+//!
+//! * **snapio-style** (`crates/memctrl/src/snapio.rs`): free functions
+//!   `write_x(w, p: &Struct)` / `read_x(..) -> Result<Struct, _>`. The write
+//!   body must access every declared field through the parameter; the read
+//!   body must mention every field in the `Struct { .. }` literal it builds.
+//! * **impl-style**: a struct plus an inherent `impl` providing
+//!   `save_state`/`load_state` in the same file. Both bodies must touch every
+//!   declared field via `self.field` (or a `Self { .. }` literal).
+//!
+//! Suppression (`// simlint: allow(snapshot-coverage) <reason>`) is honoured
+//! on the function's signature line or on the declaration line of the field
+//! itself (useful for transient fields that are intentionally rebuilt).
+
+use std::ops::Range;
+
+use crate::items::{accessed_fields, functions, inherent_impls, structs, FnSpan, StructDef};
+use crate::lexer::{Tok, TokKind};
+use crate::{Candidate, SourceFile};
+
+/// A candidate plus every extra `(file, line)` where a suppression may sit.
+pub struct CrossCandidate {
+    /// Index into the scanned-file list where the diagnostic is reported.
+    pub file: usize,
+    /// The diagnostic itself.
+    pub cand: Candidate,
+    /// Additional suppression points, possibly in other files (e.g. the
+    /// field's declaration line in the defining crate).
+    pub also_suppress: Vec<(usize, u32)>,
+}
+
+/// Crates whose impl-style `save_state`/`load_state` pairs are checked.
+const IMPL_STYLE_CRATES: &[&str] = &["sim", "memctrl", "dram", "cpu", "snap"];
+
+/// Runs the snapshot-coverage analysis across the whole workspace.
+pub fn check(files: &[SourceFile]) -> Vec<CrossCandidate> {
+    let index = StructIndex::build(files);
+    let mut out = Vec::new();
+    for (fi, sf) in files.iter().enumerate() {
+        if sf.file_name == "snapio.rs" {
+            check_snapio(files, fi, &index, &mut out);
+        }
+        if IMPL_STYLE_CRATES.contains(&sf.crate_name.as_str()) {
+            check_impl_style(fi, sf, &mut out);
+        }
+    }
+    out
+}
+
+/// All non-test named-field struct definitions in the workspace.
+struct StructIndex {
+    defs: Vec<(usize, StructDef)>,
+}
+
+impl StructIndex {
+    fn build(files: &[SourceFile]) -> Self {
+        let mut defs = Vec::new();
+        for (fi, sf) in files.iter().enumerate() {
+            for d in structs(&sf.lexed.tokens) {
+                if !d.in_test {
+                    defs.push((fi, d));
+                }
+            }
+        }
+        StructIndex { defs }
+    }
+
+    /// Resolves a struct name from the viewpoint of `file`: same file, then
+    /// same crate, then unique workspace-wide match.
+    fn resolve<'a>(
+        &'a self,
+        files: &[SourceFile],
+        file: usize,
+        name: &str,
+    ) -> Option<(usize, &'a StructDef)> {
+        let mut in_crate = None;
+        let mut global = Vec::new();
+        for (fi, d) in &self.defs {
+            if d.name != name {
+                continue;
+            }
+            if *fi == file {
+                return Some((*fi, d));
+            }
+            if files[*fi].crate_name == files[file].crate_name && in_crate.is_none() {
+                in_crate = Some((*fi, d));
+            }
+            global.push((*fi, d));
+        }
+        in_crate.or(if global.len() == 1 {
+            Some(global[0])
+        } else {
+            None
+        })
+    }
+}
+
+/// snapio-style: pair `write_*`/`read_*` free functions with the structs
+/// they serialize.
+fn check_snapio(
+    files: &[SourceFile],
+    fi: usize,
+    index: &StructIndex,
+    out: &mut Vec<CrossCandidate>,
+) {
+    let toks = &files[fi].lexed.tokens;
+    for f in functions(toks) {
+        if toks.get(f.body.start).is_none_or(|t| t.in_test) {
+            continue;
+        }
+        if f.name.starts_with("write_") {
+            // The serialized value is the last parameter: `name: &Struct`.
+            let params = split_params(&toks[f.params.clone()]);
+            let Some(last) = params.last() else { continue };
+            let Some((pname, ty)) = param_name_and_type(&toks[f.params.clone()], last) else {
+                continue;
+            };
+            let Some((def_fi, def)) = index.resolve(files, fi, &ty) else {
+                continue;
+            };
+            let touched = accessed_fields(&toks[f.body.clone()], &pname);
+            report_missing(fi, def_fi, def, &touched, &f, "write", out);
+        } else if f.name.starts_with("read_") {
+            // Return type `-> Result<Struct, _>`.
+            let ret = &toks[f.ret.clone()];
+            let mut ty = None;
+            for i in 0..ret.len() {
+                if ret[i].is_ident("Result")
+                    && ret.get(i + 1).is_some_and(|t| t.is_punct('<'))
+                    && ret.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+                {
+                    ty = Some(ret[i + 2].text.clone());
+                    break;
+                }
+            }
+            let Some(ty) = ty else { continue };
+            let Some((def_fi, def)) = index.resolve(files, fi, &ty) else {
+                continue;
+            };
+            let Some(mentioned) = struct_literal_fields(&toks[f.body.clone()], &ty) else {
+                // No literal found, or a `..` spread: nothing checkable.
+                continue;
+            };
+            report_missing(fi, def_fi, def, &mentioned, &f, "read", out);
+        }
+    }
+}
+
+/// impl-style: `struct S { .. }` + `impl S { fn save_state / fn load_state }`
+/// in the same file.
+fn check_impl_style(fi: usize, sf: &SourceFile, out: &mut Vec<CrossCandidate>) {
+    let toks = &sf.lexed.tokens;
+    let defs = structs(toks);
+    if defs.is_empty() {
+        return;
+    }
+    let fns = functions(toks);
+    for (impl_name, impl_body) in inherent_impls(toks) {
+        let Some(def) = defs.iter().find(|d| !d.in_test && d.name == impl_name) else {
+            continue;
+        };
+        let in_impl = |f: &&FnSpan| f.body.start >= impl_body.start && f.body.end <= impl_body.end;
+        let save = fns.iter().filter(in_impl).find(|f| f.name == "save_state");
+        let load = fns.iter().filter(in_impl).find(|f| f.name == "load_state");
+        let (Some(save), Some(load)) = (save, load) else {
+            continue;
+        };
+        for f in [save, load] {
+            let body = &toks[f.body.clone()];
+            if body.first().is_none_or(|t| t.in_test) {
+                continue;
+            }
+            let mut touched = accessed_fields(body, "self");
+            // `load_state` may rebuild via `Name { field, .. }` literals.
+            for literal_name in [def.name.as_str(), "Self"] {
+                if let Some(more) = struct_literal_fields(body, literal_name) {
+                    touched.extend(more);
+                }
+            }
+            report_missing(fi, fi, def, &touched, f, &f.name, out);
+        }
+    }
+}
+
+fn report_missing(
+    fi: usize,
+    def_fi: usize,
+    def: &StructDef,
+    touched: &[String],
+    f: &FnSpan,
+    dir: &str,
+    out: &mut Vec<CrossCandidate>,
+) {
+    for (field, field_line) in &def.fields {
+        if touched.iter().any(|t| t == field) {
+            continue;
+        }
+        out.push(CrossCandidate {
+            file: fi,
+            cand: Candidate::new(
+                "snapshot-coverage",
+                f.line,
+                format!(
+                    "`{}::{}` is not covered by `{}` (`fn {}`): snapshot \
+                     save/load must touch every declared field",
+                    def.name, field, dir, f.name
+                ),
+            ),
+            also_suppress: vec![(def_fi, *field_line)],
+        });
+    }
+}
+
+/// Splits a parameter token range on top-level commas; returns sub-ranges
+/// relative to the input slice.
+fn split_params(params: &[Tok]) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (i, t) in params.iter().enumerate() {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') || t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct(',') && depth == 0 {
+            out.push(start..i);
+            start = i + 1;
+        }
+    }
+    if start < params.len() {
+        out.push(start..params.len());
+    }
+    out
+}
+
+/// `name: &Struct` → `(name, Struct)`. The parameter name is the first
+/// identifier (skipping `mut`); the type ident is the last identifier.
+fn param_name_and_type(params: &[Tok], range: &Range<usize>) -> Option<(String, String)> {
+    let toks = &params[range.clone()];
+    let name = toks
+        .iter()
+        .find(|t| t.kind == TokKind::Ident && t.text != "mut")?
+        .text
+        .clone();
+    let colon = toks.iter().position(|t| t.is_punct(':'))?;
+    let ty = toks[colon + 1..]
+        .iter()
+        .rev()
+        .find(|t| t.kind == TokKind::Ident && t.text != "mut")?
+        .text
+        .clone();
+    Some((name, ty))
+}
+
+/// Field names mentioned in `Name { .. }` struct literals inside `body`:
+/// top-level identifiers followed by `:` (explicit) or by `,`/`}` (shorthand).
+/// Returns `None` when no literal is found or a `..` spread makes the list
+/// unverifiable.
+fn struct_literal_fields(body: &[Tok], name: &str) -> Option<Vec<String>> {
+    let mut out = Vec::new();
+    let mut found = false;
+    let mut i = 0;
+    while i < body.len() {
+        if body[i].is_ident(name) && body.get(i + 1).is_some_and(|t| t.is_punct('{')) {
+            found = true;
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            while j < body.len() {
+                let t = &body[j];
+                if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if depth == 1 {
+                    if t.is_punct('.') && body.get(j + 1).is_some_and(|n| n.is_punct('.')) {
+                        // `..base` spread: unverifiable field list.
+                        return None;
+                    }
+                    if t.kind == TokKind::Ident {
+                        let next = body.get(j + 1);
+                        let explicit = next.is_some_and(|n| n.is_punct(':'))
+                            && !body.get(j + 2).is_some_and(|n| n.is_punct(':'));
+                        let shorthand = next.is_some_and(|n| n.is_punct(',') || n.is_punct('}'));
+                        if explicit || shorthand {
+                            out.push(t.text.clone());
+                        }
+                        if explicit {
+                            // Skip the value expression up to the field comma.
+                            let mut d = 0i32;
+                            j += 2;
+                            while j < body.len() {
+                                let u = &body[j];
+                                if u.is_punct('(') || u.is_punct('[') || u.is_punct('{') {
+                                    d += 1;
+                                } else if u.is_punct(')') || u.is_punct(']') || u.is_punct('}') {
+                                    if d == 0 {
+                                        j -= 1; // let the outer loop close the brace
+                                        break;
+                                    }
+                                    d -= 1;
+                                } else if u.is_punct(',') && d == 0 {
+                                    break;
+                                }
+                                j += 1;
+                            }
+                        }
+                    }
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    if found {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn sf(crate_name: &str, file_name: &str, src: &str) -> SourceFile {
+        SourceFile {
+            crate_name: crate_name.to_owned(),
+            file_name: file_name.to_owned(),
+            rel_path: format!("crates/{crate_name}/src/{file_name}"),
+            lexed: lex(src),
+        }
+    }
+
+    #[test]
+    fn snapio_write_missing_field_is_reported() {
+        let files = vec![
+            sf(
+                "memctrl",
+                "request.rs",
+                "pub struct Req { pub id: u64, pub addr: u64 }",
+            ),
+            sf(
+                "memctrl",
+                "snapio.rs",
+                "pub fn write_req(w: &mut W, req: &Req) { w.u64(req.id); }\n\
+                 pub fn read_req(r: &mut R) -> Result<Req, E> {\n\
+                   Ok(Req { id: r.u64()?, addr: r.u64()? })\n}",
+            ),
+        ];
+        let hits = check(&files);
+        assert_eq!(hits.len(), 1, "only the write side misses `addr`");
+        assert!(hits[0].cand.message.contains("Req::addr"));
+        assert!(hits[0].cand.message.contains("write"));
+    }
+
+    #[test]
+    fn snapio_read_literal_missing_field_is_reported() {
+        let files = vec![sf(
+            "memctrl",
+            "snapio.rs",
+            "pub struct Loc { pub rank: u8, pub bank: u8 }\n\
+             pub fn write_loc(w: &mut W, loc: &Loc) { w.u8(loc.rank); w.u8(loc.bank); }\n\
+             pub fn read_loc(r: &mut R) -> Result<Loc, E> { Ok(Loc { rank: r.u8()? }) }",
+        )];
+        let hits = check(&files);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].cand.message.contains("Loc::bank"));
+        assert!(hits[0].cand.message.contains("read"));
+    }
+
+    #[test]
+    fn impl_style_missing_field_is_reported_and_full_coverage_passes() {
+        let bad = vec![sf(
+            "dram",
+            "state.rs",
+            "pub struct S { a: u64, b: u64 }\n\
+             impl S {\n\
+               pub fn save_state(&self, w: &mut W) { w.u64(self.a); w.u64(self.b); }\n\
+               pub fn load_state(&mut self, r: &mut R) { self.a = r.u64(); }\n}",
+        )];
+        let hits = check(&bad);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].cand.message.contains("S::b"));
+        assert!(hits[0].cand.message.contains("load_state"));
+
+        let good = vec![sf(
+            "dram",
+            "state.rs",
+            "pub struct S { a: u64, b: u64 }\n\
+             impl S {\n\
+               pub fn save_state(&self, w: &mut W) { w.u64(self.a); w.u64(self.b); }\n\
+               pub fn load_state(&mut self, r: &mut R) { self.a = r.u64(); self.b = r.u64(); }\n}",
+        )];
+        assert!(check(&good).is_empty());
+    }
+
+    #[test]
+    fn shorthand_and_spread_literals() {
+        let shorthand = vec![sf(
+            "memctrl",
+            "snapio.rs",
+            "pub struct P { x: u64, y: u64 }\n\
+             pub fn write_p(w: &mut W, p: &P) { w.u64(p.x); w.u64(p.y); }\n\
+             pub fn read_p(r: &mut R) -> Result<P, E> { let x = r.u64()?; let y = r.u64()?; Ok(P { x, y }) }",
+        )];
+        assert!(check(&shorthand).is_empty());
+
+        let spread = vec![sf(
+            "memctrl",
+            "snapio.rs",
+            "pub struct P { x: u64, y: u64 }\n\
+             pub fn write_p(w: &mut W, p: &P) { w.u64(p.x); w.u64(p.y); }\n\
+             pub fn read_p(r: &mut R) -> Result<P, E> { Ok(P { x: r.u64()?, ..Default::default() }) }",
+        )];
+        assert!(
+            check(&spread).is_empty(),
+            "`..` spread is unverifiable, not wrong"
+        );
+    }
+}

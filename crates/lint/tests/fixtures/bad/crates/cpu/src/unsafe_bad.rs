@@ -1,0 +1,6 @@
+//! Fixture: an `unsafe` block (rule `no-unsafe`). There is no escape hatch.
+
+/// Reads the first element without a bounds check.
+pub fn first_unchecked(xs: &[u64]) -> u64 {
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,9 @@
+//! Fixture: ambient process I/O from model code (rule `io-access`).
+
+/// Reads configuration from the environment — hidden input to the model.
+pub fn rows_from_env() -> u64 {
+    std::env::var("CLOUDMC_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(65536)
+}

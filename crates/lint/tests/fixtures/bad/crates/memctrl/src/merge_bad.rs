@@ -1,0 +1,19 @@
+//! Fixture: floating point inside a stats-merge path (rule `float-merge`).
+
+/// Per-shard counters merged across worker threads.
+pub struct ShardStats {
+    /// Total latency in cycles.
+    pub total: u64,
+    /// Number of samples.
+    pub n: u64,
+}
+
+impl ShardStats {
+    /// Merges another shard — the f64 average makes the result
+    /// sensitive to merge order.
+    pub fn merge(&mut self, other: &ShardStats) {
+        let avg = other.total as f64 / other.n.max(1) as f64;
+        self.total += avg as u64 * other.n;
+        self.n += other.n;
+    }
+}

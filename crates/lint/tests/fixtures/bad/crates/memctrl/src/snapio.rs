@@ -1,0 +1,21 @@
+//! Fixture: snapio writer misses a field (rule `snapshot-coverage`).
+
+/// A request record with two persisted fields.
+pub struct ReqRecord {
+    /// Request id.
+    pub id: u64,
+    /// Target address — forgotten by `write_req_record` below.
+    pub addr: u64,
+}
+
+/// Serializes a [`ReqRecord`] — but only touches `id`, never `addr`.
+pub fn write_req_record(w: &mut Vec<u64>, p: &ReqRecord) {
+    w.push(p.id);
+}
+
+/// Deserializes a [`ReqRecord`]; covers both fields.
+pub fn read_req_record(r: &mut std::slice::Iter<'_, u64>) -> Result<ReqRecord, ()> {
+    let id = *r.next().ok_or(())?;
+    let addr = *r.next().ok_or(())?;
+    Ok(ReqRecord { id, addr })
+}

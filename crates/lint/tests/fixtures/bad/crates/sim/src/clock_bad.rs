@@ -1,0 +1,8 @@
+//! Fixture: reads the host wall clock from sim code (rule `wall-clock`).
+
+use std::time::Instant;
+
+/// Returns a host timestamp — forbidden in simulator state paths.
+pub fn stamp() -> Instant {
+    Instant::now()
+}

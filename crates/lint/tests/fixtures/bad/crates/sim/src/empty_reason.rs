@@ -1,0 +1,7 @@
+//! Fixture: a suppression comment with no justification is itself flagged.
+
+/// The allow below has no reason text, so simlint reports the suppression.
+pub fn checked(xs: &[u64]) -> u64 {
+    // simlint: allow(panic)
+    xs.first().copied().unwrap()
+}

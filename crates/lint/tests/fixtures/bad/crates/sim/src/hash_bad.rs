@@ -1,0 +1,24 @@
+//! Fixture: iterates a HashMap directly in sim code (rule `hash-iter`).
+
+use std::collections::HashMap;
+
+/// Holds per-tenant counters keyed by tenant id.
+pub struct TenantCounters {
+    counts: HashMap<u64, u64>,
+}
+
+impl TenantCounters {
+    /// Dumps the counters in hash order — nondeterministic across runs.
+    pub fn dump(&self) -> Vec<u64> {
+        self.counts.values().copied().collect()
+    }
+
+    /// Iterates the map with a `for` loop — also nondeterministic.
+    pub fn total(&self) -> u64 {
+        let mut sum = 0;
+        for (_k, v) in &self.counts {
+            sum += v;
+        }
+        sum
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: panicking call in library code (rule `panic`).
+
+/// Unwraps an option in non-test library code.
+pub fn first(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap()
+}

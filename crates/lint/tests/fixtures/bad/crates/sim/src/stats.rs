@@ -1,0 +1,21 @@
+//! Fixture: stats JSON keys drifted from the checked-in schema
+//! (rule `stats-schema`).
+//!
+//! The source emits `reads` and `writes`; the schema file at the fixture
+//! root lists `reads` and `row_hits` — so `row_hits` was removed from the
+//! source (breaking change) and `writes` is new but unlisted.
+
+/// Simulator counters serialized to JSON.
+pub struct SimStats {
+    /// Completed reads.
+    pub reads: u64,
+    /// Completed writes.
+    pub writes: u64,
+}
+
+impl SimStats {
+    /// Renders the counters as a stable-key-order JSON object.
+    pub fn to_json(&self) -> String {
+        format!("{{\"reads\":{},\"writes\":{}}}", self.reads, self.writes)
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: configuration arrives through typed config structs, not the
+//! process environment (clean for `io-access` and `no-unsafe`).
+
+/// Geometry knob passed in by the caller.
+pub struct RowConfig {
+    /// Rows per bank.
+    pub rows: u64,
+}
+
+/// Model code consumes explicit configuration.
+pub fn rows(cfg: &RowConfig) -> u64 {
+    cfg.rows
+}

@@ -1,0 +1,23 @@
+//! Fixture: integer-only stats merge (clean for `float-merge`).
+
+/// Per-shard counters merged across worker threads.
+pub struct ShardStats {
+    /// Total latency in cycles.
+    pub total: u64,
+    /// Number of samples.
+    pub n: u64,
+}
+
+impl ShardStats {
+    /// Merges another shard with integer arithmetic only — associative
+    /// and order-independent.
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.total += other.total;
+        self.n += other.n;
+    }
+
+    /// Floats are fine outside merge paths (presentation only).
+    pub fn mean(&self) -> f64 {
+        self.total as f64 / self.n.max(1) as f64
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: annotated, profile-gated wall-clock read (clean for
+//! `wall-clock` — the suppression carries a justification).
+
+use std::time::Instant;
+
+/// Host-time probe used only by the opt-in profiler.
+pub fn profile_stamp(enabled: bool) -> Option<Instant> {
+    if !enabled {
+        return None;
+    }
+    // simlint: allow(wall-clock) profile-gated: measures host time only, never sim state
+    Some(Instant::now())
+}

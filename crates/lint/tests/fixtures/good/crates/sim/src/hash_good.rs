@@ -1,0 +1,20 @@
+//! Fixture: HashMap used without direct iteration (clean for `hash-iter`).
+
+use std::collections::HashMap;
+
+/// Holds per-tenant counters keyed by tenant id.
+pub struct TenantCounters {
+    counts: HashMap<u64, u64>,
+}
+
+impl TenantCounters {
+    /// Point lookups and inserts are fine; only iteration is ordered-hash.
+    pub fn bump(&mut self, tenant: u64) {
+        *self.counts.entry(tenant).or_insert(0) += 1;
+    }
+
+    /// Reads one tenant's counter.
+    pub fn get(&self, tenant: u64) -> u64 {
+        self.counts.get(&tenant).copied().unwrap_or(0)
+    }
+}

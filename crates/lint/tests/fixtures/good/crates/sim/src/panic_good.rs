@@ -1,0 +1,18 @@
+//! Fixture: error paths stay typed in library code; tests may unwrap
+//! (clean for `panic`).
+
+/// Returns the first element or a default — no panic path.
+pub fn first(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let xs = [7u64];
+        assert_eq!(xs.first().copied().unwrap(), first(&xs));
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: stats JSON keys match the checked-in schema exactly
+//! (clean for `stats-schema`).
+
+/// Simulator counters serialized to JSON.
+pub struct SimStats {
+    /// Completed reads.
+    pub reads: u64,
+    /// Completed writes.
+    pub writes: u64,
+}
+
+impl SimStats {
+    /// Renders the counters as a stable-key-order JSON object.
+    pub fn to_json(&self) -> String {
+        format!("{{\"reads\":{},\"writes\":{}}}", self.reads, self.writes)
+    }
+}

@@ -144,15 +144,20 @@ struct InFlight {
 /// count.
 #[derive(Debug)]
 struct FaultState {
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     cfg: FaultConfig,
     model: FaultModel,
     /// DRAM geometry for the patrol cursor.
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     ranks: usize,
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     banks_per_rank: usize,
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     rows_per_bank: u64,
     /// Corrected demand reads parked for a bounded-backoff retry:
     /// due cycle -> FIFO of (request, location, next attempt number).
     retry_pending: BTreeMap<DramCycles, VecDeque<(MemoryRequest, Location, u32)>>,
+    // simlint: allow(snapshot-coverage) derived: sum of retry_pending bucket lengths, recomputed on load
     retry_len: usize,
     /// Attempt number for demand reads currently re-enqueued as retries.
     attempts: BTreeMap<RequestId, u32>,
@@ -429,6 +434,7 @@ impl FaultState {
 /// Controller state for one memory channel.
 #[derive(Debug)]
 struct ChannelController {
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     index: usize,
     channel: DramChannel,
     read_q: RequestQueue,
@@ -446,8 +452,11 @@ struct ChannelController {
     /// conflict-induced precharge.
     activated_after_conflict: Vec<bool>,
     stats: McStats,
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     write_drain_high: usize,
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     write_drain_low: usize,
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     num_cores: usize,
     /// Reliability subsystem; `None` keeps the controller bit-identical to a
     /// build without it (no extra work on any hot path).
@@ -621,6 +630,7 @@ impl ChannelController {
             AccessKind::Read => self.read_q.get(request.id),
             AccessKind::Write => self.write_q.get(request.id),
         }
+        // simlint: allow(panic) lookup of the entry pushed two lines above
         .expect("entry just pushed");
         self.scheduler.on_enqueue(&entry);
         // Demand arrival wakes a powered-down rank immediately: the exit
@@ -754,6 +764,7 @@ impl ChannelController {
                     .read_q
                     .remove(id)
                     .or_else(|| self.write_q.remove(id))
+                    // simlint: allow(panic) scheduler only returns ids it was shown from the queues
                     .expect("scheduled request must be queued");
                 // Every data transfer is charged to its tenant, whether the
                 // scheduler or the QoS arbiter picked it — the partition
@@ -1376,6 +1387,7 @@ impl ChannelController {
 /// ```
 #[derive(Debug)]
 pub struct MemoryController {
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     cfg: McConfig,
     channels: Vec<ChannelController>,
 }

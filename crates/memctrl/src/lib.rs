@@ -35,8 +35,7 @@
 //! # Ok::<(), String>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod controller;
 pub mod mapping;

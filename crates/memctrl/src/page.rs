@@ -557,10 +557,14 @@ struct CurrentActivation {
 /// records every row. Rows without a prediction stay open until a conflict.
 #[derive(Debug, Clone)]
 struct HistoryPredictor {
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     name: &'static str,
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     banks_per_rank: usize,
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     entries_per_bank: usize,
     /// `true` for RBPP: only rows with >= 1 hit are recorded.
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     record_only_hit_rows: bool,
     tables: Vec<Vec<RowHistory>>,
     current: Vec<CurrentActivation>,
@@ -828,7 +832,9 @@ impl_predictive_policy!(Abpp);
 /// of DRAM cycles. This predates RBPP/ABPP; included as an extension.
 #[derive(Debug, Clone)]
 pub struct TimerPolicy {
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     banks_per_rank: usize,
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     timeout: DramCycles,
     last_access: Vec<DramCycles>,
 }

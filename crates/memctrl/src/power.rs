@@ -103,6 +103,7 @@ impl PowerPolicyKind {
     pub fn build(self, ranks: usize) -> Box<dyn PowerPolicy> {
         match self {
             Self::None => Box::new(NoPowerManagement),
+            // simlint: allow(panic) timeout_policy is Some for every non-None kind, matched above
             other => Box::new(other.timeout_policy(ranks).expect("non-none kind")),
         }
     }

@@ -160,6 +160,7 @@ impl Default for QosConfig {
 /// accounting.
 #[derive(Debug)]
 pub struct QosArbiter {
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     cfg: QosConfig,
     /// Column accesses (one cache-block transfer each) issued per tenant
     /// since the epoch started.

@@ -75,10 +75,13 @@ pub struct RequestQueue {
     entries: Vec<QueueEntry>,
     /// Packed (rank, bank, row) of each entry; `keys[i]` describes
     /// `entries[i]`.
+    // simlint: allow(snapshot-coverage) derived id index, rebuilt from the entries by load_state
     keys: Vec<u64>,
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     capacity: usize,
     /// Pending entries per tenant, maintained incrementally so per-tenant
     /// occupancy sampling is O(tenants), not O(queue).
+    // simlint: allow(snapshot-coverage) derived occupancy counters, rebuilt by load_state
     tenant_len: [usize; MAX_TENANTS],
 }
 

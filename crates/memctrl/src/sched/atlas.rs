@@ -51,7 +51,9 @@ impl AtlasConfig {
 /// smoothed attained service.
 #[derive(Debug)]
 pub struct Atlas {
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     cfg: AtlasConfig,
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     num_cores: usize,
     /// Long-term (smoothed) attained service per core.
     total_service: Vec<f64>,

@@ -24,7 +24,9 @@ impl Default for ParBsConfig {
 /// shortest-job-first to minimize average stall time.
 #[derive(Debug)]
 pub struct ParBs {
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     cfg: ParBsConfig,
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     num_cores: usize,
     marked: HashSet<RequestId>,
     /// `core_rank[c]` is the priority position of core `c` in the current
@@ -62,8 +64,7 @@ impl ParBs {
     /// marked set is dumped in sorted order so identical states produce
     /// byte-identical snapshots.
     pub fn save_state(&self, w: &mut cloudmc_snap::SnapWriter) {
-        let mut marked: Vec<RequestId> = self.marked.iter().copied().collect();
-        marked.sort_unstable();
+        let marked = cloudmc_snap::det::sorted_items(&self.marked);
         w.u64_slice(&marked);
         w.usize(self.core_rank.len());
         for &rank in &self.core_rank {

@@ -68,6 +68,7 @@ struct Features {
 /// Self-optimizing RL memory scheduler.
 #[derive(Debug)]
 pub struct RlScheduler {
+    // simlint: allow(snapshot-coverage) config-derived and immutable; restore rebuilds it from the same config
     cfg: RlConfig,
     tables: Vec<Vec<f64>>,
     rng: StdRng,
@@ -383,6 +384,7 @@ impl Scheduler for RlScheduler {
         let (indices, q, decision) = scored
             .into_iter()
             .nth(chosen)
+            // simlint: allow(panic) chosen is sampled modulo scored.len()
             .expect("chosen index in range");
         self.learn(q);
         self.prev = Some((indices, q, Self::reward_of(&decision)));

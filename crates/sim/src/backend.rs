@@ -59,13 +59,17 @@ type RetryKey = (usize, usize, AccessKind);
 pub struct Backend {
     shards: Vec<Option<MemoryController>>,
     next_due: Vec<DramCycles>,
+    // simlint: allow(snapshot-coverage) runtime thread pool, rebuilt from config; not serializable state
     pool: Option<WorkerPool>,
     retry: BTreeMap<RetryKey, VecDeque<MemoryRequest>>,
+    // simlint: allow(snapshot-coverage) derived: sum of retry bucket lengths, recomputed on load
     retry_len: usize,
     /// Kernel self-profiler flag: when set, wall-clock time spent blocked on
     /// the worker-pool barrier is accumulated in `barrier_nanos`. Off by
     /// default so the threaded tick path takes no `Instant::now` calls.
+    // simlint: allow(snapshot-coverage) host profiling flag, config-derived
     profile: bool,
+    // simlint: allow(snapshot-coverage) host wall-clock accounting, never simulated state
     barrier_nanos: u64,
 }
 
@@ -113,16 +117,19 @@ impl Backend {
     /// One shard's controller. Slots are only ever empty while a threaded
     /// tick is in flight, which never escapes a single `tick_event` call.
     fn mc(&self, shard: usize) -> &MemoryController {
+        // simlint: allow(panic) slots are only empty inside tick_event_threaded
         self.shards[shard].as_ref().expect("shard checked in")
     }
 
     fn mc_mut(&mut self, shard: usize) -> &mut MemoryController {
+        // simlint: allow(panic) slots are only empty inside tick_event_threaded
         self.shards[shard].as_mut().expect("shard checked in")
     }
 
     fn shards_iter(&self) -> impl Iterator<Item = &MemoryController> {
         self.shards
             .iter()
+            // simlint: allow(panic) slots are only empty inside tick_event_threaded
             .map(|slot| slot.as_ref().expect("shard checked in"))
     }
 
@@ -217,11 +224,13 @@ impl Backend {
             ..
         } = self;
         for ((shard, _channel, kind), queue) in retry.iter_mut() {
+            // simlint: allow(panic) slots are only empty inside tick_event_threaded
             let mc = shards[*shard].as_mut().expect("shard checked in");
             while let Some(&head) = queue.front() {
                 if !mc.can_accept(head.addr, *kind) {
                     break;
                 }
+                // simlint: allow(panic) guarded by the can_accept check above
                 mc.enqueue(head, now).expect("can_accept was just checked");
                 // An admitted request invalidates the shard's cached bound.
                 next_due[*shard] = next_due[*shard].min(now);
@@ -340,6 +349,7 @@ impl Backend {
     pub fn skip_dram_cycles(&mut self, cycles: u64) {
         for slot in &mut self.shards {
             slot.as_mut()
+                // simlint: allow(panic) slots are only empty inside tick_event_threaded
                 .expect("shard checked in")
                 .skip_dram_cycles(cycles);
         }
@@ -362,6 +372,7 @@ impl Backend {
         } else {
             for shard in 0..self.shards.len() {
                 if self.next_due[shard] <= now {
+                    // simlint: allow(panic) slots are only empty inside tick_event_threaded
                     let mc = self.shards[shard].as_mut().expect("shard checked in");
                     let worked = mc.tick(now, events);
                     self.next_due[shard] = bound_after_tick(mc, worked, now);
@@ -375,16 +386,19 @@ impl Backend {
     /// The threaded half of [`Backend::tick_event`]: check due controllers
     /// out to the pool, barrier on all results, reinsert in shard order.
     fn tick_event_threaded(&mut self, now: DramCycles, events: &mut Vec<CompletedRequest>) {
+        // simlint: allow(panic) tick_event dispatches here only when a pool exists
         let pool = self.pool.as_ref().expect("pool checked by caller");
         let mut dispatched = 0usize;
         for shard in 0..self.shards.len() {
             if self.next_due[shard] <= now {
+                // simlint: allow(panic) slots are refilled before tick_event_threaded returns
                 let mc = self.shards[shard].take().expect("shard checked in");
                 pool.dispatch(ShardJob { shard, mc, now });
                 dispatched += 1;
             } else {
                 self.shards[shard]
                     .as_mut()
+                    // simlint: allow(panic) slots are refilled before tick_event_threaded returns
                     .expect("shard checked in")
                     .skip_dram_cycles(1);
             }
@@ -393,6 +407,7 @@ impl Backend {
         // before the DRAM tick (and with it the 2:5 clock-crossing step)
         // completes. Completions merge in ascending shard order — exactly
         // the sequential service order.
+        // simlint: allow(wall-clock) profile-gated: measures host time only, never sim state
         let barrier_start = self.profile.then(std::time::Instant::now);
         let mut results: Vec<_> = (0..dispatched).map(|_| pool.collect()).collect();
         if let Some(start) = barrier_start {
@@ -476,6 +491,7 @@ impl Backend {
             return Err(r.bad_value(format!("{count} shards, expected {}", self.shards.len())));
         }
         for slot in &mut self.shards {
+            // simlint: allow(panic) slots are only empty inside tick_event_threaded
             slot.as_mut().expect("shard checked in").load_state(r)?;
         }
         let bounds = r.bounded_len(8)?;
@@ -602,6 +618,7 @@ impl Tick for Backend {
     fn tick(&mut self, now: u64, events: &mut Vec<CompletedRequest>) {
         self.drain_retries(now);
         for slot in &mut self.shards {
+            // simlint: allow(panic) slots are only empty inside tick_event_threaded
             slot.as_mut().expect("shard checked in").tick(now, events);
         }
     }

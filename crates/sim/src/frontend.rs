@@ -28,6 +28,7 @@
 //! generators are bypassed and a streaming [`TraceStream`] supplies the
 //! recorded ops instead.
 
+// simlint: allow(io-access) trace capture/replay opens caller-named files by design
 use std::fs::File;
 use std::io::BufWriter;
 
@@ -135,16 +136,20 @@ pub struct Frontend {
     /// Trace replay supply; when set, cores consume it instead of `streams`
     /// (which is still built — the address layout it derives from the mix
     /// drives [`Frontend::prewarm`]).
+    // simlint: allow(snapshot-coverage) trace I/O handle; snapshot() refuses systems holding one
     replay: Option<TraceStream>,
     /// Trace capture sink; every op any core consumes is appended.
+    // simlint: allow(snapshot-coverage) trace I/O handle; snapshot() refuses systems holding one
     record: Option<TraceWriter<BufWriter<File>>>,
     /// First error the capture sink produced; recording stops at that point
     /// and the error surfaces from [`Frontend::finish_trace`].
+    // simlint: allow(snapshot-coverage) latched trace-I/O error, meaningless across a restore
     record_error: Option<String>,
     /// First error the replay trace produced (I/O, parse, or a core index
     /// beyond the bound count); the affected cores idle on the exhaustion
     /// filler from then on and the error surfaces from
     /// [`Frontend::finish_trace`].
+    // simlint: allow(snapshot-coverage) latched trace-I/O error, meaningless across a restore
     replay_error: Option<String>,
     l2: SharedL2,
     rng: StdRng,

@@ -340,6 +340,7 @@ impl<T> EventQueue<T> {
             if cycle - self.base >= EVENT_RING_SPAN {
                 break;
             }
+            // simlint: allow(panic) key returned by first_key_value two lines up
             let bucket = self.overflow.remove(&cycle).expect("first key exists");
             self.overflow_len -= bucket.len();
             self.ring_len += bucket.len();
@@ -371,6 +372,7 @@ impl<T> EventQueue<T> {
         let idx = (cycle % EVENT_RING_SPAN) as usize;
         let item = self.ring[idx]
             .pop_front()
+            // simlint: allow(panic) occupied bitmap guarantees a pending event at idx
             .expect("first pending bucket is non-empty");
         self.ring_len -= 1;
         if self.ring[idx].is_empty() {

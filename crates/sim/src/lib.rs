@@ -19,8 +19,7 @@
 //! println!("user IPC = {:.2}", stats.user_ipc());
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod backend;
 pub mod config;

@@ -88,6 +88,7 @@ impl WorkerPool {
             let handle = std::thread::Builder::new()
                 .name(format!("cloudmc-shard-{i}"))
                 .spawn(move || worker_loop(&rx, &result_tx, &run))
+                // simlint: allow(panic) thread-spawn failure at startup is unrecoverable
                 .expect("spawn backend worker thread");
             senders.push(tx);
             handles.push(handle);
@@ -104,6 +105,7 @@ impl WorkerPool {
         let worker = job.shard % self.senders.len();
         self.senders[worker]
             .send(job)
+            // simlint: allow(panic) a dead worker already poisoned the run; propagate
             .expect("backend worker thread alive");
     }
 
@@ -120,8 +122,10 @@ impl WorkerPool {
         match self.results.recv() {
             Ok(ShardOutcome::Done(result)) => result,
             Ok(ShardOutcome::Panicked { shard, message }) => {
+                // simlint: allow(panic) documented: re-raises the worker panic with shard attribution
                 panic!("backend worker panicked ticking shard {shard}: {message}")
             }
+            // simlint: allow(panic) a dead worker already poisoned the run; propagate
             Err(_) => panic!("backend worker thread alive"),
         }
     }

@@ -52,6 +52,7 @@ pub fn run_all_with_threads(
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(cfg) = configs.get(i) else { break };
                 let result = run_system(cfg.clone());
+                // simlint: allow(panic) poisoned mutex means a sibling panicked; propagate
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
@@ -60,6 +61,7 @@ pub fn run_all_with_threads(
         .into_iter()
         .map(|slot| {
             slot.into_inner()
+                // simlint: allow(panic) poisoned mutex means a worker panicked; propagate
                 .expect("result slot poisoned")
                 .unwrap_or_else(|| Err("worker thread dropped the run".to_owned()))
         })

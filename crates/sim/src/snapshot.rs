@@ -94,6 +94,7 @@ impl Snapshot {
     /// Returns [`SimError::Snapshot`] if the file cannot be written.
     pub fn write_to_file(&self, path: impl AsRef<Path>) -> Result<(), SimError> {
         let path = path.as_ref();
+        // simlint: allow(io-access) caller-directed persistence API, typed error path
         std::fs::write(path, &self.bytes)
             .map_err(|e| SimError::Snapshot(format!("writing {}: {e}", path.display())))
     }
@@ -105,6 +106,7 @@ impl Snapshot {
     /// Returns [`SimError::Snapshot`] if the file cannot be read.
     pub fn read_from_file(path: impl AsRef<Path>) -> Result<Self, SimError> {
         let path = path.as_ref();
+        // simlint: allow(io-access) caller-directed persistence API, typed error path
         let bytes = std::fs::read(path)
             .map_err(|e| SimError::Snapshot(format!("reading {}: {e}", path.display())))?;
         Ok(Self { bytes })

@@ -715,14 +715,9 @@ impl System {
         self.clock.save_state(&mut w);
         self.fills.save_state(&mut w);
         w.u64(self.next_request_id);
-        let mut reads: Vec<(RequestId, OutstandingRead)> = self
-            .outstanding_reads
-            .iter()
-            .map(|(&id, &read)| (id, read))
-            .collect();
         // The map is hash-ordered; dump sorted by request id so identical
         // states always produce identical bytes.
-        reads.sort_unstable_by_key(|&(id, _)| id);
+        let reads = cloudmc_snap::det::sorted_entries(&self.outstanding_reads);
         w.usize(reads.len());
         for (id, read) in reads {
             w.u64(id);
@@ -985,6 +980,7 @@ impl System {
     /// Starts a wall-clock phase measurement; `None` when profiling is off,
     /// so hot loops pay a single boolean test.
     fn prof_start(&self) -> Option<Instant> {
+        // simlint: allow(wall-clock) profile-gated: measures host time only, never sim state
         self.profile.then(Instant::now)
     }
 
@@ -1055,24 +1051,16 @@ impl System {
             return Ok(());
         };
         if let Some(path) = &self.cfg.telemetry.series_path {
-            let mut out = String::new();
-            for sample in &t.series {
-                out.push_str(&sample.to_jsonl());
-                out.push('\n');
-            }
-            std::fs::write(path, out).map_err(|e| {
-                SimError::Telemetry(format!("writing time series to {}: {e}", path.display()))
-            })?;
+            cloudmc_telemetry::write_jsonl_file(path, t.series.iter().map(|s| s.to_jsonl()))
+                .map_err(|e| {
+                    SimError::Telemetry(format!("writing time series to {}: {e}", path.display()))
+                })?;
         }
         if let Some(path) = &self.cfg.telemetry.span_path {
-            let mut out = String::new();
-            for span in &t.spans {
-                out.push_str(&span.to_jsonl());
-                out.push('\n');
-            }
-            std::fs::write(path, out).map_err(|e| {
-                SimError::Telemetry(format!("writing span trace to {}: {e}", path.display()))
-            })?;
+            cloudmc_telemetry::write_jsonl_file(path, t.spans.iter().map(|s| s.to_jsonl()))
+                .map_err(|e| {
+                    SimError::Telemetry(format!("writing span trace to {}: {e}", path.display()))
+                })?;
         }
         Ok(())
     }
@@ -1427,6 +1415,7 @@ impl Simulator {
     pub fn run(self) -> SimStats {
         match self.try_run() {
             Ok(stats) => stats,
+            // simlint: allow(panic) documented: run() panics, try_run() is the typed path
             Err(err) => panic!("simulation failed: {err}"),
         }
     }

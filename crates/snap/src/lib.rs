@@ -31,8 +31,9 @@
 //! SnapWriter)` / `load_state(&mut self, &mut SnapReader)` pairs in their own
 //! crates, so private fields stay private and this crate stays dependency-free.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod det;
 
 use std::fmt;
 
@@ -307,16 +308,19 @@ impl<'a> SnapReader<'a> {
         if data[..8] != MAGIC {
             return Err(SnapError::BadMagic);
         }
+        // simlint: allow(panic) fixed-width slice of a length-checked buffer
         let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
         if version != FORMAT_VERSION {
             return Err(SnapError::UnsupportedVersion(version));
         }
         let body_end = data.len() - 8;
+        // simlint: allow(panic) fixed-width slice of a length-checked buffer
         let stored = u64::from_le_bytes(data[body_end..].try_into().expect("8 bytes"));
         let computed = fnv1a(&data[..body_end]);
         if stored != computed {
             return Err(SnapError::ChecksumMismatch { computed, stored });
         }
+        // simlint: allow(panic) fixed-width slice of a length-checked buffer
         let found = u64::from_le_bytes(data[12..20].try_into().expect("8 bytes"));
         if found != expected_fingerprint {
             return Err(SnapError::FingerprintMismatch {
@@ -394,6 +398,7 @@ impl<'a> SnapReader<'a> {
     ///
     /// [`SnapError::Truncated`] when the body ends first.
     pub fn u32(&mut self) -> Result<u32, SnapError> {
+        // simlint: allow(panic) take(4) yields exactly four bytes
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
 
@@ -403,6 +408,7 @@ impl<'a> SnapReader<'a> {
     ///
     /// [`SnapError::Truncated`] when the body ends first.
     pub fn u64(&mut self) -> Result<u64, SnapError> {
+        // simlint: allow(panic) take(8) yields exactly eight bytes
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 

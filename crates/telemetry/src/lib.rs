@@ -19,17 +19,19 @@
 //! counters, and all JSON encoding is hand-rolled with stable key order so
 //! byte-for-byte comparison across kernels and thread counts is meaningful.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod config;
 mod hist;
 mod jsonl;
 mod profile;
 mod series;
+mod sink;
 mod span;
 
 pub use config::TelemetryConfig;
 pub use hist::{LatencyHistogram, HIST_BUCKETS};
 pub use profile::{KernelPhase, KernelProfile, KernelProfiler};
 pub use series::TelemetrySample;
+pub use sink::write_jsonl_file;
 pub use span::{SpanAccess, SpanOutcome, SpanRecord};

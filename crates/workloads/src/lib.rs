@@ -18,8 +18,7 @@
 //! let _first_op = streams.stream_mut(0).next_op();
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod generator;
 pub mod mix;

@@ -116,6 +116,7 @@ impl MixSpec {
             .tenants
             .iter()
             .position(Option::is_none)
+            // simlint: allow(panic) documented builder contract: capacity is MAX_TENANTS
             .unwrap_or_else(|| panic!("a mix holds at most {MAX_TENANTS} tenants"));
         self.tenants[slot] = Some(tenant);
         self
@@ -134,6 +135,7 @@ impl MixSpec {
     /// Panics if `t` is out of range.
     #[must_use]
     pub fn tenant(&self, t: TenantId) -> &TenantSpec {
+        // simlint: allow(panic) documented accessor contract: t must be in range
         self.tenants[t].as_ref().expect("tenant index out of range")
     }
 
@@ -173,6 +175,7 @@ impl MixSpec {
                 return t;
             }
         }
+        // simlint: allow(panic) documented accessor contract: core must be in range
         panic!("core {core} beyond the mix's {lo} cores");
     }
 

@@ -1,4 +1,6 @@
 //! cloudmc umbrella crate: re-exports the full public API.
+#![forbid(unsafe_code)]
+
 pub use cloudmc_cpu as cpu;
 pub use cloudmc_dram as dram;
 pub use cloudmc_memctrl as memctrl;
